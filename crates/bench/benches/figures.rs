@@ -1,0 +1,61 @@
+//! Criterion benchmarks regenerating every *figure* of the paper's evaluation at a
+//! reduced scale. Each benchmark body is the same code path the `repro` binary runs at
+//! paper scale; the reported rows (who wins, direction of the gaps) follow the paper's
+//! shape even at this scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use qec_bench::bench_scale;
+use qec_experiments::runners;
+
+fn configure(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    group
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = configure(c);
+
+    group.bench_function("fig1_headline_fnfp_and_dlp", |b| {
+        b.iter(|| runners::fig1_headline(&scale));
+    });
+    group.bench_function("fig3_device_characterization", |b| {
+        b.iter(|| runners::fig3_device_characterization(&scale));
+    });
+    group.bench_function("fig4b_open_loop_ler", |b| {
+        b.iter(|| runners::fig4b_open_loop_ler(&scale));
+    });
+    group.bench_function("fig5_surface_pattern_usage", |b| {
+        b.iter(|| runners::fig5_surface_pattern_usage(&scale));
+    });
+    group.bench_function("fig8_color_code_patterns", |b| {
+        b.iter(|| runners::fig8_color_code(&scale));
+    });
+    group.bench_function("fig9_speculation_accuracy", |b| {
+        b.iter(|| runners::fig9_speculation_accuracy(&scale));
+    });
+    group.bench_function("fig10_surface_dlp_trajectories", |b| {
+        b.iter(|| runners::fig10_surface_dlp(&scale));
+    });
+    group.bench_function("fig11_color_dlp_trajectories", |b| {
+        b.iter(|| runners::fig11_color_dlp(&scale));
+    });
+    group.bench_function("fig12_ler_vs_distance", |b| {
+        b.iter(|| runners::fig12_ler_vs_distance(&scale));
+    });
+    group.bench_function("fig13_error_rate_sensitivity", |b| {
+        b.iter(|| runners::fig13_error_rate_sensitivity(&scale));
+    });
+    group.bench_function("fig14_distance_scaling", |b| {
+        b.iter(|| runners::fig14_distance_scaling(&scale));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Micro-benchmarks of the hot kernels: round simulation, pattern classification,
+//! union-find decoding and offline model construction. These bound the throughput of
+//! the paper-scale reproduction runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use gladiator::{GladiatorConfig, GladiatorModel};
+use leakage_speculation::{build_policy, PolicyKind};
+use leaky_sim::{NoiseParams, Simulator};
+use qec_codes::{CheckBasis, Code, MatchingGraph};
+use qec_decoder::{detection_events, UnionFindDecoder};
+
+fn bench_simulator_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_rounds");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(3));
+    for d in [3usize, 5, 7, 9] {
+        let code = Code::rotated_surface(d);
+        group.bench_with_input(BenchmarkId::new("surface_gladiator_m", d), &code, |b, code| {
+            let config = GladiatorConfig::default();
+            b.iter(|| {
+                let mut policy = build_policy(PolicyKind::GladiatorM, code, &config);
+                let mut sim = Simulator::new(code, NoiseParams::default(), 5);
+                sim.run_with_policy(policy.as_mut(), 20)
+            });
+        });
+    }
+    let color = Code::color_666(9);
+    group.bench_function("color_d9_gladiator_dm", |b| {
+        let config = GladiatorConfig::default();
+        b.iter(|| {
+            let mut policy = build_policy(PolicyKind::GladiatorDM, &color, &config);
+            let mut sim = Simulator::new(&color, NoiseParams::default(), 5);
+            sim.run_with_policy(policy.as_mut(), 20)
+        });
+    });
+    group.finish();
+}
+
+fn bench_decoder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("union_find_decoder");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(3));
+    for d in [3usize, 5, 7] {
+        let code = Code::rotated_surface(d);
+        let rounds = 2 * d;
+        let graph = MatchingGraph::build(&code, CheckBasis::Z, rounds + 1);
+        let decoder = UnionFindDecoder::new(graph);
+        let mut sim = Simulator::new(&code, NoiseParams::default(), 3);
+        let run = sim.run_with_policy(&mut leaky_sim::policy::NeverLrc, rounds);
+        let events = detection_events(&run, decoder.graph());
+        group.bench_with_input(BenchmarkId::new("decode", d), &events, |b, events| {
+            b.iter(|| decoder.decode(events));
+        });
+    }
+    group.finish();
+}
+
+fn bench_offline_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline_model");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("build_surface_model", |b| {
+        let code = Code::rotated_surface(7);
+        b.iter(|| GladiatorModel::for_code(&code, GladiatorConfig::default()));
+    });
+    group.bench_function("build_bpc_model_width6", |b| {
+        let code = Code::bpc(21);
+        b.iter(|| GladiatorModel::for_code(&code, GladiatorConfig::default()));
+    });
+    group.bench_function("minimize_boolean_checker", |b| {
+        let model = GladiatorModel::for_code(&Code::rotated_surface(5), GladiatorConfig::default());
+        b.iter(|| model.minimized_expression());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator_rounds, bench_decoder, bench_offline_model);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benchmarks regenerating every *table* of the paper's evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use qec_bench::bench_scale;
+use qec_experiments::runners;
+
+fn bench_tables(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+
+    group.bench_function("table2_leakage_detection_efficacy", |b| {
+        b.iter(|| runners::table2_efficacy(&scale));
+    });
+    group.bench_function("table3_fpga_lut_usage", |b| {
+        b.iter(runners::table3_lut_usage);
+    });
+    group.bench_function("table4_equilibrium_and_inaccuracy", |b| {
+        b.iter(|| runners::table4_equilibrium(&scale));
+    });
+    group.bench_function("table5_code_family_reduction_factors", |b| {
+        b.iter(|| runners::table5_code_families(&scale));
+    });
+    group.bench_function("table6_mobility_classification", |b| {
+        b.iter(|| runners::table6_mobility(&scale));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

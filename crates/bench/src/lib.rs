@@ -1,0 +1,30 @@
+//! Benchmark support crate.
+//!
+//! The actual Criterion benchmarks live in `benches/`: `figures` regenerates every
+//! figure of the paper at a reduced scale, `tables` regenerates every table, and
+//! `kernels` measures the hot kernels (round simulation, union-find decoding, offline
+//! model construction). This library only hosts shared helpers.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use qec_experiments::runners::Scale;
+
+/// The scale used by the benchmark harness: small enough to finish in minutes, large
+/// enough for the qualitative trends (who wins, and in which direction) to be visible.
+#[must_use]
+pub fn bench_scale() -> Scale {
+    Scale { shots: 4, rounds_factor: 0.02, max_distance: 5, seed: 97 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_scale_is_small() {
+        let scale = bench_scale();
+        assert!(scale.shots <= 8);
+        assert!(scale.rounds_factor < 0.5);
+    }
+}

@@ -1,0 +1,185 @@
+//! Per-data-qubit adjacency: which checks touch each data qubit and when.
+//!
+//! Leakage speculation (both ERASER's heuristic and GLADIATOR's graph model) operates
+//! on the *pattern* of syndrome flips observed on the parity qubits adjacent to one
+//! data qubit. The [`DataAdjacency`] structure fixes, once per code, the identity and
+//! ordering of those parity qubits: neighbours are listed in the time order in which
+//! their CNOT with the data qubit executes (ties broken by check id), which is the
+//! "A1..A4" ordering used throughout the paper's examples.
+
+use serde::{Deserialize, Serialize};
+
+use crate::code::{CheckBasis, CheckId, Code, DataQubitId};
+
+/// One adjacency record: data qubit `q` interacts with check `check` at CNOT time
+/// step `time` of the extraction round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AdjEntry {
+    /// The adjacent check (equivalently its parity qubit).
+    pub check: CheckId,
+    /// Zero-based CNOT time step within the round at which the interaction happens.
+    pub time: usize,
+    /// Basis of the adjacent check.
+    pub basis: CheckBasis,
+}
+
+/// For every data qubit of a code, the time-ordered list of adjacent checks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataAdjacency {
+    per_qubit: Vec<Vec<AdjEntry>>,
+}
+
+impl DataAdjacency {
+    /// Builds the adjacency table for `code`.
+    #[must_use]
+    pub fn new(code: &Code) -> Self {
+        let mut per_qubit: Vec<Vec<AdjEntry>> = vec![Vec::new(); code.num_data()];
+        for check in code.checks() {
+            for (time, &q) in check.support.iter().enumerate() {
+                per_qubit[q].push(AdjEntry {
+                    check: check.id,
+                    time,
+                    basis: check.basis,
+                });
+            }
+        }
+        for entries in &mut per_qubit {
+            entries.sort_by_key(|e| (e.time, e.check));
+        }
+        DataAdjacency { per_qubit }
+    }
+
+    /// Number of data qubits covered.
+    #[must_use]
+    pub fn num_data(&self) -> usize {
+        self.per_qubit.len()
+    }
+
+    /// The adjacent checks of data qubit `q`, in pattern-bit order.
+    ///
+    /// # Panics
+    /// Panics if `q` is out of range.
+    #[must_use]
+    pub fn neighbors(&self, q: DataQubitId) -> &[AdjEntry] {
+        &self.per_qubit[q]
+    }
+
+    /// The adjacent checks of `q` restricted to one basis, preserving pattern order.
+    #[must_use]
+    pub fn neighbors_of_basis(&self, q: DataQubitId, basis: CheckBasis) -> Vec<AdjEntry> {
+        self.per_qubit[q]
+            .iter()
+            .copied()
+            .filter(|e| e.basis == basis)
+            .collect()
+    }
+
+    /// Degree (number of adjacent checks) of every data qubit.
+    #[must_use]
+    pub fn degrees(&self) -> Vec<usize> {
+        self.per_qubit.iter().map(Vec::len).collect()
+    }
+
+    /// Distinct degrees occurring in the code, ascending. These are the pattern widths
+    /// the speculation hardware has to support (2-, 3- and 4-bit for the surface code;
+    /// 1-, 2- and 3-bit per basis for the color code).
+    #[must_use]
+    pub fn degree_classes(&self) -> Vec<usize> {
+        let mut degs: Vec<usize> = self.degrees();
+        degs.sort_unstable();
+        degs.dedup();
+        degs
+    }
+
+    /// The data qubits having exactly `degree` adjacent checks.
+    #[must_use]
+    pub fn qubits_with_degree(&self, degree: usize) -> Vec<DataQubitId> {
+        (0..self.per_qubit.len())
+            .filter(|&q| self.per_qubit[q].len() == degree)
+            .collect()
+    }
+
+    /// Pattern order of the adjacent check ids of `q` (convenience wrapper used when
+    /// assembling syndrome patterns).
+    #[must_use]
+    pub fn pattern_checks(&self, q: DataQubitId) -> Vec<CheckId> {
+        self.per_qubit[q].iter().map(|e| e.check).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::Code;
+
+    #[test]
+    fn surface_degrees_are_bounded_by_four() {
+        let code = Code::rotated_surface(5);
+        let adj = code.data_adjacency();
+        assert_eq!(adj.num_data(), 25);
+        assert_eq!(adj.degree_classes(), vec![2, 3, 4]);
+        // Bulk should dominate at weight 4.
+        let bulk = adj.qubits_with_degree(4).len();
+        assert!(bulk >= 9, "expected at least (d-2)^2 bulk qubits, got {bulk}");
+    }
+
+    #[test]
+    fn neighbors_are_sorted_by_time() {
+        let code = Code::rotated_surface(7);
+        let adj = code.data_adjacency();
+        for q in 0..code.num_data() {
+            let times: Vec<usize> = adj.neighbors(q).iter().map(|e| e.time).collect();
+            let mut sorted = times.clone();
+            sorted.sort_unstable();
+            assert_eq!(times, sorted, "qubit {q} neighbours not time-ordered");
+        }
+    }
+
+    #[test]
+    fn neighbor_entries_agree_with_check_supports() {
+        let code = Code::color_666(5);
+        let adj = code.data_adjacency();
+        for q in 0..code.num_data() {
+            for entry in adj.neighbors(q) {
+                let check = code.check(entry.check);
+                assert_eq!(check.time_of(q), Some(entry.time));
+                assert_eq!(check.basis, entry.basis);
+            }
+        }
+    }
+
+    #[test]
+    fn basis_restricted_neighbors_partition_the_full_list() {
+        let code = Code::rotated_surface(5);
+        let adj = code.data_adjacency();
+        for q in 0..code.num_data() {
+            let x = adj.neighbors_of_basis(q, CheckBasis::X).len();
+            let z = adj.neighbors_of_basis(q, CheckBasis::Z).len();
+            assert_eq!(x + z, adj.neighbors(q).len());
+        }
+    }
+
+    #[test]
+    fn color_code_has_one_two_and_three_bit_classes_per_basis() {
+        let code = Code::color_666(5);
+        let adj = code.data_adjacency();
+        let mut per_basis: Vec<usize> = (0..code.num_data())
+            .map(|q| adj.neighbors_of_basis(q, CheckBasis::X).len())
+            .collect();
+        per_basis.sort_unstable();
+        per_basis.dedup();
+        assert_eq!(per_basis, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn qubits_with_degree_covers_all_qubits() {
+        let code = Code::rotated_surface(3);
+        let adj = code.data_adjacency();
+        let total: usize = adj
+            .degree_classes()
+            .iter()
+            .map(|&deg| adj.qubits_with_degree(deg).len())
+            .sum();
+        assert_eq!(total, code.num_data());
+    }
+}

@@ -1,0 +1,207 @@
+//! Converting simulated runs into detection events and judging logical failure.
+
+use qec_codes::{CheckBasis, Code, MatchingGraph};
+
+use crate::decoder::Correction;
+use leaky_sim::RunRecord;
+
+/// Which logical memory experiment is being decoded.
+///
+/// A `Z`-basis memory stores the logical qubit in the Z basis, is corrupted by X
+/// (bit-flip) errors, and is therefore decoded on the **Z-check** matching graph;
+/// conversely for `X`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemoryBasis {
+    /// Logical Z memory (decode X errors using Z-type checks).
+    Z,
+    /// Logical X memory (decode Z errors using X-type checks).
+    X,
+}
+
+impl MemoryBasis {
+    /// The check basis whose detectors are decoded for this memory experiment.
+    #[must_use]
+    pub fn check_basis(self) -> CheckBasis {
+        match self {
+            MemoryBasis::Z => CheckBasis::Z,
+            MemoryBasis::X => CheckBasis::X,
+        }
+    }
+}
+
+/// Extracts the detection events of `run` for the matching graph `graph`.
+///
+/// The graph must cover `run.num_rounds() + 1` rounds: the extra, final layer compares
+/// the last noisy measurement with a round of perfect measurements (the standard
+/// trick that closes open time-like error strings before readout).
+///
+/// # Panics
+/// Panics if the graph's round count is not `run.num_rounds() + 1`.
+#[must_use]
+pub fn detection_events(run: &RunRecord, graph: &MatchingGraph) -> Vec<usize> {
+    assert_eq!(
+        graph.rounds(),
+        run.num_rounds() + 1,
+        "matching graph must have one more layer than the noisy rounds"
+    );
+    let mut events = Vec::new();
+    for (r, round) in run.rounds.iter().enumerate() {
+        for &check in graph.checks() {
+            if round.detectors[check] {
+                events.push(graph.detector_index(r, check).expect("detector in range"));
+            }
+        }
+    }
+    // Final perfect layer.
+    if let Some(last) = run.rounds.last() {
+        for &check in graph.checks() {
+            let flip = run.final_perfect_measurements[check] ^ last.measurements[check];
+            if flip {
+                events.push(
+                    graph
+                        .detector_index(run.num_rounds(), check)
+                        .expect("final layer in range"),
+                );
+            }
+        }
+    }
+    events
+}
+
+/// Returns `true` when, after applying `correction`, the run still carries a logical
+/// error in the given memory basis.
+#[must_use]
+pub fn logical_failure(
+    code: &Code,
+    run: &RunRecord,
+    correction: &Correction,
+    basis: MemoryBasis,
+) -> bool {
+    match basis {
+        MemoryBasis::Z => {
+            // Residual X errors flip the logical-Z readout.
+            let mut frames = run.final_data_x.clone();
+            for &q in &correction.data_qubits {
+                frames[q] = !frames[q];
+            }
+            code.logical_z()
+                .first()
+                .map(|support| support.iter().filter(|&&q| frames[q]).count() % 2 == 1)
+                .unwrap_or(false)
+        }
+        MemoryBasis::X => {
+            let mut frames = run.final_data_z.clone();
+            for &q in &correction.data_qubits {
+                frames[q] = !frames[q];
+            }
+            code.logical_x()
+                .first()
+                .map(|support| support.iter().filter(|&&q| frames[q]).count() % 2 == 1)
+                .unwrap_or(false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::UnionFindDecoder;
+    use leaky_sim::{policy::NeverLrc, NoiseParams, Simulator};
+
+    fn run_and_decode(d: usize, rounds: usize, p: f64, seed: u64) -> (Code, RunRecord, bool) {
+        let code = Code::rotated_surface(d);
+        let noise = NoiseParams::builder()
+            .physical_error_rate(p)
+            .leakage_ratio(0.0)
+            .mlr_false_flag(0.0)
+            .build();
+        let mut sim = Simulator::new(&code, noise, seed);
+        let run = sim.run_with_policy(&mut NeverLrc, rounds);
+        let graph = MatchingGraph::build(&code, CheckBasis::Z, rounds + 1);
+        let decoder = UnionFindDecoder::new(graph);
+        let events = detection_events(&run, decoder.graph());
+        let correction = decoder.decode(&events);
+        let failed = logical_failure(&code, &run, &correction, MemoryBasis::Z);
+        (code, run, failed)
+    }
+
+    #[test]
+    fn noiseless_runs_never_fail() {
+        for seed in 0..5 {
+            let (_, run, failed) = run_and_decode(3, 5, 0.0, seed);
+            assert!(!failed);
+            assert!(run.final_data_x.iter().all(|&b| !b));
+        }
+    }
+
+    #[test]
+    fn low_noise_runs_rarely_fail() {
+        let mut failures = 0usize;
+        let shots = 60;
+        for seed in 0..shots {
+            let (_, _, failed) = run_and_decode(3, 3, 5e-4, 1000 + seed);
+            if failed {
+                failures += 1;
+            }
+        }
+        assert!(
+            failures <= 2,
+            "decoder failed {failures}/{shots} shots at p=5e-4, which is far too many"
+        );
+    }
+
+    #[test]
+    fn detection_events_requires_matching_round_count() {
+        let code = Code::rotated_surface(3);
+        let noise = NoiseParams::default();
+        let mut sim = Simulator::new(&code, noise, 3);
+        let run = sim.run_with_policy(&mut NeverLrc, 4);
+        let graph = MatchingGraph::build(&code, CheckBasis::Z, 5);
+        // correct round count works
+        let _ = detection_events(&run, &graph);
+    }
+
+    #[test]
+    #[should_panic(expected = "one more layer")]
+    fn detection_events_rejects_wrong_round_count() {
+        let code = Code::rotated_surface(3);
+        let noise = NoiseParams::default();
+        let mut sim = Simulator::new(&code, noise, 3);
+        let run = sim.run_with_policy(&mut NeverLrc, 4);
+        let graph = MatchingGraph::build(&code, CheckBasis::Z, 4);
+        let _ = detection_events(&run, &graph);
+    }
+
+    #[test]
+    fn logical_failure_detects_uncorrected_logical_string() {
+        let code = Code::rotated_surface(3);
+        let noise = NoiseParams::builder().physical_error_rate(0.0).leakage_ratio(0.0).build();
+        let mut sim = Simulator::new(&code, noise, 3);
+        let mut run = sim.run_with_policy(&mut NeverLrc, 2);
+        // Manually plant a logical X string in the final frames.
+        for &q in &code.logical_z()[0] {
+            run.final_data_x[q] = true;
+        }
+        let failed = logical_failure(&code, &run, &Correction::default(), MemoryBasis::Z);
+        assert!(failed);
+        // Correcting the same string removes the failure.
+        let correction = Correction {
+            data_qubits: code.logical_z()[0].clone(),
+            matched_edges: vec![],
+        };
+        assert!(!logical_failure(&code, &run, &correction, MemoryBasis::Z));
+    }
+
+    #[test]
+    fn x_basis_memory_uses_z_frames() {
+        let code = Code::rotated_surface(3);
+        let noise = NoiseParams::builder().physical_error_rate(0.0).leakage_ratio(0.0).build();
+        let mut sim = Simulator::new(&code, noise, 3);
+        let mut run = sim.run_with_policy(&mut NeverLrc, 2);
+        for &q in &code.logical_x()[0] {
+            run.final_data_z[q] = true;
+        }
+        assert!(logical_failure(&code, &run, &Correction::default(), MemoryBasis::X));
+        assert!(!logical_failure(&code, &run, &Correction::default(), MemoryBasis::Z));
+    }
+}

@@ -1,0 +1,301 @@
+//! `repro` — regenerate the paper's tables and figures from the command line.
+//!
+//! ```text
+//! repro [--scale smoke|quick|paper] [--out DIR] [EXPERIMENT ...]
+//! ```
+//!
+//! Without explicit experiment names every experiment is run. Results are printed as
+//! text tables and written as JSON files under the output directory (default
+//! `repro-results/`).
+
+use std::fs;
+use std::path::PathBuf;
+
+use qec_experiments::report::{fmt_float, text_table, to_json};
+use qec_experiments::runners::{self, Scale};
+
+const EXPERIMENTS: &[&str] = &[
+    "fig1", "fig3", "fig4b", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+    "table2", "table3", "table4", "table5", "table6",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::quick();
+    let mut out_dir = PathBuf::from("repro-results");
+    let mut selected: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => match iter.next().as_deref() {
+                Some("smoke") => scale = Scale::smoke(),
+                Some("quick") => scale = Scale::quick(),
+                Some("paper") => scale = Scale::paper(),
+                other => {
+                    eprintln!("unknown scale {other:?} (expected smoke|quick|paper)");
+                    std::process::exit(2);
+                }
+            },
+            "--out" => {
+                if let Some(dir) = iter.next() {
+                    out_dir = PathBuf::from(dir);
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: repro [--scale smoke|quick|paper] [--out DIR] [EXPERIMENT ...]");
+                println!("experiments: {}", EXPERIMENTS.join(", "));
+                return;
+            }
+            name => selected.push(name.to_string()),
+        }
+    }
+    if selected.is_empty() {
+        selected = EXPERIMENTS.iter().map(|s| (*s).to_string()).collect();
+    }
+    fs::create_dir_all(&out_dir).expect("create output directory");
+
+    for name in &selected {
+        println!("=== {name} ===");
+        let json = run_one(name, &scale);
+        match json {
+            Some(payload) => {
+                let path = out_dir.join(format!("{name}.json"));
+                fs::write(&path, payload).expect("write result file");
+                println!("(saved {})\n", path.display());
+            }
+            None => println!("unknown experiment {name}; known: {}\n", EXPERIMENTS.join(", ")),
+        }
+    }
+}
+
+fn policy_table(results: &[qec_experiments::PolicyExperimentResult]) -> String {
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.clone(),
+                fmt_float(r.metrics.false_negatives),
+                fmt_float(r.metrics.false_positives),
+                fmt_float(r.metrics.data_lrcs),
+                fmt_float(r.metrics.lrcs_per_round),
+                fmt_float(r.metrics.average_dlp),
+                fmt_float(r.metrics.final_dlp),
+                r.metrics.logical_error_rate.map_or("-".to_string(), fmt_float),
+            ]
+        })
+        .collect();
+    text_table(&["policy", "FN", "FP", "data LRCs", "LRC/round", "avg DLP", "final DLP", "LER"], &rows)
+}
+
+fn run_one(name: &str, scale: &Scale) -> Option<String> {
+    match name {
+        "fig1" => {
+            let results = runners::fig1_headline(scale);
+            println!("{}", policy_table(&results));
+            Some(to_json(&results))
+        }
+        "fig3" => {
+            let result = runners::fig3_device_characterization(scale);
+            println!(
+                "leaked-CNOT bit-flip probability: {}",
+                fmt_float(result.leaked_cnot_bitflip)
+            );
+            println!(
+                "leakage population after 40 CNOTs: with injection {}, without {}",
+                fmt_float(*result.accumulation_with_injection.last().unwrap_or(&0.0)),
+                fmt_float(*result.accumulation_without_injection.last().unwrap_or(&0.0)),
+            );
+            Some(to_json(&result))
+        }
+        "fig4b" => {
+            let rows = runners::fig4b_open_loop_ler(scale);
+            print_ler(&rows);
+            Some(to_json(&rows))
+        }
+        "fig5" => {
+            let rows = runners::fig5_surface_pattern_usage(scale);
+            print_patterns(&rows);
+            Some(to_json(&rows))
+        }
+        "fig8" => {
+            let (counts, usage) = runners::fig8_color_code(scale);
+            let rows: Vec<Vec<String>> = counts
+                .iter()
+                .map(|c| {
+                    vec![c.policy.clone(), c.width.to_string(), format!("{}/{}", c.flagged, c.space)]
+                })
+                .collect();
+            println!("{}", text_table(&["policy", "width", "flagged"], &rows));
+            print_patterns(&usage);
+            Some(to_json(&(counts, usage)))
+        }
+        "fig9" => {
+            let results = runners::fig9_speculation_accuracy(scale);
+            println!("{}", policy_table(&results));
+            Some(to_json(&results))
+        }
+        "fig10" => {
+            let rows = runners::fig10_surface_dlp(scale);
+            print_dlp(&rows);
+            Some(to_json(&rows))
+        }
+        "fig11" => {
+            let rows = runners::fig11_color_dlp(scale);
+            print_dlp(&rows);
+            Some(to_json(&rows))
+        }
+        "fig12" => {
+            let rows = runners::fig12_ler_vs_distance(scale);
+            print_ler(&rows);
+            for policy in ["eraser+m", "gladiator+m"] {
+                let lambda = runners::suppression_factor(&rows, policy);
+                println!("suppression factor {policy}: {lambda:?}");
+            }
+            Some(to_json(&rows))
+        }
+        "fig13" => {
+            let rows = runners::fig13_error_rate_sensitivity(scale);
+            print_ler(&rows);
+            Some(to_json(&rows))
+        }
+        "fig14" => {
+            let rows = runners::fig14_distance_scaling(scale);
+            let table: Vec<Vec<String>> = rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.distance.to_string(),
+                        r.policy.clone(),
+                        fmt_float(r.average_dlp),
+                        fmt_float(r.data_lrcs),
+                    ]
+                })
+                .collect();
+            println!("{}", text_table(&["d", "policy", "avg DLP", "data LRCs"], &table));
+            Some(to_json(&rows))
+        }
+        "table2" => {
+            let results = runners::table2_efficacy(scale);
+            println!("{}", policy_table(&results));
+            Some(to_json(&results))
+        }
+        "table3" => {
+            let reports = runners::table3_lut_usage();
+            let rows: Vec<Vec<String>> = reports
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.distance.to_string(),
+                        r.gladiator.to_string(),
+                        r.eraser.to_string(),
+                        format!("{:.1}x", r.reduction_factor()),
+                    ]
+                })
+                .collect();
+            println!("{}", text_table(&["d", "GLADIATOR LUTs", "ERASER LUTs", "reduction"], &rows));
+            Some(to_json(&reports))
+        }
+        "table4" => {
+            let rows = runners::table4_equilibrium(scale);
+            let table: Vec<Vec<String>> = rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.policy.clone(),
+                        fmt_float(r.leakage_ratio),
+                        fmt_float(r.p),
+                        fmt_float(r.leakage_equilibrium),
+                        fmt_float(r.inaccuracy_per_round),
+                    ]
+                })
+                .collect();
+            println!(
+                "{}",
+                text_table(&["policy", "lr", "p", "equilibrium DLP", "inaccuracy/round"], &table)
+            );
+            Some(to_json(&rows))
+        }
+        "table5" => {
+            let rows = runners::table5_code_families(scale);
+            let table: Vec<Vec<String>> = rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.code.clone(),
+                        format!("{:.2}x", r.lrc_reduction),
+                        format!("{:.2}x", r.dlp_reduction),
+                        format!("{:.2}x", r.cycle_time_reduction),
+                    ]
+                })
+                .collect();
+            println!("{}", text_table(&["code", "LRC red.", "DLP red.", "cycle-time red."], &table));
+            Some(to_json(&rows))
+        }
+        "table6" => {
+            let rows = runners::table6_mobility(scale);
+            let table: Vec<Vec<String>> = rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        format!("{:.1}%", r.mobility_percent),
+                        r.true_regime.clone(),
+                        format!("{:.0}%", r.accuracy * 100.0),
+                        fmt_float(r.estimated_conditional),
+                    ]
+                })
+                .collect();
+            println!("{}", text_table(&["mobility", "true regime", "accuracy", "estimate"], &table));
+            Some(to_json(&rows))
+        }
+        _ => None,
+    }
+}
+
+fn print_ler(rows: &[runners::LerRow]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.clone(),
+                r.distance.to_string(),
+                fmt_float(r.p),
+                fmt_float(r.logical_error_rate),
+                fmt_float(r.lrcs_per_round),
+            ]
+        })
+        .collect();
+    println!("{}", text_table(&["policy", "d", "p", "LER", "LRC/round"], &table));
+}
+
+fn print_dlp(rows: &[runners::DlpSeriesRow]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let final_dlp = r.dlp_series.last().copied().unwrap_or(0.0);
+            vec![
+                r.code.clone(),
+                r.policy.clone(),
+                fmt_float(r.leakage_ratio),
+                fmt_float(final_dlp),
+                fmt_float(r.lrcs_per_round),
+            ]
+        })
+        .collect();
+    println!("{}", text_table(&["code", "policy", "lr", "final DLP", "LRC/round"], &table));
+}
+
+fn print_patterns(rows: &[runners::PatternUsageRow]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .filter(|r| r.lrcs_with_leak + r.lrcs_without_leak > 0)
+        .map(|r| {
+            vec![
+                r.policy.clone(),
+                format!("{:0width$b}", r.pattern, width = r.width),
+                r.lrcs_with_leak.to_string(),
+                r.lrcs_without_leak.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", text_table(&["policy", "pattern", "LRCs (leaked)", "LRCs (healthy)"], &table));
+}

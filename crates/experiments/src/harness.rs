@@ -1,0 +1,258 @@
+//! Monte-Carlo experiment driver.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use gladiator::GladiatorConfig;
+use leakage_speculation::{build_policy, PolicyKind};
+use leaky_sim::{NoiseParams, RunRecord, Simulator};
+use qec_codes::{CheckBasis, Code, MatchingGraph};
+use qec_decoder::{detection_events, logical_failure, MemoryBasis, UnionFindDecoder};
+
+use crate::metrics::{AggregateMetrics, RunMetrics};
+
+/// Full specification of one policy experiment (code is passed separately so specs can
+/// be reused across codes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// Which leakage-mitigation policy to drive.
+    pub policy: PolicyKind,
+    /// Circuit-level noise parameters.
+    pub noise: NoiseParams,
+    /// Calibration of the GLADIATOR offline model.
+    pub gladiator: GladiatorConfig,
+    /// QEC rounds per shot.
+    pub rounds: usize,
+    /// Number of Monte-Carlo shots.
+    pub shots: usize,
+    /// Base RNG seed (shot `i` uses `seed + i`).
+    pub seed: u64,
+    /// Leakage sampling (Section 6): start every shot with one leaked data qubit.
+    pub leakage_sampling: bool,
+    /// Decode each shot with the union-find decoder and report a logical error rate.
+    pub decode: bool,
+}
+
+impl ExperimentSpec {
+    /// A small, fast configuration used by tests and quick benchmark runs.
+    #[must_use]
+    pub fn quick(policy: PolicyKind) -> Self {
+        ExperimentSpec {
+            policy,
+            noise: NoiseParams::default(),
+            gladiator: GladiatorConfig::default(),
+            rounds: 20,
+            shots: 16,
+            seed: 2025,
+            leakage_sampling: true,
+            decode: false,
+        }
+    }
+
+    /// Replaces the shot count.
+    #[must_use]
+    pub fn with_shots(mut self, shots: usize) -> Self {
+        self.shots = shots;
+        self
+    }
+
+    /// Replaces the round count.
+    #[must_use]
+    pub fn with_rounds(mut self, rounds: usize) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Replaces the noise model.
+    #[must_use]
+    pub fn with_noise(mut self, noise: NoiseParams) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Enables or disables decoding.
+    #[must_use]
+    pub fn with_decode(mut self, decode: bool) -> Self {
+        self.decode = decode;
+        self
+    }
+
+    /// Enables or disables leakage sampling.
+    #[must_use]
+    pub fn with_leakage_sampling(mut self, sampling: bool) -> Self {
+        self.leakage_sampling = sampling;
+        self
+    }
+
+    /// Replaces the base seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the GLADIATOR calibration and keeps it consistent with the noise model.
+    #[must_use]
+    pub fn with_gladiator(mut self, config: GladiatorConfig) -> Self {
+        self.gladiator = config;
+        self
+    }
+
+    /// Derives the GLADIATOR calibration from the current noise parameters (same `p`
+    /// and leakage ratio), which is how the paper recalibrates the offline model.
+    #[must_use]
+    pub fn calibrated(mut self) -> Self {
+        self.gladiator = self
+            .gladiator
+            .with_error_rate(self.noise.p)
+            .with_leakage_ratio(self.noise.leakage_ratio);
+        self
+    }
+}
+
+/// Result of running one [`ExperimentSpec`] against one code.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyExperimentResult {
+    /// Label of the policy that produced the result.
+    pub policy: String,
+    /// Name of the code.
+    pub code: String,
+    /// Number of shots executed.
+    pub shots: usize,
+    /// Rounds per shot.
+    pub rounds: usize,
+    /// Aggregated metrics.
+    pub metrics: AggregateMetrics,
+}
+
+/// Runs one policy experiment, parallelizing shots across threads.
+#[must_use]
+pub fn run_policy_experiment(code: &Code, spec: &ExperimentSpec) -> PolicyExperimentResult {
+    let decoder = if spec.decode {
+        let graph = MatchingGraph::build(code, CheckBasis::Z, spec.rounds + 1);
+        Some(UnionFindDecoder::new(graph))
+    } else {
+        None
+    };
+
+    let runs: Vec<RunMetrics> = (0..spec.shots)
+        .into_par_iter()
+        .map(|shot| {
+            let run = simulate_shot(code, spec, shot as u64);
+            let mut metrics = RunMetrics::score(&run, spec.noise.lrc_time_ns);
+            if let Some(decoder) = &decoder {
+                let events = detection_events(&run, decoder.graph());
+                let correction = decoder.decode(&events);
+                metrics.logical_error =
+                    Some(logical_failure(code, &run, &correction, MemoryBasis::Z));
+            }
+            metrics
+        })
+        .collect();
+
+    PolicyExperimentResult {
+        policy: spec.policy.label().to_string(),
+        code: code.name().to_string(),
+        shots: spec.shots,
+        rounds: spec.rounds,
+        metrics: AggregateMetrics::from_runs(&runs),
+    }
+}
+
+/// Runs a single shot and returns the raw run record (used by runners that need
+/// pattern-level detail rather than aggregate metrics).
+#[must_use]
+pub fn simulate_shot(code: &Code, spec: &ExperimentSpec, shot: u64) -> RunRecord {
+    let mut policy = build_policy(spec.policy, code, &spec.gladiator);
+    let mut sim = Simulator::new(code, spec.noise, spec.seed.wrapping_add(shot));
+    if spec.leakage_sampling {
+        sim.seed_random_data_leakage(1);
+    }
+    sim.run_with_policy(policy.as_mut(), spec.rounds)
+}
+
+/// Runs the same spec for several policies and returns the results in order.
+#[must_use]
+pub fn compare_policies(
+    code: &Code,
+    base: &ExperimentSpec,
+    policies: &[PolicyKind],
+) -> Vec<PolicyExperimentResult> {
+    policies
+        .iter()
+        .map(|&kind| {
+            let spec = ExperimentSpec { policy: kind, ..base.clone() };
+            run_policy_experiment(code, &spec)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_experiment_runs_and_aggregates() {
+        let code = Code::rotated_surface(3);
+        let spec = ExperimentSpec::quick(PolicyKind::EraserM).with_shots(6).with_rounds(12);
+        let result = run_policy_experiment(&code, &spec);
+        assert_eq!(result.shots, 6);
+        assert_eq!(result.rounds, 12);
+        assert_eq!(result.metrics.dlp_series.len(), 12);
+        assert_eq!(result.policy, "eraser+m");
+    }
+
+    #[test]
+    fn leakage_sampling_starts_with_nonzero_dlp() {
+        let code = Code::rotated_surface(3);
+        let spec = ExperimentSpec::quick(PolicyKind::NoLrc)
+            .with_shots(4)
+            .with_rounds(3)
+            .with_leakage_sampling(true);
+        let result = run_policy_experiment(&code, &spec);
+        assert!(
+            result.metrics.dlp_series[0] > 0.0,
+            "leakage sampling must seed at least one leaked qubit"
+        );
+    }
+
+    #[test]
+    fn decoding_produces_a_logical_error_rate() {
+        let code = Code::rotated_surface(3);
+        let spec = ExperimentSpec::quick(PolicyKind::GladiatorM)
+            .with_shots(8)
+            .with_rounds(6)
+            .with_decode(true);
+        let result = run_policy_experiment(&code, &spec);
+        let ler = result.metrics.logical_error_rate.expect("decoded");
+        assert!((0.0..=1.0).contains(&ler));
+    }
+
+    #[test]
+    fn results_are_deterministic_for_a_fixed_seed() {
+        let code = Code::rotated_surface(3);
+        let spec = ExperimentSpec::quick(PolicyKind::GladiatorDM).with_shots(5).with_rounds(8);
+        let a = run_policy_experiment(&code, &spec);
+        let b = run_policy_experiment(&code, &spec);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compare_policies_preserves_order() {
+        let code = Code::rotated_surface(3);
+        let base = ExperimentSpec::quick(PolicyKind::NoLrc).with_shots(2).with_rounds(4);
+        let results =
+            compare_policies(&code, &base, &[PolicyKind::AlwaysLrc, PolicyKind::Ideal]);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].policy, "always-lrc");
+        assert_eq!(results[1].policy, "ideal");
+    }
+
+    #[test]
+    fn calibrated_spec_copies_noise_into_the_gladiator_model() {
+        let noise = NoiseParams::builder().physical_error_rate(1e-4).leakage_ratio(1.0).build();
+        let spec = ExperimentSpec::quick(PolicyKind::Gladiator).with_noise(noise).calibrated();
+        assert!((spec.gladiator.p - 1e-4).abs() < 1e-15);
+        assert!((spec.gladiator.leakage_ratio - 1.0).abs() < 1e-12);
+    }
+}

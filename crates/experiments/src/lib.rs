@@ -1,0 +1,40 @@
+//! Experiment harness reproducing the evaluation of the GLADIATOR paper.
+//!
+//! The crate glues the whole workspace together: it runs the leakage-aware simulator
+//! (`leaky-sim`) closed-loop with every speculation policy (`leakage-speculation`),
+//! scores the runs with the paper's metrics, optionally decodes them (`qec-decoder`),
+//! and exposes one *runner* per table and figure of the paper (see [`runners`]).
+//!
+//! * [`metrics`] — Data Leakage Population (DLP), LRC usage, false positives /
+//!   negatives, speculation inaccuracy, cycle-time overhead.
+//! * [`harness`] — Monte-Carlo driver: shots are parallelized with rayon and seeded
+//!   deterministically, with optional *leakage sampling* (each shot starts with at
+//!   least one leaked data qubit, Section 6 of the paper).
+//! * [`runners`] — one function per experiment (Figure 1(b,c), 3, 4(b), 5, 8–14 and
+//!   Tables 2–6), each returning serializable rows and printable summaries.
+//! * [`report`] — lightweight table formatting and JSON export used by the `repro`
+//!   binary and the Criterion benches.
+//!
+//! # Example
+//!
+//! ```
+//! use qec_experiments::harness::{ExperimentSpec, run_policy_experiment};
+//! use leakage_speculation::PolicyKind;
+//! use qec_codes::Code;
+//!
+//! let code = Code::rotated_surface(3);
+//! let spec = ExperimentSpec::quick(PolicyKind::GladiatorM).with_shots(4).with_rounds(10);
+//! let result = run_policy_experiment(&code, &spec);
+//! assert_eq!(result.shots, 4);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod harness;
+pub mod metrics;
+pub mod report;
+pub mod runners;
+
+pub use harness::{run_policy_experiment, ExperimentSpec, PolicyExperimentResult};
+pub use metrics::{AggregateMetrics, RunMetrics};

@@ -1,0 +1,255 @@
+//! Graph merging and node labeling: the lookup table the QEC controller queries.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::GladiatorConfig;
+use crate::propagation::PropagationGraph;
+use crate::site_class::SiteClass;
+
+/// A labeled syndrome-pattern table for one degree class.
+///
+/// `is_flagged(pattern)` answers the online question "should this observation trigger
+/// an LRC?" in O(1) — the runtime equivalent of the paper's combinational sequence
+/// checker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PatternTable {
+    width: usize,
+    leakage_weight: Vec<f64>,
+    nonleakage_weight: Vec<f64>,
+    flagged: Vec<bool>,
+    threshold: f64,
+}
+
+impl PatternTable {
+    /// Builds a table from explicit leakage / non-leakage graphs.
+    ///
+    /// # Panics
+    /// Panics if the graphs disagree on the pattern width.
+    #[must_use]
+    pub fn from_graphs(
+        leakage: &PropagationGraph,
+        non_leakage: &PropagationGraph,
+        threshold: f64,
+    ) -> Self {
+        assert_eq!(
+            leakage.width(),
+            non_leakage.width(),
+            "leakage and non-leakage graphs must share a width"
+        );
+        let width = leakage.width();
+        let size = 1usize << width;
+        let mut leakage_weight = vec![0.0; size];
+        let mut nonleakage_weight = vec![0.0; size];
+        for pattern in 0..size as u32 {
+            leakage_weight[pattern as usize] = leakage.weight_into(pattern, None);
+            nonleakage_weight[pattern as usize] = non_leakage.weight_into(pattern, None);
+        }
+        let flagged = (0..size)
+            .map(|i| leakage_weight[i] > threshold * nonleakage_weight[i])
+            .collect();
+        PatternTable { width, leakage_weight, nonleakage_weight, flagged, threshold }
+    }
+
+    /// Builds a table directly from raw per-pattern weights (used by the two-round
+    /// enumerator).
+    ///
+    /// # Panics
+    /// Panics if the weight vectors do not have `2^width` entries.
+    #[must_use]
+    pub fn from_weights(
+        width: usize,
+        leakage_weight: Vec<f64>,
+        nonleakage_weight: Vec<f64>,
+        threshold: f64,
+    ) -> Self {
+        let size = 1usize << width;
+        assert_eq!(leakage_weight.len(), size, "leakage weights must have 2^width entries");
+        assert_eq!(nonleakage_weight.len(), size, "non-leakage weights must have 2^width entries");
+        let flagged = (0..size)
+            .map(|i| leakage_weight[i] > threshold * nonleakage_weight[i])
+            .collect();
+        PatternTable { width, leakage_weight, nonleakage_weight, flagged, threshold }
+    }
+
+    /// Pattern width in bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Decision threshold used for labeling.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// `true` when `pattern` is labeled as leakage-dominated.
+    ///
+    /// # Panics
+    /// Panics if `pattern` has bits outside the table width.
+    #[must_use]
+    pub fn is_flagged(&self, pattern: u32) -> bool {
+        assert!(
+            (pattern as usize) < self.flagged.len(),
+            "pattern {pattern:#b} wider than table width {}",
+            self.width
+        );
+        self.flagged[pattern as usize]
+    }
+
+    /// Accumulated leakage weight of a pattern (the super-edge `W_L`).
+    #[must_use]
+    pub fn leakage_weight(&self, pattern: u32) -> f64 {
+        self.leakage_weight[pattern as usize]
+    }
+
+    /// Accumulated non-leakage weight of a pattern (`W_NL`).
+    #[must_use]
+    pub fn nonleakage_weight(&self, pattern: u32) -> f64 {
+        self.nonleakage_weight[pattern as usize]
+    }
+
+    /// Number of flagged patterns.
+    #[must_use]
+    pub fn flagged_count(&self) -> usize {
+        self.flagged.iter().filter(|&&f| f).count()
+    }
+
+    /// All flagged patterns, ascending.
+    #[must_use]
+    pub fn flagged_patterns(&self) -> Vec<u32> {
+        (0..self.flagged.len() as u32).filter(|&p| self.flagged[p as usize]).collect()
+    }
+
+    /// The number of patterns ERASER's "at least half the bits flipped" heuristic would
+    /// flag at this width — the baseline GLADIATOR is compared against.
+    #[must_use]
+    pub fn eraser_flagged_count(&self) -> usize {
+        (0..self.flagged.len() as u32)
+            .filter(|&p| eraser_flags(self.width, p))
+            .count()
+    }
+}
+
+/// ERASER's heuristic: flag when at least 50 % of the adjacent syndrome bits flipped.
+#[must_use]
+pub fn eraser_flags(width: usize, pattern: u32) -> bool {
+    let flips = pattern.count_ones() as usize;
+    2 * flips >= width && flips > 0
+}
+
+/// Builds the single-round table for a degree class in the simplified basis-agnostic
+/// model (every site detects every Pauli).
+#[must_use]
+pub fn build_single_round_table(width: usize, config: &GladiatorConfig) -> PatternTable {
+    build_single_round_table_for_class(&SiteClass::uniform(width), config)
+}
+
+/// Builds the single-round table for an explicit [`SiteClass`] (basis-aware model).
+#[must_use]
+pub fn build_single_round_table_for_class(
+    site_class: &SiteClass,
+    config: &GladiatorConfig,
+) -> PatternTable {
+    let leakage = PropagationGraph::leakage(site_class.width, config);
+    let non_leakage = PropagationGraph::non_leakage_for_class(site_class, config);
+    PatternTable::from_graphs(&leakage, &non_leakage, config.threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn eraser_heuristic_counts_match_paper() {
+        // 4-bit: 11/16 flagged; 3-bit: 4/8; 8-bit joint: 2 rounds handled elsewhere.
+        let four: usize = (0..16u32).filter(|&p| eraser_flags(4, p)).count();
+        assert_eq!(four, 11);
+        let three: usize = (0..8u32).filter(|&p| eraser_flags(3, p)).count();
+        assert_eq!(three, 4);
+        let two: usize = (0..4u32).filter(|&p| eraser_flags(2, p)).count();
+        assert_eq!(two, 3);
+    }
+
+    #[test]
+    fn surface_bulk_table_flags_fewer_patterns_than_eraser() {
+        let table = build_single_round_table(4, &GladiatorConfig::default());
+        assert_eq!(table.flagged_count(), 8);
+        assert_eq!(table.eraser_flagged_count(), 11);
+        // Frequently occurring non-leakage patterns must not be flagged.
+        assert!(!table.is_flagged(0));
+        assert!(!table.is_flagged(0b1111));
+        assert!(!table.is_flagged(0b1100)); // time-ordered "0011"
+        assert!(!table.is_flagged(0b0001));
+    }
+
+    #[test]
+    fn flagged_patterns_have_higher_leakage_weight() {
+        let table = build_single_round_table(4, &GladiatorConfig::default());
+        for pattern in table.flagged_patterns() {
+            assert!(table.leakage_weight(pattern) > table.nonleakage_weight(pattern));
+        }
+    }
+
+    #[test]
+    fn three_bit_table_flags_only_multi_flip_non_first_order_patterns() {
+        let table = build_single_round_table(3, &GladiatorConfig::default());
+        // The weight-2 patterns 101 and 011 (time order) that are not suffixes are
+        // leakage-dominated; singles and the all-ones pattern are not.
+        assert!(table.flagged_count() <= 4);
+        assert!(table.flagged_count() >= 2);
+        assert!(!table.is_flagged(0b111));
+        assert!(!table.is_flagged(0b001));
+        assert!(table.is_flagged(0b101));
+    }
+
+    #[test]
+    fn one_bit_patterns_are_never_flagged_at_default_calibration() {
+        // A single adjacent check cannot distinguish leakage from a measurement error,
+        // so a 1-bit site never speculates (matches the color-code corner qubits).
+        let table = build_single_round_table(1, &GladiatorConfig::default());
+        assert_eq!(table.flagged_count(), 0);
+    }
+
+    #[test]
+    fn higher_leakage_ratio_flags_more_patterns() {
+        let low = build_single_round_table(4, &GladiatorConfig::default().with_leakage_ratio(0.01));
+        let high = build_single_round_table(4, &GladiatorConfig::default().with_leakage_ratio(1.0));
+        assert!(high.flagged_count() >= low.flagged_count());
+    }
+
+    #[test]
+    fn raising_the_threshold_only_removes_flags() {
+        let lenient = build_single_round_table(4, &GladiatorConfig::default().with_threshold(1.0));
+        let strict = build_single_round_table(4, &GladiatorConfig::default().with_threshold(10.0));
+        for p in 0..16u32 {
+            if strict.is_flagged(p) {
+                assert!(lenient.is_flagged(p), "pattern {p:04b} flagged only at strict threshold");
+            }
+        }
+        assert!(strict.flagged_count() <= lenient.flagged_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than table width")]
+    fn out_of_range_pattern_panics() {
+        let table = build_single_round_table(3, &GladiatorConfig::default());
+        let _ = table.is_flagged(0b10000);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn gladiator_never_flags_more_than_eraser_at_default_calibration(width in 2usize..7) {
+            let table = build_single_round_table(width, &GladiatorConfig::default());
+            prop_assert!(table.flagged_count() <= table.eraser_flagged_count());
+        }
+
+        #[test]
+        fn zero_pattern_is_never_flagged(width in 1usize..9, lr in 0.01f64..1.0) {
+            let table = build_single_round_table(width, &GladiatorConfig::default().with_leakage_ratio(lr));
+            prop_assert!(!table.is_flagged(0));
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! Error-propagation graphs: how leakage and ordinary faults transform syndrome
+//! patterns (Figure 6 of the paper).
+//!
+//! For a data qubit with `n` adjacent parity sites (checks measured in CNOT time order
+//! `A1 … An`), a *pattern* is an `n`-bit mask whose bit `i` (LSB = `A1`) records whether
+//! the detector of site `i` flipped this round. Starting from the error-free base
+//! pattern, every fault location either
+//!
+//! * **leaks the data qubit**, after which every remaining CNOT of the round
+//!   malfunctions and flips its site with probability ½ (so all suffix sub-patterns
+//!   become reachable with geometric weights), or
+//! * is an **ordinary (non-leakage) fault** — a data Pauli before/between CNOTs, a
+//!   readout/reset flip on one site, or a CNOT depolarizing fault — which produces a
+//!   *deterministic* pattern.
+//!
+//! The two enumerations form the leakage and non-leakage graphs; the labeling stage
+//! merges them and compares the accumulated edge weights per node.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::GladiatorConfig;
+use crate::site_class::SiteClass;
+
+/// The kind of fault an edge of the propagation graph represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ErrorClass {
+    /// The data qubit leaves the computational subspace at some point of the round.
+    Leakage,
+    /// A Pauli error on the data qubit (start-of-round or between CNOTs).
+    DataPauli,
+    /// A readout, reset or ancilla-side gate fault flipping a single site.
+    CheckFault,
+    /// A CNOT depolarizing fault propagating onto the data qubit mid-round.
+    GateFault,
+    /// Two independent non-leakage faults in the same round.
+    SecondOrder,
+    /// The explicit "nothing happened" edge into the all-zero pattern.
+    NoFault,
+}
+
+/// One weighted, directed edge of a propagation graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PropagationEdge {
+    /// Source pattern (the base node; always the error-free pattern here).
+    pub source: u32,
+    /// Resulting pattern after the fault.
+    pub target: u32,
+    /// Fault category.
+    pub class: ErrorClass,
+    /// Probability weight of the fault (prior × transformation probability).
+    pub weight: f64,
+}
+
+/// A propagation graph for one data-qubit degree class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PropagationGraph {
+    width: usize,
+    edges: Vec<PropagationEdge>,
+}
+
+impl PropagationGraph {
+    /// Pattern width (number of adjacent parity sites).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// All edges.
+    #[must_use]
+    pub fn edges(&self) -> &[PropagationEdge] {
+        &self.edges
+    }
+
+    /// Number of pattern nodes (`2^width`).
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        1 << self.width
+    }
+
+    /// Sum of the incoming edge weights of `pattern` (the paper's super-edge weight
+    /// `W`), optionally restricted to a single error class.
+    #[must_use]
+    pub fn weight_into(&self, pattern: u32, class: Option<ErrorClass>) -> f64 {
+        self.edges
+            .iter()
+            .filter(|e| e.target == pattern && class.map_or(true, |c| e.class == c))
+            .map(|e| e.weight)
+            .sum()
+    }
+
+    /// Total weight of all edges.
+    #[must_use]
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|e| e.weight).sum()
+    }
+
+    /// Builds the **leakage graph**: every location at which the data qubit can leak
+    /// during the round, and the resulting distribution over syndrome patterns.
+    ///
+    /// # Panics
+    /// Panics if `width` is zero or larger than 16.
+    #[must_use]
+    pub fn leakage(width: usize, config: &GladiatorConfig) -> Self {
+        assert!((1..=16).contains(&width), "pattern width {width} out of range 1..=16");
+        let p_leak = config.p_leak();
+        let mut edges = Vec::new();
+
+        // Leak before the round (or carried over from an earlier round): every one of
+        // the `width` CNOTs malfunctions, so all 2^width patterns are equally likely.
+        let all = 1u32 << width;
+        for target in 0..all {
+            edges.push(PropagationEdge {
+                source: 0,
+                target,
+                class: ErrorClass::Leakage,
+                weight: p_leak / f64::from(all),
+            });
+        }
+        // Leak after the CNOT with site i (i = 0 .. width-1): sites 0..=i already
+        // recorded the clean value, the remaining sites flip at random. `i = width-1`
+        // is a leak just before measurement — invisible until the next round.
+        for i in 0..width {
+            let random_bits = width - 1 - i;
+            let combos = 1u32 << random_bits;
+            for sub in 0..combos {
+                let target = sub << (i + 1);
+                edges.push(PropagationEdge {
+                    source: 0,
+                    target,
+                    class: ErrorClass::Leakage,
+                    weight: p_leak / f64::from(combos),
+                });
+            }
+        }
+        PropagationGraph { width, edges }
+    }
+
+    /// Builds the **non-leakage graph** for the simplified, basis-agnostic class in
+    /// which every site detects every data Pauli (the paper's Figure 6 exposition).
+    ///
+    /// # Panics
+    /// Panics if `width` is zero or larger than 16.
+    #[must_use]
+    pub fn non_leakage(width: usize, config: &GladiatorConfig) -> Self {
+        Self::non_leakage_for_class(&SiteClass::uniform(width), config)
+    }
+
+    /// Builds the **non-leakage graph** for an explicit site class: data Pauli errors
+    /// only flip the sites that actually detect that Pauli component (an X error is
+    /// seen by Z-type checks only), which is what separates GLADIATOR's flagged set
+    /// from ERASER's on the surface code.
+    ///
+    /// # Panics
+    /// Panics if the class width is zero or larger than 16.
+    #[must_use]
+    pub fn non_leakage_for_class(site_class: &SiteClass, config: &GladiatorConfig) -> Self {
+        let width = site_class.width;
+        assert!((1..=16).contains(&width), "pattern width {width} out of range 1..=16");
+        let p = config.p;
+        let mut first_order: Vec<PropagationEdge> = Vec::new();
+
+        let suffix = |i: usize| ((1u32 << width) - 1) & !((1u32 << (i + 1)) - 1);
+        // One third of the depolarizing weight per Pauli component.
+        let paulis = [(true, false), (false, true), (true, true)];
+
+        for &(x, z) in &paulis {
+            let mask = site_class.detection_mask(x, z);
+            // Data Pauli at the start of the round: flips every detecting site.
+            first_order.push(PropagationEdge {
+                source: 0,
+                target: mask,
+                class: ErrorClass::DataPauli,
+                weight: p / 3.0,
+            });
+            // Data Pauli between CNOTs: flips only the detecting sites measured later.
+            if config.mid_round_data_errors {
+                for i in 0..width.saturating_sub(1) {
+                    first_order.push(PropagationEdge {
+                        source: 0,
+                        target: mask & suffix(i),
+                        class: ErrorClass::DataPauli,
+                        weight: p / 3.0,
+                    });
+                }
+                // After the last CNOT: invisible this round.
+                first_order.push(PropagationEdge {
+                    source: 0,
+                    target: 0,
+                    class: ErrorClass::DataPauli,
+                    weight: p / 3.0,
+                });
+            }
+        }
+        // Readout / reset fault on one site.
+        for i in 0..width {
+            first_order.push(PropagationEdge {
+                source: 0,
+                target: 1 << i,
+                class: ErrorClass::CheckFault,
+                weight: p,
+            });
+        }
+        // CNOT depolarizing faults: ancilla-only flip, data-propagating part, or both.
+        let g = config.gate_fault_fraction * p;
+        if g > 0.0 {
+            for i in 0..width {
+                first_order.push(PropagationEdge {
+                    source: 0,
+                    target: 1 << i,
+                    class: ErrorClass::GateFault,
+                    weight: g,
+                });
+                for &(x, z) in &paulis {
+                    let mask = site_class.detection_mask(x, z) & suffix(i);
+                    first_order.push(PropagationEdge {
+                        source: 0,
+                        target: mask,
+                        class: ErrorClass::GateFault,
+                        weight: g / 3.0,
+                    });
+                    first_order.push(PropagationEdge {
+                        source: 0,
+                        target: (1 << i) | mask,
+                        class: ErrorClass::GateFault,
+                        weight: g / 3.0,
+                    });
+                }
+            }
+        }
+
+        let mut edges = first_order.clone();
+
+        // Second-order: two independent faults in the same round.
+        if config.second_order {
+            for (a, ea) in first_order.iter().enumerate() {
+                for eb in first_order.iter().skip(a + 1) {
+                    edges.push(PropagationEdge {
+                        source: 0,
+                        target: ea.target ^ eb.target,
+                        class: ErrorClass::SecondOrder,
+                        weight: ea.weight * eb.weight,
+                    });
+                }
+            }
+        }
+
+        // Background weight for unenumerated multi-fault combinations: every pattern
+        // keeps a small residual non-leakage explanation.
+        let background = config.background_weight();
+        if background > 0.0 {
+            for target in 0..(1u32 << width) {
+                edges.push(PropagationEdge {
+                    source: 0,
+                    target,
+                    class: ErrorClass::SecondOrder,
+                    weight: background,
+                });
+            }
+        }
+
+        // The dominant "no fault" edge keeps the all-zero node firmly non-leakage.
+        let used: f64 = edges.iter().map(|e| e.weight).sum();
+        edges.push(PropagationEdge {
+            source: 0,
+            target: 0,
+            class: ErrorClass::NoFault,
+            weight: (1.0 - used).max(0.0),
+        });
+
+        PropagationGraph { width, edges }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn config() -> GladiatorConfig {
+        GladiatorConfig::default()
+    }
+
+    #[test]
+    fn leakage_graph_total_weight_counts_all_locations() {
+        let g = PropagationGraph::leakage(4, &config());
+        // width + 1 leak locations (round start + after each of the 4 CNOTs), each with
+        // prior p_leak.
+        let expected = 5.0 * config().p_leak();
+        assert!((g.total_weight() - expected).abs() < 1e-12);
+        assert_eq!(g.num_nodes(), 16);
+    }
+
+    #[test]
+    fn leakage_graph_prefers_low_prefix_patterns() {
+        // Patterns whose early (low-index) bits are zero are reachable from more leak
+        // locations, so they accumulate more leakage weight.
+        let g = PropagationGraph::leakage(4, &config());
+        let late_only = g.weight_into(0b1000, None);
+        let early = g.weight_into(0b0001, None);
+        assert!(late_only > early, "late-bit patterns should carry more leakage weight");
+    }
+
+    #[test]
+    fn pattern_with_first_bit_set_only_reachable_from_round_start_leak() {
+        let g = PropagationGraph::leakage(4, &config());
+        let w = g.weight_into(0b1001, None);
+        assert!((w - config().p_leak() / 16.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn non_leakage_first_order_targets_are_suffixes_singles_and_all_ones() {
+        let g = PropagationGraph::non_leakage(4, &config());
+        // "0011" in the paper's time order (A3, A4 flipped) is the mask 0b1100 and must
+        // be a strong first-order pattern.
+        let w_0011 = g.weight_into(0b1100, Some(ErrorClass::DataPauli));
+        assert!(w_0011 >= config().p * 0.99);
+        // An alternating pattern like A1,A3 (mask 0b0101) must have no first-order
+        // weight at all.
+        for class in [ErrorClass::DataPauli, ErrorClass::CheckFault, ErrorClass::GateFault] {
+            assert_eq!(g.weight_into(0b0101, Some(class)), 0.0, "class {class:?}");
+        }
+        assert!(g.weight_into(0b0101, Some(ErrorClass::SecondOrder)) > 0.0);
+    }
+
+    #[test]
+    fn no_fault_edge_dominates_the_zero_pattern() {
+        let g = PropagationGraph::non_leakage(4, &config());
+        let zero_weight = g.weight_into(0, None);
+        assert!(zero_weight > 0.9, "zero pattern should carry the no-fault prior");
+    }
+
+    #[test]
+    fn disabling_mid_round_errors_removes_suffix_patterns() {
+        let cfg = GladiatorConfig { mid_round_data_errors: false, ..GladiatorConfig::default() };
+        let g = PropagationGraph::non_leakage(4, &cfg);
+        assert_eq!(g.weight_into(0b1100, Some(ErrorClass::DataPauli)), 0.0);
+        // The all-ones start-of-round error remains.
+        assert!(g.weight_into(0b1111, Some(ErrorClass::DataPauli)) > 0.0);
+    }
+
+    #[test]
+    fn second_order_can_be_disabled() {
+        let cfg = GladiatorConfig {
+            second_order: false,
+            background_fault_factor: 0.0,
+            ..GladiatorConfig::default()
+        };
+        let g = PropagationGraph::non_leakage(4, &cfg);
+        assert!(g.edges().iter().all(|e| e.class != ErrorClass::SecondOrder));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn leakage_weights_are_probability_like(width in 1usize..9) {
+            let g = PropagationGraph::leakage(width, &config());
+            for e in g.edges() {
+                prop_assert!(e.weight > 0.0 && e.weight <= config().p_leak());
+            }
+            // Every pattern is reachable by leakage (round-start leak randomizes all bits).
+            for pattern in 0..(1u32 << width) {
+                prop_assert!(g.weight_into(pattern, None) > 0.0);
+            }
+        }
+
+        #[test]
+        fn non_leakage_graph_weight_is_close_to_one(width in 1usize..9) {
+            let g = PropagationGraph::non_leakage(width, &config());
+            let total = g.total_weight();
+            prop_assert!((total - 1.0).abs() < 1e-6, "total weight {total}");
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! GLADIATOR-D: two-round (sliding window) pattern enumeration.
+//!
+//! Sparse-syndrome codes (color code edge/corner qubits, qLDPC codes) expose too few
+//! bits per round to separate leakage from ordinary noise. GLADIATOR-D defers the
+//! decision by one round and classifies the concatenated pattern
+//! `(round₁ flips, round₂ flips)` instead (Section 5.2): a persistent Pauli fault
+//! re-announces itself deterministically in the second round (e.g. a mid-round data
+//! error shows the complementary prefix), while a leaked qubit keeps producing random
+//! flips.
+
+use crate::config::GladiatorConfig;
+use crate::labeling::PatternTable;
+use crate::site_class::SiteClass;
+
+/// Builds the two-round table for a degree class of `width` adjacent sites in the
+/// simplified basis-agnostic model. The table is indexed by `round2 << width | round1`.
+///
+/// # Panics
+/// Panics if `width` is zero or larger than 12 (two-round tables grow as `4^width`).
+#[must_use]
+pub fn build_two_round_table(width: usize, config: &GladiatorConfig) -> PatternTable {
+    build_two_round_table_for_class(&SiteClass::uniform(width), config)
+}
+
+/// Builds the two-round table for an explicit [`SiteClass`] (basis-aware model).
+///
+/// # Panics
+/// Panics if the class width is zero or larger than 12.
+#[must_use]
+pub fn build_two_round_table_for_class(
+    site_class: &SiteClass,
+    config: &GladiatorConfig,
+) -> PatternTable {
+    let width = site_class.width;
+    assert!((1..=12).contains(&width), "two-round width {width} out of range 1..=12");
+    let total_bits = 2 * width;
+    let size = 1usize << total_bits;
+    let p = config.p;
+    let p_leak = config.p_leak();
+    let all = (1u32 << width) - 1;
+    let suffix = |i: usize| all & !((1u32 << (i + 1)) - 1);
+    let prefix = |i: usize| (1u32 << (i + 1)) - 1;
+    let join = |r1: u32, r2: u32| ((r2 as usize) << width) | r1 as usize;
+
+    // ---------------- leakage weights -------------------------------------------------
+    let mut w_leak = vec![0.0f64; size];
+    // Leak at the start of round 1 (or carried in): both rounds fully random.
+    {
+        let share = p_leak / (1u64 << total_bits) as f64;
+        for slot in w_leak.iter_mut() {
+            *slot += share;
+        }
+    }
+    // Leak after CNOT i of round 1: round-1 sites > i random, round 2 fully random.
+    for i in 0..width {
+        let random1 = width - 1 - i;
+        let share = p_leak / (1u64 << (random1 + width)) as f64;
+        for sub in 0..(1u32 << random1) {
+            let r1 = sub << (i + 1);
+            for r2 in 0..=all {
+                w_leak[join(r1, r2)] += share;
+            }
+        }
+    }
+    // Leak at the start of round 2: round 1 clean, round 2 fully random.
+    {
+        let share = p_leak / (1u64 << width) as f64;
+        for r2 in 0..=all {
+            w_leak[join(0, r2)] += share;
+        }
+    }
+    // Leak after CNOT i of round 2: round 1 clean, round-2 sites > i random.
+    for i in 0..width {
+        let random2 = width - 1 - i;
+        let share = p_leak / (1u64 << random2) as f64;
+        for sub in 0..(1u32 << random2) {
+            let r2 = sub << (i + 1);
+            w_leak[join(0, r2)] += share;
+        }
+    }
+
+    // ---------------- non-leakage weights ----------------------------------------------
+    // First-order events as (round1 mask, round2 mask, weight). Data Pauli errors only
+    // flip the sites that detect the corresponding component.
+    let paulis = [(true, false), (false, true), (true, true)];
+    let mut first_order: Vec<(u32, u32, f64)> = Vec::new();
+    for &(x, z) in &paulis {
+        let mask = site_class.detection_mask(x, z);
+        // Data Pauli at the start of round 1: detecting sites flip in round 1; the
+        // detectors of round 2 are silent because the error is persistent.
+        first_order.push((mask, 0, p / 3.0));
+        if config.mid_round_data_errors {
+            for i in 0..width.saturating_sub(1) {
+                // Mid-round data error: detecting suffix now, complementary detecting
+                // prefix next round.
+                first_order.push((mask & suffix(i), mask & prefix(i), p / 3.0));
+            }
+            // After the last CNOT of round 1: invisible now, full pattern next round.
+            first_order.push((0, mask, p / 3.0));
+        }
+        // Data Pauli at the start of round 2.
+        first_order.push((0, mask, p / 3.0));
+        if config.mid_round_data_errors {
+            for i in 0..width.saturating_sub(1) {
+                // Mid-round error in round 2: its echo lands outside the window.
+                first_order.push((0, mask & suffix(i), p / 3.0));
+            }
+            first_order.push((0, 0, p / 3.0));
+        }
+    }
+    // Measurement / reset faults: a flipped readout toggles the detector of its own
+    // round and of the following one.
+    for i in 0..width {
+        first_order.push((1 << i, 1 << i, p));
+        first_order.push((0, 1 << i, p));
+    }
+    // Gate faults.
+    let g = config.gate_fault_fraction * p;
+    if g > 0.0 {
+        for i in 0..width {
+            first_order.push((1 << i, 1 << i, g));
+            first_order.push((0, 1 << i, g));
+            for &(x, z) in &paulis {
+                let mask = site_class.detection_mask(x, z);
+                first_order.push((mask & suffix(i), mask & prefix(i), g / 3.0));
+                first_order.push((
+                    (mask & suffix(i)) | (1 << i),
+                    (mask & prefix(i)) ^ (1 << i),
+                    g / 3.0,
+                ));
+                first_order.push((0, mask & suffix(i), g / 3.0));
+                first_order.push((0, (mask & suffix(i)) | (1 << i), g / 3.0));
+            }
+        }
+    }
+
+    let mut w_nonleak = vec![0.0f64; size];
+    for &(r1, r2, w) in &first_order {
+        w_nonleak[join(r1, r2)] += w;
+    }
+    if config.second_order {
+        for (a, &(r1a, r2a, wa)) in first_order.iter().enumerate() {
+            for &(r1b, r2b, wb) in first_order.iter().skip(a + 1) {
+                w_nonleak[join(r1a ^ r1b, r2a ^ r2b)] += wa * wb;
+            }
+        }
+    }
+    // Background weight for unenumerated multi-fault combinations.
+    let background = config.background_weight();
+    if background > 0.0 {
+        for slot in w_nonleak.iter_mut() {
+            *slot += background;
+        }
+    }
+    // "Nothing happened" prior keeps the all-zero window non-leakage.
+    let used: f64 = w_nonleak.iter().sum();
+    w_nonleak[0] += (1.0 - used).max(0.0);
+
+    PatternTable::from_weights(total_bits, w_leak, w_nonleak, config.threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labeling::{build_single_round_table, eraser_flags};
+
+    fn config() -> GladiatorConfig {
+        GladiatorConfig::default()
+    }
+
+    /// ERASER applied independently to both rounds of the window.
+    fn eraser_two_round_count(width: usize) -> usize {
+        let all = 1u32 << width;
+        let mut count = 0;
+        for r1 in 0..all {
+            for r2 in 0..all {
+                if eraser_flags(width, r1) && eraser_flags(width, r2) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    #[test]
+    fn eraser_two_round_surface_count_is_121() {
+        // Paper, Section 5.2: ERASER flags 121 of 256 two-round patterns.
+        assert_eq!(eraser_two_round_count(4), 121);
+    }
+
+    #[test]
+    fn surface_two_round_table_flags_fewer_than_eraser() {
+        let table = build_two_round_table(4, &config());
+        let flagged = table.flagged_count();
+        assert!(
+            flagged < 121,
+            "GLADIATOR-D must flag fewer two-round patterns than ERASER (got {flagged})"
+        );
+        assert!(flagged >= 30, "GLADIATOR-D should still flag a substantial set (got {flagged})");
+    }
+
+    #[test]
+    fn color_code_two_round_table_flags_a_small_rare_pattern_set() {
+        // Paper: 11/64 for GLADIATOR-D vs 16/64 for ERASER on 3-bit sites. Our
+        // enumeration lands at a comparable size (the exact count depends on the set of
+        // second-order events modelled; EXPERIMENTS.md records the difference). What
+        // matters operationally is that the flagged patterns are the *rare*
+        // random-looking ones, not the common deterministic fault signatures ERASER
+        // reacts to.
+        let table = build_two_round_table(3, &config());
+        assert_eq!(eraser_two_round_count(3), 16);
+        assert!(table.flagged_count() >= 8);
+        assert!(table.flagged_count() <= 20);
+        // Deterministic data-error and measurement-echo signatures stay unflagged.
+        assert!(!table.is_flagged((0b111 << 3) | 0b000));
+        assert!(!table.is_flagged((0b001 << 3) | 0b001));
+    }
+
+    #[test]
+    fn persistent_data_error_signature_is_not_flagged() {
+        // suffix in round 1, complementary prefix in round 2 (paper's "0011 -> 1111"
+        // temporal argument expressed on detectors).
+        let table = build_two_round_table(4, &config());
+        let r1 = 0b1100u32;
+        let r2 = 0b0011u32;
+        assert!(!table.is_flagged((r2 << 4) | r1));
+    }
+
+    #[test]
+    fn random_flip_signature_is_flagged() {
+        let table = build_two_round_table(4, &config());
+        // Round 1 shows only the last site flipped (compatible with a leak landing
+        // mid-round), round 2 keeps flipping random sites: leakage-dominated.
+        let r1 = 0b1000u32;
+        let r2 = 0b0110u32;
+        assert!(table.is_flagged((r2 << 4) | r1));
+    }
+
+    #[test]
+    fn measurement_error_echo_is_not_flagged() {
+        let table = build_two_round_table(4, &config());
+        // same single bit in both rounds = classic measurement-error echo
+        let r1 = 0b0010u32;
+        let r2 = 0b0010u32;
+        assert!(!table.is_flagged((r2 << 4) | r1));
+    }
+
+    #[test]
+    fn deferring_helps_sparse_sites_more_than_single_round() {
+        // For 2-bit sites the single-round table cannot flag anything, but the
+        // two-round table can.
+        let single = build_single_round_table(2, &config());
+        let double = build_two_round_table(2, &config());
+        assert_eq!(single.flagged_count(), 0);
+        assert!(double.flagged_count() > 0);
+    }
+
+    #[test]
+    fn zero_window_is_never_flagged() {
+        for width in 1..=6 {
+            let table = build_two_round_table(width, &config());
+            assert!(!table.is_flagged(0), "width {width}");
+        }
+    }
+}

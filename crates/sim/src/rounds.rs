@@ -1,0 +1,367 @@
+//! Execution of a single noisy QEC round (the circuit-level noise model of Section 6).
+
+use rand::Rng;
+
+use qec_codes::{Check, CheckBasis, CheckId, DataQubitId};
+
+use crate::pauli::{random_two_qubit_error, Pauli};
+use crate::policy::LrcRequest;
+use crate::record::RoundRecord;
+use crate::simulator::Simulator;
+
+/// Within-round Pauli frame of the ancilla (parity) qubits. Ancillas are measured and
+/// reset every round, so this state never outlives `execute_round`.
+#[derive(Debug, Clone)]
+struct AncillaFrames {
+    x: Vec<bool>,
+    z: Vec<bool>,
+}
+
+impl AncillaFrames {
+    fn new(n: usize) -> Self {
+        AncillaFrames { x: vec![false; n], z: vec![false; n] }
+    }
+
+    fn apply(&mut self, c: CheckId, p: Pauli) {
+        if p.has_x() {
+            self.x[c] = !self.x[c];
+        }
+        if p.has_z() {
+            self.z[c] = !self.z[c];
+        }
+    }
+}
+
+impl Simulator {
+    /// Executes one noisy QEC round: LRCs → data noise → ancilla prep → CNOT layers →
+    /// readout, returning the observable record plus ground truth snapshots.
+    pub(crate) fn execute_round(&mut self, request: &LrcRequest) -> RoundRecord {
+        let noise = self.noise_params();
+        let num_checks = self.code().num_checks();
+        let num_data = self.code().num_data();
+        let round = self.current_round_index();
+
+        let data_leak_before = self.frames.data_leak_flags();
+
+        // --- 1. Leakage-reduction circuits requested by the policy --------------------
+        for &q in &request.data {
+            self.apply_data_lrc(q);
+        }
+        for &c in &request.ancilla {
+            self.apply_ancilla_lrc(c);
+        }
+
+        // --- 2. Start-of-round data noise ---------------------------------------------
+        for q in 0..num_data {
+            if noise.p > 0.0 && self.rng.gen_bool(noise.p) {
+                let err = Pauli::random_error(&mut self.rng);
+                self.frames.apply_data_pauli(q, err);
+            }
+            if noise.p_leak() > 0.0 && self.rng.gen_bool(noise.p_leak()) {
+                self.frames.set_data_leaked(q, true);
+            }
+        }
+
+        // --- 3. Ancilla preparation ----------------------------------------------------
+        let mut ancilla = AncillaFrames::new(num_checks);
+        let checks = self.shared_checks();
+        for check in checks.iter() {
+            if noise.p > 0.0 && self.rng.gen_bool(noise.p) {
+                // A faulty reset flips the observable the check measures.
+                match check.basis {
+                    CheckBasis::Z => ancilla.apply(check.id, Pauli::X),
+                    CheckBasis::X => ancilla.apply(check.id, Pauli::Z),
+                }
+            }
+            if noise.p_leak() > 0.0 && self.rng.gen_bool(noise.p_leak()) {
+                self.frames.set_ancilla_leaked(check.id, true);
+            }
+        }
+
+        // --- 4. CNOT layers -------------------------------------------------------------
+        let layers = self.cnot_layers();
+        for t in 0..layers {
+            for check in checks.iter() {
+                if let Some(&q) = check.support.get(t) {
+                    self.apply_syndrome_cnot(check, q, &mut ancilla);
+                }
+            }
+        }
+
+        // --- 5. Readout ------------------------------------------------------------------
+        let mut measurements = vec![false; num_checks];
+        let mut mlr_leak_flags = vec![false; num_checks];
+        for check in checks.iter() {
+            let c = check.id;
+            if self.frames.ancilla_leaked(c) {
+                // Leaked parity qubit: two-level readout yields a random bit.
+                measurements[c] = self.rng.gen_bool(0.5);
+                if noise.mlr_enabled {
+                    let missed = noise.mlr_miss() > 0.0 && self.rng.gen_bool(noise.mlr_miss());
+                    mlr_leak_flags[c] = !missed;
+                }
+            } else {
+                let ideal = match check.basis {
+                    CheckBasis::Z => ancilla.x[c],
+                    CheckBasis::X => ancilla.z[c],
+                };
+                let flip = noise.p > 0.0 && self.rng.gen_bool(noise.p);
+                measurements[c] = ideal ^ flip;
+                if noise.mlr_enabled
+                    && noise.mlr_false_flag > 0.0
+                    && self.rng.gen_bool(noise.mlr_false_flag)
+                {
+                    mlr_leak_flags[c] = true;
+                }
+            }
+        }
+
+        // Detectors: XOR against the previous round's raw measurements.
+        let mut detectors = vec![false; num_checks];
+        {
+            let prev = self.previous_measurements();
+            for c in 0..num_checks {
+                detectors[c] = measurements[c] ^ prev[c];
+                prev[c] = measurements[c];
+            }
+        }
+
+        let cycle_time_ns =
+            noise.base_round_ns(layers) + noise.lrc_time_ns * request.len() as f64;
+
+        RoundRecord {
+            round,
+            measurements,
+            detectors,
+            mlr_leak_flags,
+            data_lrcs: request.data.clone(),
+            ancilla_lrcs: request.ancilla.clone(),
+            data_leak_before,
+            data_leak_after: self.frames.data_leak_flags(),
+            ancilla_leak_after: self.frames.ancilla_leak_flags(),
+            cycle_time_ns,
+        }
+    }
+
+    /// One CNOT of the syndrome-extraction circuit between `check`'s ancilla and data
+    /// qubit `q`, including all noise channels.
+    fn apply_syndrome_cnot(&mut self, check: &Check, q: DataQubitId, ancilla: &mut AncillaFrames) {
+        let noise = self.noise_params();
+        let data_leaked = self.frames.data_leaked(q);
+        let anc_leaked = self.frames.ancilla_leaked(check.id);
+
+        if data_leaked || anc_leaked {
+            // Malfunctioning gate (calibrated on IBM hardware, Section 2.3): the healthy
+            // operand either inherits the leakage (probability `mobility`) or suffers a
+            // uniformly random Pauli, i.e. a 50% chance of a bit flip.
+            if data_leaked && !anc_leaked {
+                if noise.mobility > 0.0 && self.rng.gen_bool(noise.mobility) {
+                    self.frames.set_ancilla_leaked(check.id, true);
+                } else {
+                    let p = Pauli::random_uniform(&mut self.rng);
+                    ancilla.apply(check.id, p);
+                }
+            } else if anc_leaked && !data_leaked {
+                if noise.mobility > 0.0 && self.rng.gen_bool(noise.mobility) {
+                    self.frames.set_data_leaked(q, true);
+                } else {
+                    let p = Pauli::random_uniform(&mut self.rng);
+                    self.frames.apply_data_pauli(q, p);
+                }
+            }
+            // Both leaked: the gate acts trivially within the computational subspace.
+            return;
+        }
+
+        // Ideal frame propagation.
+        match check.basis {
+            CheckBasis::Z => {
+                // CNOT with data as control, ancilla as target.
+                if self.frames.data_has_x(q) {
+                    ancilla.x[check.id] = !ancilla.x[check.id];
+                }
+                if ancilla.z[check.id] {
+                    self.frames.apply_data_pauli(q, Pauli::Z);
+                }
+            }
+            CheckBasis::X => {
+                // CNOT with ancilla as control, data as target.
+                if ancilla.x[check.id] {
+                    self.frames.apply_data_pauli(q, Pauli::X);
+                }
+                if self.frames.data_has_z(q) {
+                    ancilla.apply(check.id, Pauli::Z);
+                }
+            }
+        }
+
+        // Two-qubit depolarizing noise.
+        if noise.p > 0.0 && self.rng.gen_bool(noise.p) {
+            let (pd, pa) = random_two_qubit_error(&mut self.rng);
+            self.frames.apply_data_pauli(q, pd);
+            ancilla.apply(check.id, pa);
+        }
+
+        // Gate-induced leakage: the two-qubit gate may leak one of its operands.
+        if noise.p_leak() > 0.0 && self.rng.gen_bool(noise.p_leak()) {
+            if self.rng.gen_bool(0.5) {
+                self.frames.set_data_leaked(q, true);
+            } else {
+                self.frames.set_ancilla_leaked(check.id, true);
+            }
+        }
+    }
+
+    /// Applies a SWAP-based LRC gadget to a data qubit: clears leakage (replacing the
+    /// leaked state by a random computational state), at the cost of extra depolarizing
+    /// noise and a chance of re-leaking.
+    fn apply_data_lrc(&mut self, q: DataQubitId) {
+        let noise = self.noise_params();
+        if self.frames.data_leaked(q) {
+            self.frames.set_data_leaked(q, false);
+            // The reset returns the qubit to a random computational state, equivalent to
+            // a fully depolarizing channel on the frame.
+            if self.rng.gen_bool(0.5) {
+                self.frames.apply_data_pauli(q, Pauli::X);
+            }
+            if self.rng.gen_bool(0.5) {
+                self.frames.apply_data_pauli(q, Pauli::Z);
+            }
+        }
+        if noise.p_lrc() > 0.0 && self.rng.gen_bool(noise.p_lrc()) {
+            let err = Pauli::random_error(&mut self.rng);
+            self.frames.apply_data_pauli(q, err);
+        }
+        if noise.p_leak() > 0.0 && self.rng.gen_bool(noise.p_leak()) {
+            self.frames.set_data_leaked(q, true);
+        }
+    }
+
+    /// Applies an LRC / conditional reset to a parity qubit.
+    fn apply_ancilla_lrc(&mut self, c: CheckId) {
+        let noise = self.noise_params();
+        if self.frames.ancilla_leaked(c) {
+            self.frames.set_ancilla_leaked(c, false);
+        }
+        if noise.p_leak() > 0.0 && self.rng.gen_bool(noise.p_leak()) {
+            self.frames.set_ancilla_leaked(c, true);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::NoiseParams;
+    use crate::policy::{LrcRequest, NeverLrc};
+    use crate::simulator::Simulator;
+    use qec_codes::Code;
+
+    fn clean_noise() -> NoiseParams {
+        NoiseParams::builder()
+            .physical_error_rate(0.0)
+            .leakage_ratio(0.0)
+            .mobility(0.0)
+            .mlr_false_flag(0.0)
+            .build()
+    }
+
+    #[test]
+    fn single_x_error_triggers_adjacent_z_detectors_once() {
+        let code = Code::rotated_surface(3);
+        let mut sim = Simulator::new(&code, clean_noise(), 1);
+        // inject an X error before the first round
+        sim.frames.apply_data_pauli(4, Pauli::X);
+        let r0 = sim.run_round(&LrcRequest::none());
+        let r1 = sim.run_round(&LrcRequest::none());
+        let adjacent_z: Vec<usize> = code
+            .checks_of(qec_codes::CheckBasis::Z)
+            .filter(|c| c.support.contains(&4))
+            .map(|c| c.id)
+            .collect();
+        assert_eq!(adjacent_z.len(), 2);
+        // Detected in the first round, silent afterwards (detectors are differences).
+        for &c in &adjacent_z {
+            assert!(r0.detectors[c], "check {c} should fire in round 0");
+            assert!(!r1.detectors[c], "check {c} should be silent in round 1");
+        }
+    }
+
+    #[test]
+    fn leaked_ancilla_randomizes_its_measurement() {
+        let code = Code::rotated_surface(3);
+        let mut noise = clean_noise();
+        noise.mlr_enabled = true;
+        let mut sim = Simulator::new(&code, noise, 5);
+        sim.inject_ancilla_leakage(0);
+        let mut ones = 0usize;
+        let rounds = 400;
+        for _ in 0..rounds {
+            let record = sim.run_round(&LrcRequest::none());
+            if record.measurements[0] {
+                ones += 1;
+            }
+            // With zero miss probability the MLR flag must always fire for a leaked ancilla.
+            assert!(record.mlr_leak_flags[0]);
+        }
+        let rate = ones as f64 / rounds as f64;
+        assert!((rate - 0.5).abs() < 0.1, "leaked ancilla readout should be random, got {rate}");
+    }
+
+    #[test]
+    fn mobility_spreads_leakage_from_data_to_ancilla() {
+        let code = Code::rotated_surface(3);
+        let noise = NoiseParams::builder()
+            .physical_error_rate(0.0)
+            .leakage_ratio(0.0)
+            .mobility(1.0)
+            .mlr_false_flag(0.0)
+            .build();
+        let mut sim = Simulator::new(&code, noise, 8);
+        sim.inject_data_leakage(4);
+        let record = sim.run_round(&LrcRequest::none());
+        // With mobility 1.0 every adjacent ancilla must end up leaked.
+        let adjacency = code.data_adjacency();
+        for entry in adjacency.neighbors(4) {
+            assert!(record.ancilla_leak_after[entry.check], "check {} not leaked", entry.check);
+        }
+    }
+
+    #[test]
+    fn lrc_on_healthy_qubit_can_only_add_noise_not_leak_when_disabled() {
+        let code = Code::rotated_surface(3);
+        let noise = clean_noise();
+        let mut sim = Simulator::new(&code, noise, 2);
+        let record = sim.run_round(&LrcRequest { data: vec![0, 1, 2], ancilla: vec![0] });
+        assert_eq!(record.lrc_count(), 4);
+        assert_eq!(record.leaked_data_count(), 0);
+    }
+
+    #[test]
+    fn cycle_time_grows_with_lrc_count() {
+        let code = Code::rotated_surface(3);
+        let noise = clean_noise();
+        let mut sim = Simulator::new(&code, noise, 2);
+        let quiet = sim.run_round(&LrcRequest::none());
+        let busy = sim.run_round(&LrcRequest { data: vec![0, 1, 2, 3], ancilla: vec![] });
+        assert!(busy.cycle_time_ns > quiet.cycle_time_ns);
+        let delta = busy.cycle_time_ns - quiet.cycle_time_ns;
+        assert!((delta - 4.0 * noise.lrc_time_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_rate_scaling_increases_detection_events() {
+        let code = Code::rotated_surface(5);
+        let low = NoiseParams::builder().physical_error_rate(1e-4).leakage_ratio(0.0).build();
+        let high = NoiseParams::builder().physical_error_rate(1e-2).leakage_ratio(0.0).build();
+        let count_detections = |noise: NoiseParams| -> usize {
+            let mut sim = Simulator::new(&code, noise, 99);
+            let run = sim.run_with_policy(&mut NeverLrc, 50);
+            run.rounds
+                .iter()
+                .map(|r| r.detectors.iter().filter(|&&d| d).count())
+                .sum()
+        };
+        assert!(count_detections(high) > 10 * count_detections(low).max(1));
+    }
+}

@@ -1,0 +1,374 @@
+//! The closed-loop leakage-aware simulator.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use qec_codes::{CheckBasis, Code, DataAdjacency, DataQubitId};
+
+use crate::frame::QubitFrames;
+use crate::noise::NoiseParams;
+use crate::policy::{GroundTruth, LeakagePolicy, LrcRequest, PolicyContext};
+use crate::record::{RoundRecord, RunRecord};
+
+/// Leakage-aware Pauli-frame simulator for one logical qubit of a CSS code.
+///
+/// A `Simulator` owns the code, the noise model, the per-qubit frames/leak flags and a
+/// seeded RNG, so repeated runs with the same seed are bit-for-bit reproducible.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    code: Code,
+    checks: std::sync::Arc<Vec<qec_codes::Check>>,
+    adjacency: DataAdjacency,
+    noise: NoiseParams,
+    pub(crate) frames: QubitFrames,
+    pub(crate) rng: ChaCha8Rng,
+    prev_measurements: Vec<bool>,
+    round_index: usize,
+    cnot_layers: usize,
+}
+
+impl Simulator {
+    /// Creates a simulator for `code` under `noise`, seeded deterministically.
+    #[must_use]
+    pub fn new(code: &Code, noise: NoiseParams, seed: u64) -> Self {
+        let adjacency = code.data_adjacency();
+        let cnot_layers = code.checks().iter().map(qec_codes::Check::weight).max().unwrap_or(0);
+        Simulator {
+            code: code.clone(),
+            checks: std::sync::Arc::new(code.checks().to_vec()),
+            adjacency,
+            noise,
+            frames: QubitFrames::new(code.num_data(), code.num_checks()),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            prev_measurements: vec![false; code.num_checks()],
+            round_index: 0,
+            cnot_layers,
+        }
+    }
+
+    /// The code being simulated.
+    #[must_use]
+    pub fn code(&self) -> &Code {
+        &self.code
+    }
+
+    /// The noise model in force.
+    #[must_use]
+    pub fn noise(&self) -> &NoiseParams {
+        &self.noise
+    }
+
+    /// Current frames and leak flags (read-only).
+    #[must_use]
+    pub fn frames(&self) -> &QubitFrames {
+        &self.frames
+    }
+
+    /// Number of rounds executed so far.
+    #[must_use]
+    pub fn rounds_executed(&self) -> usize {
+        self.round_index
+    }
+
+    /// Number of CNOT layers per round (the maximum check weight).
+    #[must_use]
+    pub fn cnot_layers(&self) -> usize {
+        self.cnot_layers
+    }
+
+    /// Forces a data qubit into the leaked state. Used for leakage-sampling
+    /// (Section 6, "Scaling Simulations using Leakage Sampling") and failure-injection
+    /// tests.
+    pub fn inject_data_leakage(&mut self, q: DataQubitId) {
+        self.frames.set_data_leaked(q, true);
+    }
+
+    /// Forces an ancilla qubit into the leaked state.
+    pub fn inject_ancilla_leakage(&mut self, check: usize) {
+        self.frames.set_ancilla_leaked(check, true);
+    }
+
+    /// Seeds `count` distinct random data qubits as leaked (leakage sampling).
+    pub fn seed_random_data_leakage(&mut self, count: usize) {
+        use rand::seq::SliceRandom;
+        let mut qubits: Vec<DataQubitId> = (0..self.code.num_data()).collect();
+        qubits.shuffle(&mut self.rng);
+        for &q in qubits.iter().take(count) {
+            self.frames.set_data_leaked(q, true);
+        }
+    }
+
+    /// Resets frames, leak flags, measurement history and the round counter, keeping
+    /// the RNG state (so consecutive runs explore different randomness).
+    pub fn reset_state(&mut self) {
+        self.frames = QubitFrames::new(self.code.num_data(), self.code.num_checks());
+        self.prev_measurements = vec![false; self.code.num_checks()];
+        self.round_index = 0;
+    }
+
+    /// Executes a single QEC round, applying the requested LRCs first.
+    pub fn run_round(&mut self, request: &LrcRequest) -> RoundRecord {
+        let record = self.execute_round(request);
+        self.round_index += 1;
+        record
+    }
+
+    /// Runs `rounds` QEC rounds closed-loop with `policy`, then finalizes the run
+    /// (returning leaked qubits to the computational subspace and appending a round of
+    /// perfect measurements for decoding).
+    pub fn run_with_policy<P: LeakagePolicy + ?Sized>(
+        &mut self,
+        policy: &mut P,
+        rounds: usize,
+    ) -> RunRecord {
+        let mut history: Vec<RoundRecord> = Vec::with_capacity(rounds);
+        for round in 0..rounds {
+            let request = {
+                let data_leaked = self.frames.data_leak_flags();
+                let ancilla_leaked = self.frames.ancilla_leak_flags();
+                let ctx = PolicyContext {
+                    round,
+                    code: &self.code,
+                    adjacency: &self.adjacency,
+                    history: &history,
+                    ground_truth: GroundTruth {
+                        data_leaked: &data_leaked,
+                        ancilla_leaked: &ancilla_leaked,
+                    },
+                };
+                policy.plan_lrcs(&ctx)
+            };
+            let record = self.run_round(&request);
+            history.push(record);
+        }
+        self.finalize_run(history)
+    }
+
+    /// Finalizes a run: leaked data qubits are depolarized back into the computational
+    /// subspace (their state after a terminal reset is random) and a final round of
+    /// noiseless measurements is recorded for the decoder.
+    fn finalize_run(&mut self, rounds: Vec<RoundRecord>) -> RunRecord {
+        use rand::Rng;
+        for q in 0..self.code.num_data() {
+            if self.frames.data_leaked(q) {
+                if self.rng.gen_bool(0.5) {
+                    self.frames.apply_data_pauli(q, crate::pauli::Pauli::X);
+                }
+                if self.rng.gen_bool(0.5) {
+                    self.frames.apply_data_pauli(q, crate::pauli::Pauli::Z);
+                }
+                self.frames.set_data_leaked(q, false);
+            }
+        }
+        let final_perfect_measurements = self.measure_ideal();
+        RunRecord {
+            rounds,
+            final_data_x: self.frames.data_x_frames(),
+            final_data_z: self.frames.data_z_frames(),
+            final_perfect_measurements,
+        }
+    }
+
+    /// Noiseless measurement of every check against the current data frames.
+    #[must_use]
+    pub fn measure_ideal(&self) -> Vec<bool> {
+        self.code
+            .checks()
+            .iter()
+            .map(|check| match check.basis {
+                CheckBasis::Z => self.frames.x_parity(&check.support),
+                CheckBasis::X => self.frames.z_parity(&check.support),
+            })
+            .collect()
+    }
+
+    /// `true` when the residual error (after any external correction has been XORed
+    /// into `correction_x` / `correction_z`) anticommutes with the first logical
+    /// operator of the corresponding type, i.e. a logical error occurred.
+    ///
+    /// `correction_x` marks data qubits whose X frame the decoder flips;
+    /// `correction_z` the Z frames. Either may be empty to skip that basis.
+    #[must_use]
+    pub fn logical_error(&self, correction_x: &[DataQubitId], correction_z: &[DataQubitId]) -> bool {
+        let mut x_frames = self.frames.data_x_frames();
+        for &q in correction_x {
+            x_frames[q] = !x_frames[q];
+        }
+        let mut z_frames = self.frames.data_z_frames();
+        for &q in correction_z {
+            z_frames[q] = !z_frames[q];
+        }
+        // Residual X errors flip a Z-basis logical readout (logical Z support);
+        // residual Z errors flip an X-basis readout (logical X support).
+        let z_logical_flip = self
+            .code
+            .logical_z()
+            .first()
+            .map(|support| support.iter().filter(|&&q| x_frames[q]).count() % 2 == 1)
+            .unwrap_or(false);
+        let x_logical_flip = self
+            .code
+            .logical_x()
+            .first()
+            .map(|support| support.iter().filter(|&&q| z_frames[q]).count() % 2 == 1)
+            .unwrap_or(false);
+        z_logical_flip || x_logical_flip
+    }
+
+    pub(crate) fn previous_measurements(&mut self) -> &mut Vec<bool> {
+        &mut self.prev_measurements
+    }
+
+    /// Cheaply cloneable handle to the code's checks, used by the round executor to
+    /// avoid borrowing `self` while mutating frames.
+    pub(crate) fn shared_checks(&self) -> std::sync::Arc<Vec<qec_codes::Check>> {
+        std::sync::Arc::clone(&self.checks)
+    }
+
+    pub(crate) fn current_round_index(&self) -> usize {
+        self.round_index
+    }
+
+    pub(crate) fn noise_params(&self) -> NoiseParams {
+        self.noise
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::NeverLrc;
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let code = Code::rotated_surface(3);
+        let noise = NoiseParams::default();
+        let run_a = Simulator::new(&code, noise, 123).run_with_policy(&mut NeverLrc, 20);
+        let run_b = Simulator::new(&code, noise, 123).run_with_policy(&mut NeverLrc, 20);
+        assert_eq!(run_a, run_b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let code = Code::rotated_surface(3);
+        let noise = NoiseParams::default();
+        let run_a = Simulator::new(&code, noise, 1).run_with_policy(&mut NeverLrc, 50);
+        let run_b = Simulator::new(&code, noise, 2).run_with_policy(&mut NeverLrc, 50);
+        assert_ne!(run_a, run_b, "different seeds should yield different histories");
+    }
+
+    #[test]
+    fn noiseless_run_has_no_detections_or_leakage() {
+        let code = Code::rotated_surface(5);
+        let noise = NoiseParams::builder()
+            .physical_error_rate(0.0)
+            .leakage_ratio(0.0)
+            .mlr_false_flag(0.0)
+            .build();
+        let run = Simulator::new(&code, noise, 7).run_with_policy(&mut NeverLrc, 30);
+        for round in &run.rounds {
+            assert!(round.detectors.iter().all(|&d| !d), "unexpected detection event");
+            assert_eq!(round.leaked_data_count(), 0);
+            assert_eq!(round.lrc_count(), 0);
+        }
+        assert!(run.final_data_x.iter().all(|&b| !b));
+        assert!(run.final_perfect_measurements.iter().all(|&m| !m));
+    }
+
+    #[test]
+    fn injected_leakage_persists_without_lrcs() {
+        let code = Code::rotated_surface(3);
+        let noise = NoiseParams::builder()
+            .physical_error_rate(0.0)
+            .leakage_ratio(0.0)
+            .mobility(0.0)
+            .mlr_false_flag(0.0)
+            .build();
+        let mut sim = Simulator::new(&code, noise, 9);
+        sim.inject_data_leakage(4);
+        let run = sim.run_with_policy(&mut NeverLrc, 10);
+        for round in &run.rounds {
+            assert!(round.data_leak_after[4], "leak must persist with no LRC and no decay");
+        }
+    }
+
+    #[test]
+    fn leaked_qubit_randomizes_adjacent_syndromes() {
+        let code = Code::rotated_surface(3);
+        let noise = NoiseParams::builder()
+            .physical_error_rate(0.0)
+            .leakage_ratio(0.0)
+            .mobility(0.0)
+            .mlr_false_flag(0.0)
+            .build();
+        let mut sim = Simulator::new(&code, noise, 11);
+        // centre qubit of d=3 touches four checks
+        sim.inject_data_leakage(4);
+        let run = sim.run_with_policy(&mut NeverLrc, 200);
+        let adjacency = code.data_adjacency();
+        let adjacent: Vec<usize> = adjacency.pattern_checks(4);
+        let mut flips = 0usize;
+        let mut total = 0usize;
+        for round in &run.rounds {
+            for &c in &adjacent {
+                total += 1;
+                if round.detectors[c] {
+                    flips += 1;
+                }
+            }
+        }
+        let rate = flips as f64 / total as f64;
+        assert!(
+            (rate - 0.5).abs() < 0.08,
+            "leaked data qubit should flip adjacent detectors ~50% of the time, got {rate}"
+        );
+    }
+
+    #[test]
+    fn run_round_applies_requested_lrcs_and_clears_leakage() {
+        let code = Code::rotated_surface(3);
+        let noise = NoiseParams::builder()
+            .physical_error_rate(0.0)
+            .leakage_ratio(0.0)
+            .build();
+        let mut sim = Simulator::new(&code, noise, 3);
+        sim.inject_data_leakage(0);
+        assert!(sim.frames().data_leaked(0));
+        let record = sim.run_round(&LrcRequest { data: vec![0], ancilla: vec![] });
+        assert_eq!(record.data_lrcs, vec![0]);
+        assert!(!sim.frames().data_leaked(0), "LRC must clear the leak flag");
+        assert!(record.data_leak_before[0]);
+        assert!(!record.data_leak_after[0]);
+    }
+
+    #[test]
+    fn logical_error_detects_a_logical_x_string() {
+        let code = Code::rotated_surface(3);
+        let noise = NoiseParams::builder().physical_error_rate(0.0).leakage_ratio(0.0).build();
+        let mut sim = Simulator::new(&code, noise, 5);
+        // Apply a full logical Z-support X string manually: flips the Z-basis readout.
+        let logical = code.logical_z()[0].clone();
+        for &q in &logical {
+            sim.frames.apply_data_pauli(q, crate::pauli::Pauli::X);
+        }
+        assert!(sim.logical_error(&[], &[]));
+        // Correcting exactly that string removes the logical error.
+        assert!(!sim.logical_error(&logical, &[]));
+    }
+
+    #[test]
+    fn measure_ideal_reports_syndrome_of_injected_error() {
+        let code = Code::rotated_surface(3);
+        let noise = NoiseParams::builder().physical_error_rate(0.0).leakage_ratio(0.0).build();
+        let mut sim = Simulator::new(&code, noise, 5);
+        sim.frames.apply_data_pauli(4, crate::pauli::Pauli::X);
+        let syndrome = sim.measure_ideal();
+        let triggered: Vec<usize> = (0..code.num_checks()).filter(|&c| syndrome[c]).collect();
+        // The centre qubit of d=3 touches exactly two Z checks.
+        assert_eq!(triggered.len(), 2);
+        for c in triggered {
+            assert_eq!(code.check(c).basis, CheckBasis::Z);
+            assert!(code.check(c).support.contains(&4));
+        }
+    }
+}

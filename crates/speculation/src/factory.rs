@@ -1,0 +1,169 @@
+//! Policy factory: build any evaluated policy by name.
+
+use std::fmt;
+
+use gladiator::GladiatorConfig;
+use serde::{Deserialize, Serialize};
+use leaky_sim::{policy::NeverLrc, LeakagePolicy};
+use qec_codes::Code;
+
+use crate::gladiator_policy::GladiatorPolicy;
+use crate::heuristics::{EraserPolicy, MlrOnly};
+use crate::ideal::IdealOracle;
+use crate::open_loop::{AlwaysLrc, StaggeredLrc};
+
+/// Every leakage-mitigation policy evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// No mitigation at all.
+    NoLrc,
+    /// Open-loop LRCs on every qubit every round.
+    AlwaysLrc,
+    /// Open-loop round-robin over interaction-graph colour groups.
+    Staggered,
+    /// Multi-level readout only.
+    MlrOnly,
+    /// ERASER's 50 % heuristic, syndrome-only.
+    Eraser,
+    /// ERASER + multi-level readout.
+    EraserM,
+    /// GLADIATOR single-round speculation, syndrome-only.
+    Gladiator,
+    /// GLADIATOR + multi-level readout.
+    GladiatorM,
+    /// GLADIATOR with two-round deferred speculation.
+    GladiatorD,
+    /// GLADIATOR-D + multi-level readout.
+    GladiatorDM,
+    /// Oracle speculation (perfect knowledge of leak flags).
+    Ideal,
+}
+
+impl PolicyKind {
+    /// All kinds, in the order the paper's figures typically list them.
+    pub const ALL: [PolicyKind; 11] = [
+        PolicyKind::NoLrc,
+        PolicyKind::AlwaysLrc,
+        PolicyKind::Staggered,
+        PolicyKind::MlrOnly,
+        PolicyKind::Eraser,
+        PolicyKind::EraserM,
+        PolicyKind::Gladiator,
+        PolicyKind::GladiatorM,
+        PolicyKind::GladiatorD,
+        PolicyKind::GladiatorDM,
+        PolicyKind::Ideal,
+    ];
+
+    /// The label used in experiment outputs.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::NoLrc => "no-lrc",
+            PolicyKind::AlwaysLrc => "always-lrc",
+            PolicyKind::Staggered => "staggered",
+            PolicyKind::MlrOnly => "mlr-only",
+            PolicyKind::Eraser => "eraser",
+            PolicyKind::EraserM => "eraser+m",
+            PolicyKind::Gladiator => "gladiator",
+            PolicyKind::GladiatorM => "gladiator+m",
+            PolicyKind::GladiatorD => "gladiator-d",
+            PolicyKind::GladiatorDM => "gladiator-d+m",
+            PolicyKind::Ideal => "ideal",
+        }
+    }
+
+    /// `true` for closed-loop policies that rely on multi-level readout.
+    #[must_use]
+    pub fn uses_mlr(self) -> bool {
+        matches!(
+            self,
+            PolicyKind::MlrOnly
+                | PolicyKind::EraserM
+                | PolicyKind::GladiatorM
+                | PolicyKind::GladiatorDM
+        )
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Builds a boxed policy of the requested kind for `code`.
+///
+/// The `config` calibrates the GLADIATOR offline model; it is ignored by the other
+/// policies.
+#[must_use]
+pub fn build_policy(
+    kind: PolicyKind,
+    code: &Code,
+    config: &GladiatorConfig,
+) -> Box<dyn LeakagePolicy + Send> {
+    match kind {
+        PolicyKind::NoLrc => Box::new(NeverLrc),
+        PolicyKind::AlwaysLrc => Box::new(AlwaysLrc::new(code)),
+        PolicyKind::Staggered => Box::new(StaggeredLrc::new(code)),
+        PolicyKind::MlrOnly => Box::new(MlrOnly::new(code)),
+        PolicyKind::Eraser => Box::new(EraserPolicy::new(code)),
+        PolicyKind::EraserM => Box::new(EraserPolicy::with_mlr(code)),
+        PolicyKind::Gladiator => Box::new(GladiatorPolicy::new(code, *config)),
+        PolicyKind::GladiatorM => Box::new(GladiatorPolicy::with_mlr(code, *config)),
+        PolicyKind::GladiatorD => Box::new(GladiatorPolicy::deferred(code, *config)),
+        PolicyKind::GladiatorDM => Box::new(GladiatorPolicy::deferred_with_mlr(code, *config)),
+        PolicyKind::Ideal => Box::new(IdealOracle::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leaky_sim::{NoiseParams, Simulator};
+
+    #[test]
+    fn every_kind_builds_and_reports_its_label() {
+        let code = Code::rotated_surface(3);
+        let config = GladiatorConfig::default();
+        for kind in PolicyKind::ALL {
+            let policy = build_policy(kind, &code, &config);
+            assert_eq!(policy.name(), kind.label(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = PolicyKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), PolicyKind::ALL.len());
+    }
+
+    #[test]
+    fn mlr_flag_matches_variants() {
+        assert!(PolicyKind::EraserM.uses_mlr());
+        assert!(PolicyKind::GladiatorDM.uses_mlr());
+        assert!(!PolicyKind::Gladiator.uses_mlr());
+        assert!(!PolicyKind::AlwaysLrc.uses_mlr());
+    }
+
+    #[test]
+    fn every_policy_completes_a_short_run_on_every_code_family() {
+        let config = GladiatorConfig::default();
+        let noise = NoiseParams::default();
+        for code in [Code::rotated_surface(3), Code::color_666(3), Code::bpc(7)] {
+            for kind in PolicyKind::ALL {
+                let mut policy = build_policy(kind, &code, &config);
+                let mut sim = Simulator::new(&code, noise, 3);
+                let run = sim.run_with_policy(policy.as_mut(), 4);
+                assert_eq!(run.num_rounds(), 4, "{kind:?} on {}", code.name());
+            }
+        }
+    }
+
+    #[test]
+    fn display_matches_label() {
+        assert_eq!(format!("{}", PolicyKind::GladiatorM), "gladiator+m");
+    }
+}

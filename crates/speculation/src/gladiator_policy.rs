@@ -1,0 +1,229 @@
+//! The GLADIATOR runtime policy: table lookup against the offline pattern model.
+
+use gladiator::{GladiatorConfig, GladiatorModel, SiteClass};
+use leaky_sim::{LeakagePolicy, LrcRequest, PolicyContext};
+use qec_codes::Code;
+
+use crate::heuristics::mlr_ancilla_requests;
+use crate::patterns::PatternExtractor;
+
+/// Closed-loop leakage speculation using GLADIATOR's offline pattern tables.
+///
+/// The policy evaluates, for every data qubit, the syndrome pattern over its adjacent
+/// parity sites and schedules an LRC when the pattern is labeled leakage-dominated.
+/// Three switches reproduce the paper's variants: `with_mlr` adds MLR-triggered parity
+/// LRCs ("+M"), and `deferred` classifies two-round windows instead of single rounds
+/// ("-D", Section 5.2).
+///
+/// Boundary and corner qubits expose so little syndrome information that their
+/// single-round table flags nothing at all; for exactly those qubits the policy falls
+/// back to the two-round window even in non-deferred mode (this is the same
+/// sparse-syndrome argument the paper uses to motivate GLADIATOR-D in Section 5).
+#[derive(Debug, Clone)]
+pub struct GladiatorPolicy {
+    extractor: PatternExtractor,
+    model: GladiatorModel,
+    qubit_classes: Vec<SiteClass>,
+    qubit_uses_window: Vec<bool>,
+    use_mlr: bool,
+    deferred: bool,
+    name: &'static str,
+}
+
+impl GladiatorPolicy {
+    /// Plain GLADIATOR (single-round speculation, no MLR).
+    #[must_use]
+    pub fn new(code: &Code, config: GladiatorConfig) -> Self {
+        Self::build(code, config, false, false, "gladiator")
+    }
+
+    /// GLADIATOR+M.
+    #[must_use]
+    pub fn with_mlr(code: &Code, config: GladiatorConfig) -> Self {
+        Self::build(code, config, true, false, "gladiator+m")
+    }
+
+    /// GLADIATOR-D (two-round deferred speculation, no MLR).
+    #[must_use]
+    pub fn deferred(code: &Code, config: GladiatorConfig) -> Self {
+        Self::build(code, config, false, true, "gladiator-d")
+    }
+
+    /// GLADIATOR-D+M.
+    #[must_use]
+    pub fn deferred_with_mlr(code: &Code, config: GladiatorConfig) -> Self {
+        Self::build(code, config, true, true, "gladiator-d+m")
+    }
+
+    fn build(
+        code: &Code,
+        config: GladiatorConfig,
+        use_mlr: bool,
+        deferred: bool,
+        name: &'static str,
+    ) -> Self {
+        let model = GladiatorModel::for_code(code, config);
+        let qubit_classes = SiteClass::per_qubit(code);
+        let qubit_uses_window = qubit_classes
+            .iter()
+            .map(|class| {
+                deferred
+                    || model
+                        .class_table(class)
+                        .map_or(true, |table| table.flagged_count() == 0)
+            })
+            .collect();
+        GladiatorPolicy {
+            extractor: PatternExtractor::new(code),
+            model,
+            qubit_classes,
+            qubit_uses_window,
+            use_mlr,
+            deferred,
+            name,
+        }
+    }
+
+    /// The offline model backing this policy.
+    #[must_use]
+    pub fn model(&self) -> &GladiatorModel {
+        &self.model
+    }
+
+    /// `true` when the policy defers decisions over a two-round window.
+    #[must_use]
+    pub fn is_deferred(&self) -> bool {
+        self.deferred
+    }
+}
+
+impl LeakagePolicy for GladiatorPolicy {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn plan_lrcs(&mut self, ctx: &PolicyContext<'_>) -> LrcRequest {
+        let Some(last) = ctx.last_round() else {
+            return LrcRequest::none();
+        };
+        let current = self.extractor.patterns(&last.detectors);
+        // The two-round window is needed by the deferred variant and by qubits whose
+        // single-round table cannot flag anything (sparse boundary/corner sites).
+        let previous = if self.qubit_uses_window.iter().any(|&w| w) {
+            ctx.round_back(1).map(|r| self.extractor.patterns(&r.detectors))
+        } else {
+            None
+        };
+
+        let mut data = Vec::new();
+        for (q, &pattern) in current.iter().enumerate() {
+            let class = &self.qubit_classes[q];
+            if class.width == 0 {
+                continue;
+            }
+            let flagged = if self.qubit_uses_window[q] {
+                match &previous {
+                    Some(prev) => self.model.classify_two_round_class(class, prev[q], pattern),
+                    None => false,
+                }
+            } else {
+                self.model.classify_class(class, pattern)
+            };
+            if flagged {
+                data.push(q);
+            }
+        }
+        let ancilla = if self.use_mlr { mlr_ancilla_requests(last) } else { Vec::new() };
+        LrcRequest { data, ancilla }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::EraserPolicy;
+    use leaky_sim::{NoiseParams, Simulator};
+    use qec_codes::Code;
+
+    fn quiet_noise() -> NoiseParams {
+        NoiseParams::builder()
+            .physical_error_rate(0.0)
+            .leakage_ratio(0.0)
+            .mobility(0.0)
+            .mlr_false_flag(0.0)
+            .build()
+    }
+
+    #[test]
+    fn variant_names_are_distinct() {
+        let code = Code::rotated_surface(3);
+        let config = GladiatorConfig::default();
+        assert_eq!(GladiatorPolicy::new(&code, config).name(), "gladiator");
+        assert_eq!(GladiatorPolicy::with_mlr(&code, config).name(), "gladiator+m");
+        assert_eq!(GladiatorPolicy::deferred(&code, config).name(), "gladiator-d");
+        assert_eq!(GladiatorPolicy::deferred_with_mlr(&code, config).name(), "gladiator-d+m");
+        assert!(GladiatorPolicy::deferred(&code, config).is_deferred());
+    }
+
+    #[test]
+    fn gladiator_catches_an_injected_leak() {
+        let code = Code::rotated_surface(3);
+        let mut policy = GladiatorPolicy::with_mlr(&code, GladiatorConfig::default());
+        let mut sim = Simulator::new(&code, quiet_noise(), 41);
+        sim.inject_data_leakage(4);
+        let run = sim.run_with_policy(&mut policy, 40);
+        assert!(
+            run.rounds.iter().any(|r| r.data_lrcs.contains(&4)),
+            "GLADIATOR should speculate the leaked centre qubit within a few rounds"
+        );
+        assert_eq!(run.rounds.last().expect("rounds").leaked_data_count(), 0);
+    }
+
+    #[test]
+    fn gladiator_inserts_fewer_false_positive_lrcs_than_eraser() {
+        // With leakage disabled every data LRC is a false positive; GLADIATOR's whole
+        // point is to fire on far fewer of them (paper Figure 9).
+        let code = Code::rotated_surface(5);
+        let noise = NoiseParams::builder()
+            .physical_error_rate(3e-3)
+            .leakage_ratio(0.0)
+            .mlr_false_flag(0.0)
+            .build();
+        let rounds = 300;
+        let mut eraser = EraserPolicy::new(&code);
+        let eraser_run = Simulator::new(&code, noise, 7).run_with_policy(&mut eraser, rounds);
+        let mut glad = GladiatorPolicy::new(&code, GladiatorConfig::default());
+        let glad_run = Simulator::new(&code, noise, 7).run_with_policy(&mut glad, rounds);
+        assert!(
+            glad_run.total_data_lrcs() * 2 < eraser_run.total_data_lrcs().max(1) * 3,
+            "GLADIATOR ({}) should not exceed ~1.5x fewer FPs than ERASER ({})",
+            glad_run.total_data_lrcs(),
+            eraser_run.total_data_lrcs()
+        );
+        assert!(glad_run.total_data_lrcs() < eraser_run.total_data_lrcs());
+    }
+
+    #[test]
+    fn deferred_variant_waits_for_two_rounds() {
+        let code = Code::color_666(5);
+        let mut policy = GladiatorPolicy::deferred_with_mlr(&code, GladiatorConfig::default());
+        let mut sim = Simulator::new(&code, quiet_noise(), 4);
+        sim.inject_data_leakage(9);
+        let run = sim.run_with_policy(&mut policy, 30);
+        // No decision can be made before two rounds of history exist.
+        assert!(run.rounds[0].data_lrcs.is_empty());
+        assert!(
+            run.rounds.iter().any(|r| r.data_lrcs.contains(&9)),
+            "GLADIATOR-D should speculate the injected color-code leak"
+        );
+    }
+
+    #[test]
+    fn quiet_system_triggers_no_lrcs() {
+        let code = Code::rotated_surface(3);
+        let mut policy = GladiatorPolicy::with_mlr(&code, GladiatorConfig::default());
+        let mut sim = Simulator::new(&code, quiet_noise(), 2);
+        let run = sim.run_with_policy(&mut policy, 20);
+        assert_eq!(run.total_lrcs(), 0);
+    }
+}

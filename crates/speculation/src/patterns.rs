@@ -1,0 +1,168 @@
+//! Per-data-qubit syndrome patterns (the paper's data-parity adjacency generator).
+
+use qec_codes::{CheckId, Code, DataQubitId, SiteId};
+
+/// Turns a round's raw detector vector into the per-data-qubit syndrome patterns the
+/// speculation policies classify.
+///
+/// Checks measured by the same physical parity qubit (e.g. the X and Z checks of one
+/// color-code face) are merged into one *site*; a site's bit is set when any of its
+/// checks flipped. Pattern bit `i` of a data qubit corresponds to its `i`-th adjacent
+/// site in CNOT time order (the paper's `A1 … An`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternExtractor {
+    site_checks: Vec<Vec<CheckId>>,
+    qubit_sites: Vec<Vec<SiteId>>,
+}
+
+impl PatternExtractor {
+    /// Builds the extractor for `code`.
+    #[must_use]
+    pub fn new(code: &Code) -> Self {
+        let sites = code.parity_sites();
+        let adjacency = code.site_adjacency();
+        let site_checks = (0..sites.num_sites()).map(|s| sites.checks_of(s).to_vec()).collect();
+        let qubit_sites = (0..code.num_data())
+            .map(|q| adjacency.neighbors(q).iter().map(|e| e.site).collect())
+            .collect();
+        PatternExtractor { site_checks, qubit_sites }
+    }
+
+    /// Number of parity sites.
+    #[must_use]
+    pub fn num_sites(&self) -> usize {
+        self.site_checks.len()
+    }
+
+    /// Number of data qubits.
+    #[must_use]
+    pub fn num_data(&self) -> usize {
+        self.qubit_sites.len()
+    }
+
+    /// Pattern width (number of adjacent sites) of a data qubit.
+    ///
+    /// # Panics
+    /// Panics if `q` is out of range.
+    #[must_use]
+    pub fn width(&self, q: DataQubitId) -> usize {
+        self.qubit_sites[q].len()
+    }
+
+    /// The adjacent sites of a data qubit in pattern-bit order.
+    ///
+    /// # Panics
+    /// Panics if `q` is out of range.
+    #[must_use]
+    pub fn sites_of(&self, q: DataQubitId) -> &[SiteId] {
+        &self.qubit_sites[q]
+    }
+
+    /// The checks measured by a site.
+    ///
+    /// # Panics
+    /// Panics if `site` is out of range.
+    #[must_use]
+    pub fn checks_of_site(&self, site: SiteId) -> &[CheckId] {
+        &self.site_checks[site]
+    }
+
+    /// Collapses a per-check boolean vector (detector flips or MLR flags) into a
+    /// per-site vector: a site fires when any of its checks does.
+    #[must_use]
+    pub fn site_flags(&self, per_check: &[bool]) -> Vec<bool> {
+        self.site_checks
+            .iter()
+            .map(|checks| checks.iter().any(|&c| per_check.get(c).copied().unwrap_or(false)))
+            .collect()
+    }
+
+    /// Per-data-qubit syndrome patterns for one round of detector flips.
+    #[must_use]
+    pub fn patterns(&self, detectors: &[bool]) -> Vec<u32> {
+        let site_flags = self.site_flags(detectors);
+        self.qubit_sites
+            .iter()
+            .map(|sites| {
+                sites
+                    .iter()
+                    .enumerate()
+                    .fold(0u32, |acc, (bit, &s)| acc | (u32::from(site_flags[s]) << bit))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qec_codes::Code;
+
+    #[test]
+    fn surface_extractor_has_one_site_per_check() {
+        let code = Code::rotated_surface(3);
+        let ex = PatternExtractor::new(&code);
+        assert_eq!(ex.num_sites(), code.num_checks());
+        assert_eq!(ex.num_data(), code.num_data());
+        assert_eq!(ex.width(4), 4, "centre qubit has four adjacent sites");
+    }
+
+    #[test]
+    fn detector_flip_sets_the_right_pattern_bits() {
+        let code = Code::rotated_surface(3);
+        let ex = PatternExtractor::new(&code);
+        // Flip every check adjacent to qubit 4 -> its pattern must be all ones; qubits
+        // not adjacent to any flipped check keep pattern 0.
+        let mut detectors = vec![false; code.num_checks()];
+        for &site in ex.sites_of(4) {
+            for &check in ex.checks_of_site(site) {
+                detectors[check] = true;
+            }
+        }
+        let patterns = ex.patterns(&detectors);
+        assert_eq!(patterns[4], (1 << ex.width(4)) - 1);
+        let untouched: Vec<usize> = (0..code.num_data())
+            .filter(|&q| {
+                ex.sites_of(q).iter().all(|s| !ex.sites_of(4).contains(s))
+            })
+            .collect();
+        for q in untouched {
+            assert_eq!(patterns[q], 0, "qubit {q} should see no flips");
+        }
+    }
+
+    #[test]
+    fn color_code_sites_fold_x_and_z_checks() {
+        let code = Code::color_666(5);
+        let ex = PatternExtractor::new(&code);
+        assert_eq!(ex.num_sites(), code.num_checks() / 2);
+        // Flipping only the Z copy of a face still fires the site.
+        let site = 0;
+        let checks = ex.checks_of_site(site);
+        assert_eq!(checks.len(), 2);
+        let mut detectors = vec![false; code.num_checks()];
+        detectors[checks[1]] = true;
+        let flags = ex.site_flags(&detectors);
+        assert!(flags[site]);
+        assert_eq!(flags.iter().filter(|&&f| f).count(), 1);
+    }
+
+    #[test]
+    fn pattern_widths_match_site_degrees() {
+        for code in [Code::rotated_surface(5), Code::color_666(5), Code::bpc(14)] {
+            let ex = PatternExtractor::new(&code);
+            let adjacency = code.site_adjacency();
+            for q in 0..code.num_data() {
+                assert_eq!(ex.width(q), adjacency.neighbors(q).len());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_detectors_give_zero_patterns() {
+        let code = Code::rotated_surface(5);
+        let ex = PatternExtractor::new(&code);
+        let patterns = ex.patterns(&vec![false; code.num_checks()]);
+        assert!(patterns.iter().all(|&p| p == 0));
+    }
+}

@@ -1,0 +1,64 @@
+//! Color-code leakage mitigation: why deferred (two-round) speculation matters when
+//! syndrome information is sparse (Section 5 / Figures 8 and 11 of the paper).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example color_code_leakage -- [distance] [rounds]
+//! ```
+
+use gladiator_suite::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let distance: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(7);
+    let rounds: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(100);
+
+    let code = Code::color_666(distance);
+    println!("triangular 6.6.6 color code: {code}");
+    let adjacency = code.site_adjacency();
+    println!(
+        "parity-site degree classes (pattern widths): {:?} — far sparser than the surface code",
+        adjacency.degree_classes()
+    );
+
+    // Offline tables: single-round speculation has little to work with at width <= 2,
+    // the two-round window recovers the signal.
+    let model = GladiatorModel::for_code(&code, GladiatorConfig::default());
+    for width in adjacency.degree_classes() {
+        let single = model.single_round_table(width).expect("table").flagged_count();
+        let double = model.two_round_table(width).expect("table").flagged_count();
+        println!(
+            "width {width}: {single}/{} single-round patterns flagged, {double}/{} two-round",
+            1 << width,
+            1 << (2 * width)
+        );
+    }
+
+    let noise = NoiseParams::default();
+    let calibration = GladiatorConfig::default();
+    println!("\nclosed-loop run over {rounds} rounds (p = 1e-3, lr = 0.1):");
+    println!("{:<14} {:>10} {:>14} {:>14}", "policy", "data LRCs", "avg leakage", "final leakage");
+    for kind in [
+        PolicyKind::EraserM,
+        PolicyKind::GladiatorM,
+        PolicyKind::GladiatorDM,
+        PolicyKind::Ideal,
+    ] {
+        let mut policy = build_policy(kind, &code, &calibration);
+        let mut sim = Simulator::new(&code, noise, 7);
+        sim.seed_random_data_leakage(1);
+        let run = sim.run_with_policy(policy.as_mut(), rounds);
+        println!(
+            "{:<14} {:>10} {:>14.4} {:>14.4}",
+            kind.label(),
+            run.total_data_lrcs(),
+            run.average_data_leak_fraction(),
+            run.final_data_leak_fraction()
+        );
+    }
+    println!(
+        "\nERASER's 50% heuristic over-fires on the color code's 1- and 2-bit patterns \
+         (Section 3.3); GLADIATOR-D+M uses the two-round window to keep leakage low with \
+         far fewer resets."
+    );
+}

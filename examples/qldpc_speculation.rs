@@ -1,0 +1,59 @@
+//! Leakage speculation on qLDPC codes (hypergraph-product and balanced-product cyclic):
+//! the generalizability argument of Section 5 and Table 5 of the paper.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example qldpc_speculation -- [rounds] [shots]
+//! ```
+
+use gladiator_suite::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let rounds: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(60);
+    let shots: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(20);
+
+    let codes = vec![Code::hgp(3), Code::bpc(21)];
+    let noise = NoiseParams::default();
+
+    for code in &codes {
+        println!("== {code} ==");
+        let widths = code.site_adjacency().degree_classes();
+        println!("pattern widths: {widths:?}");
+        let model = GladiatorModel::for_code(code, GladiatorConfig::default());
+        for &w in &widths {
+            let table = model.single_round_table(w).expect("table");
+            println!(
+                "  width {w}: GLADIATOR flags {}/{} patterns (ERASER heuristic: {}/{})",
+                table.flagged_count(),
+                1 << w,
+                table.eraser_flagged_count(),
+                1 << w
+            );
+        }
+
+        println!("  {:<14} {:>9} {:>9} {:>10} {:>12}", "policy", "FP", "FN", "data LRCs", "avg leakage");
+        for kind in [PolicyKind::EraserM, PolicyKind::GladiatorM, PolicyKind::GladiatorDM] {
+            let spec = ExperimentSpec::quick(kind)
+                .with_noise(noise)
+                .with_rounds(rounds)
+                .with_shots(shots)
+                .calibrated();
+            let result = run_policy_experiment(code, &spec);
+            println!(
+                "  {:<14} {:>9.2} {:>9.2} {:>10.2} {:>12.5}",
+                kind.label(),
+                result.metrics.false_positives,
+                result.metrics.false_negatives,
+                result.metrics.data_lrcs,
+                result.metrics.average_dlp
+            );
+        }
+        println!();
+    }
+    println!(
+        "The irregular, sparse syndrome connectivity of qLDPC codes is where the paper \
+         reports GLADIATOR's biggest wins (~4x fewer LRCs on HGP codes, Table 5), because \
+         the 50% threshold of ERASER keeps firing on ordinary noise."
+    );
+}

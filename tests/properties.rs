@@ -1,0 +1,89 @@
+//! Cross-crate property-based tests on the main invariants of the stack.
+
+use gladiator_suite::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The union-find decoder's correction always clears the observed syndrome when the
+    /// final round of measurements is perfect.
+    #[test]
+    fn decoder_correction_clears_the_ideal_syndrome(seed in 0u64..1000, p in 1e-4f64..5e-3) {
+        let code = Code::rotated_surface(3);
+        let noise = NoiseParams::builder()
+            .physical_error_rate(p)
+            .leakage_ratio(0.0)
+            .mlr_false_flag(0.0)
+            .build();
+        let mut sim = Simulator::new(&code, noise, seed);
+        let run = sim.run_with_policy(&mut leaky_sim_never(), 6);
+        let graph = MatchingGraph::build(&code, CheckBasis::Z, 7);
+        let decoder = UnionFindDecoder::new(graph);
+        let correction = decoder.decode(&detection_events(&run, decoder.graph()));
+        // Applying the correction on top of the final frames must silence every Z check.
+        let mut frames = run.final_data_x.clone();
+        for &q in &correction.data_qubits {
+            frames[q] = !frames[q];
+        }
+        for check in code.checks_of(CheckBasis::Z) {
+            let parity = check.support.iter().filter(|&&q| frames[q]).count() % 2;
+            prop_assert_eq!(parity, 0, "check {} still unsatisfied", check.id);
+        }
+    }
+
+    /// Simulation is deterministic in the seed and sensitive to it.
+    #[test]
+    fn simulation_is_seed_deterministic(seed in 0u64..500) {
+        let code = Code::color_666(3);
+        let noise = NoiseParams::default();
+        let run = |s: u64| {
+            let mut policy = build_policy(PolicyKind::EraserM, &code, &GladiatorConfig::default());
+            Simulator::new(&code, noise, s).run_with_policy(policy.as_mut(), 10)
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// The oracle policy never reports a false positive: every LRC it requests lands on
+    /// a genuinely leaked qubit.
+    #[test]
+    fn oracle_never_fires_spuriously(seed in 0u64..300) {
+        let code = Code::rotated_surface(3);
+        let noise = NoiseParams::builder().physical_error_rate(1e-3).leakage_ratio(1.0).build();
+        let mut policy = build_policy(PolicyKind::Ideal, &code, &GladiatorConfig::default());
+        let mut sim = Simulator::new(&code, noise, seed);
+        let run = sim.run_with_policy(policy.as_mut(), 30);
+        for round in &run.rounds {
+            for &q in &round.data_lrcs {
+                prop_assert!(round.data_leak_before[q], "oracle reset a healthy qubit {q}");
+            }
+        }
+    }
+
+    /// Every policy keeps its LRC requests inside the code's qubit ranges on every code
+    /// family (fuzzing the policy/simulator interface).
+    #[test]
+    fn lrc_requests_are_always_in_range(seed in 0u64..200, policy_idx in 0usize..11) {
+        let kind = PolicyKind::ALL[policy_idx];
+        let code = Code::bpc(14);
+        let noise = NoiseParams::builder().physical_error_rate(2e-3).leakage_ratio(1.0).build();
+        let mut policy = build_policy(kind, &code, &GladiatorConfig::default());
+        let mut sim = Simulator::new(&code, noise, seed);
+        let run = sim.run_with_policy(policy.as_mut(), 8);
+        for round in &run.rounds {
+            for &q in &round.data_lrcs {
+                prop_assert!(q < code.num_data());
+            }
+            for &c in &round.ancilla_lrcs {
+                prop_assert!(c < code.num_checks());
+            }
+        }
+    }
+}
+
+/// Helper: the NO-LRC policy from the sim crate (not re-exported through the prelude).
+fn leaky_sim_never() -> impl LeakagePolicy {
+    leaky_sim::policy::NeverLrc
+}
+
+use gladiator_suite::sim as leaky_sim;
