@@ -1,6 +1,10 @@
 //! Micro-benchmarks of the hot kernels: round simulation, pattern classification,
-//! union-find decoding and offline model construction. These bound the throughput of
-//! the paper-scale reproduction runs.
+//! union-find decoding, offline model construction, and the per-shot cost of the
+//! legacy rebuild-everything Monte-Carlo path vs the batch engine. These bound the
+//! throughput of the paper-scale reproduction runs.
+//!
+//! A snapshot of the numbers lives in `crates/bench/BENCH_baseline.json`
+//! (regenerate with `cargo bench --bench kernels > crates/bench/BENCH_baseline.json`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
@@ -10,6 +14,8 @@ use leakage_speculation::{build_policy, PolicyKind};
 use leaky_sim::{NoiseParams, Simulator};
 use qec_codes::{CheckBasis, Code, MatchingGraph};
 use qec_decoder::{detection_events, UnionFindDecoder};
+use qec_experiments::engine::BatchEngine;
+use qec_experiments::harness::{simulate_shot, ExperimentSpec};
 
 fn bench_simulator_rounds(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator_rounds");
@@ -76,5 +82,49 @@ fn bench_offline_model(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simulator_rounds, bench_decoder, bench_offline_model);
+/// Head-to-head per-shot cost: the legacy path (offline model + policy + simulator
+/// rebuilt every shot) against the batch engine (artifacts built once, per-thread
+/// contexts reseeded). Equal-output paths — the determinism tests pin that — so the
+/// gap is pure amortizable setup.
+fn bench_shot_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shot_paths");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    const SHOTS: usize = 16;
+    for d in [3usize, 5] {
+        let code = Code::rotated_surface(d);
+        let spec = ExperimentSpec::quick(PolicyKind::GladiatorM).with_shots(SHOTS).with_rounds(20);
+        group.bench_with_input(BenchmarkId::new("legacy_rebuild_per_shot", d), &code, |b, code| {
+            b.iter(|| {
+                (0..SHOTS as u64)
+                    .map(|shot| simulate_shot(code, &spec, shot).num_rounds())
+                    .sum::<usize>()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("batch_engine", d), &code, |b, code| {
+            b.iter(|| {
+                BatchEngine::new(code, &spec)
+                    .run_records()
+                    .iter()
+                    .map(leaky_sim::RunRecord::num_rounds)
+                    .sum::<usize>()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("batch_engine_prebuilt", d), &code, |b, code| {
+            let engine = BatchEngine::new(code, &spec);
+            b.iter(|| {
+                engine.run_records().iter().map(leaky_sim::RunRecord::num_rounds).sum::<usize>()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simulator_rounds,
+    bench_decoder,
+    bench_offline_model,
+    bench_shot_paths
+);
 criterion_main!(benches);

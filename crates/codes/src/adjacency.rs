@@ -36,11 +36,7 @@ impl DataAdjacency {
         let mut per_qubit: Vec<Vec<AdjEntry>> = vec![Vec::new(); code.num_data()];
         for check in code.checks() {
             for (time, &q) in check.support.iter().enumerate() {
-                per_qubit[q].push(AdjEntry {
-                    check: check.id,
-                    time,
-                    basis: check.basis,
-                });
+                per_qubit[q].push(AdjEntry { check: check.id, time, basis: check.basis });
             }
         }
         for entries in &mut per_qubit {
@@ -67,11 +63,7 @@ impl DataAdjacency {
     /// The adjacent checks of `q` restricted to one basis, preserving pattern order.
     #[must_use]
     pub fn neighbors_of_basis(&self, q: DataQubitId, basis: CheckBasis) -> Vec<AdjEntry> {
-        self.per_qubit[q]
-            .iter()
-            .copied()
-            .filter(|e| e.basis == basis)
-            .collect()
+        self.per_qubit[q].iter().copied().filter(|e| e.basis == basis).collect()
     }
 
     /// Degree (number of adjacent checks) of every data qubit.
@@ -94,9 +86,7 @@ impl DataAdjacency {
     /// The data qubits having exactly `degree` adjacent checks.
     #[must_use]
     pub fn qubits_with_degree(&self, degree: usize) -> Vec<DataQubitId> {
-        (0..self.per_qubit.len())
-            .filter(|&q| self.per_qubit[q].len() == degree)
-            .collect()
+        (0..self.per_qubit.len()).filter(|&q| self.per_qubit[q].len() == degree).collect()
     }
 
     /// Pattern order of the adjacent check ids of `q` (convenience wrapper used when
@@ -163,9 +153,8 @@ mod tests {
     fn color_code_has_one_two_and_three_bit_classes_per_basis() {
         let code = Code::color_666(5);
         let adj = code.data_adjacency();
-        let mut per_basis: Vec<usize> = (0..code.num_data())
-            .map(|q| adj.neighbors_of_basis(q, CheckBasis::X).len())
-            .collect();
+        let mut per_basis: Vec<usize> =
+            (0..code.num_data()).map(|q| adj.neighbors_of_basis(q, CheckBasis::X).len()).collect();
         per_basis.sort_unstable();
         per_basis.dedup();
         assert_eq!(per_basis, vec![1, 2, 3]);
@@ -175,11 +164,8 @@ mod tests {
     fn qubits_with_degree_covers_all_qubits() {
         let code = Code::rotated_surface(3);
         let adj = code.data_adjacency();
-        let total: usize = adj
-            .degree_classes()
-            .iter()
-            .map(|&deg| adj.qubits_with_degree(deg).len())
-            .sum();
+        let total: usize =
+            adj.degree_classes().iter().map(|&deg| adj.qubits_with_degree(deg).len()).sum();
         assert_eq!(total, code.num_data());
     }
 }

@@ -210,10 +210,7 @@ impl Code {
     /// (rows = checks of that basis, columns = data qubits).
     #[must_use]
     pub fn check_matrix(&self, basis: CheckBasis) -> crate::BinaryMatrix {
-        let rows: Vec<Vec<usize>> = self
-            .checks_of(basis)
-            .map(|c| c.support.clone())
-            .collect();
+        let rows: Vec<Vec<usize>> = self.checks_of(basis).map(|c| c.support.clone()).collect();
         crate::BinaryMatrix::from_rows(self.num_data, &rows)
     }
 
@@ -245,11 +242,7 @@ impl Code {
         let zs: Vec<&Check> = self.checks_of(CheckBasis::Z).collect();
         for x in &xs {
             for z in &zs {
-                let overlap = x
-                    .support
-                    .iter()
-                    .filter(|q| z.support.contains(q))
-                    .count();
+                let overlap = x.support.iter().filter(|q| z.support.contains(q)).count();
                 if overlap % 2 != 0 {
                     return false;
                 }
@@ -407,12 +400,7 @@ mod tests {
             "bad",
             1,
             2,
-            vec![Check {
-                id: 0,
-                basis: CheckBasis::X,
-                support: vec![0, 5],
-                position: (0.0, 0.0),
-            }],
+            vec![Check { id: 0, basis: CheckBasis::X, support: vec![0, 5], position: (0.0, 0.0) }],
             vec![],
             vec![],
             vec![],
@@ -427,12 +415,7 @@ mod tests {
             "bad",
             1,
             3,
-            vec![Check {
-                id: 0,
-                basis: CheckBasis::Z,
-                support: vec![1, 1],
-                position: (0.0, 0.0),
-            }],
+            vec![Check { id: 0, basis: CheckBasis::Z, support: vec![1, 1], position: (0.0, 0.0) }],
             vec![],
             vec![],
             vec![],
@@ -448,18 +431,8 @@ mod tests {
             1,
             3,
             vec![
-                Check {
-                    id: 0,
-                    basis: CheckBasis::X,
-                    support: vec![0, 1],
-                    position: (0.0, 0.0),
-                },
-                Check {
-                    id: 1,
-                    basis: CheckBasis::Z,
-                    support: vec![1, 2],
-                    position: (0.0, 0.0),
-                },
+                Check { id: 0, basis: CheckBasis::X, support: vec![0, 1], position: (0.0, 0.0) },
+                Check { id: 1, basis: CheckBasis::Z, support: vec![1, 2], position: (0.0, 0.0) },
             ],
             vec![],
             vec![],

@@ -24,14 +24,7 @@ fn is_face(r: usize, c: usize) -> bool {
 /// hexagonal lattice.
 fn neighbors(r: usize, c: usize) -> [(isize, isize); 6] {
     let (r, c) = (r as isize, c as isize);
-    [
-        (r - 1, c - 1),
-        (r - 1, c),
-        (r, c - 1),
-        (r, c + 1),
-        (r + 1, c),
-        (r + 1, c + 1),
-    ]
+    [(r - 1, c - 1), (r - 1, c), (r, c - 1), (r, c + 1), (r + 1, c), (r + 1, c + 1)]
 }
 
 impl Code {
@@ -101,9 +94,8 @@ impl Code {
 
         // Logical X and Z both run along the bottom edge of the triangle (the code is
         // self-dual); the bottom edge holds exactly d data qubits.
-        let bottom: Vec<DataQubitId> = (0..=max_row)
-            .filter_map(|c| data_ids.get(&(max_row, c)).copied())
-            .collect();
+        let bottom: Vec<DataQubitId> =
+            (0..=max_row).filter_map(|c| data_ids.get(&(max_row, c)).copied()).collect();
         debug_assert_eq!(bottom.len(), d, "bottom edge of color code must hold d qubits");
 
         Code::from_parts(

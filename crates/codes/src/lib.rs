@@ -54,4 +54,4 @@ pub use code::{Check, CheckBasis, CheckId, Code, CodeFamily, DataQubitId};
 pub use graph::{Coloring, InteractionGraph};
 pub use linalg::BinaryMatrix;
 pub use matching::{MatchingGraph, SpaceTimeNode};
-pub use sites::{ParitySites, SiteAdjacency, SiteAdjEntry, SiteId};
+pub use sites::{ParitySites, SiteAdjEntry, SiteAdjacency, SiteId};

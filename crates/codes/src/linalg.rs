@@ -20,12 +20,7 @@ impl BinaryMatrix {
     #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Self {
         let words_per_row = cols.div_ceil(64).max(1);
-        BinaryMatrix {
-            rows,
-            cols,
-            words_per_row,
-            data: vec![0; rows * words_per_row],
-        }
+        BinaryMatrix { rows, cols, words_per_row, data: vec![0; rows * words_per_row] }
     }
 
     /// Build a matrix from sparse rows: `rows[i]` lists the column indices set in row `i`.
@@ -198,10 +193,7 @@ impl BinaryMatrix {
     #[must_use]
     pub fn row_weight(&self, row: usize) -> usize {
         let start = row * self.words_per_row;
-        self.data[start..start + self.words_per_row]
-            .iter()
-            .map(|w| w.count_ones() as usize)
-            .sum()
+        self.data[start..start + self.words_per_row].iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Column indices set in a row, ascending.

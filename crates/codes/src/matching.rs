@@ -133,15 +133,7 @@ impl MatchingGraph {
             adjacency[e.b].push(idx);
         }
 
-        MatchingGraph {
-            basis,
-            rounds,
-            checks,
-            check_slot,
-            edges,
-            adjacency,
-            num_nodes,
-        }
+        MatchingGraph { basis, rounds, checks, check_slot, edges, adjacency, num_nodes }
     }
 
     /// The check basis this graph decodes.
@@ -196,11 +188,7 @@ impl MatchingGraph {
         if round >= self.rounds {
             return None;
         }
-        self.check_slot
-            .get(check)
-            .copied()
-            .flatten()
-            .map(|slot| round * self.checks.len() + slot)
+        self.check_slot.get(check).copied().flatten().map(|slot| round * self.checks.len() + slot)
     }
 
     /// Inverse of [`MatchingGraph::detector_index`] for non-boundary nodes.

@@ -90,8 +90,7 @@ impl SiteAdjacency {
     /// Builds the site adjacency of `code` under the given site partition.
     #[must_use]
     pub fn new(code: &Code, sites: &ParitySites) -> Self {
-        let mut per_qubit: Vec<BTreeMap<SiteId, usize>> =
-            vec![BTreeMap::new(); code.num_data()];
+        let mut per_qubit: Vec<BTreeMap<SiteId, usize>> = vec![BTreeMap::new(); code.num_data()];
         for check in code.checks() {
             let site = sites.site_of(check.id);
             for (time, &q) in check.support.iter().enumerate() {

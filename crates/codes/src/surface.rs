@@ -74,8 +74,7 @@ impl Code {
                     CheckBasis::X => [0, 1, 2, 3],
                     CheckBasis::Z => [0, 2, 1, 3],
                 };
-                let support: Vec<DataQubitId> =
-                    order.iter().filter_map(|&i| corners[i]).collect();
+                let support: Vec<DataQubitId> = order.iter().filter_map(|&i| corners[i]).collect();
                 checks.push(Check {
                     id: checks.len(),
                     basis,
@@ -91,9 +90,7 @@ impl Code {
         let logical_z = vec![(0..d).map(|c| data_index(d, 0, c)).collect::<Vec<_>>()];
         let logical_x = vec![(0..d).map(|r| data_index(d, r, 0)).collect::<Vec<_>>()];
 
-        let data_positions = (0..d * d)
-            .map(|q| ((q % d) as f64, (q / d) as f64))
-            .collect();
+        let data_positions = (0..d * d).map(|q| ((q % d) as f64, (q / d) as f64)).collect();
 
         Code::from_parts(
             CodeFamily::RotatedSurface,

@@ -72,12 +72,9 @@ impl UnionFindDecoder {
         // steps from one side) before it is added to the cluster support.
         let mut growth = vec![0u32; edges.len()];
         let mut grown = vec![false; edges.len()];
-        let defect_nodes: Vec<usize> =
-            (0..n).filter(|&v| defect[v]).collect();
+        let defect_nodes: Vec<usize> = (0..n).filter(|&v| defect[v]).collect();
 
-        let mut any_active = defect_nodes
-            .iter()
-            .any(|&v| clusters.is_active(v));
+        let mut any_active = defect_nodes.iter().any(|&v| clusters.is_active(v));
         // Each iteration grows every active cluster by half an edge; the number of
         // iterations is bounded by the graph diameter.
         let mut safety = 0usize;
@@ -96,11 +93,8 @@ impl UnionFindDecoder {
                 let root_b = clusters.find(edge.b);
                 let active_a = clusters.is_active(edge.a);
                 let active_b = clusters.is_active(edge.b);
-                let increment = if root_a == root_b {
-                    0
-                } else {
-                    u32::from(active_a) + u32::from(active_b)
-                };
+                let increment =
+                    if root_a == root_b { 0 } else { u32::from(active_a) + u32::from(active_b) };
                 if increment == 0 {
                     continue;
                 }
@@ -199,11 +193,8 @@ impl UnionFindDecoder {
                 *qubit_parity.entry(q).or_insert(0usize) += 1;
             }
         }
-        let mut data_qubits: Vec<DataQubitId> = qubit_parity
-            .into_iter()
-            .filter(|&(_, count)| count % 2 == 1)
-            .map(|(q, _)| q)
-            .collect();
+        let mut data_qubits: Vec<DataQubitId> =
+            qubit_parity.into_iter().filter(|&(_, count)| count % 2 == 1).map(|(q, _)| q).collect();
         data_qubits.sort_unstable();
         matched_edges.sort_unstable();
 

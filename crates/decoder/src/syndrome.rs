@@ -58,9 +58,7 @@ pub fn detection_events(run: &RunRecord, graph: &MatchingGraph) -> Vec<usize> {
             let flip = run.final_perfect_measurements[check] ^ last.measurements[check];
             if flip {
                 events.push(
-                    graph
-                        .detector_index(run.num_rounds(), check)
-                        .expect("final layer in range"),
+                    graph.detector_index(run.num_rounds(), check).expect("final layer in range"),
                 );
             }
         }
@@ -185,10 +183,8 @@ mod tests {
         let failed = logical_failure(&code, &run, &Correction::default(), MemoryBasis::Z);
         assert!(failed);
         // Correcting the same string removes the failure.
-        let correction = Correction {
-            data_qubits: code.logical_z()[0].clone(),
-            matched_edges: vec![],
-        };
+        let correction =
+            Correction { data_qubits: code.logical_z()[0].clone(), matched_edges: vec![] };
         assert!(!logical_failure(&code, &run, &correction, MemoryBasis::Z));
     }
 

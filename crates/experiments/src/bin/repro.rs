@@ -84,7 +84,10 @@ fn policy_table(results: &[qec_experiments::PolicyExperimentResult]) -> String {
             ]
         })
         .collect();
-    text_table(&["policy", "FN", "FP", "data LRCs", "LRC/round", "avg DLP", "final DLP", "LER"], &rows)
+    text_table(
+        &["policy", "FN", "FP", "data LRCs", "LRC/round", "avg DLP", "final DLP", "LER"],
+        &rows,
+    )
 }
 
 fn run_one(name: &str, scale: &Scale) -> Option<String> {
@@ -96,10 +99,7 @@ fn run_one(name: &str, scale: &Scale) -> Option<String> {
         }
         "fig3" => {
             let result = runners::fig3_device_characterization(scale);
-            println!(
-                "leaked-CNOT bit-flip probability: {}",
-                fmt_float(result.leaked_cnot_bitflip)
-            );
+            println!("leaked-CNOT bit-flip probability: {}", fmt_float(result.leaked_cnot_bitflip));
             println!(
                 "leakage population after 40 CNOTs: with injection {}, without {}",
                 fmt_float(*result.accumulation_with_injection.last().unwrap_or(&0.0)),
@@ -122,7 +122,11 @@ fn run_one(name: &str, scale: &Scale) -> Option<String> {
             let rows: Vec<Vec<String>> = counts
                 .iter()
                 .map(|c| {
-                    vec![c.policy.clone(), c.width.to_string(), format!("{}/{}", c.flagged, c.space)]
+                    vec![
+                        c.policy.clone(),
+                        c.width.to_string(),
+                        format!("{}/{}", c.flagged, c.space),
+                    ]
                 })
                 .collect();
             println!("{}", text_table(&["policy", "width", "flagged"], &rows));
@@ -228,7 +232,10 @@ fn run_one(name: &str, scale: &Scale) -> Option<String> {
                     ]
                 })
                 .collect();
-            println!("{}", text_table(&["code", "LRC red.", "DLP red.", "cycle-time red."], &table));
+            println!(
+                "{}",
+                text_table(&["code", "LRC red.", "DLP red.", "cycle-time red."], &table)
+            );
             Some(to_json(&rows))
         }
         "table6" => {
@@ -244,7 +251,10 @@ fn run_one(name: &str, scale: &Scale) -> Option<String> {
                     ]
                 })
                 .collect();
-            println!("{}", text_table(&["mobility", "true regime", "accuracy", "estimate"], &table));
+            println!(
+                "{}",
+                text_table(&["mobility", "true regime", "accuracy", "estimate"], &table)
+            );
             Some(to_json(&rows))
         }
         _ => None,

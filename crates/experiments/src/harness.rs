@@ -1,15 +1,32 @@
 //! Monte-Carlo experiment driver.
+//!
+//! [`run_policy_experiment`] and [`compare_policies`] are thin wrappers over the
+//! [`crate::engine::BatchEngine`], which owns every code-derived artifact for the
+//! duration of an experiment (offline GLADIATOR model, pattern extractor, decoder
+//! and matching graph) and reuses one `Simulator` + policy pair per worker thread.
+//!
+//! # Seeding contract
+//!
+//! Shot `i` of a spec runs under RNG seed `spec.seed + i` (wrapping add). This
+//! holds identically on the engine path and on the legacy reference path
+//! ([`simulate_shot`], which rebuilds everything per shot), so the two are
+//! interchangeable bit for bit; results never depend on thread count, scheduling
+//! or whether shots are executed in order. Re-running any spec reproduces the
+//! exact same [`PolicyExperimentResult`].
+//!
+//! [`simulate_shot`] is kept as the *reference semantics* of one shot — the
+//! determinism tests pin the engine against it — and for callers that genuinely
+//! want a single run without amortizable setup.
 
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use gladiator::GladiatorConfig;
 use leakage_speculation::{build_policy, PolicyKind};
 use leaky_sim::{NoiseParams, RunRecord, Simulator};
-use qec_codes::{CheckBasis, Code, MatchingGraph};
-use qec_decoder::{detection_events, logical_failure, MemoryBasis, UnionFindDecoder};
+use qec_codes::Code;
 
-use crate::metrics::{AggregateMetrics, RunMetrics};
+use crate::engine::{run_policy_set, BatchEngine};
+use crate::metrics::AggregateMetrics;
 
 /// Full specification of one policy experiment (code is passed separately so specs can
 /// be reused across codes).
@@ -126,41 +143,23 @@ pub struct PolicyExperimentResult {
 }
 
 /// Runs one policy experiment, parallelizing shots across threads.
+///
+/// Delegates to a fresh [`BatchEngine`]: all code-derived artifacts are built once
+/// and per-thread simulator/policy contexts are reused across shots. Callers that
+/// run several experiments against the same `(code, spec-shape)` can hold a
+/// [`BatchEngine`] themselves to amortize construction further.
 #[must_use]
 pub fn run_policy_experiment(code: &Code, spec: &ExperimentSpec) -> PolicyExperimentResult {
-    let decoder = if spec.decode {
-        let graph = MatchingGraph::build(code, CheckBasis::Z, spec.rounds + 1);
-        Some(UnionFindDecoder::new(graph))
-    } else {
-        None
-    };
-
-    let runs: Vec<RunMetrics> = (0..spec.shots)
-        .into_par_iter()
-        .map(|shot| {
-            let run = simulate_shot(code, spec, shot as u64);
-            let mut metrics = RunMetrics::score(&run, spec.noise.lrc_time_ns);
-            if let Some(decoder) = &decoder {
-                let events = detection_events(&run, decoder.graph());
-                let correction = decoder.decode(&events);
-                metrics.logical_error =
-                    Some(logical_failure(code, &run, &correction, MemoryBasis::Z));
-            }
-            metrics
-        })
-        .collect();
-
-    PolicyExperimentResult {
-        policy: spec.policy.label().to_string(),
-        code: code.name().to_string(),
-        shots: spec.shots,
-        rounds: spec.rounds,
-        metrics: AggregateMetrics::from_runs(&runs),
-    }
+    BatchEngine::new(code, spec).run()
 }
 
-/// Runs a single shot and returns the raw run record (used by runners that need
-/// pattern-level detail rather than aggregate metrics).
+/// Runs a single shot and returns the raw run record.
+///
+/// This is the **legacy reference path**: it deliberately rebuilds the policy (and
+/// with it the offline model) and a fresh [`Simulator`] on every call, defining the
+/// semantics one shot must have. The batch engine is tested to be bit-for-bit
+/// identical to this function under the `seed + shot` contract; use
+/// [`BatchEngine::run_records`] when simulating many shots.
 #[must_use]
 pub fn simulate_shot(code: &Code, spec: &ExperimentSpec, shot: u64) -> RunRecord {
     let mut policy = build_policy(spec.policy, code, &spec.gladiator);
@@ -178,13 +177,7 @@ pub fn compare_policies(
     base: &ExperimentSpec,
     policies: &[PolicyKind],
 ) -> Vec<PolicyExperimentResult> {
-    policies
-        .iter()
-        .map(|&kind| {
-            let spec = ExperimentSpec { policy: kind, ..base.clone() };
-            run_policy_experiment(code, &spec)
-        })
-        .collect()
+    run_policy_set(code, base, policies)
 }
 
 #[cfg(test)]
@@ -241,8 +234,7 @@ mod tests {
     fn compare_policies_preserves_order() {
         let code = Code::rotated_surface(3);
         let base = ExperimentSpec::quick(PolicyKind::NoLrc).with_shots(2).with_rounds(4);
-        let results =
-            compare_policies(&code, &base, &[PolicyKind::AlwaysLrc, PolicyKind::Ideal]);
+        let results = compare_policies(&code, &base, &[PolicyKind::AlwaysLrc, PolicyKind::Ideal]);
         assert_eq!(results.len(), 2);
         assert_eq!(results[0].policy, "always-lrc");
         assert_eq!(results[1].policy, "ideal");

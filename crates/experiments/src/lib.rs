@@ -7,9 +7,18 @@
 //!
 //! * [`metrics`] — Data Leakage Population (DLP), LRC usage, false positives /
 //!   negatives, speculation inaccuracy, cycle-time overhead.
-//! * [`harness`] — Monte-Carlo driver: shots are parallelized with rayon and seeded
-//!   deterministically, with optional *leakage sampling* (each shot starts with at
-//!   least one leaked data qubit, Section 6 of the paper).
+//! * [`engine`] — the [`engine::BatchEngine`]: the throughput execution path. It
+//!   owns every code-derived artifact for an experiment (offline GLADIATOR model,
+//!   pattern extractor, union-find decoder + matching graph) and drives a
+//!   rayon-parallel pool of per-thread `Simulator` + policy contexts. Shot `i`
+//!   always runs under seed `spec.seed + i`, so results are bit-for-bit
+//!   reproducible and independent of thread count (the *seeding contract*); worker
+//!   threads reuse their context across shots via `Simulator::reseed` +
+//!   `LeakagePolicy::reset` (the *thread-reuse model*).
+//! * [`harness`] — [`ExperimentSpec`] plus thin engine-backed drivers
+//!   ([`run_policy_experiment`], [`harness::compare_policies`]) and the legacy
+//!   single-shot reference path ([`harness::simulate_shot`]) the engine is tested
+//!   against.
 //! * [`runners`] — one function per experiment (Figure 1(b,c), 3, 4(b), 5, 8–14 and
 //!   Tables 2–6), each returning serializable rows and printable summaries.
 //! * [`report`] — lightweight table formatting and JSON export used by the `repro`
@@ -31,10 +40,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod engine;
 pub mod harness;
 pub mod metrics;
 pub mod report;
 pub mod runners;
 
+pub use engine::BatchEngine;
 pub use harness::{run_policy_experiment, ExperimentSpec, PolicyExperimentResult};
 pub use metrics::{AggregateMetrics, RunMetrics};

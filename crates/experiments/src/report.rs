@@ -20,12 +20,7 @@ pub fn text_table(header: &[&str], rows: &[Vec<String>]) -> String {
     }
     let mut out = String::new();
     let render_row = |cells: &[String], widths: &[usize]| -> String {
-        cells
-            .iter()
-            .zip(widths)
-            .map(|(c, w)| format!("{c:<w$}"))
-            .collect::<Vec<_>>()
-            .join("  ")
+        cells.iter().zip(widths).map(|(c, w)| format!("{c:<w$}")).collect::<Vec<_>>().join("  ")
     };
     let header_cells: Vec<String> = header.iter().map(|s| (*s).to_string()).collect();
     let _ = writeln!(out, "{}", render_row(&header_cells, &widths));

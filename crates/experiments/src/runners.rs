@@ -12,13 +12,13 @@ use gladiator::{
     hardware::{checker_luts, lut_table, LutReport},
     GladiatorConfig, GladiatorModel, MobilityEstimator, MobilityRegime,
 };
-use leakage_speculation::{PatternExtractor, PolicyKind};
+use leakage_speculation::PolicyKind;
 use leaky_sim::{device::DeviceModel, NoiseParams};
 use qec_codes::Code;
 
+use crate::engine::BatchEngine;
 use crate::harness::{
-    compare_policies, run_policy_experiment, simulate_shot, ExperimentSpec,
-    PolicyExperimentResult,
+    compare_policies, run_policy_experiment, ExperimentSpec, PolicyExperimentResult,
 };
 
 /// Scaling knobs shared by all runners.
@@ -127,7 +127,12 @@ pub fn fig3_device_characterization(scale: &Scale) -> Fig3Result {
     Fig3Result {
         leaked_cnot_bitflip: model.leaked_control_cnot(shots, scale.seed).p_target_one,
         accumulation_with_injection: model.leakage_accumulation(40, true, shots, scale.seed + 1),
-        accumulation_without_injection: model.leakage_accumulation(40, false, shots, scale.seed + 2),
+        accumulation_without_injection: model.leakage_accumulation(
+            40,
+            false,
+            shots,
+            scale.seed + 2,
+        ),
     }
 }
 
@@ -222,12 +227,19 @@ pub fn pattern_usage_histogram(
     scale: &Scale,
     rounds: usize,
 ) -> Vec<PatternUsageRow> {
-    let extractor = PatternExtractor::new(code);
     let s = spec(policy, default_noise(1e-3, 0.1), rounds, scale);
+    let engine = BatchEngine::new(code, &s);
+    // Reuse the factory's shared extractor rather than re-deriving the site grouping.
+    let extractor = std::sync::Arc::clone(engine.policy_factory().extractor());
     let mut with_leak = vec![0usize; 1 << width_of_interest];
     let mut without_leak = vec![0usize; 1 << width_of_interest];
-    for shot in 0..scale.shots {
-        let run = simulate_shot(code, &s, shot as u64);
+    // The engine simulates shots in parallel with the model built once; each worker
+    // reduces its records to small per-shot histograms on the spot (records are
+    // dropped immediately, keeping memory flat at paper-scale shot counts), and the
+    // cheap merge below stays sequential.
+    let partials = engine.map_records(|_, run| {
+        let mut with_leak = vec![0usize; 1 << width_of_interest];
+        let mut without_leak = vec![0usize; 1 << width_of_interest];
         for r in 1..run.rounds.len() {
             let patterns = extractor.patterns(&run.rounds[r - 1].detectors);
             for &q in &run.rounds[r].data_lrcs {
@@ -241,6 +253,15 @@ pub fn pattern_usage_histogram(
                     without_leak[pattern] += 1;
                 }
             }
+        }
+        (with_leak, without_leak)
+    });
+    for (shot_with, shot_without) in partials {
+        for (total, count) in with_leak.iter_mut().zip(shot_with) {
+            *total += count;
+        }
+        for (total, count) in without_leak.iter_mut().zip(shot_without) {
+            *total += count;
         }
     }
     (0..(1u32 << width_of_interest))
@@ -449,7 +470,12 @@ pub fn suppression_factor(rows: &[LerRow], policy: &str) -> Vec<f64> {
 pub fn fig13_error_rate_sensitivity(scale: &Scale) -> Vec<LerRow> {
     let mut rows = ler_sweep(
         &[5],
-        &[PolicyKind::AlwaysLrc, PolicyKind::EraserM, PolicyKind::GladiatorM, PolicyKind::GladiatorDM],
+        &[
+            PolicyKind::AlwaysLrc,
+            PolicyKind::EraserM,
+            PolicyKind::GladiatorM,
+            PolicyKind::GladiatorDM,
+        ],
         1e-3,
         0.1,
         10,
@@ -457,7 +483,12 @@ pub fn fig13_error_rate_sensitivity(scale: &Scale) -> Vec<LerRow> {
     );
     rows.extend(ler_sweep(
         &[5],
-        &[PolicyKind::AlwaysLrc, PolicyKind::EraserM, PolicyKind::GladiatorM, PolicyKind::GladiatorDM],
+        &[
+            PolicyKind::AlwaysLrc,
+            PolicyKind::EraserM,
+            PolicyKind::GladiatorM,
+            PolicyKind::GladiatorDM,
+        ],
         1e-4,
         0.1,
         10,
@@ -690,8 +721,9 @@ pub fn table6_mobility(scale: &Scale) -> Vec<Table6Row> {
             let mut correct = 0usize;
             let mut classified = 0usize;
             let mut conditional_sum = 0.0;
-            for shot in 0..scale.shots {
-                let run = simulate_shot(&code, &s, shot as u64);
+            // Per-shot mobility estimation happens on the worker threads; only the
+            // tiny (regime, conditional) summaries flow back.
+            let verdicts = BatchEngine::new(&code, &s).map_records(|_, run| {
                 let mut estimator = MobilityEstimator::new();
                 for r in 1..run.rounds.len() {
                     estimator.observe_round(
@@ -700,12 +732,15 @@ pub fn table6_mobility(scale: &Scale) -> Vec<Table6Row> {
                         &adjacency,
                     );
                 }
-                if let Some(regime) = estimator.classify() {
-                    classified += 1;
-                    conditional_sum += estimator.conditional_probability().unwrap_or(0.0);
-                    if regime == true_regime {
-                        correct += 1;
-                    }
+                estimator
+                    .classify()
+                    .map(|regime| (regime, estimator.conditional_probability().unwrap_or(0.0)))
+            });
+            for (regime, conditional) in verdicts.into_iter().flatten() {
+                classified += 1;
+                conditional_sum += conditional;
+                if regime == true_regime {
+                    correct += 1;
                 }
             }
             Table6Row {
@@ -784,8 +819,20 @@ mod tests {
     #[test]
     fn suppression_factor_handles_missing_policies() {
         let rows = vec![
-            LerRow { policy: "x".into(), distance: 3, p: 1e-3, logical_error_rate: 0.1, lrcs_per_round: 0.0 },
-            LerRow { policy: "x".into(), distance: 5, p: 1e-3, logical_error_rate: 0.02, lrcs_per_round: 0.0 },
+            LerRow {
+                policy: "x".into(),
+                distance: 3,
+                p: 1e-3,
+                logical_error_rate: 0.1,
+                lrcs_per_round: 0.0,
+            },
+            LerRow {
+                policy: "x".into(),
+                distance: 5,
+                p: 1e-3,
+                logical_error_rate: 0.02,
+                lrcs_per_round: 0.0,
+            },
         ];
         let lambda = suppression_factor(&rows, "x");
         assert_eq!(lambda.len(), 1);

@@ -139,13 +139,7 @@ impl fmt::Display for BooleanExpression {
             .map(|t| {
                 let literals: Vec<String> = (0..self.num_bits)
                     .filter(|&i| t.mask >> i & 1 == 1)
-                    .map(|i| {
-                        if t.value >> i & 1 == 1 {
-                            format!("x{i}")
-                        } else {
-                            format!("!x{i}")
-                        }
-                    })
+                    .map(|i| if t.value >> i & 1 == 1 { format!("x{i}") } else { format!("!x{i}") })
                     .collect();
                 format!("({})", literals.join(" & "))
             })
@@ -311,10 +305,8 @@ mod tests {
     #[test]
     fn minimize_tagged_agrees_with_tables() {
         let config = GladiatorConfig::default();
-        let tables: Vec<(usize, PatternTable)> = [2usize, 3, 4]
-            .iter()
-            .map(|&w| (w, build_single_round_table(w, &config)))
-            .collect();
+        let tables: Vec<(usize, PatternTable)> =
+            [2usize, 3, 4].iter().map(|&w| (w, build_single_round_table(w, &config))).collect();
         let expr = minimize_tagged(tables.iter().map(|(w, t)| (*w, t)));
         for (width, table) in &tables {
             for pattern in 0..(1u32 << width) {

@@ -133,9 +133,9 @@ mod tests {
     #[test]
     fn invalid_configs_are_rejected() {
         assert!(GladiatorConfig { p: 2.0, ..GladiatorConfig::default() }.validate().is_err());
-        assert!(
-            GladiatorConfig { threshold: 0.0, ..GladiatorConfig::default() }.validate().is_err()
-        );
+        assert!(GladiatorConfig { threshold: 0.0, ..GladiatorConfig::default() }
+            .validate()
+            .is_err());
         assert!(GladiatorConfig { leakage_ratio: -1.0, ..GladiatorConfig::default() }
             .validate()
             .is_err());

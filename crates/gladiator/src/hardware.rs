@@ -98,7 +98,8 @@ mod tests {
 
     #[test]
     fn eraser_fit_is_within_ten_percent_of_published_values() {
-        let published = [(5usize, 177usize), (9, 633), (13, 1382), (17, 2434), (21, 3786), (25, 5393)];
+        let published =
+            [(5usize, 177usize), (9, 633), (13, 1382), (17, 2434), (21, 3786), (25, 5393)];
         for (d, luts) in published {
             let model = eraser_lut_estimate(d);
             let rel = (model as f64 - luts as f64).abs() / luts as f64;
@@ -122,10 +123,8 @@ mod tests {
     #[test]
     fn checker_cost_from_default_calibration_is_about_ten_luts() {
         let config = GladiatorConfig::default();
-        let tables: Vec<(usize, _)> = [2usize, 3, 4]
-            .iter()
-            .map(|&w| (w, build_single_round_table(w, &config)))
-            .collect();
+        let tables: Vec<(usize, _)> =
+            [2usize, 3, 4].iter().map(|&w| (w, build_single_round_table(w, &config))).collect();
         let expr = minimize_tagged(tables.iter().map(|(w, t)| (*w, t)));
         let luts = checker_luts(&expr);
         assert!(

@@ -44,9 +44,8 @@ impl PatternTable {
             leakage_weight[pattern as usize] = leakage.weight_into(pattern, None);
             nonleakage_weight[pattern as usize] = non_leakage.weight_into(pattern, None);
         }
-        let flagged = (0..size)
-            .map(|i| leakage_weight[i] > threshold * nonleakage_weight[i])
-            .collect();
+        let flagged =
+            (0..size).map(|i| leakage_weight[i] > threshold * nonleakage_weight[i]).collect();
         PatternTable { width, leakage_weight, nonleakage_weight, flagged, threshold }
     }
 
@@ -65,9 +64,8 @@ impl PatternTable {
         let size = 1usize << width;
         assert_eq!(leakage_weight.len(), size, "leakage weights must have 2^width entries");
         assert_eq!(nonleakage_weight.len(), size, "non-leakage weights must have 2^width entries");
-        let flagged = (0..size)
-            .map(|i| leakage_weight[i] > threshold * nonleakage_weight[i])
-            .collect();
+        let flagged =
+            (0..size).map(|i| leakage_weight[i] > threshold * nonleakage_weight[i]).collect();
         PatternTable { width, leakage_weight, nonleakage_weight, flagged, threshold }
     }
 
@@ -125,9 +123,7 @@ impl PatternTable {
     /// flag at this width — the baseline GLADIATOR is compared against.
     #[must_use]
     pub fn eraser_flagged_count(&self) -> usize {
-        (0..self.flagged.len() as u32)
-            .filter(|&p| eraser_flags(self.width, p))
-            .count()
+        (0..self.flagged.len() as u32).filter(|&p| eraser_flags(self.width, p)).count()
     }
 }
 

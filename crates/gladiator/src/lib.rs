@@ -140,9 +140,7 @@ impl GladiatorModel {
     /// LRC". Patterns for unknown widths are conservatively classified as non-leakage.
     #[must_use]
     pub fn classify(&self, width: usize, pattern: u32) -> bool {
-        self.single_round
-            .get(&width)
-            .is_some_and(|t| t.is_flagged(pattern))
+        self.single_round.get(&width).is_some_and(|t| t.is_flagged(pattern))
     }
 
     /// Basis-aware single-round classification for a specific site class (falls back to
@@ -183,9 +181,7 @@ impl GladiatorModel {
     #[must_use]
     pub fn classify_two_round(&self, width: usize, round1: u32, round2: u32) -> bool {
         let pattern = (u64::from(round2) << width) | u64::from(round1);
-        self.two_round
-            .get(&width)
-            .is_some_and(|t| t.is_flagged(pattern as u32))
+        self.two_round.get(&width).is_some_and(|t| t.is_flagged(pattern as u32))
     }
 
     /// The minimized Boolean expression over prefix-tagged patterns covering every

@@ -32,7 +32,11 @@ impl MobilityEstimator {
     /// Creates an estimator with the paper's 5 % decision threshold.
     #[must_use]
     pub fn new() -> Self {
-        MobilityEstimator { flagged_observations: 0, flagged_with_leaked_neighbor: 0, threshold: 0.05 }
+        MobilityEstimator {
+            flagged_observations: 0,
+            flagged_with_leaked_neighbor: 0,
+            threshold: 0.05,
+        }
     }
 
     /// Creates an estimator with a custom decision threshold.
@@ -62,7 +66,8 @@ impl MobilityEstimator {
                 continue;
             }
             self.flagged_observations += 1;
-            let any_leaked = neighbors.iter().any(|&c| ancilla_mlr.get(c).copied().unwrap_or(false));
+            let any_leaked =
+                neighbors.iter().any(|&c| ancilla_mlr.get(c).copied().unwrap_or(false));
             if any_leaked {
                 self.flagged_with_leaked_neighbor += 1;
             }

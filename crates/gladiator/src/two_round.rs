@@ -212,7 +212,10 @@ mod tests {
         assert!(table.flagged_count() >= 8);
         assert!(table.flagged_count() <= 20);
         // Deterministic data-error and measurement-echo signatures stay unflagged.
-        assert!(!table.is_flagged((0b111 << 3) | 0b000));
+        // (`| 0b000` spells out the empty round-1 pattern half on purpose.)
+        #[allow(clippy::identity_op)]
+        let burst_then_silence = (0b111 << 3) | 0b000;
+        assert!(!table.is_flagged(burst_then_silence));
         assert!(!table.is_flagged((0b001 << 3) | 0b001));
     }
 

@@ -30,6 +30,18 @@ impl QubitFrames {
         }
     }
 
+    /// Clears every frame and leak flag in place (no reallocation), leaving the
+    /// frames identical to freshly constructed ones.
+    pub fn clear(&mut self) {
+        for flags in
+            [&mut self.data_x, &mut self.data_z, &mut self.data_leak, &mut self.ancilla_leak]
+        {
+            for flag in flags.iter_mut() {
+                *flag = false;
+            }
+        }
+    }
+
     /// Number of data qubits tracked.
     #[must_use]
     pub fn num_data(&self) -> usize {

@@ -94,6 +94,16 @@ impl<'a> PolicyContext<'a> {
 }
 
 /// A leakage-mitigation policy: decides which qubits receive an LRC each round.
+///
+/// # Reuse contract
+///
+/// One policy instance may serve many Monte-Carlo shots: the batch engine calls
+/// [`LeakagePolicy::reset`] between shots instead of rebuilding the policy, so
+/// code-derived artifacts (pattern tables, colorings, extractors) are paid for once
+/// per experiment. Implementations must guarantee that `reset()` followed by a run
+/// produces *bit-for-bit* the same decisions a freshly constructed instance would —
+/// any cross-shot state (counters, caches keyed on history) must be cleared there.
+/// Immutable code-derived state should be kept (that is the point of reuse).
 pub trait LeakagePolicy {
     /// Short identifier used in experiment outputs (e.g. `"eraser+m"`).
     fn name(&self) -> &str;
@@ -101,7 +111,10 @@ pub trait LeakagePolicy {
     /// Plan the LRCs to apply at the start of the upcoming round.
     fn plan_lrcs(&mut self, ctx: &PolicyContext<'_>) -> LrcRequest;
 
-    /// Reset any internal state so the policy can be reused for a fresh run.
+    /// Reset any internal per-run state so the policy can be reused for a fresh run
+    /// (see the trait-level reuse contract). The default is a no-op, which is only
+    /// correct for policies that keep no mutable state across rounds of *different*
+    /// runs.
     fn reset(&mut self) {}
 }
 

@@ -126,8 +126,7 @@ impl Simulator {
             }
         }
 
-        let cycle_time_ns =
-            noise.base_round_ns(layers) + noise.lrc_time_ns * request.len() as f64;
+        let cycle_time_ns = noise.base_round_ns(layers) + noise.lrc_time_ns * request.len() as f64;
 
         RoundRecord {
             round,
@@ -357,10 +356,7 @@ mod tests {
         let count_detections = |noise: NoiseParams| -> usize {
             let mut sim = Simulator::new(&code, noise, 99);
             let run = sim.run_with_policy(&mut NeverLrc, 50);
-            run.rounds
-                .iter()
-                .map(|r| r.detectors.iter().filter(|&&d| d).count())
-                .sum()
+            run.rounds.iter().map(|r| r.detectors.iter().filter(|&&d| d).count()).sum()
         };
         assert!(count_detections(high) > 10 * count_detections(low).max(1));
     }

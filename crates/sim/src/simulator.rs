@@ -101,9 +101,20 @@ impl Simulator {
     /// Resets frames, leak flags, measurement history and the round counter, keeping
     /// the RNG state (so consecutive runs explore different randomness).
     pub fn reset_state(&mut self) {
-        self.frames = QubitFrames::new(self.code.num_data(), self.code.num_checks());
-        self.prev_measurements = vec![false; self.code.num_checks()];
+        self.frames.clear();
+        for m in &mut self.prev_measurements {
+            *m = false;
+        }
         self.round_index = 0;
+    }
+
+    /// Re-seeds the RNG and resets all per-run state, leaving the simulator
+    /// bit-for-bit identical to a freshly constructed `Simulator::new(code, noise,
+    /// seed)` — but without re-deriving the code structures (adjacency, check list),
+    /// which is what makes per-shot reuse in the batch engine allocation-light.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = ChaCha8Rng::seed_from_u64(seed);
+        self.reset_state();
     }
 
     /// Executes a single QEC round, applying the requested LRCs first.
@@ -189,7 +200,11 @@ impl Simulator {
     /// `correction_x` marks data qubits whose X frame the decoder flips;
     /// `correction_z` the Z frames. Either may be empty to skip that basis.
     #[must_use]
-    pub fn logical_error(&self, correction_x: &[DataQubitId], correction_z: &[DataQubitId]) -> bool {
+    pub fn logical_error(
+        &self,
+        correction_x: &[DataQubitId],
+        correction_z: &[DataQubitId],
+    ) -> bool {
         let mut x_frames = self.frames.data_x_frames();
         for &q in correction_x {
             x_frames[q] = !x_frames[q];
@@ -246,6 +261,37 @@ mod tests {
         let run_a = Simulator::new(&code, noise, 123).run_with_policy(&mut NeverLrc, 20);
         let run_b = Simulator::new(&code, noise, 123).run_with_policy(&mut NeverLrc, 20);
         assert_eq!(run_a, run_b);
+    }
+
+    #[test]
+    fn reseed_is_bit_identical_to_a_fresh_simulator() {
+        let code = Code::rotated_surface(3);
+        let noise = NoiseParams::default();
+        // Drive a simulator through a run, then reseed it and compare against a
+        // freshly constructed one: histories must match bit for bit.
+        let mut reused = Simulator::new(&code, noise, 7);
+        let _ = reused.run_with_policy(&mut NeverLrc, 15);
+        reused.reseed(31);
+        reused.seed_random_data_leakage(1);
+        let run_reused = reused.run_with_policy(&mut NeverLrc, 25);
+
+        let mut fresh = Simulator::new(&code, noise, 31);
+        fresh.seed_random_data_leakage(1);
+        let run_fresh = fresh.run_with_policy(&mut NeverLrc, 25);
+        assert_eq!(run_reused, run_fresh);
+    }
+
+    #[test]
+    fn reset_state_clears_everything_but_keeps_the_rng_stream() {
+        let code = Code::rotated_surface(3);
+        let mut sim = Simulator::new(&code, NoiseParams::default(), 5);
+        sim.inject_data_leakage(2);
+        let _ = sim.run_with_policy(&mut NeverLrc, 10);
+        sim.reset_state();
+        assert_eq!(sim.rounds_executed(), 0);
+        assert_eq!(sim.frames().leaked_data_count(), 0);
+        assert!(sim.frames().data_x_frames().iter().all(|&b| !b));
+        assert!(sim.measure_ideal().iter().all(|&m| !m));
     }
 
     #[test]
@@ -327,10 +373,7 @@ mod tests {
     #[test]
     fn run_round_applies_requested_lrcs_and_clears_leakage() {
         let code = Code::rotated_surface(3);
-        let noise = NoiseParams::builder()
-            .physical_error_rate(0.0)
-            .leakage_ratio(0.0)
-            .build();
+        let noise = NoiseParams::builder().physical_error_rate(0.0).leakage_ratio(0.0).build();
         let mut sim = Simulator::new(&code, noise, 3);
         sim.inject_data_leakage(0);
         assert!(sim.frames().data_leaked(0));

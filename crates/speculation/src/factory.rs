@@ -1,16 +1,27 @@
 //! Policy factory: build any evaluated policy by name.
+//!
+//! Two construction paths exist:
+//!
+//! * [`build_policy`] — the one-shot convenience API: every call re-derives all
+//!   code-derived artifacts (the offline [`GladiatorModel`], pattern extractor,
+//!   graph colouring). Fine for single runs, wasteful inside Monte-Carlo loops.
+//! * [`PolicyFactory`] — the batch API: artifacts are built lazily *once* and shared
+//!   behind [`Arc`] across every policy instance the factory hands out, across shots
+//!   and worker threads. This is what the experiment harness' `BatchEngine` uses.
 
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
-use gladiator::GladiatorConfig;
-use serde::{Deserialize, Serialize};
+use gladiator::{GladiatorConfig, GladiatorModel, SiteClass};
 use leaky_sim::{policy::NeverLrc, LeakagePolicy};
-use qec_codes::Code;
+use qec_codes::{Code, Coloring};
+use serde::{Deserialize, Serialize};
 
 use crate::gladiator_policy::GladiatorPolicy;
 use crate::heuristics::{EraserPolicy, MlrOnly};
 use crate::ideal::IdealOracle;
 use crate::open_loop::{AlwaysLrc, StaggeredLrc};
+use crate::patterns::PatternExtractor;
 
 /// Every leakage-mitigation policy evaluated in the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -92,28 +103,124 @@ impl fmt::Display for PolicyKind {
     }
 }
 
-/// Builds a boxed policy of the requested kind for `code`.
+/// Builds a boxed policy of the requested kind for `code`, re-deriving every
+/// code-derived artifact from scratch.
 ///
 /// The `config` calibrates the GLADIATOR offline model; it is ignored by the other
-/// policies.
+/// policies. Inside Monte-Carlo loops use a [`PolicyFactory`] instead, which pays
+/// for the artifacts once per experiment rather than once per call.
 #[must_use]
 pub fn build_policy(
     kind: PolicyKind,
     code: &Code,
     config: &GladiatorConfig,
 ) -> Box<dyn LeakagePolicy + Send> {
-    match kind {
-        PolicyKind::NoLrc => Box::new(NeverLrc),
-        PolicyKind::AlwaysLrc => Box::new(AlwaysLrc::new(code)),
-        PolicyKind::Staggered => Box::new(StaggeredLrc::new(code)),
-        PolicyKind::MlrOnly => Box::new(MlrOnly::new(code)),
-        PolicyKind::Eraser => Box::new(EraserPolicy::new(code)),
-        PolicyKind::EraserM => Box::new(EraserPolicy::with_mlr(code)),
-        PolicyKind::Gladiator => Box::new(GladiatorPolicy::new(code, *config)),
-        PolicyKind::GladiatorM => Box::new(GladiatorPolicy::with_mlr(code, *config)),
-        PolicyKind::GladiatorD => Box::new(GladiatorPolicy::deferred(code, *config)),
-        PolicyKind::GladiatorDM => Box::new(GladiatorPolicy::deferred_with_mlr(code, *config)),
-        PolicyKind::Ideal => Box::new(IdealOracle::new()),
+    PolicyFactory::new(code, config).build(kind)
+}
+
+/// Shared, lazily-built artifacts from which any [`PolicyKind`] can be instantiated
+/// cheaply and repeatedly.
+///
+/// Every expensive code-derived structure is built at most once per factory, on
+/// first demand, and shared behind [`Arc`] by all policies subsequently built —
+/// regardless of which thread asks. The factory itself is `Sync`, so one instance
+/// can serve a whole rayon pool: worker threads call [`PolicyFactory::build`] once
+/// each and then [`LeakagePolicy::reset`] the returned policy between shots.
+///
+/// | artifact | needed by | cost |
+/// |---|---|---|
+/// | [`GladiatorModel`] | gladiator variants | graph propagation + Quine–McCluskey |
+/// | [`PatternExtractor`] | eraser, mlr-only, gladiator | site grouping per qubit |
+/// | per-qubit [`SiteClass`]es | gladiator variants | code scan |
+/// | greedy [`Coloring`] | staggered | interaction-graph colouring |
+#[derive(Debug)]
+pub struct PolicyFactory {
+    code: Code,
+    config: GladiatorConfig,
+    extractor: OnceLock<Arc<PatternExtractor>>,
+    model: OnceLock<Arc<GladiatorModel>>,
+    qubit_classes: OnceLock<Arc<Vec<SiteClass>>>,
+    coloring: OnceLock<Arc<Coloring>>,
+}
+
+impl PolicyFactory {
+    /// Creates a factory for `code`; nothing is built until the first
+    /// [`PolicyFactory::build`] call that needs it.
+    #[must_use]
+    pub fn new(code: &Code, config: &GladiatorConfig) -> Self {
+        PolicyFactory {
+            code: code.clone(),
+            config: *config,
+            extractor: OnceLock::new(),
+            model: OnceLock::new(),
+            qubit_classes: OnceLock::new(),
+            coloring: OnceLock::new(),
+        }
+    }
+
+    /// The code the factory's artifacts derive from.
+    #[must_use]
+    pub fn code(&self) -> &Code {
+        &self.code
+    }
+
+    /// The GLADIATOR calibration in force.
+    #[must_use]
+    pub fn config(&self) -> &GladiatorConfig {
+        &self.config
+    }
+
+    /// The shared offline model, building it on first call. Subsequent calls (from
+    /// any thread) return the same allocation — `Arc::ptr_eq` holds.
+    pub fn model(&self) -> &Arc<GladiatorModel> {
+        self.model.get_or_init(|| Arc::new(GladiatorModel::for_code(&self.code, self.config)))
+    }
+
+    /// The shared pattern extractor, building it on first call.
+    pub fn extractor(&self) -> &Arc<PatternExtractor> {
+        self.extractor.get_or_init(|| Arc::new(PatternExtractor::new(&self.code)))
+    }
+
+    fn classes(&self) -> &Arc<Vec<SiteClass>> {
+        self.qubit_classes.get_or_init(|| Arc::new(SiteClass::per_qubit(&self.code)))
+    }
+
+    fn coloring(&self) -> &Arc<Coloring> {
+        self.coloring.get_or_init(|| Arc::new(self.code.interaction_graph().greedy_coloring()))
+    }
+
+    /// Builds a boxed policy of the requested kind over the shared artifacts.
+    #[must_use]
+    pub fn build(&self, kind: PolicyKind) -> Box<dyn LeakagePolicy + Send> {
+        let gladiator = |use_mlr: bool, deferred: bool| {
+            GladiatorPolicy::from_shared(
+                Arc::clone(self.model()),
+                Arc::clone(self.extractor()),
+                Arc::clone(self.classes()),
+                use_mlr,
+                deferred,
+            )
+        };
+        match kind {
+            PolicyKind::NoLrc => Box::new(NeverLrc),
+            PolicyKind::AlwaysLrc => Box::new(AlwaysLrc::new(&self.code)),
+            PolicyKind::Staggered => Box::new(StaggeredLrc::from_shared(
+                Arc::clone(self.coloring()),
+                self.code.num_checks(),
+            )),
+            PolicyKind::MlrOnly => Box::new(MlrOnly::from_shared(Arc::clone(self.extractor()))),
+            PolicyKind::Eraser => {
+                Box::new(EraserPolicy::from_shared(Arc::clone(self.extractor()), false))
+            }
+            PolicyKind::EraserM => {
+                Box::new(EraserPolicy::from_shared(Arc::clone(self.extractor()), true))
+            }
+            PolicyKind::Gladiator => Box::new(gladiator(false, false)),
+            PolicyKind::GladiatorM => Box::new(gladiator(true, false)),
+            PolicyKind::GladiatorD => Box::new(gladiator(false, true)),
+            PolicyKind::GladiatorDM => Box::new(gladiator(true, true)),
+            PolicyKind::Ideal => Box::new(IdealOracle::new()),
+        }
     }
 }
 
@@ -121,6 +228,7 @@ pub fn build_policy(
 mod tests {
     use super::*;
     use leaky_sim::{NoiseParams, Simulator};
+    use std::sync::Arc;
 
     #[test]
     fn every_kind_builds_and_reports_its_label() {
@@ -165,5 +273,69 @@ mod tests {
     #[test]
     fn display_matches_label() {
         assert_eq!(format!("{}", PolicyKind::GladiatorM), "gladiator+m");
+    }
+
+    #[test]
+    fn factory_builds_the_offline_model_once_and_shares_it() {
+        let code = Code::rotated_surface(3);
+        let factory = PolicyFactory::new(&code, &GladiatorConfig::default());
+        let first = factory.build(PolicyKind::GladiatorM);
+        let second = factory.build(PolicyKind::GladiatorDM);
+        drop((first, second));
+        // Both policies must hold the exact same model allocation as the factory.
+        let model = Arc::clone(factory.model());
+        // factory itself + our clone = baseline of 2; each live gladiator policy
+        // adds exactly one more strong count, never a fresh model.
+        let before = Arc::strong_count(&model);
+        let third = factory.build(PolicyKind::Gladiator);
+        assert_eq!(Arc::strong_count(&model), before + 1);
+        drop(third);
+        assert_eq!(Arc::strong_count(&model), before);
+    }
+
+    #[test]
+    fn factory_policies_share_the_extractor_across_kinds() {
+        let code = Code::color_666(3);
+        let factory = PolicyFactory::new(&code, &GladiatorConfig::default());
+        let extractor = Arc::clone(factory.extractor());
+        let baseline = Arc::strong_count(&extractor);
+        let _eraser = factory.build(PolicyKind::EraserM);
+        let _mlr = factory.build(PolicyKind::MlrOnly);
+        let _glad = factory.build(PolicyKind::GladiatorM);
+        assert_eq!(Arc::strong_count(&extractor), baseline + 3);
+    }
+
+    #[test]
+    fn factory_policies_decide_identically_to_the_legacy_path() {
+        let config = GladiatorConfig::default();
+        let noise = NoiseParams::default();
+        for code in [Code::rotated_surface(3), Code::color_666(3)] {
+            let factory = PolicyFactory::new(&code, &config);
+            for kind in PolicyKind::ALL {
+                let mut legacy = build_policy(kind, &code, &config);
+                let legacy_run =
+                    Simulator::new(&code, noise, 17).run_with_policy(legacy.as_mut(), 12);
+                let mut shared = factory.build(kind);
+                let shared_run =
+                    Simulator::new(&code, noise, 17).run_with_policy(shared.as_mut(), 12);
+                assert_eq!(legacy_run, shared_run, "{kind:?} on {}", code.name());
+            }
+        }
+    }
+
+    #[test]
+    fn factory_policies_are_reusable_after_reset() {
+        let code = Code::rotated_surface(3);
+        let factory = PolicyFactory::new(&code, &GladiatorConfig::default());
+        let noise = NoiseParams::default();
+        for kind in PolicyKind::ALL {
+            let mut policy = factory.build(kind);
+            let mut sim = Simulator::new(&code, noise, 23);
+            let first = sim.run_with_policy(policy.as_mut(), 10);
+            policy.reset();
+            sim.reseed(23);
+            let second = sim.run_with_policy(policy.as_mut(), 10);
+            assert_eq!(first, second, "{kind:?} must be bit-identical after reset");
+        }
     }
 }

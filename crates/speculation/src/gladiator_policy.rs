@@ -1,5 +1,7 @@
 //! The GLADIATOR runtime policy: table lookup against the offline pattern model.
 
+use std::sync::Arc;
+
 use gladiator::{GladiatorConfig, GladiatorModel, SiteClass};
 use leaky_sim::{LeakagePolicy, LrcRequest, PolicyContext};
 use qec_codes::Code;
@@ -19,11 +21,18 @@ use crate::patterns::PatternExtractor;
 /// single-round table flags nothing at all; for exactly those qubits the policy falls
 /// back to the two-round window even in non-deferred mode (this is the same
 /// sparse-syndrome argument the paper uses to motivate GLADIATOR-D in Section 5).
+///
+/// The expensive code-derived artifacts — the offline [`GladiatorModel`] (graph
+/// propagation + Quine–McCluskey), the [`PatternExtractor`] and the per-qubit site
+/// classes — are held behind [`Arc`] so one build can back many policy instances
+/// across shots and threads (see [`crate::PolicyFactory`]). The convenience
+/// constructors below build a private copy of everything; batch paths should go
+/// through [`GladiatorPolicy::from_shared`] instead.
 #[derive(Debug, Clone)]
 pub struct GladiatorPolicy {
-    extractor: PatternExtractor,
-    model: GladiatorModel,
-    qubit_classes: Vec<SiteClass>,
+    extractor: Arc<PatternExtractor>,
+    model: Arc<GladiatorModel>,
+    qubit_classes: Arc<Vec<SiteClass>>,
     qubit_uses_window: Vec<bool>,
     use_mlr: bool,
     deferred: bool,
@@ -34,47 +43,63 @@ impl GladiatorPolicy {
     /// Plain GLADIATOR (single-round speculation, no MLR).
     #[must_use]
     pub fn new(code: &Code, config: GladiatorConfig) -> Self {
-        Self::build(code, config, false, false, "gladiator")
+        Self::build(code, config, false, false)
     }
 
     /// GLADIATOR+M.
     #[must_use]
     pub fn with_mlr(code: &Code, config: GladiatorConfig) -> Self {
-        Self::build(code, config, true, false, "gladiator+m")
+        Self::build(code, config, true, false)
     }
 
     /// GLADIATOR-D (two-round deferred speculation, no MLR).
     #[must_use]
     pub fn deferred(code: &Code, config: GladiatorConfig) -> Self {
-        Self::build(code, config, false, true, "gladiator-d")
+        Self::build(code, config, false, true)
     }
 
     /// GLADIATOR-D+M.
     #[must_use]
     pub fn deferred_with_mlr(code: &Code, config: GladiatorConfig) -> Self {
-        Self::build(code, config, true, true, "gladiator-d+m")
+        Self::build(code, config, true, true)
     }
 
-    fn build(
-        code: &Code,
-        config: GladiatorConfig,
+    fn build(code: &Code, config: GladiatorConfig, use_mlr: bool, deferred: bool) -> Self {
+        Self::from_shared(
+            Arc::new(GladiatorModel::for_code(code, config)),
+            Arc::new(PatternExtractor::new(code)),
+            Arc::new(SiteClass::per_qubit(code)),
+            use_mlr,
+            deferred,
+        )
+    }
+
+    /// Builds a policy around prebuilt, shared offline artifacts. The artifacts must
+    /// all derive from the same code; only the cheap per-qubit window flags are
+    /// computed here, so calling this once per worker thread costs O(num_data).
+    #[must_use]
+    pub fn from_shared(
+        model: Arc<GladiatorModel>,
+        extractor: Arc<PatternExtractor>,
+        qubit_classes: Arc<Vec<SiteClass>>,
         use_mlr: bool,
         deferred: bool,
-        name: &'static str,
     ) -> Self {
-        let model = GladiatorModel::for_code(code, config);
-        let qubit_classes = SiteClass::per_qubit(code);
+        let name = match (deferred, use_mlr) {
+            (false, false) => "gladiator",
+            (false, true) => "gladiator+m",
+            (true, false) => "gladiator-d",
+            (true, true) => "gladiator-d+m",
+        };
         let qubit_uses_window = qubit_classes
             .iter()
             .map(|class| {
                 deferred
-                    || model
-                        .class_table(class)
-                        .map_or(true, |table| table.flagged_count() == 0)
+                    || model.class_table(class).map_or(true, |table| table.flagged_count() == 0)
             })
             .collect();
         GladiatorPolicy {
-            extractor: PatternExtractor::new(code),
+            extractor,
             model,
             qubit_classes,
             qubit_uses_window,
@@ -87,6 +112,13 @@ impl GladiatorPolicy {
     /// The offline model backing this policy.
     #[must_use]
     pub fn model(&self) -> &GladiatorModel {
+        &self.model
+    }
+
+    /// Shared handle to the offline model — pointer-compare with
+    /// [`Arc::ptr_eq`] to verify model sharing across policy instances.
+    #[must_use]
+    pub fn model_handle(&self) -> &Arc<GladiatorModel> {
         &self.model
     }
 
@@ -135,6 +167,11 @@ impl LeakagePolicy for GladiatorPolicy {
         }
         let ancilla = if self.use_mlr { mlr_ancilla_requests(last) } else { Vec::new() };
         LrcRequest { data, ancilla }
+    }
+
+    fn reset(&mut self) {
+        // All decisions derive from the per-round `PolicyContext`; the shared model,
+        // extractor and class tables are immutable, so there is no per-run state.
     }
 }
 

@@ -1,5 +1,7 @@
 //! Heuristic closed-loop policies: ERASER's 50 % rule and MLR-only detection.
 
+use std::sync::Arc;
+
 use leaky_sim::{LeakagePolicy, LrcRequest, PolicyContext, RoundRecord};
 use qec_codes::Code;
 
@@ -7,12 +9,7 @@ use crate::patterns::PatternExtractor;
 
 /// Collects the parity qubits whose multi-level readout flagged leakage last round.
 pub(crate) fn mlr_ancilla_requests(record: &RoundRecord) -> Vec<usize> {
-    record
-        .mlr_leak_flags
-        .iter()
-        .enumerate()
-        .filter_map(|(c, &flag)| flag.then_some(c))
-        .collect()
+    record.mlr_leak_flags.iter().enumerate().filter_map(|(c, &flag)| flag.then_some(c)).collect()
 }
 
 /// ERASER (Vittal et al., MICRO 2023): speculate data-qubit leakage whenever at least
@@ -20,7 +17,7 @@ pub(crate) fn mlr_ancilla_requests(record: &RoundRecord) -> Vec<usize> {
 /// parity qubits (the "+M" variant the paper compares against).
 #[derive(Debug, Clone)]
 pub struct EraserPolicy {
-    extractor: PatternExtractor,
+    extractor: Arc<PatternExtractor>,
     use_mlr: bool,
     name: &'static str,
 }
@@ -29,13 +26,20 @@ impl EraserPolicy {
     /// ERASER without multi-level readout.
     #[must_use]
     pub fn new(code: &Code) -> Self {
-        EraserPolicy { extractor: PatternExtractor::new(code), use_mlr: false, name: "eraser" }
+        Self::from_shared(Arc::new(PatternExtractor::new(code)), false)
     }
 
     /// ERASER+M: the published configuration with MLR on parity qubits.
     #[must_use]
     pub fn with_mlr(code: &Code) -> Self {
-        EraserPolicy { extractor: PatternExtractor::new(code), use_mlr: true, name: "eraser+m" }
+        Self::from_shared(Arc::new(PatternExtractor::new(code)), true)
+    }
+
+    /// Builds the policy around a prebuilt, shared extractor (batch-engine path).
+    #[must_use]
+    pub fn from_shared(extractor: Arc<PatternExtractor>, use_mlr: bool) -> Self {
+        let name = if use_mlr { "eraser+m" } else { "eraser" };
+        EraserPolicy { extractor, use_mlr, name }
     }
 
     /// The 50 % heuristic on one pattern.
@@ -65,6 +69,10 @@ impl LeakagePolicy for EraserPolicy {
         let ancilla = if self.use_mlr { mlr_ancilla_requests(last) } else { Vec::new() };
         LrcRequest { data, ancilla }
     }
+
+    fn reset(&mut self) {
+        // Purely syndrome-driven; the shared extractor is immutable, no per-run state.
+    }
 }
 
 /// MLR-only detection (the "M" column of Table 2): parity-qubit leakage is caught by
@@ -72,14 +80,20 @@ impl LeakagePolicy for EraserPolicy {
 /// was flagged (leakage-transport reasoning). No syndrome-pattern inference is used.
 #[derive(Debug, Clone)]
 pub struct MlrOnly {
-    extractor: PatternExtractor,
+    extractor: Arc<PatternExtractor>,
 }
 
 impl MlrOnly {
     /// Builds the policy for `code`.
     #[must_use]
     pub fn new(code: &Code) -> Self {
-        MlrOnly { extractor: PatternExtractor::new(code) }
+        Self::from_shared(Arc::new(PatternExtractor::new(code)))
+    }
+
+    /// Builds the policy around a prebuilt, shared extractor (batch-engine path).
+    #[must_use]
+    pub fn from_shared(extractor: Arc<PatternExtractor>) -> Self {
+        MlrOnly { extractor }
     }
 }
 
@@ -98,6 +112,10 @@ impl LeakagePolicy for MlrOnly {
             .filter(|&q| self.extractor.sites_of(q).iter().any(|&s| site_flags[s]))
             .collect();
         LrcRequest { data, ancilla }
+    }
+
+    fn reset(&mut self) {
+        // Driven entirely by the last round's MLR flags; no per-run state.
     }
 }
 
@@ -133,12 +151,8 @@ mod tests {
         let mut sim = Simulator::new(&code, quiet_noise(), 5);
         sim.inject_data_leakage(4);
         let run = sim.run_with_policy(&mut policy, 30);
-        let lrcs_on_centre: usize =
-            run.rounds.iter().filter(|r| r.data_lrcs.contains(&4)).count();
-        assert!(
-            lrcs_on_centre >= 1,
-            "ERASER should eventually speculate the leaked centre qubit"
-        );
+        let lrcs_on_centre: usize = run.rounds.iter().filter(|r| r.data_lrcs.contains(&4)).count();
+        assert!(lrcs_on_centre >= 1, "ERASER should eventually speculate the leaked centre qubit");
         // Once reset (and with all noise off) the leak must not return.
         assert_eq!(run.rounds.last().expect("rounds").leaked_data_count(), 0);
     }

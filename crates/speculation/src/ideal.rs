@@ -38,6 +38,10 @@ impl LeakagePolicy for IdealOracle {
             .collect();
         LrcRequest { data, ancilla }
     }
+
+    fn reset(&mut self) {
+        // The oracle reads the ground truth fresh every round; no per-run state.
+    }
 }
 
 #[cfg(test)]

@@ -44,7 +44,7 @@ pub mod ideal;
 pub mod open_loop;
 pub mod patterns;
 
-pub use factory::{build_policy, PolicyKind};
+pub use factory::{build_policy, PolicyFactory, PolicyKind};
 pub use gladiator_policy::GladiatorPolicy;
 pub use heuristics::{EraserPolicy, MlrOnly};
 pub use ideal::IdealOracle;

@@ -1,5 +1,7 @@
 //! Open-loop LRC schedules: Always-LRC and Staggered Always-LRC.
 
+use std::sync::Arc;
+
 use leaky_sim::{LeakagePolicy, LrcRequest, PolicyContext};
 use qec_codes::{Code, Coloring};
 
@@ -25,10 +27,11 @@ impl LeakagePolicy for AlwaysLrc {
     }
 
     fn plan_lrcs(&mut self, _ctx: &PolicyContext<'_>) -> LrcRequest {
-        LrcRequest {
-            data: (0..self.num_data).collect(),
-            ancilla: (0..self.num_checks).collect(),
-        }
+        LrcRequest { data: (0..self.num_data).collect(), ancilla: (0..self.num_checks).collect() }
+    }
+
+    fn reset(&mut self) {
+        // The schedule is unconditional; no per-run state.
     }
 }
 
@@ -38,7 +41,7 @@ impl LeakagePolicy for AlwaysLrc {
 /// unconditionally, receive an LRC every round.
 #[derive(Debug, Clone)]
 pub struct StaggeredLrc {
-    coloring: Coloring,
+    coloring: Arc<Coloring>,
     num_checks: usize,
 }
 
@@ -46,10 +49,13 @@ impl StaggeredLrc {
     /// Builds the policy for `code` using a greedy colouring of its interaction graph.
     #[must_use]
     pub fn new(code: &Code) -> Self {
-        StaggeredLrc {
-            coloring: code.interaction_graph().greedy_coloring(),
-            num_checks: code.num_checks(),
-        }
+        Self::from_shared(Arc::new(code.interaction_graph().greedy_coloring()), code.num_checks())
+    }
+
+    /// Builds the policy around a prebuilt, shared colouring (batch-engine path).
+    #[must_use]
+    pub fn from_shared(coloring: Arc<Coloring>, num_checks: usize) -> Self {
+        StaggeredLrc { coloring, num_checks }
     }
 
     /// Number of colour groups in the round-robin schedule.
@@ -69,6 +75,11 @@ impl LeakagePolicy for StaggeredLrc {
             data: self.coloring.group_for_round(ctx.round),
             ancilla: (0..self.num_checks).collect(),
         }
+    }
+
+    fn reset(&mut self) {
+        // The round-robin position is derived from `ctx.round`, not stored here, so
+        // reuse across shots is automatically bit-identical.
     }
 }
 

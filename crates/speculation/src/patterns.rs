@@ -122,9 +122,7 @@ mod tests {
         let patterns = ex.patterns(&detectors);
         assert_eq!(patterns[4], (1 << ex.width(4)) - 1);
         let untouched: Vec<usize> = (0..code.num_data())
-            .filter(|&q| {
-                ex.sites_of(q).iter().all(|s| !ex.sites_of(4).contains(s))
-            })
+            .filter(|&q| ex.sites_of(q).iter().all(|s| !ex.sites_of(4).contains(s)))
             .collect();
         for q in untouched {
             assert_eq!(patterns[q], 0, "qubit {q} should see no flips");

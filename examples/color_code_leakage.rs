@@ -38,12 +38,9 @@ fn main() {
     let calibration = GladiatorConfig::default();
     println!("\nclosed-loop run over {rounds} rounds (p = 1e-3, lr = 0.1):");
     println!("{:<14} {:>10} {:>14} {:>14}", "policy", "data LRCs", "avg leakage", "final leakage");
-    for kind in [
-        PolicyKind::EraserM,
-        PolicyKind::GladiatorM,
-        PolicyKind::GladiatorDM,
-        PolicyKind::Ideal,
-    ] {
+    for kind in
+        [PolicyKind::EraserM, PolicyKind::GladiatorM, PolicyKind::GladiatorDM, PolicyKind::Ideal]
+    {
         let mut policy = build_policy(kind, &code, &calibration);
         let mut sim = Simulator::new(&code, noise, 7);
         sim.seed_random_data_leakage(1);

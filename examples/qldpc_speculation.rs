@@ -32,7 +32,10 @@ fn main() {
             );
         }
 
-        println!("  {:<14} {:>9} {:>9} {:>10} {:>12}", "policy", "FP", "FN", "data LRCs", "avg leakage");
+        println!(
+            "  {:<14} {:>9} {:>9} {:>10} {:>12}",
+            "policy", "FP", "FN", "data LRCs", "avg leakage"
+        );
         for kind in [PolicyKind::EraserM, PolicyKind::GladiatorM, PolicyKind::GladiatorDM] {
             let spec = ExperimentSpec::quick(kind)
                 .with_noise(noise)

@@ -11,10 +11,7 @@ use gladiator_suite::prelude::*;
 fn main() {
     let shots: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(200);
 
-    let noise = NoiseParams::builder()
-        .physical_error_rate(2e-3)
-        .leakage_ratio(0.1)
-        .build();
+    let noise = NoiseParams::builder().physical_error_rate(2e-3).leakage_ratio(0.1).build();
 
     println!("surface-code memory, p = {:.0e}, lr = 0.1, {shots} shots per point", noise.p);
     println!("{:<12} {:>4} {:>12} {:>12}", "policy", "d", "LER", "LRC/round");
@@ -22,12 +19,9 @@ fn main() {
     for d in [3usize, 5] {
         let code = Code::rotated_surface(d);
         let rounds = 3 * d;
-        for kind in [
-            PolicyKind::NoLrc,
-            PolicyKind::AlwaysLrc,
-            PolicyKind::EraserM,
-            PolicyKind::GladiatorM,
-        ] {
+        for kind in
+            [PolicyKind::NoLrc, PolicyKind::AlwaysLrc, PolicyKind::EraserM, PolicyKind::GladiatorM]
+        {
             let spec = ExperimentSpec::quick(kind)
                 .with_noise(noise)
                 .with_rounds(rounds)

@@ -38,10 +38,11 @@ pub use qec_experiments as experiments;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use gladiator::{GladiatorConfig, GladiatorModel};
-    pub use leakage_speculation::{build_policy, PolicyKind};
+    pub use leakage_speculation::{build_policy, PolicyFactory, PolicyKind};
     pub use leaky_sim::{LeakagePolicy, LrcRequest, NoiseParams, RunRecord, Simulator};
     pub use qec_codes::{CheckBasis, Code, MatchingGraph};
     pub use qec_decoder::{detection_events, logical_failure, MemoryBasis, UnionFindDecoder};
+    pub use qec_experiments::engine::BatchEngine;
     pub use qec_experiments::harness::{run_policy_experiment, ExperimentSpec};
     pub use qec_experiments::runners::Scale;
 }

@@ -14,7 +14,9 @@ fn quiet_noise() -> NoiseParams {
 #[test]
 fn injected_leakage_is_found_and_cleared_by_every_speculative_policy() {
     let code = Code::rotated_surface(3);
-    for kind in [PolicyKind::EraserM, PolicyKind::GladiatorM, PolicyKind::GladiatorDM, PolicyKind::Ideal] {
+    for kind in
+        [PolicyKind::EraserM, PolicyKind::GladiatorM, PolicyKind::GladiatorDM, PolicyKind::Ideal]
+    {
         let mut policy = build_policy(kind, &code, &GladiatorConfig::default());
         let mut sim = Simulator::new(&code, quiet_noise(), 11);
         sim.inject_data_leakage(4);
@@ -39,11 +41,17 @@ fn gladiator_uses_fewer_lrcs_than_eraser_at_the_paper_operating_point() {
     let noise = NoiseParams::default();
     let calibration = GladiatorConfig::default();
     let rounds = 300;
+    // The LRC saving is a claim about the *expected* count, so aggregate over a few
+    // seeds rather than hanging the assertion on a single marginal draw.
     let total = |kind: PolicyKind| -> usize {
-        let mut policy = build_policy(kind, &code, &calibration);
-        let mut sim = Simulator::new(&code, noise, 99);
-        sim.seed_random_data_leakage(1);
-        sim.run_with_policy(policy.as_mut(), rounds).total_data_lrcs()
+        (0..5u64)
+            .map(|seed| {
+                let mut policy = build_policy(kind, &code, &calibration);
+                let mut sim = Simulator::new(&code, noise, 99 + seed);
+                sim.seed_random_data_leakage(1);
+                sim.run_with_policy(policy.as_mut(), rounds).total_data_lrcs()
+            })
+            .sum()
     };
     let eraser = total(PolicyKind::EraserM);
     let gladiator = total(PolicyKind::GladiatorM);

@@ -3,8 +3,8 @@
 //! in EXPERIMENTS.md; these tests only pin the shape so they stay robust at small shot
 //! counts.
 
-use gladiator_suite::prelude::*;
 use gladiator_suite::experiments::runners::{self, Scale};
+use gladiator_suite::prelude::*;
 
 fn smoke() -> Scale {
     Scale::smoke()

@@ -1,0 +1,243 @@
+//! Minimal in-tree substitute for the `criterion` benchmark harness.
+//!
+//! Exposes the API subset the workspace benches use (`criterion_group!`,
+//! `criterion_main!`, benchmark groups, `Bencher::iter`, `BenchmarkId`,
+//! `black_box`) and reports mean wall-clock time per iteration as one JSON
+//! line per benchmark on stdout — machine-readable enough to diff run-to-run.
+//! No statistical analysis is performed. See `vendor/README.md`.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::hint;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark work.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Measurement strategies (only wall-clock time is provided).
+pub mod measurement {
+    /// Wall-clock time measurement.
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct WallTime;
+}
+
+/// Entry point handed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Option<Duration>,
+}
+
+impl Criterion {
+    /// Creates a harness with default settings (10 samples per benchmark).
+    #[must_use]
+    pub fn new() -> Self {
+        Criterion { sample_size: 10, measurement_time: None }
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            _criterion: PhantomData,
+        }
+    }
+
+    /// Runs one stand-alone benchmark (outside a group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut body: F) -> &mut Self {
+        run_benchmark("", name, self.sample_size, self.measurement_time, &mut body);
+        self
+    }
+}
+
+/// A named identifier `group/function/parameter` for parameterized benchmarks.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter display value.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { name: format!("{function_name}/{parameter}") }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// A group of related benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Option<Duration>,
+    _criterion: PhantomData<&'a M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the total measurement time per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; warm-up here is a single untimed run.
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut body: F) -> &mut Self {
+        run_benchmark(&self.name, name, self.sample_size, self.measurement_time, &mut body);
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&self.name, &id.name, self.sample_size, self.measurement_time, &mut |b| {
+            body(b, input);
+        });
+        self
+    }
+
+    /// Finishes the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to benchmark bodies.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Option<Duration>,
+    requested_samples: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, first running it once untimed as warm-up.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up
+        let mut spent = Duration::ZERO;
+        for _ in 0..self.requested_samples {
+            let start = Instant::now();
+            black_box(routine());
+            let elapsed = start.elapsed();
+            spent += elapsed;
+            self.samples.push(elapsed);
+            if let Some(budget) = self.budget {
+                if spent >= budget {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn run_benchmark(
+    group: &str,
+    name: &str,
+    sample_size: usize,
+    measurement_time: Option<Duration>,
+    body: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher =
+        Bencher { samples: Vec::new(), budget: measurement_time, requested_samples: sample_size };
+    body(&mut bencher);
+    let label = if group.is_empty() { name.to_string() } else { format!("{group}/{name}") };
+    if bencher.samples.is_empty() {
+        println!("{{\"benchmark\":\"{label}\",\"samples\":0}}");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean_ns = total.as_nanos() as f64 / bencher.samples.len() as f64;
+    let min_ns = bencher.samples.iter().min().map_or(0.0, |d| d.as_nanos() as f64);
+    let max_ns = bencher.samples.iter().max().map_or(0.0, |d| d.as_nanos() as f64);
+    println!(
+        "{{\"benchmark\":\"{label}\",\"samples\":{},\"mean_ns\":{mean_ns:.0},\"min_ns\":{min_ns:.0},\"max_ns\":{max_ns:.0}}}",
+        bencher.samples.len()
+    );
+}
+
+/// Declares a benchmark group runner, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group_name:ident, $($bench_fn:path),+ $(,)?) => {
+        fn $group_name() {
+            let mut criterion = $crate::Criterion::new();
+            $( $bench_fn(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` function, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group_name:path),+ $(,)?) => {
+        fn main() {
+            $( $group_name(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut criterion = Criterion::new();
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            });
+        });
+        group.finish();
+        // 1 warm-up + 3 timed samples
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn measurement_budget_stops_early() {
+        let mut criterion = Criterion::new();
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(1_000_000).measurement_time(Duration::from_millis(5));
+        let mut runs = 0usize;
+        group.bench_function("slow", |b| {
+            b.iter(|| {
+                runs += 1;
+                std::thread::sleep(Duration::from_millis(2));
+            });
+        });
+        assert!(runs < 100, "budget should cap iterations, ran {runs}");
+    }
+
+    #[test]
+    fn benchmark_id_formats_with_parameter() {
+        assert_eq!(BenchmarkId::new("decode", 7).to_string(), "decode/7");
+    }
+}

@@ -1,0 +1,199 @@
+//! Minimal in-tree substitute for the `rand` crate.
+//!
+//! Provides the API subset used by this workspace: the [`Rng`] extension trait
+//! (`gen_bool`, `gen_range`), [`SeedableRng::seed_from_u64`] and
+//! [`seq::SliceRandom::shuffle`]. See `vendor/README.md` for why this exists.
+
+#![warn(missing_docs)]
+
+/// A source of random 64-bit words. Everything else is derived from this.
+pub trait RngCore {
+    /// Returns the next 64 random bits of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be drawn uniformly from a half-open range, mirroring real
+/// rand's `SampleUniform`.
+pub trait SampleUniform: Sized {
+    /// Draws a uniform sample from `lo..hi`.
+    fn sample_in<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                assert!(lo < hi, "cannot sample from empty range");
+                let span = (hi - lo) as u64;
+                // Multiply-shift bounded sampling (Lemire); bias is negligible for
+                // the small spans used in this workspace and the stream is uniform.
+                let drawn = ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64;
+                lo + drawn as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(usize, u64, u32, u16, u8);
+
+impl SampleUniform for f64 {
+    fn sample_in<R: RngCore + ?Sized>(lo: f64, hi: f64, rng: &mut R) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0);
+        lo + unit * (hi - lo)
+    }
+}
+
+/// Range shapes [`Rng::gen_range`] accepts. The single blanket impl over
+/// [`SampleUniform`] keeps integer-literal inference working exactly like the
+/// real crate (`slice[rng.gen_range(0..4)]` infers `usize`).
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_in(self.start, self.end, rng)
+    }
+}
+
+/// Convenience methods over any [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Returns `true` with probability `p` (must be within `0.0..=1.0`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range: {p}");
+        if p <= 0.0 {
+            // Consume no randomness for the common fast path of disabled channels?
+            // No: keep the stream advance unconditional so enabling/disabling other
+            // channels never shifts downstream draws within a round.
+            let _ = self.next_u64();
+            return false;
+        }
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0);
+        unit < p
+    }
+
+    /// Draws a uniform sample from `range`.
+    fn gen_range<T, RG: SampleRange<T>>(&mut self, range: RG) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seeding support, mirroring `rand::SeedableRng` for the single entry point the
+/// workspace uses.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed, expanding it with splitmix64.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Expands a 64-bit seed into `N` key bytes with the splitmix64 generator — the
+/// same construction `rand_core` uses for `seed_from_u64`.
+#[must_use]
+pub fn split_mix_64_bytes<const N: usize>(mut state: u64) -> [u8; N] {
+    let mut out = [0u8; N];
+    for chunk in out.chunks_mut(8) {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        chunk.copy_from_slice(&z.to_le_bytes()[..chunk.len()]);
+    }
+    out
+}
+
+/// Sequence-related helpers (`rand::seq`).
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Shuffling support for slices, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn gen_bool_edge_cases() {
+        let mut rng = Lcg(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn gen_bool_frequency_tracks_p() {
+        let mut rng = Lcg(42);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn gen_range_is_in_bounds() {
+        let mut rng = Lcg(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        use seq::SliceRandom;
+        let mut rng = Lcg(9);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left the slice untouched");
+    }
+
+    #[test]
+    fn splitmix_expansion_is_deterministic() {
+        let a: [u8; 32] = split_mix_64_bytes(12345);
+        let b: [u8; 32] = split_mix_64_bytes(12345);
+        let c: [u8; 32] = split_mix_64_bytes(12346);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

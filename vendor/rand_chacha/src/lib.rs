@@ -1,0 +1,149 @@
+//! Minimal in-tree substitute for the `rand_chacha` crate: a real ChaCha8
+//! stream-cipher RNG with 64-bit seeding. See `vendor/README.md`.
+
+#![warn(missing_docs)]
+
+use rand::{split_mix_64_bytes, RngCore, SeedableRng};
+
+/// ChaCha stream cipher with 8 rounds, used as a deterministic RNG.
+///
+/// The construction follows the reference ChaCha block function (16 32-bit
+/// words: 4 constants, 8 key words, 2 counter words, 2 nonce words) with the
+/// key expanded from a 64-bit seed via splitmix64. Output words are served
+/// low-to-high from each 64-byte block.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    block: [u32; 16],
+    index: usize,
+}
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// Builds the generator from a full 32-byte key.
+    #[must_use]
+    pub fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, word) in key.iter_mut().enumerate() {
+            *word = u32::from_le_bytes([
+                seed[4 * i],
+                seed[4 * i + 1],
+                seed[4 * i + 2],
+                seed[4 * i + 3],
+            ]);
+        }
+        ChaCha8Rng { key, counter: 0, block: [0u32; 16], index: 16 }
+    }
+
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = 0;
+        state[15] = 0;
+        let input = state;
+        for _ in 0..4 {
+            // one double round = column round + diagonal round
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, &init) in state.iter_mut().zip(input.iter()) {
+            *word = word.wrapping_add(init);
+        }
+        self.block = state;
+        self.index = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(state: u64) -> Self {
+        Self::from_seed(split_mix_64_bytes(state))
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        if self.index + 2 > 16 {
+            self.refill();
+        }
+        let lo = self.block[self.index];
+        let hi = self.block[self.index + 1];
+        self.index += 2;
+        u64::from(lo) | (u64::from(hi) << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(2025);
+        let mut b = ChaCha8Rng::seed_from_u64(2025);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn chacha20_reference_block_structure() {
+        // Sanity: the block function must change every word relative to the input
+        // and consecutive blocks must differ (counter increments).
+        let mut rng = ChaCha8Rng::from_seed([0u8; 32]);
+        let first: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        let second: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        assert_ne!(first, second);
+        assert!(first.iter().any(|&w| w != 0));
+    }
+
+    #[test]
+    fn gen_bool_is_balanced() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 100_000;
+        let heads = (0..n).filter(|_| rng.gen_bool(0.5)).count();
+        let rate = heads as f64 / n as f64;
+        assert!((rate - 0.5).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn low_probability_events_are_rare_but_present() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let n = 1_000_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(1e-3)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 1e-3).abs() < 3e-4, "rate {rate}");
+    }
+}

@@ -1,0 +1,219 @@
+//! Minimal in-tree substitute for the `rayon` crate.
+//!
+//! Provides `into_par_iter().map(..).collect()` and `map_init` over ranges and
+//! vectors, executed on `std::thread::scope` worker threads. Unlike real rayon
+//! this is *eager*: each `map`/`map_init` call runs the closure over every item
+//! in parallel immediately and materializes the results in input order. That is
+//! exactly the shape the Monte-Carlo harness needs (embarrassingly parallel
+//! shots, order-stable collection), with per-thread state supplied by
+//! `map_init` — see `vendor/README.md`.
+
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads used for parallel execution. Like real rayon, the
+/// `RAYON_NUM_THREADS` environment variable overrides the detected parallelism
+/// (also the only way to exercise the multi-worker path on single-CPU hosts).
+#[must_use]
+pub fn current_num_threads() -> usize {
+    if let Ok(value) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = value.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Runs `f` over `items` on up to [`current_num_threads`] scoped worker threads,
+/// preserving input order in the output. Work is distributed dynamically via an
+/// atomic cursor so uneven per-item cost cannot stall a whole chunk.
+fn parallel_map<I, R, F>(items: Vec<I>, f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    parallel_map_init(items, || (), move |(), item| f(item))
+}
+
+/// Like [`parallel_map`], but every worker thread first builds local state with
+/// `init` and threads it through each call — the substrate for `map_init`.
+fn parallel_map_init<I, R, T, INIT, F>(items: Vec<I>, init: INIT, f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    INIT: Fn() -> T + Sync,
+    F: Fn(&mut T, I) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        let mut state = init();
+        return items.into_iter().map(|item| f(&mut state, item)).collect();
+    }
+
+    // Move the items into option slots so worker threads can take them by index,
+    // and collect results into matching slots to preserve order.
+    let item_slots: Vec<std::sync::Mutex<Option<I>>> =
+        items.into_iter().map(|i| std::sync::Mutex::new(Some(i))).collect();
+    let result_slots: Vec<std::sync::Mutex<Option<R>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= n {
+                        break;
+                    }
+                    let item = item_slots[index]
+                        .lock()
+                        .expect("item slot poisoned")
+                        .take()
+                        .expect("item taken twice");
+                    let result = f(&mut state, item);
+                    *result_slots[index].lock().expect("result slot poisoned") = Some(result);
+                }
+            });
+        }
+    });
+
+    result_slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("result slot poisoned").expect("missing result"))
+        .collect()
+}
+
+/// An eager parallel iterator holding already-materialized items.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Applies `f` to every item in parallel, preserving order.
+    #[must_use]
+    pub fn map<R: Send, F: Fn(I) -> R + Sync>(self, f: F) -> ParIter<R> {
+        ParIter { items: parallel_map(self.items, f) }
+    }
+
+    /// Applies `f` with per-worker-thread state built by `init` (rayon's
+    /// `map_init`): `init` runs once per worker, not once per item.
+    #[must_use]
+    pub fn map_init<R, T, INIT, F>(self, init: INIT, f: F) -> ParIter<R>
+    where
+        R: Send,
+        INIT: Fn() -> T + Sync,
+        F: Fn(&mut T, I) -> R + Sync,
+    {
+        ParIter { items: parallel_map_init(self.items, init, f) }
+    }
+
+    /// Materializes the items into an ordered collection.
+    #[must_use]
+    pub fn collect<C: FromIterator<I>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when there are no items.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Conversion into a parallel iterator, mirroring `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+
+    /// Converts `self` into an eager parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for core::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl IntoParallelIterator for core::ops::Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// The commonly-glob-imported API surface (`rayon::prelude::*`).
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_init_builds_state_per_worker_not_per_item() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let out: Vec<usize> = (0..256usize)
+            .into_par_iter()
+            .map_init(
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    0usize
+                },
+                |state, i| {
+                    *state += 1;
+                    i
+                },
+            )
+            .collect();
+        assert_eq!(out.len(), 256);
+        let init_count = inits.load(Ordering::Relaxed);
+        assert!(init_count <= super::current_num_threads().min(256));
+        assert!(init_count >= 1);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<usize> = (0..0usize).into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn vec_input_works() {
+        let out: Vec<String> = vec![1, 2, 3].into_par_iter().map(|i: i32| format!("{i}")).collect();
+        assert_eq!(out, vec!["1", "2", "3"]);
+    }
+}

@@ -1,0 +1,213 @@
+//! Minimal in-tree substitute for the `serde` crate.
+//!
+//! [`Serialize`] converts a value into a JSON [`Value`] tree, which
+//! `serde_json` renders to text. [`Deserialize`] exists so that
+//! `#[derive(Serialize, Deserialize)]` on the workspace's result types
+//! compiles; no deserializer backend is provided (nothing in the workspace
+//! parses JSON back). See `vendor/README.md`.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON value tree — the single serialization target of this facade.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Signed integer (JSON number).
+    I64(i64),
+    /// Unsigned integer (JSON number).
+    U64(u64),
+    /// Floating-point (JSON number; non-finite values render as `null`).
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can be converted into a JSON [`Value`].
+pub trait Serialize {
+    /// Converts `self` into a JSON value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker trait so `#[derive(Deserialize)]` compiles; no decoding backend is
+/// provided by this facade.
+pub trait Deserialize {}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty => $variant:ident as $cast:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::$variant(*self as $cast)
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_serialize_int!(
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64, u64 => U64 as u64,
+    usize => U64 as u64,
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64, i64 => I64 as i64,
+    isize => I64 as i64
+);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect())
+    }
+}
+
+/// Serializer-side plumbing used by the derive macro.
+pub mod ser {
+    pub use super::{Serialize, Value};
+
+    /// Incremental JSON-object builder emitted into by derived impls.
+    #[derive(Debug, Default)]
+    pub struct StructComposer {
+        fields: Vec<(String, Value)>,
+    }
+
+    impl StructComposer {
+        /// Creates an empty composer.
+        #[must_use]
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Appends one named field.
+        pub fn field<T: Serialize + ?Sized>(&mut self, name: &str, value: &T) {
+            self.fields.push((name.to_string(), value.to_value()));
+        }
+
+        /// Finishes the object.
+        #[must_use]
+        pub fn end(self) -> Value {
+            Value::Object(self.fields)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(3usize.to_value(), Value::U64(3));
+        assert_eq!((-2i32).to_value(), Value::I64(-2));
+        assert_eq!(1.5f64.to_value(), Value::F64(1.5));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("x".to_value(), Value::Str("x".into()));
+        assert_eq!(None::<u32>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn containers_serialize_recursively() {
+        let v = vec![1u32, 2, 3].to_value();
+        assert_eq!(v, Value::Array(vec![Value::U64(1), Value::U64(2), Value::U64(3)]));
+        let pair = (1u8, "a".to_string()).to_value();
+        assert_eq!(pair, Value::Array(vec![Value::U64(1), Value::Str("a".into())]));
+    }
+
+    #[test]
+    fn composer_builds_ordered_objects() {
+        let mut c = ser::StructComposer::new();
+        c.field("a", &1u32);
+        c.field("b", &false);
+        assert_eq!(
+            c.end(),
+            Value::Object(vec![("a".into(), Value::U64(1)), ("b".into(), Value::Bool(false))])
+        );
+    }
+}

@@ -1,0 +1,260 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! in-tree serde facade (`vendor/serde`).
+//!
+//! Supports the shapes used in this workspace: non-generic structs with named
+//! fields, tuple structs, and enums whose variants are unit, named-field or
+//! tuple. The parser walks the raw token stream directly (no `syn`/`quote`,
+//! which are unavailable offline) and the generated impls build the facade's
+//! JSON `Value` tree. See `vendor/README.md`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    /// `struct S { a: T, b: U }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct S(T, U);`
+    TupleStruct { name: String, arity: usize },
+    /// `enum E { Unit, Named { .. }, Tuple(..) }`
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+enum Variant {
+    Unit(String),
+    Named(String, Vec<String>),
+    Tuple(String, usize),
+}
+
+/// Derives `serde::Serialize` by emitting a `to_value` building the JSON tree.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let body = match &shape {
+        Shape::NamedStruct { fields, .. } => {
+            let mut out = String::from("let mut composer = ::serde::ser::StructComposer::new();\n");
+            for field in fields {
+                let _ = writeln!(out, "composer.field(\"{field}\", &self.{field});");
+            }
+            out.push_str("composer.end()");
+            out
+        }
+        Shape::TupleStruct { arity, .. } => {
+            let items: Vec<String> =
+                (0..*arity).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for variant in variants {
+                match variant {
+                    Variant::Unit(v) => {
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),"
+                        );
+                    }
+                    Variant::Named(v, fields) => {
+                        let bindings = fields.join(", ");
+                        let mut inner = String::from(
+                            "let mut composer = ::serde::ser::StructComposer::new();\n",
+                        );
+                        for field in fields {
+                            let _ = writeln!(inner, "composer.field(\"{field}\", {field});");
+                        }
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{v} {{ {bindings} }} => {{ {inner} \
+                             ::serde::Value::Object(vec![(\"{v}\".to_string(), composer.end())]) }},"
+                        );
+                    }
+                    Variant::Tuple(v, arity) => {
+                        let bindings: Vec<String> =
+                            (0..*arity).map(|i| format!("__field{i}")).collect();
+                        let values: Vec<String> = bindings
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{v}({}) => ::serde::Value::Object(vec![(\"{v}\".to_string(), \
+                             ::serde::Value::Array(vec![{}]))]),",
+                            bindings.join(", "),
+                            values.join(", ")
+                        );
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    let name = shape_name(&shape);
+    let output = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    );
+    output.parse().expect("derived Serialize impl must be valid Rust")
+}
+
+/// Derives the facade's marker `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let name = shape_name(&shape);
+    format!("#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("derived Deserialize impl must be valid Rust")
+}
+
+fn shape_name(shape: &Shape) -> &str {
+    match shape {
+        Shape::NamedStruct { name, .. }
+        | Shape::TupleStruct { name, .. }
+        | Shape::Enum { name, .. } => name,
+    }
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0usize;
+    skip_attributes_and_visibility(&tokens, &mut pos);
+
+    let kind = match &tokens.get(pos) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    pos += 1;
+    let name = match &tokens.get(pos) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    pos += 1;
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("the in-tree serde derive does not support generic types (deriving {name})");
+    }
+
+    match (kind.as_str(), tokens.get(pos)) {
+        ("struct", Some(TokenTree::Group(group))) if group.delimiter() == Delimiter::Brace => {
+            Shape::NamedStruct { name, fields: parse_named_fields(group.stream()) }
+        }
+        ("struct", Some(TokenTree::Group(group)))
+            if group.delimiter() == Delimiter::Parenthesis =>
+        {
+            Shape::TupleStruct { name, arity: count_top_level_items(group.stream()) }
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => {
+            Shape::TupleStruct { name, arity: 0 }
+        }
+        ("enum", Some(TokenTree::Group(group))) if group.delimiter() == Delimiter::Brace => {
+            Shape::Enum { name, variants: parse_variants(group.stream()) }
+        }
+        (_, other) => panic!("unsupported item shape for {name}: {other:?}"),
+    }
+}
+
+fn skip_attributes_and_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1; // `pub(crate)` etc.
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Field names of a named-field body, ignoring attributes and types.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0usize;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut pos);
+        let Some(TokenTree::Ident(ident)) = tokens.get(pos) else {
+            break;
+        };
+        fields.push(ident.to_string());
+        pos += 1;
+        // expect `:`, then skip the type up to a top-level comma
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        skip_until_top_level_comma(&tokens, &mut pos);
+    }
+    fields
+}
+
+/// Advances past a type expression until the comma separating items, tracking
+/// angle-bracket depth (generic arguments contain commas at token level).
+fn skip_until_top_level_comma(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(token) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Number of comma-separated items in a tuple body.
+fn count_top_level_items(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut pos = 0usize;
+    let mut count = 0usize;
+    while pos < tokens.len() {
+        skip_until_top_level_comma(&tokens, &mut pos);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0usize;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut pos);
+        let Some(TokenTree::Ident(ident)) = tokens.get(pos) else {
+            break;
+        };
+        let variant_name = ident.to_string();
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                variants.push(Variant::Named(variant_name, parse_named_fields(group.stream())));
+                pos += 1;
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                variants.push(Variant::Tuple(variant_name, count_top_level_items(group.stream())));
+                pos += 1;
+            }
+            _ => variants.push(Variant::Unit(variant_name)),
+        }
+        // consume the trailing comma, if any
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    variants
+}
