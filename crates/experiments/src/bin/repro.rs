@@ -1,72 +1,439 @@
-//! `repro` — regenerate the paper's tables and figures from the command line.
+//! `repro` — regenerate the paper's experiments and run declarative sweeps.
 //!
 //! ```text
-//! repro [--scale smoke|quick|paper] [--out DIR] [EXPERIMENT ...]
+//! repro run      [--scale smoke|quick|paper] [--out DIR] [EXPERIMENT ...]
+//! repro sweep    [--spec FILE | --grid KEY=V,V ...] [options] [--out FILE]
+//! repro list
+//! repro snapshot [--out FILE] [--check BASELINE] [--tolerance FRACTION]
 //! ```
 //!
-//! Without explicit experiment names every experiment is run. Results are printed as
-//! text tables and written as JSON files under the output directory (default
-//! `repro-results/`).
+//! Argument parsing is strict: unknown subcommands, flags or experiment names
+//! print usage to stderr and exit with status 2. `snapshot --check` exits 1
+//! when a benchmark regressed beyond the tolerance. Everything else exits 0.
 
 use std::fs;
 use std::path::PathBuf;
+use std::process::ExitCode;
 
-use qec_experiments::report::{fmt_float, text_table, to_json};
+use leakage_speculation::PolicyKind;
+use qec_experiments::report::{
+    bench_lines_to_string, compare_bench_lines, fmt_float, parse_bench_lines, text_table, to_json,
+};
 use qec_experiments::runners::{self, Scale};
+use qec_experiments::scenario::CodeFamily;
+use qec_experiments::sweep::{run_sweep, snapshot, snapshot_spec, SweepReport, SweepSpec};
 
 const EXPERIMENTS: &[&str] = &[
     "fig1", "fig3", "fig4b", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
     "table2", "table3", "table4", "table5", "table6",
 ];
 
-fn main() {
+const USAGE: &str = "\
+usage: repro <COMMAND> [OPTIONS]
+
+commands:
+  run       rerun paper experiments: repro run [--scale smoke|quick|paper]
+            [--out DIR] [EXPERIMENT ...]   (no names = all experiments)
+  sweep     run a declarative scenario grid and write one JSON report:
+            repro sweep [--spec FILE.json | --grid KEY=V[,V...] ...]
+            [--scale smoke|quick|paper] [--shots N] [--rounds-per-distance N]
+            [--seed N] [--no-decode] [--no-timing] [--out FILE]
+            grid keys: d=3,5,7  p=1e-3,2e-3  lr=0.1  policy=eraser+m,...
+            code=surface|color|hgp|bpc
+  list      print known experiments, policies and code families
+  snapshot  run the pinned perf sweep and write BENCH-format lines:
+            repro snapshot [--out FILE] [--check BASELINE]
+            [--tolerance FRACTION]        (default tolerance 0.25 = +25%)
+
+exit status: 0 ok; 1 perf regression (snapshot --check); 2 usage error
+";
+
+/// A usage error: the message is printed to stderr followed by the usage text.
+struct UsageError(String);
+
+impl UsageError {
+    fn new(message: impl Into<String>) -> Self {
+        UsageError(message.into())
+    }
+}
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        None => Err(UsageError::new("missing command")),
+        Some("--help" | "-h" | "help") => {
+            print!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Some("run") => cmd_run(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("list") => cmd_list(&args[1..]),
+        Some("snapshot") => cmd_snapshot(&args[1..]),
+        Some(other) => Err(UsageError::new(format!("unknown command `{other}`"))),
+    };
+    match result {
+        Ok(code) => code,
+        Err(UsageError(message)) => {
+            // Tolerate a closed stderr so the exit code survives `2>&1 | head`.
+            use std::io::Write as _;
+            let _ = writeln!(std::io::stderr(), "repro: {message}");
+            let _ = write!(std::io::stderr(), "{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Borrowing cursor over the argument list with one token of lookahead.
+struct Args<'a> {
+    items: &'a [String],
+    pos: usize,
+}
+
+impl<'a> Args<'a> {
+    fn new(items: &'a [String]) -> Self {
+        Args { items, pos: 0 }
+    }
+
+    fn next(&mut self) -> Option<&'a str> {
+        let arg = self.items.get(self.pos)?;
+        self.pos += 1;
+        Some(arg)
+    }
+
+    fn peek(&self) -> Option<&'a str> {
+        self.items.get(self.pos).map(String::as_str)
+    }
+
+    /// Pulls the value of a `--flag VALUE` pair. A following flag token does
+    /// not count as a value, so `--out --no-timing` is a usage error rather
+    /// than a file named `--no-timing`.
+    fn value(&mut self, flag: &str) -> Result<&'a str, UsageError> {
+        match self.peek() {
+            Some(value) if !value.starts_with("--") => {
+                self.pos += 1;
+                Ok(value)
+            }
+            _ => Err(UsageError::new(format!("{flag} requires a value"))),
+        }
+    }
+}
+
+fn parse_scale(value: &str) -> Result<Scale, UsageError> {
+    match value {
+        "smoke" => Ok(Scale::smoke()),
+        "quick" => Ok(Scale::quick()),
+        "paper" => Ok(Scale::paper()),
+        other => Err(UsageError::new(format!("unknown scale `{other}` (smoke|quick|paper)"))),
+    }
+}
+
+fn parse_number<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, UsageError> {
+    value.parse().map_err(|_| UsageError::new(format!("{flag}: invalid value `{value}`")))
+}
+
+// ---------------------------------------------------------------------------------
+// repro run
+// ---------------------------------------------------------------------------------
+
+fn cmd_run(args: &[String]) -> Result<ExitCode, UsageError> {
     let mut scale = Scale::quick();
     let mut out_dir = PathBuf::from("repro-results");
     let mut selected: Vec<String> = Vec::new();
-    let mut iter = args.into_iter();
+    let mut iter = Args::new(args);
     while let Some(arg) = iter.next() {
-        match arg.as_str() {
-            "--scale" => match iter.next().as_deref() {
-                Some("smoke") => scale = Scale::smoke(),
-                Some("quick") => scale = Scale::quick(),
-                Some("paper") => scale = Scale::paper(),
-                other => {
-                    eprintln!("unknown scale {other:?} (expected smoke|quick|paper)");
-                    std::process::exit(2);
-                }
-            },
-            "--out" => {
-                if let Some(dir) = iter.next() {
-                    out_dir = PathBuf::from(dir);
-                }
-            }
-            "--help" | "-h" => {
-                println!("usage: repro [--scale smoke|quick|paper] [--out DIR] [EXPERIMENT ...]");
-                println!("experiments: {}", EXPERIMENTS.join(", "));
-                return;
+        match arg {
+            "--scale" => scale = parse_scale(iter.value("--scale")?)?,
+            "--out" => out_dir = PathBuf::from(iter.value("--out")?),
+            flag if flag.starts_with('-') => {
+                return Err(UsageError::new(format!("unknown flag `{flag}` for `run`")));
             }
             name => selected.push(name.to_string()),
         }
+    }
+    if let Some(unknown) = selected.iter().find(|n| !EXPERIMENTS.contains(&n.as_str())) {
+        return Err(UsageError::new(format!(
+            "unknown experiment `{unknown}`; known: {}",
+            EXPERIMENTS.join(", ")
+        )));
     }
     if selected.is_empty() {
         selected = EXPERIMENTS.iter().map(|s| (*s).to_string()).collect();
     }
     fs::create_dir_all(&out_dir).expect("create output directory");
-
     for name in &selected {
         println!("=== {name} ===");
-        let json = run_one(name, &scale);
-        match json {
-            Some(payload) => {
-                let path = out_dir.join(format!("{name}.json"));
-                fs::write(&path, payload).expect("write result file");
-                println!("(saved {})\n", path.display());
+        let payload = run_one(name, &scale).expect("experiment names were validated above");
+        let path = out_dir.join(format!("{name}.json"));
+        fs::write(&path, payload).expect("write result file");
+        println!("(saved {})\n", path.display());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------------------
+// repro sweep
+// ---------------------------------------------------------------------------------
+
+fn cmd_sweep(args: &[String]) -> Result<ExitCode, UsageError> {
+    let mut scale: Option<Scale> = None;
+    let mut spec_file: Option<PathBuf> = None;
+    let mut grid: Vec<(String, String)> = Vec::new();
+    let mut shots: Option<usize> = None;
+    let mut rounds_per_distance: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut decode = true;
+    let mut timing = true;
+    let mut out: Option<PathBuf> = None;
+    let mut iter = Args::new(args);
+    while let Some(arg) = iter.next() {
+        match arg {
+            "--spec" => spec_file = Some(PathBuf::from(iter.value("--spec")?)),
+            "--grid" => {
+                grid.push(split_grid_entry(iter.value("--grid")?)?);
+                // Consume every following KEY=VALUES token.
+                while iter.peek().is_some_and(|a| !a.starts_with("--") && a.contains('=')) {
+                    let entry = iter.next().expect("peeked above");
+                    grid.push(split_grid_entry(entry)?);
+                }
             }
-            None => println!("unknown experiment {name}; known: {}\n", EXPERIMENTS.join(", ")),
+            "--scale" => scale = Some(parse_scale(iter.value("--scale")?)?),
+            "--shots" => shots = Some(parse_number("--shots", iter.value("--shots")?)?),
+            "--rounds-per-distance" => {
+                let value = iter.value("--rounds-per-distance")?;
+                rounds_per_distance = Some(parse_number("--rounds-per-distance", value)?);
+            }
+            "--seed" => seed = Some(parse_number("--seed", iter.value("--seed")?)?),
+            "--no-decode" => decode = false,
+            "--no-timing" => timing = false,
+            "--out" => out = Some(PathBuf::from(iter.value("--out")?)),
+            other => {
+                return Err(UsageError::new(format!("unknown argument `{other}` for `sweep`")));
+            }
         }
     }
+    let mut spec = match (&spec_file, grid.is_empty()) {
+        (Some(_), false) => {
+            return Err(UsageError::new("--spec and --grid are mutually exclusive"));
+        }
+        (Some(path), true) => {
+            // A spec file is complete on its own; --scale only shapes the
+            // grid-path defaults, so combining them would be silently ignored.
+            if scale.is_some() {
+                return Err(UsageError::new("--scale applies only without --spec"));
+            }
+            let text = fs::read_to_string(path)
+                .map_err(|e| UsageError::new(format!("--spec {}: {e}", path.display())))?;
+            serde_json::from_str::<SweepSpec>(&text)
+                .map_err(|e| UsageError::new(format!("--spec {}: {e}", path.display())))?
+        }
+        (None, _) => {
+            let mut spec = SweepSpec::for_scale(&scale.unwrap_or_else(Scale::quick));
+            apply_grid(&mut spec, &grid)?;
+            spec
+        }
+    };
+    // Scalar flags override whatever produced the spec (grid defaults or file).
+    if let Some(shots) = shots {
+        spec.shots = shots;
+    }
+    if let Some(k) = rounds_per_distance {
+        spec.rounds_per_distance = k;
+    }
+    if let Some(seed) = seed {
+        spec.seed = seed;
+    }
+    if !decode {
+        spec.decode = false;
+    }
+    let report = run_sweep(&spec, timing).map_err(UsageError::new)?;
+    let json = to_json(&report);
+    // Persist the artifact before any (interruptible) console output, so a
+    // consumer that closes our stdout early still gets the report on disk.
+    let out = out.unwrap_or_else(|| PathBuf::from("repro-results/sweep.json"));
+    let to_stdout = out.as_os_str() == "-";
+    if !to_stdout {
+        if let Some(parent) = out.parent().filter(|p| !p.as_os_str().is_empty()) {
+            fs::create_dir_all(parent).expect("create output directory");
+        }
+        fs::write(&out, json.as_bytes()).expect("write sweep report");
+    }
+    if to_stdout {
+        // Keep stdout machine-readable: the summary table goes to stderr so
+        // `repro sweep --out - | jq .` sees nothing but the JSON report.
+        eprint!("{}", sweep_summary(&report));
+        emit(&json);
+    } else {
+        emit(&sweep_summary(&report));
+        emit(&format!("(saved {} cells to {})", report.cells.len(), out.display()));
+    }
+    Ok(ExitCode::SUCCESS)
 }
+
+/// Prints a line to stdout, ignoring a closed pipe (`repro sweep | head` must
+/// not abort after the report is already on disk).
+fn emit(line: &str) {
+    use std::io::Write as _;
+    let _ = writeln!(std::io::stdout(), "{line}");
+}
+
+/// Splits one `KEY=V[,V...]` grid token.
+fn split_grid_entry(entry: &str) -> Result<(String, String), UsageError> {
+    entry
+        .split_once('=')
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .ok_or_else(|| UsageError::new(format!("--grid expects KEY=VALUES, got `{entry}`")))
+}
+
+/// Applies `KEY=V,V` grid entries onto the scale-derived default spec.
+fn apply_grid(spec: &mut SweepSpec, grid: &[(String, String)]) -> Result<(), UsageError> {
+    fn values<T: std::str::FromStr>(key: &str, list: &str) -> Result<Vec<T>, UsageError> {
+        list.split(',')
+            .map(|item| {
+                item.trim()
+                    .parse()
+                    .map_err(|_| UsageError::new(format!("grid {key}: invalid value `{item}`")))
+            })
+            .collect()
+    }
+    for (key, list) in grid {
+        match key.as_str() {
+            "d" | "distance" => spec.distances = values(key, list)?,
+            "p" | "error-rate" => spec.error_rates = values(key, list)?,
+            "lr" | "leakage-ratio" => spec.leakage_ratios = values(key, list)?,
+            "policy" => {
+                spec.policies = list
+                    .split(',')
+                    .map(|label| {
+                        PolicyKind::from_label(label.trim()).ok_or_else(|| {
+                            UsageError::new(format!(
+                                "grid policy: unknown policy `{label}`; known: {}",
+                                PolicyKind::ALL.map(PolicyKind::label).join(", ")
+                            ))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "code" | "family" => {
+                spec.code = CodeFamily::from_label(list.trim()).ok_or_else(|| {
+                    UsageError::new(format!(
+                        "grid code: unknown family `{list}`; known: {}",
+                        CodeFamily::ALL.map(CodeFamily::label).join(", ")
+                    ))
+                })?;
+            }
+            other => {
+                return Err(UsageError::new(format!(
+                    "unknown grid key `{other}` (d, p, lr, policy, code)"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn sweep_summary(report: &SweepReport) -> String {
+    let rows: Vec<Vec<String>> = report
+        .cells
+        .iter()
+        .map(|cell| {
+            vec![
+                cell.code.clone(),
+                fmt_float(cell.scenario.p),
+                fmt_float(cell.scenario.leakage_ratio),
+                cell.scenario.policy.label().to_string(),
+                cell.metrics.logical_error_rate.map_or("-".to_string(), fmt_float),
+                fmt_float(cell.metrics.lrcs_per_round),
+                fmt_float(cell.metrics.inaccuracy_per_round),
+                if report.timing { format!("{:.1}", cell.wall_time_ms) } else { "-".to_string() },
+            ]
+        })
+        .collect();
+    text_table(&["code", "p", "lr", "policy", "LER", "LRC/round", "inacc/round", "ms"], &rows)
+}
+
+// ---------------------------------------------------------------------------------
+// repro list
+// ---------------------------------------------------------------------------------
+
+fn cmd_list(args: &[String]) -> Result<ExitCode, UsageError> {
+    if let Some(extra) = args.first() {
+        return Err(UsageError::new(format!("unexpected argument `{extra}` for `list`")));
+    }
+    println!("experiments: {}", EXPERIMENTS.join(", "));
+    println!("policies:    {}", PolicyKind::ALL.map(PolicyKind::label).join(", "));
+    println!("codes:       {}", CodeFamily::ALL.map(CodeFamily::label).join(", "));
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------------------
+// repro snapshot
+// ---------------------------------------------------------------------------------
+
+fn cmd_snapshot(args: &[String]) -> Result<ExitCode, UsageError> {
+    let mut out = PathBuf::from("BENCH_sweep.json");
+    let mut check: Option<PathBuf> = None;
+    let mut tolerance = 0.25f64;
+    let mut iter = Args::new(args);
+    while let Some(arg) = iter.next() {
+        match arg {
+            "--out" => out = PathBuf::from(iter.value("--out")?),
+            "--check" => check = Some(PathBuf::from(iter.value("--check")?)),
+            "--tolerance" => {
+                tolerance = parse_number("--tolerance", iter.value("--tolerance")?)?;
+            }
+            other => {
+                return Err(UsageError::new(format!("unknown argument `{other}` for `snapshot`")));
+            }
+        }
+    }
+    let spec = snapshot_spec();
+    emit(&format!(
+        "running pinned snapshot sweep: {} cells x {} samples ...",
+        spec.cell_count(),
+        qec_experiments::sweep::SNAPSHOT_SAMPLES
+    ));
+    let lines = snapshot();
+    let text = bench_lines_to_string(&lines);
+    // The artifact lands on disk before the (interruptible) console echo.
+    if let Some(parent) = out.parent().filter(|p| !p.as_os_str().is_empty()) {
+        fs::create_dir_all(parent).expect("create output directory");
+    }
+    fs::write(&out, &text).expect("write snapshot file");
+    emit(text.trim_end());
+    emit(&format!("(saved {})", out.display()));
+    let Some(baseline_path) = check else {
+        return Ok(ExitCode::SUCCESS);
+    };
+    let baseline_text = fs::read_to_string(&baseline_path)
+        .map_err(|e| UsageError::new(format!("--check {}: {e}", baseline_path.display())))?;
+    let baseline = parse_bench_lines(&baseline_text)
+        .map_err(|e| UsageError::new(format!("--check {}: {e}", baseline_path.display())))?;
+    let regressions = compare_bench_lines(&lines, &baseline, tolerance);
+    if regressions.is_empty() {
+        emit(&format!(
+            "perf gate OK: no benchmark regressed beyond +{:.0}% of {}",
+            tolerance * 100.0,
+            baseline_path.display()
+        ));
+        return Ok(ExitCode::SUCCESS);
+    }
+    eprintln!(
+        "perf gate FAILED: {} benchmark(s) regressed beyond +{:.0}%:",
+        regressions.len(),
+        tolerance * 100.0
+    );
+    for regression in &regressions {
+        eprintln!(
+            "  {}: {} ns -> {} ns ({:.2}x)",
+            regression.benchmark, regression.baseline_ns, regression.current_ns, regression.ratio
+        );
+    }
+    Ok(ExitCode::FAILURE)
+}
+
+// ---------------------------------------------------------------------------------
+// experiment dispatch (repro run)
+// ---------------------------------------------------------------------------------
 
 fn policy_table(results: &[qec_experiments::PolicyExperimentResult]) -> String {
     let rows: Vec<Vec<String>> = results

@@ -58,7 +58,7 @@ struct ShotContext {
     policy: Box<dyn LeakagePolicy + Send>,
 }
 
-fn build_decoder(code: &Code, rounds: usize) -> Arc<UnionFindDecoder> {
+pub(crate) fn build_decoder(code: &Code, rounds: usize) -> Arc<UnionFindDecoder> {
     let graph = MatchingGraph::build(code, CheckBasis::Z, rounds + 1);
     Arc::new(UnionFindDecoder::new(graph))
 }

@@ -21,8 +21,16 @@
 //!   against.
 //! * [`runners`] — one function per experiment (Figure 1(b,c), 3, 4(b), 5, 8–14 and
 //!   Tables 2–6), each returning serializable rows and printable summaries.
-//! * [`report`] — lightweight table formatting and JSON export used by the `repro`
-//!   binary and the Criterion benches.
+//! * [`scenario`] — the declarative workload unit: a [`scenario::Scenario`] names one
+//!   `(code family, distance, rounds, p, lr, policy, shots, seed)` cell as plain
+//!   serializable data.
+//! * [`sweep`] — grid orchestration: [`sweep::SweepSpec`] expands a parameter grid to
+//!   scenarios, [`sweep::run_sweep`] executes them with shared artifacts across cells
+//!   and returns a schema-versioned [`sweep::SweepReport`]; [`sweep::snapshot`] is the
+//!   pinned perf snapshot behind the CI regression gate.
+//! * [`report`] — table formatting, JSON export, and the line-per-benchmark snapshot
+//!   format ([`report::BenchLine`]) shared with `crates/bench/BENCH_baseline.json`,
+//!   including the baseline comparison the CI perf gate runs.
 //!
 //! # Example
 //!
@@ -45,7 +53,11 @@ pub mod harness;
 pub mod metrics;
 pub mod report;
 pub mod runners;
+pub mod scenario;
+pub mod sweep;
 
 pub use engine::BatchEngine;
 pub use harness::{run_policy_experiment, ExperimentSpec, PolicyExperimentResult};
 pub use metrics::{AggregateMetrics, RunMetrics};
+pub use scenario::{CodeFamily, Scenario};
+pub use sweep::{run_scenarios, run_sweep, SweepCell, SweepReport, SweepSpec};

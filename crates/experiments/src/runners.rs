@@ -20,6 +20,8 @@ use crate::engine::BatchEngine;
 use crate::harness::{
     compare_policies, run_policy_experiment, ExperimentSpec, PolicyExperimentResult,
 };
+use crate::scenario::{CodeFamily, Scenario};
+use crate::sweep::run_scenarios;
 
 /// Scaling knobs shared by all runners.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -53,11 +55,15 @@ impl Scale {
         Scale { shots: 10_000, rounds_factor: 1.0, max_distance: 17, seed: 2025 }
     }
 
-    fn rounds(&self, paper_rounds: usize) -> usize {
+    /// Scales a paper-scale round count by `rounds_factor` (at least 4 rounds).
+    #[must_use]
+    pub fn rounds(&self, paper_rounds: usize) -> usize {
         ((paper_rounds as f64 * self.rounds_factor).round() as usize).max(4)
     }
 
-    fn distance(&self, paper_distance: usize) -> usize {
+    /// Caps a paper distance at `max_distance`, keeping it odd and at least 3.
+    #[must_use]
+    pub fn distance(&self, paper_distance: usize) -> usize {
         let capped = paper_distance.min(self.max_distance);
         if capped % 2 == 0 {
             capped.saturating_sub(1).max(3)
@@ -163,26 +169,36 @@ fn ler_sweep(
     rounds_per_d: usize,
     scale: &Scale,
 ) -> Vec<LerRow> {
-    let mut rows = Vec::new();
+    // Expressed as scenarios so the sweep executor shares the code instance,
+    // policy factory and decoder across the (distance × policy) grid.
+    let mut scenarios = Vec::new();
     for &d in distances {
         let d = scale.distance(d);
-        let code = Code::rotated_surface(d);
         let rounds = scale.rounds(rounds_per_d * d).max(2);
         for &kind in policies {
-            let s = spec(kind, default_noise(p, lr), rounds, scale)
-                .with_decode(true)
-                .with_leakage_sampling(true);
-            let result = run_policy_experiment(&code, &s);
-            rows.push(LerRow {
-                policy: kind.label().to_string(),
+            scenarios.push(Scenario {
+                code: CodeFamily::Surface,
                 distance: d,
+                rounds,
                 p,
-                logical_error_rate: result.metrics.logical_error_rate.unwrap_or(0.0),
-                lrcs_per_round: result.metrics.lrcs_per_round,
+                leakage_ratio: lr,
+                policy: kind,
+                shots: scale.shots,
+                seed: scale.seed,
+                decode: true,
             });
         }
     }
-    rows
+    run_scenarios(&scenarios, false)
+        .into_iter()
+        .map(|cell| LerRow {
+            policy: cell.scenario.policy.label().to_string(),
+            distance: cell.scenario.distance,
+            p,
+            logical_error_rate: cell.metrics.logical_error_rate.unwrap_or(0.0),
+            lrcs_per_round: cell.metrics.lrcs_per_round,
+        })
+        .collect()
 }
 
 /// Reproduces Figure 4(b): LER of the open-loop policies and ERASER+M.

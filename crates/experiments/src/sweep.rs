@@ -1,0 +1,471 @@
+//! Scenario-sweep orchestration: declarative grids over the batch engine.
+//!
+//! A [`SweepSpec`] describes a parameter grid (code family × distances ×
+//! error rates × leakage ratios × policies); [`SweepSpec::expand`] lowers it
+//! to a deduplicated, stably-ordered list of [`Scenario`]s and
+//! [`run_sweep`] executes them, sharing every reusable artifact across grid
+//! cells:
+//!
+//! * one concrete [`Code`](qec_codes::Code) instance per `(family, distance)`,
+//! * one [`PolicyFactory`] per `(family, distance)`, re-calibrated (not
+//!   rebuilt) when the error-rate axis moves — the pattern extractor, site
+//!   classes and colouring survive every calibration change,
+//! * one union-find decoder per `(family, distance, rounds)`,
+//! * one [`BatchEngine`] per cell, wired onto the shared artifacts via
+//!   [`BatchEngine::with_shared`].
+//!
+//! Results are returned as a schema-versioned [`SweepReport`] whose JSON
+//! rendering is byte-identical across worker-thread counts (the engine's
+//! `seed + shot` contract); wall-times are the one non-deterministic field
+//! and can be disabled for comparison jobs (`timing = false`).
+//!
+//! [`snapshot`] runs a pinned quick-scale sweep repeatedly and emits
+//! [`BenchLine`](crate::report::BenchLine) rows — the machine-readable perf
+//! snapshot the CI regression gate diffs against the committed baseline.
+
+use std::collections::BTreeMap;
+use std::process::Command;
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use leakage_speculation::{PolicyFactory, PolicyKind};
+
+use crate::engine::{build_decoder, BatchEngine};
+use crate::metrics::AggregateMetrics;
+use crate::report::BenchLine;
+use crate::runners::Scale;
+use crate::scenario::{CodeFamily, Scenario};
+
+/// Version of the sweep-report JSON schema; bump when the shape changes.
+pub const SWEEP_SCHEMA_VERSION: u32 = 1;
+
+/// How often [`snapshot`] re-runs every cell to get min/mean/max timings.
+/// The regression gate compares minima, so more samples mean a tighter,
+/// noise-robust lower envelope.
+pub const SNAPSHOT_SAMPLES: usize = 10;
+
+/// A declarative parameter grid over the batch engine.
+///
+/// The grid expands to the cartesian product
+/// `distances × error_rates × leakage_ratios × policies` (in that nesting
+/// order, innermost last). Every axis is deduplicated during expansion; the
+/// numeric axes are additionally sorted, so permuting them leaves the
+/// expansion unchanged. Policies keep their listed order (paper figures order
+/// them deliberately).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Code family every cell runs on.
+    pub code: CodeFamily,
+    /// Family size parameters (code distances) to sweep.
+    pub distances: Vec<usize>,
+    /// Physical error rates `p` to sweep.
+    pub error_rates: Vec<f64>,
+    /// Leakage ratios `lr` to sweep.
+    pub leakage_ratios: Vec<f64>,
+    /// Policies to evaluate in every grid cell.
+    pub policies: Vec<PolicyKind>,
+    /// Monte-Carlo shots per cell.
+    pub shots: usize,
+    /// Rounds per shot, as a multiple of the distance (`rounds = max(2, k·d)`).
+    pub rounds_per_distance: usize,
+    /// Base RNG seed (shared by every cell; shot `i` uses `seed + i`).
+    pub seed: u64,
+    /// Whether to decode every shot and report per-cell logical error rates.
+    pub decode: bool,
+}
+
+impl SweepSpec {
+    /// The default 12-cell grid: 3 surface-code distances × 2 error rates ×
+    /// ERASER+M vs GLADIATOR+M, sized by `scale` (shots, seed, round budget).
+    #[must_use]
+    pub fn for_scale(scale: &Scale) -> Self {
+        SweepSpec {
+            code: CodeFamily::Surface,
+            distances: vec![3, 5, 7],
+            error_rates: vec![1e-3, 2e-3],
+            leakage_ratios: vec![0.1],
+            policies: vec![PolicyKind::EraserM, PolicyKind::GladiatorM],
+            shots: scale.shots,
+            rounds_per_distance: ((10.0 * scale.rounds_factor).round() as usize).max(1),
+            seed: scale.seed,
+            decode: true,
+        }
+    }
+
+    /// Number of grid cells the spec expands to (after axis deduplication).
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.clone()
+            .normalized_axes()
+            .map_or(0, |(d, p, lr, pol)| d.len() * p.len() * lr.len() * pol.len())
+    }
+
+    /// Sorted, deduplicated axes; errors on empty or non-finite axes.
+    #[allow(clippy::type_complexity)]
+    fn normalized_axes(self) -> Result<(Vec<usize>, Vec<f64>, Vec<f64>, Vec<PolicyKind>), String> {
+        let mut distances = self.distances;
+        distances.sort_unstable();
+        distances.dedup();
+        let sorted_rates = |mut rates: Vec<f64>, axis: &str| -> Result<Vec<f64>, String> {
+            if rates.iter().any(|r| !r.is_finite()) {
+                return Err(format!("{axis} axis contains a non-finite value"));
+            }
+            rates.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+            rates.dedup();
+            Ok(rates)
+        };
+        let error_rates = sorted_rates(self.error_rates, "error-rate")?;
+        let leakage_ratios = sorted_rates(self.leakage_ratios, "leakage-ratio")?;
+        // Policies keep their listed order (paper figures order them
+        // deliberately); duplicates collapse onto the first occurrence.
+        let mut policies: Vec<PolicyKind> = Vec::new();
+        for kind in self.policies {
+            if !policies.contains(&kind) {
+                policies.push(kind);
+            }
+        }
+        for (axis, empty) in [
+            ("distances", distances.is_empty()),
+            ("error_rates", error_rates.is_empty()),
+            ("leakage_ratios", leakage_ratios.is_empty()),
+            ("policies", policies.is_empty()),
+        ] {
+            if empty {
+                return Err(format!("sweep axis `{axis}` is empty"));
+            }
+        }
+        Ok((distances, error_rates, leakage_ratios, policies))
+    }
+
+    /// Expands the grid to its scenario list: the cartesian product of the
+    /// normalized axes, ordered distance-major / policy-minor. The ordering is
+    /// stable under permutation and duplication of the input axes, and every
+    /// scenario is validated before any is returned.
+    ///
+    /// # Errors
+    /// Returns a message when an axis is empty, a value is non-finite, or any
+    /// expanded scenario fails [`Scenario::validate`].
+    pub fn expand(&self) -> Result<Vec<Scenario>, String> {
+        let spec = self.clone();
+        let (distances, error_rates, leakage_ratios, policies) = spec.normalized_axes()?;
+        let mut scenarios = Vec::new();
+        for &distance in &distances {
+            let rounds = (self.rounds_per_distance * distance).max(2);
+            for &p in &error_rates {
+                for &leakage_ratio in &leakage_ratios {
+                    for &policy in &policies {
+                        let scenario = Scenario {
+                            code: self.code,
+                            distance,
+                            rounds,
+                            p,
+                            leakage_ratio,
+                            policy,
+                            shots: self.shots,
+                            seed: self.seed,
+                            decode: self.decode,
+                        };
+                        scenario.validate().map_err(|e| format!("cell {}: {e}", scenario.id()))?;
+                        scenarios.push(scenario);
+                    }
+                }
+            }
+        }
+        Ok(scenarios)
+    }
+}
+
+/// One executed grid cell: the scenario, the concrete code it ran on, the
+/// aggregated metrics, and the cell's wall-clock time (0 when timing is off).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepCell {
+    /// The cell's coordinates.
+    pub scenario: Scenario,
+    /// Name of the concrete code instance (e.g. `surface-d5`).
+    pub code: String,
+    /// Aggregated per-shot metrics (LER, LRC counts, FP/FN accuracy, DLP).
+    pub metrics: AggregateMetrics,
+    /// Wall-clock time of the cell in milliseconds; exactly `0.0` when the
+    /// sweep ran with timing disabled (determinism-comparison mode).
+    pub wall_time_ms: f64,
+}
+
+/// A self-describing sweep result: schema version, provenance, the expanded
+/// spec and one row per grid cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// [`SWEEP_SCHEMA_VERSION`] at the time the report was written.
+    pub schema_version: u32,
+    /// Tool and version that produced the report.
+    pub generator: String,
+    /// `git describe --always --dirty` of the producing checkout, or `unknown`.
+    pub git_describe: String,
+    /// Whether wall-times were recorded (false ⇒ every `wall_time_ms` is 0).
+    pub timing: bool,
+    /// The sweep specification the report answers.
+    pub spec: SweepSpec,
+    /// One row per grid cell, in [`SweepSpec::expand`] order.
+    pub cells: Vec<SweepCell>,
+}
+
+/// Expands and executes a sweep, producing the schema-versioned report.
+///
+/// With `timing = false` the report is a pure function of the spec: byte-for-
+/// byte identical across runs, worker-thread counts and machines (modulo the
+/// `git_describe` provenance of the checkout).
+///
+/// # Errors
+/// Returns a message when the spec fails to expand (see [`SweepSpec::expand`]).
+pub fn run_sweep(spec: &SweepSpec, timing: bool) -> Result<SweepReport, String> {
+    let scenarios = spec.expand()?;
+    let cells = run_scenarios(&scenarios, timing);
+    Ok(SweepReport {
+        schema_version: SWEEP_SCHEMA_VERSION,
+        generator: format!("repro sweep {}", env!("CARGO_PKG_VERSION")),
+        git_describe: git_describe(),
+        timing,
+        spec: spec.clone(),
+        cells,
+    })
+}
+
+/// Executes a list of scenarios in order, sharing the code instance, the
+/// policy factory (re-calibrated across error-rate changes) and the decoder
+/// across consecutive scenarios with the same `(family, distance)`.
+///
+/// Scenario lists produced by [`SweepSpec::expand`] maximize that sharing; an
+/// arbitrary list still runs correctly, paying one artifact build per
+/// `(family, distance)` run.
+#[must_use]
+pub fn run_scenarios(scenarios: &[Scenario], timing: bool) -> Vec<SweepCell> {
+    let mut cells = Vec::with_capacity(scenarios.len());
+    let mut start = 0usize;
+    while start < scenarios.len() {
+        let group_key = (scenarios[start].code, scenarios[start].distance);
+        let end = start
+            + scenarios[start..].iter().take_while(|s| (s.code, s.distance) == group_key).count();
+        let code = scenarios[start].build_code();
+        let mut factory: Option<Arc<PolicyFactory>> = None;
+        let mut decoders = BTreeMap::new();
+        for scenario in &scenarios[start..end] {
+            let spec = scenario.to_spec();
+            let shared_factory = match factory.take() {
+                Some(f) if f.config() == &spec.gladiator => f,
+                Some(f) => Arc::new(f.recalibrated(&spec.gladiator)),
+                None => Arc::new(PolicyFactory::new(&code, &spec.gladiator)),
+            };
+            factory = Some(Arc::clone(&shared_factory));
+            let decoder = spec.decode.then(|| {
+                Arc::clone(
+                    decoders
+                        .entry(spec.rounds)
+                        .or_insert_with(|| build_decoder(&code, spec.rounds)),
+                )
+            });
+            let engine = BatchEngine::with_shared(&spec, shared_factory, decoder);
+            let cell_start = Instant::now();
+            let result = engine.run();
+            let wall_time_ms = if timing { cell_start.elapsed().as_secs_f64() * 1e3 } else { 0.0 };
+            cells.push(SweepCell {
+                scenario: *scenario,
+                code: result.code,
+                metrics: result.metrics,
+                wall_time_ms,
+            });
+        }
+        start = end;
+    }
+    cells
+}
+
+/// The pinned spec behind `repro snapshot`: small enough for CI, large enough
+/// that per-cell throughput is meaningful. Changing it invalidates the
+/// committed baseline (`crates/bench/BENCH_sweep_baseline.json`).
+#[must_use]
+pub fn snapshot_spec() -> SweepSpec {
+    SweepSpec {
+        code: CodeFamily::Surface,
+        distances: vec![3, 5],
+        error_rates: vec![1e-3],
+        leakage_ratios: vec![0.1],
+        policies: vec![PolicyKind::EraserM, PolicyKind::GladiatorM],
+        shots: 16,
+        rounds_per_distance: 10,
+        seed: 11,
+        decode: true,
+    }
+}
+
+/// Runs the pinned snapshot sweep [`SNAPSHOT_SAMPLES`] times per cell and
+/// reports per-shot wall-time as [`BenchLine`]s (the `BENCH_baseline.json`
+/// shape), one line per grid cell, named `sweep/<scenario id>`.
+#[must_use]
+pub fn snapshot() -> Vec<BenchLine> {
+    let scenarios = snapshot_spec().expand().expect("the pinned snapshot spec is valid");
+    scenarios
+        .iter()
+        .map(|scenario| {
+            let code = scenario.build_code();
+            let spec = scenario.to_spec();
+            // Build once outside the timed region: the snapshot measures
+            // steady-state sweep throughput, not artifact construction. One
+            // untimed warmup shot-batch settles caches and the allocator.
+            let engine = BatchEngine::new(&code, &spec);
+            let _ = engine.run();
+            let samples: Vec<u64> = (0..SNAPSHOT_SAMPLES)
+                .map(|_| {
+                    let start = Instant::now();
+                    let _ = engine.run();
+                    (start.elapsed().as_nanos() as u64) / spec.shots as u64
+                })
+                .collect();
+            BenchLine {
+                benchmark: format!("sweep/{}", scenario.id()),
+                samples: SNAPSHOT_SAMPLES,
+                mean_ns: samples.iter().sum::<u64>() / SNAPSHOT_SAMPLES as u64,
+                min_ns: samples.iter().copied().min().unwrap_or(0),
+                max_ns: samples.iter().copied().max().unwrap_or(0),
+            }
+        })
+        .collect()
+}
+
+/// `git describe --always --dirty` of the current checkout, or `"unknown"`
+/// when git (or the repository) is unavailable.
+#[must_use]
+pub fn git_describe() -> String {
+    Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec {
+            code: CodeFamily::Surface,
+            distances: vec![3],
+            error_rates: vec![1e-3],
+            leakage_ratios: vec![0.1],
+            policies: vec![PolicyKind::EraserM],
+            shots: 2,
+            rounds_per_distance: 1,
+            seed: 5,
+            decode: false,
+        }
+    }
+
+    #[test]
+    fn expansion_is_the_cartesian_product_in_stable_order() {
+        let spec = SweepSpec {
+            distances: vec![5, 3],
+            error_rates: vec![2e-3, 1e-3],
+            policies: vec![PolicyKind::GladiatorM, PolicyKind::EraserM],
+            ..tiny_spec()
+        };
+        let scenarios = spec.expand().unwrap();
+        assert_eq!(scenarios.len(), 8);
+        assert_eq!(spec.cell_count(), 8);
+        // Distance-major, then error rate, then policy in listed order.
+        assert_eq!(scenarios[0].distance, 3);
+        assert_eq!(scenarios[0].p, 1e-3);
+        assert_eq!(scenarios[0].policy, PolicyKind::GladiatorM);
+        assert_eq!(scenarios[1].policy, PolicyKind::EraserM);
+        assert_eq!(scenarios[2].p, 2e-3);
+        assert_eq!(scenarios[4].distance, 5);
+        // Sorted axes: permuting the input does not change the expansion.
+        let permuted =
+            SweepSpec { distances: vec![3, 5], error_rates: vec![1e-3, 2e-3], ..spec.clone() };
+        assert_eq!(permuted.expand().unwrap(), scenarios);
+    }
+
+    #[test]
+    fn expansion_deduplicates_every_axis() {
+        let spec = SweepSpec {
+            distances: vec![3, 3, 5, 3],
+            error_rates: vec![1e-3, 1e-3],
+            leakage_ratios: vec![0.1, 0.1],
+            policies: vec![PolicyKind::EraserM, PolicyKind::EraserM, PolicyKind::Ideal],
+            ..tiny_spec()
+        };
+        let scenarios = spec.expand().unwrap();
+        assert_eq!(scenarios.len(), 2 * 2);
+        assert_eq!(spec.cell_count(), 4);
+    }
+
+    #[test]
+    fn expansion_rejects_bad_grids() {
+        assert!(SweepSpec { distances: vec![], ..tiny_spec() }.expand().is_err());
+        assert!(SweepSpec { policies: vec![], ..tiny_spec() }.expand().is_err());
+        assert!(SweepSpec { error_rates: vec![f64::NAN], ..tiny_spec() }.expand().is_err());
+        assert!(SweepSpec { distances: vec![4], ..tiny_spec() }.expand().is_err());
+        assert!(SweepSpec { shots: 0, ..tiny_spec() }.expand().is_err());
+        assert_eq!(SweepSpec { distances: vec![], ..tiny_spec() }.cell_count(), 0);
+    }
+
+    #[test]
+    fn rounds_scale_with_distance_and_never_vanish() {
+        let spec = SweepSpec { distances: vec![3, 7], rounds_per_distance: 2, ..tiny_spec() };
+        let scenarios = spec.expand().unwrap();
+        assert_eq!(scenarios[0].rounds, 6);
+        assert_eq!(scenarios[1].rounds, 14);
+        let minimal = SweepSpec { rounds_per_distance: 0, ..tiny_spec() };
+        assert!(minimal.expand().unwrap().iter().all(|s| s.rounds == 2));
+    }
+
+    #[test]
+    fn default_grid_for_scale_has_twelve_cells() {
+        let spec = SweepSpec::for_scale(&Scale::smoke());
+        assert_eq!(spec.cell_count(), 12);
+        assert_eq!(spec.shots, Scale::smoke().shots);
+    }
+
+    #[test]
+    fn run_sweep_produces_one_cell_per_scenario_with_metrics() {
+        let spec = SweepSpec {
+            policies: vec![PolicyKind::EraserM, PolicyKind::GladiatorM],
+            decode: true,
+            ..tiny_spec()
+        };
+        let report = run_sweep(&spec, false).unwrap();
+        assert_eq!(report.schema_version, SWEEP_SCHEMA_VERSION);
+        assert!(!report.timing);
+        assert_eq!(report.cells.len(), 2);
+        for cell in &report.cells {
+            assert_eq!(cell.code, "surface-d3");
+            assert_eq!(cell.metrics.shots, 2);
+            assert!(cell.metrics.logical_error_rate.is_some());
+            assert_eq!(cell.wall_time_ms, 0.0);
+        }
+    }
+
+    #[test]
+    fn timing_mode_records_nonzero_wall_times() {
+        let report = run_sweep(&tiny_spec(), true).unwrap();
+        assert!(report.timing);
+        assert!(report.cells.iter().all(|c| c.wall_time_ms > 0.0));
+    }
+
+    #[test]
+    fn snapshot_covers_the_pinned_grid() {
+        let expected = snapshot_spec().cell_count();
+        let lines = snapshot();
+        assert_eq!(lines.len(), expected);
+        for line in &lines {
+            assert!(line.benchmark.starts_with("sweep/surface_d"));
+            assert_eq!(line.samples, SNAPSHOT_SAMPLES);
+            assert!(line.min_ns <= line.mean_ns && line.mean_ns <= line.max_ns);
+            assert!(line.min_ns > 0);
+        }
+    }
+}

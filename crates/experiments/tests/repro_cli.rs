@@ -1,0 +1,143 @@
+//! End-to-end tests of the `repro` binary: strict argument handling (exit 2 on
+//! any unknown input), the sweep subcommand's report contract, and worker-count
+//! determinism of the report bytes.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
+    cmd.args(args);
+    cmd
+}
+
+fn run(args: &[&str]) -> Output {
+    repro(args).output().expect("spawn repro")
+}
+
+fn stderr_of(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+#[track_caller]
+fn assert_usage_error(args: &[&str]) {
+    let output = run(args);
+    assert_eq!(output.status.code(), Some(2), "{args:?} must exit 2");
+    let stderr = stderr_of(&output);
+    assert!(stderr.contains("usage: repro"), "{args:?} must print usage to stderr: {stderr}");
+}
+
+#[test]
+fn unknown_inputs_exit_2_with_usage_on_stderr() {
+    assert_usage_error(&[]); // no command
+    assert_usage_error(&["frobnicate"]); // unknown command
+    assert_usage_error(&["run", "--frobnicate"]); // unknown flag
+    assert_usage_error(&["run", "fig99"]); // unknown experiment name
+    assert_usage_error(&["run", "--scale", "galactic"]); // bad flag value
+    assert_usage_error(&["run", "--scale"]); // missing flag value
+    assert_usage_error(&["sweep", "--grid", "warp=9"]); // unknown grid key
+    assert_usage_error(&["sweep", "--grid", "policy=bogus"]); // unknown policy
+    assert_usage_error(&["sweep", "--spec", "/nonexistent/spec.json"]);
+    assert_usage_error(&["sweep", "--spec", "x.json", "--grid", "d=3"]); // exclusive
+    assert_usage_error(&["sweep", "--spec", "x.json", "--scale", "smoke"]); // scale is grid-only
+    assert_usage_error(&["sweep", "--shots", "many"]);
+    assert_usage_error(&["sweep", "--out", "--no-timing"]); // flag where a value belongs
+    assert_usage_error(&["list", "extra"]);
+    assert_usage_error(&["snapshot", "--frobnicate"]);
+}
+
+#[test]
+fn help_exits_0_with_usage_on_stdout() {
+    let output = run(&["--help"]);
+    assert_eq!(output.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&output.stdout).contains("usage: repro"));
+}
+
+#[test]
+fn list_names_every_experiment_policy_and_code_family() {
+    let output = run(&["list"]);
+    assert_eq!(output.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&output.stdout).into_owned();
+    for needle in ["fig1", "table6", "gladiator+m", "surface", "bpc"] {
+        assert!(stdout.contains(needle), "list output missing {needle}: {stdout}");
+    }
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("repro-cli-{}-{name}", std::process::id()));
+    path
+}
+
+fn sweep_json(out: &Path, threads: &str) -> String {
+    let output = repro(&[
+        "sweep",
+        "--scale",
+        "smoke",
+        "--no-timing",
+        "--out",
+        out.to_str().expect("utf-8 temp path"),
+    ])
+    .env("RAYON_NUM_THREADS", threads)
+    .output()
+    .expect("spawn repro sweep");
+    assert_eq!(output.status.code(), Some(0), "stderr: {}", stderr_of(&output));
+    std::fs::read_to_string(out).expect("sweep report written")
+}
+
+#[test]
+fn default_sweep_writes_a_twelve_cell_schema_versioned_report() {
+    let out = tmp_path("default.json");
+    let json = sweep_json(&out, "2");
+    let report: qec_experiments::SweepReport = serde_json::from_str(&json).expect("report parses");
+    assert_eq!(report.schema_version, qec_experiments::sweep::SWEEP_SCHEMA_VERSION);
+    assert_eq!(report.cells.len(), 12, "3 distances x 2 error rates x 2 policies");
+    assert!(!report.timing);
+    assert!(report.cells.iter().all(|c| c.metrics.logical_error_rate.is_some()));
+    let _ = std::fs::remove_file(out);
+}
+
+#[test]
+fn sweep_reports_are_byte_identical_across_worker_counts() {
+    let out1 = tmp_path("t1.json");
+    let out4 = tmp_path("t4.json");
+    let single = sweep_json(&out1, "1");
+    let quad = sweep_json(&out4, "4");
+    assert_eq!(single, quad, "seed+shot contract must make worker count invisible");
+    let _ = std::fs::remove_file(out1);
+    let _ = std::fs::remove_file(out4);
+}
+
+#[test]
+fn sweep_to_stdout_keeps_stdout_pure_json() {
+    let output = run(&["sweep", "--scale", "smoke", "--grid", "d=3", "--no-timing", "--out", "-"]);
+    assert_eq!(output.status.code(), Some(0), "stderr: {}", stderr_of(&output));
+    let stdout = String::from_utf8_lossy(&output.stdout).into_owned();
+    let report: qec_experiments::SweepReport =
+        serde_json::from_str(&stdout).expect("stdout must be nothing but the JSON report");
+    assert_eq!(report.cells.len(), 4);
+    assert!(stderr_of(&output).contains("LRC/round"), "summary table must move to stderr");
+}
+
+#[test]
+fn grid_flags_restrict_the_sweep() {
+    let out = tmp_path("grid.json");
+    let output = run(&[
+        "sweep",
+        "--scale",
+        "smoke",
+        "--grid",
+        "d=3",
+        "p=1e-3",
+        "policy=eraser+m,ideal",
+        "--no-timing",
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert_eq!(output.status.code(), Some(0), "stderr: {}", stderr_of(&output));
+    let report: qec_experiments::SweepReport =
+        serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    assert_eq!(report.cells.len(), 2);
+    assert!(report.cells.iter().all(|c| c.scenario.distance == 3));
+    let _ = std::fs::remove_file(out);
+}

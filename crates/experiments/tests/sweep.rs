@@ -1,0 +1,136 @@
+//! Integration tests for the sweep orchestration subsystem: grid expansion,
+//! JSON round-trips through the vendored serde stack, and bit-for-bit
+//! equivalence between the sweep executor and the single-experiment harness.
+
+use leakage_speculation::PolicyKind;
+use qec_experiments::report::to_json;
+use qec_experiments::runners::Scale;
+use qec_experiments::scenario::{CodeFamily, Scenario};
+use qec_experiments::sweep::{run_scenarios, run_sweep, SweepReport, SweepSpec};
+use qec_experiments::{run_policy_experiment, BatchEngine};
+
+fn small_spec() -> SweepSpec {
+    SweepSpec {
+        code: CodeFamily::Surface,
+        distances: vec![3, 5],
+        error_rates: vec![1e-3, 2e-3],
+        leakage_ratios: vec![0.1],
+        policies: vec![PolicyKind::EraserM, PolicyKind::GladiatorM],
+        shots: 3,
+        rounds_per_distance: 1,
+        seed: 9,
+        decode: true,
+    }
+}
+
+#[test]
+fn sweep_spec_round_trips_through_json() {
+    let spec = small_spec();
+    let json = to_json(&spec);
+    let parsed: SweepSpec = serde_json::from_str(&json).expect("spec JSON parses back");
+    assert_eq!(parsed, spec);
+}
+
+#[test]
+fn scenario_round_trips_through_json() {
+    let scenario = small_spec().expand().unwrap()[0];
+    let json = to_json(&scenario);
+    let parsed: Scenario = serde_json::from_str(&json).expect("scenario JSON parses back");
+    assert_eq!(parsed, scenario);
+}
+
+#[test]
+fn full_report_round_trips_through_json() {
+    let report = run_sweep(&small_spec(), false).unwrap();
+    let json = to_json(&report);
+    let parsed: SweepReport = serde_json::from_str(&json).expect("report JSON parses back");
+    assert_eq!(parsed, report);
+    // And the re-serialized report is byte-identical: rendering is canonical.
+    assert_eq!(to_json(&parsed), json);
+}
+
+#[test]
+fn single_cell_sweep_equals_run_policy_experiment_bit_for_bit() {
+    let scenario = Scenario {
+        code: CodeFamily::Surface,
+        distance: 3,
+        rounds: 6,
+        p: 1e-3,
+        leakage_ratio: 0.1,
+        policy: PolicyKind::GladiatorDM,
+        shots: 5,
+        seed: 31,
+        decode: true,
+    };
+    let cells = run_scenarios(&[scenario], false);
+    assert_eq!(cells.len(), 1);
+    let direct = run_policy_experiment(&scenario.build_code(), &scenario.to_spec());
+    assert_eq!(cells[0].metrics, direct.metrics);
+    assert_eq!(cells[0].code, direct.code);
+}
+
+#[test]
+fn shared_artifact_sweep_matches_independent_engines_for_every_cell() {
+    let spec = small_spec();
+    let report = run_sweep(&spec, false).unwrap();
+    assert_eq!(report.cells.len(), 8);
+    for cell in &report.cells {
+        let scenario = cell.scenario;
+        let independent = BatchEngine::new(&scenario.build_code(), &scenario.to_spec()).run();
+        assert_eq!(
+            cell.metrics,
+            independent.metrics,
+            "cell {} must not be perturbed by artifact sharing",
+            scenario.id()
+        );
+    }
+}
+
+#[test]
+fn sweep_reports_are_deterministic_without_timing() {
+    let spec = small_spec();
+    let a = run_sweep(&spec, false).unwrap();
+    let b = run_sweep(&spec, false).unwrap();
+    assert_eq!(to_json(&a), to_json(&b));
+}
+
+#[test]
+fn ler_runner_rows_survive_the_scenario_rebase() {
+    // fig12's LER sweep now routes through the scenario executor; its rows
+    // must still be one per (distance, policy) with decoded error rates.
+    let scale = Scale::smoke();
+    let rows = qec_experiments::runners::fig12_ler_vs_distance(&scale);
+    assert_eq!(rows.len(), 3 * 4);
+    assert!(rows.iter().all(|r| (0.0..=1.0).contains(&r.logical_error_rate)));
+    let direct = run_policy_experiment(
+        &qec_codes::Code::rotated_surface(3),
+        &Scenario {
+            code: CodeFamily::Surface,
+            distance: 3,
+            rounds: scale.rounds(10 * 3).max(2),
+            p: 1e-3,
+            leakage_ratio: 0.1,
+            policy: PolicyKind::NoLrc,
+            shots: scale.shots,
+            seed: scale.seed,
+            decode: true,
+        }
+        .to_spec(),
+    );
+    assert_eq!(
+        rows[0].logical_error_rate,
+        direct.metrics.logical_error_rate.unwrap_or(0.0),
+        "rebased runner must reproduce the direct harness result bit for bit"
+    );
+    assert_eq!(rows[0].lrcs_per_round, direct.metrics.lrcs_per_round);
+}
+
+#[test]
+fn default_scale_grid_expands_to_twelve_cells() {
+    let spec = SweepSpec::for_scale(&Scale::smoke());
+    let scenarios = spec.expand().unwrap();
+    assert_eq!(scenarios.len(), 12);
+    // 3 distances x 2 error rates x 2 policies, distance-major.
+    let distances: Vec<usize> = scenarios.iter().map(|s| s.distance).collect();
+    assert_eq!(distances, vec![3, 3, 3, 3, 5, 5, 5, 5, 7, 7, 7, 7]);
+}

@@ -84,6 +84,13 @@ impl PolicyKind {
         }
     }
 
+    /// Parses the output label back into a kind (the inverse of
+    /// [`PolicyKind::label`]), for command-line grids and sweep specs.
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<PolicyKind> {
+        PolicyKind::ALL.iter().copied().find(|kind| kind.label() == label)
+    }
+
     /// `true` for closed-loop policies that rely on multi-level readout.
     #[must_use]
     pub fn uses_mlr(self) -> bool {
@@ -187,6 +194,34 @@ impl PolicyFactory {
 
     fn coloring(&self) -> &Arc<Coloring> {
         self.coloring.get_or_init(|| Arc::new(self.code.interaction_graph().greedy_coloring()))
+    }
+
+    /// Returns a factory for the *same code* under a different GLADIATOR
+    /// calibration, sharing every calibration-independent artifact that this
+    /// factory has already built (pattern extractor, site classes, colouring —
+    /// all derived from the code alone). Only the offline model, which depends
+    /// on the calibration, is rebuilt on demand; when `config` equals the
+    /// current calibration even the model is shared.
+    ///
+    /// This is what lets a parameter sweep walk an error-rate grid without
+    /// re-deriving the code structure for every cell.
+    #[must_use]
+    pub fn recalibrated(&self, config: &GladiatorConfig) -> PolicyFactory {
+        fn carry_over<T>(lock: &OnceLock<Arc<T>>) -> OnceLock<Arc<T>> {
+            let shared = OnceLock::new();
+            if let Some(artifact) = lock.get() {
+                let _ = shared.set(Arc::clone(artifact));
+            }
+            shared
+        }
+        PolicyFactory {
+            code: self.code.clone(),
+            config: *config,
+            extractor: carry_over(&self.extractor),
+            model: if self.config == *config { carry_over(&self.model) } else { OnceLock::new() },
+            qubit_classes: carry_over(&self.qubit_classes),
+            coloring: carry_over(&self.coloring),
+        }
     }
 
     /// Builds a boxed policy of the requested kind over the shared artifacts.
@@ -320,6 +355,63 @@ mod tests {
                     Simulator::new(&code, noise, 17).run_with_policy(shared.as_mut(), 12);
                 assert_eq!(legacy_run, shared_run, "{kind:?} on {}", code.name());
             }
+        }
+    }
+
+    #[test]
+    fn from_label_inverts_label_for_every_kind() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(PolicyKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(PolicyKind::from_label("no-such-policy"), None);
+    }
+
+    #[test]
+    fn recalibrated_shares_code_derived_artifacts_but_not_the_model() {
+        let code = Code::rotated_surface(3);
+        let base_config = GladiatorConfig::default();
+        let factory = PolicyFactory::new(&code, &base_config);
+        // Force everything the base factory can share.
+        let _ = factory.build(PolicyKind::GladiatorM);
+        let _ = factory.build(PolicyKind::Staggered);
+        let other_config = base_config.with_error_rate(1e-4);
+        let shifted = factory.recalibrated(&other_config);
+        assert_eq!(shifted.config(), &other_config);
+        assert!(Arc::ptr_eq(factory.extractor(), shifted.extractor()));
+        assert!(
+            !Arc::ptr_eq(factory.model(), shifted.model()),
+            "a different calibration must rebuild the offline model"
+        );
+    }
+
+    #[test]
+    fn recalibrated_with_equal_config_shares_the_model_too() {
+        let code = Code::rotated_surface(3);
+        let config = GladiatorConfig::default();
+        let factory = PolicyFactory::new(&code, &config);
+        let _ = factory.build(PolicyKind::GladiatorM);
+        let same = factory.recalibrated(&config);
+        assert!(Arc::ptr_eq(factory.model(), same.model()));
+        assert!(Arc::ptr_eq(factory.extractor(), same.extractor()));
+    }
+
+    #[test]
+    fn recalibrated_policies_match_a_fresh_factory_bit_for_bit() {
+        let code = Code::rotated_surface(3);
+        let base = PolicyFactory::new(&code, &GladiatorConfig::default());
+        let _ = base.build(PolicyKind::GladiatorM);
+        let config = GladiatorConfig::default().with_error_rate(1e-4).with_leakage_ratio(1.0);
+        let shared = base.recalibrated(&config);
+        let fresh = PolicyFactory::new(&code, &config);
+        let noise = NoiseParams::default();
+        for kind in PolicyKind::ALL {
+            let mut from_shared = shared.build(kind);
+            let shared_run =
+                Simulator::new(&code, noise, 41).run_with_policy(from_shared.as_mut(), 10);
+            let mut from_fresh = fresh.build(kind);
+            let fresh_run =
+                Simulator::new(&code, noise, 41).run_with_policy(from_fresh.as_mut(), 10);
+            assert_eq!(shared_run, fresh_run, "{kind:?}");
         }
     }
 

@@ -1,10 +1,10 @@
 //! Minimal in-tree substitute for the `serde` crate.
 //!
 //! [`Serialize`] converts a value into a JSON [`Value`] tree, which
-//! `serde_json` renders to text. [`Deserialize`] exists so that
-//! `#[derive(Serialize, Deserialize)]` on the workspace's result types
-//! compiles; no deserializer backend is provided (nothing in the workspace
-//! parses JSON back). See `vendor/README.md`.
+//! `serde_json` renders to text. [`Deserialize`] is the inverse: it rebuilds a
+//! value from a [`Value`] tree (which `serde_json::from_str` produces by
+//! parsing JSON text), so `#[derive(Serialize, Deserialize)]` round-trips the
+//! workspace's spec and result types. See `vendor/README.md`.
 
 #![warn(missing_docs)]
 
@@ -39,9 +39,26 @@ pub trait Serialize {
     fn to_value(&self) -> Value;
 }
 
-/// Marker trait so `#[derive(Deserialize)]` compiles; no decoding backend is
-/// provided by this facade.
-pub trait Deserialize {}
+/// Types that can be rebuilt from a JSON [`Value`].
+///
+/// The facade's single deserialization format mirrors [`Serialize`]: named
+/// structs from objects, tuple structs from arrays, unit enum variants from
+/// strings, payload variants from single-entry objects.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a JSON value tree.
+    ///
+    /// # Errors
+    /// Returns a [`de::Error`] describing the first mismatch between the value
+    /// tree and the expected shape.
+    fn from_value(value: &Value) -> Result<Self, de::Error>;
+
+    /// The value to use when a struct field of this type is absent from the
+    /// JSON object entirely. `None` (the default) makes the absence an error;
+    /// only `Option` opts in to tolerating omission.
+    fn from_missing() -> Option<Self> {
+        None
+    }
+}
 
 macro_rules! impl_serialize_int {
     ($($t:ty => $variant:ident as $cast:ty),*) => {$(
@@ -50,7 +67,16 @@ macro_rules! impl_serialize_int {
                 Value::$variant(*self as $cast)
             }
         }
-        impl Deserialize for $t {}
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, de::Error> {
+                let parsed = match *value {
+                    Value::U64(n) => <$t>::try_from(n).ok(),
+                    Value::I64(n) => <$t>::try_from(n).ok(),
+                    _ => None,
+                };
+                parsed.ok_or_else(|| de::expected(stringify!($t), value))
+            }
+        }
     )*};
 }
 
@@ -66,21 +92,43 @@ impl Serialize for f64 {
         Value::F64(*self)
     }
 }
-impl Deserialize for f64 {}
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match *value {
+            Value::F64(x) => Ok(x),
+            Value::I64(n) => Ok(n as f64),
+            Value::U64(n) => Ok(n as f64),
+            // Non-finite floats serialize as `null` (JSON has no NaN/Inf).
+            Value::Null => Ok(f64::NAN),
+            _ => Err(de::expected("f64", value)),
+        }
+    }
+}
 
 impl Serialize for f32 {
     fn to_value(&self) -> Value {
         Value::F64(f64::from(*self))
     }
 }
-impl Deserialize for f32 {}
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        f64::from_value(value).map(|x| x as f32)
+    }
+}
 
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
     }
 }
-impl Deserialize for bool {}
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(de::expected("bool", value)),
+        }
+    }
+}
 
 impl Serialize for str {
     fn to_value(&self) -> Value {
@@ -93,7 +141,14 @@ impl Serialize for String {
         Value::Str(self.clone())
     }
 }
-impl Deserialize for String {}
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(de::expected("string", value)),
+        }
+    }
+}
 
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
@@ -106,7 +161,14 @@ impl<T: Serialize> Serialize for Vec<T> {
         Value::Array(self.iter().map(Serialize::to_value).collect())
     }
 }
-impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(de::expected("array", value)),
+        }
+    }
+}
 
 impl<T: Serialize> Serialize for [T] {
     fn to_value(&self) -> Value {
@@ -120,6 +182,16 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
     }
 }
 
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        let items = Vec::<T>::from_value(value)?;
+        let len = items.len();
+        items.try_into().map_err(|_| {
+            de::Error::new(format!("expected array of length {N}, found length {len}"))
+        })
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
         match self {
@@ -128,11 +200,29 @@ impl<T: Serialize> Serialize for Option<T> {
         }
     }
 }
-impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn from_missing() -> Option<Self> {
+        Some(None)
+    }
+}
 
 impl<A: Serialize, B: Serialize> Serialize for (A, B) {
     fn to_value(&self) -> Value {
         Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        let items = de::as_array(value, "2-tuple", 2)?;
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
     }
 }
 
@@ -142,9 +232,153 @@ impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
     }
 }
 
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        let items = de::as_array(value, "3-tuple", 3)?;
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?, C::from_value(&items[2])?))
+    }
+}
+
 impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
     fn to_value(&self) -> Value {
         Value::Object(self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect::<Result<_, de::Error>>(),
+            _ => Err(de::expected("object", value)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        Ok(value.clone())
+    }
+}
+
+/// Deserializer-side plumbing used by the derive macro and the generic impls.
+pub mod de {
+    use super::{Deserialize, Value};
+
+    /// Why a value tree could not be decoded into the requested type.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error {
+        message: String,
+    }
+
+    impl Error {
+        /// Creates an error with an explicit message.
+        #[must_use]
+        pub fn new(message: impl Into<String>) -> Self {
+            Error { message: message.into() }
+        }
+
+        /// Prefixes the error with the type/field context it occurred in.
+        #[must_use]
+        pub fn in_context(self, context: &str) -> Self {
+            Error { message: format!("{context}: {}", self.message) }
+        }
+    }
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.message)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// The JSON kind of a value, for error messages.
+    #[must_use]
+    pub fn kind(value: &Value) -> &'static str {
+        match value {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// "expected X, found Y" error constructor.
+    #[must_use]
+    pub fn expected(what: &str, found: &Value) -> Error {
+        Error::new(format!("expected {what}, found {}", kind(found)))
+    }
+
+    /// Error for an enum payload naming no known variant.
+    #[must_use]
+    pub fn unknown_variant(ty: &str, variant: &str) -> Error {
+        Error::new(format!("unknown {ty} variant `{variant}`"))
+    }
+
+    /// Interprets `value` as the field list of a named struct `ty`.
+    ///
+    /// # Errors
+    /// Returns an error when the value is not a JSON object.
+    pub fn as_object<'v>(value: &'v Value, ty: &str) -> Result<&'v [(String, Value)], Error> {
+        match value {
+            Value::Object(fields) => Ok(fields),
+            _ => Err(expected(&format!("object for {ty}"), value)),
+        }
+    }
+
+    /// Interprets `value` as the element list of a tuple (struct) of `arity`.
+    ///
+    /// # Errors
+    /// Returns an error when the value is not an array of exactly `arity` items.
+    pub fn as_array<'v>(value: &'v Value, ty: &str, arity: usize) -> Result<&'v [Value], Error> {
+        match value {
+            Value::Array(items) if items.len() == arity => Ok(items),
+            Value::Array(items) => Err(Error::new(format!(
+                "expected {arity} elements for {ty}, found {}",
+                items.len()
+            ))),
+            _ => Err(expected(&format!("array for {ty}"), value)),
+        }
+    }
+
+    /// Decodes the named field of a struct's field list. A missing key is an
+    /// error for every type except `Option`, which decodes to `None` (via
+    /// [`Deserialize::from_missing`]).
+    ///
+    /// # Errors
+    /// Returns an error when the field is absent (and not an `Option`) or
+    /// decodes with an error of its own.
+    pub fn field<T: Deserialize>(
+        fields: &[(String, Value)],
+        ty: &str,
+        name: &str,
+    ) -> Result<T, Error> {
+        match fields.iter().find(|(key, _)| key == name) {
+            Some((_, value)) => {
+                T::from_value(value).map_err(|e| e.in_context(&format!("{ty}.{name}")))
+            }
+            None => T::from_missing()
+                .ok_or_else(|| Error::new(format!("missing field `{name}` for {ty}"))),
+        }
+    }
+
+    /// Decodes element `index` of a tuple struct's element list.
+    ///
+    /// # Errors
+    /// Propagates the element's own decoding error, with context.
+    pub fn element<T: Deserialize>(items: &[Value], ty: &str, index: usize) -> Result<T, Error> {
+        T::from_value(&items[index]).map_err(|e| e.in_context(&format!("{ty}.{index}")))
     }
 }
 
@@ -198,6 +432,62 @@ mod tests {
         assert_eq!(v, Value::Array(vec![Value::U64(1), Value::U64(2), Value::U64(3)]));
         let pair = (1u8, "a".to_string()).to_value();
         assert_eq!(pair, Value::Array(vec![Value::U64(1), Value::Str("a".into())]));
+    }
+
+    #[test]
+    fn primitives_deserialize_from_expected_variants() {
+        assert_eq!(usize::from_value(&Value::U64(3)).unwrap(), 3);
+        assert_eq!(u32::from_value(&Value::I64(7)).unwrap(), 7);
+        assert_eq!(i32::from_value(&Value::I64(-2)).unwrap(), -2);
+        assert_eq!(f64::from_value(&Value::F64(1.5)).unwrap(), 1.5);
+        assert_eq!(f64::from_value(&Value::U64(4)).unwrap(), 4.0);
+        assert!(bool::from_value(&Value::Bool(true)).unwrap());
+        assert_eq!(String::from_value(&Value::Str("x".into())).unwrap(), "x");
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_value(&Value::U64(9)).unwrap(), Some(9));
+    }
+
+    #[test]
+    fn out_of_range_and_mistyped_values_error() {
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert!(u32::from_value(&Value::I64(-1)).is_err());
+        assert!(usize::from_value(&Value::Str("3".into())).is_err());
+        assert!(bool::from_value(&Value::U64(1)).is_err());
+        assert!(String::from_value(&Value::Null).is_err());
+        assert!(Vec::<u8>::from_value(&Value::Object(vec![])).is_err());
+    }
+
+    #[test]
+    fn containers_deserialize_recursively() {
+        let v = Value::Array(vec![Value::U64(1), Value::U64(2)]);
+        assert_eq!(Vec::<u32>::from_value(&v).unwrap(), vec![1, 2]);
+        assert_eq!(<[u32; 2]>::from_value(&v).unwrap(), [1, 2]);
+        assert!(<[u32; 3]>::from_value(&v).is_err());
+        let pair = Value::Array(vec![Value::U64(1), Value::Str("a".into())]);
+        assert_eq!(<(u8, String)>::from_value(&pair).unwrap(), (1, "a".to_string()));
+        let map = Value::Object(vec![("k".into(), Value::U64(5))]);
+        let decoded = BTreeMap::<String, u64>::from_value(&map).unwrap();
+        assert_eq!(decoded.get("k"), Some(&5));
+    }
+
+    #[test]
+    fn field_helper_tolerates_missing_options_only() {
+        let fields = vec![("a".to_string(), Value::U64(1))];
+        assert_eq!(de::field::<u32>(&fields, "T", "a").unwrap(), 1);
+        assert_eq!(de::field::<Option<u32>>(&fields, "T", "b").unwrap(), None);
+        let err = de::field::<u32>(&fields, "T", "b").unwrap_err();
+        assert!(err.to_string().contains("missing field `b`"));
+        // A missing f64 must be an error, not a silent NaN (only an explicit
+        // JSON `null` — the serialization of a non-finite float — is NaN).
+        let err = de::field::<f64>(&fields, "T", "p").unwrap_err();
+        assert!(err.to_string().contains("missing field `p`"));
+        let err = de::field::<Value>(&fields, "T", "v").unwrap_err();
+        assert!(err.to_string().contains("missing field `v`"));
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip_as_null() {
+        assert!(f64::from_value(&Value::Null).unwrap().is_nan());
     }
 
     #[test]

@@ -98,14 +98,114 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     output.parse().expect("derived Serialize impl must be valid Rust")
 }
 
-/// Derives the facade's marker `serde::Deserialize` trait.
+/// Derives `serde::Deserialize` by emitting a `from_value` that rebuilds the
+/// type from the JSON tree shape its derived `Serialize` produces.
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let shape = parse_shape(input);
+    let body = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut out =
+                format!("let fields = ::serde::de::as_object(value, \"{name}\")?;\nOk({name} {{\n");
+            for field in fields {
+                let _ =
+                    writeln!(out, "{field}: ::serde::de::field(fields, \"{name}\", \"{field}\")?,");
+            }
+            out.push_str("})");
+            out
+        }
+        Shape::TupleStruct { name, arity } => {
+            let elements: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::de::element(items, \"{name}\", {i})?"))
+                .collect();
+            format!(
+                "let items = ::serde::de::as_array(value, \"{name}\", {arity})?;\n\
+                 let _ = items;\n\
+                 Ok({name}({}))",
+                elements.join(", ")
+            )
+        }
+        Shape::Enum { name, variants } => enum_from_value_body(name, variants),
+    };
     let name = shape_name(&shape);
-    format!("#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{}}")
-        .parse()
-        .expect("derived Deserialize impl must be valid Rust")
+    let output = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n\
+         }}"
+    );
+    output.parse().expect("derived Deserialize impl must be valid Rust")
+}
+
+/// Builds the `from_value` body of an enum: unit variants decode from their
+/// name as a string, payload variants from a single-entry `{variant: payload}`
+/// object — the exact trees the derived `Serialize` emits.
+fn enum_from_value_body(name: &str, variants: &[Variant]) -> String {
+    let unit: Vec<&String> = variants
+        .iter()
+        .filter_map(|v| if let Variant::Unit(v) = v { Some(v) } else { None })
+        .collect();
+    let mut arms = String::new();
+    if !unit.is_empty() {
+        let mut inner = String::new();
+        for v in &unit {
+            let _ = writeln!(inner, "\"{v}\" => Ok({name}::{v}),");
+        }
+        let _ = writeln!(
+            arms,
+            "::serde::Value::Str(variant) => match variant.as_str() {{\n{inner}\
+             other => Err(::serde::de::unknown_variant(\"{name}\", other)),\n}},"
+        );
+    }
+    let payload: Vec<&Variant> =
+        variants.iter().filter(|v| !matches!(v, Variant::Unit(_))).collect();
+    if !payload.is_empty() {
+        let mut inner = String::new();
+        for variant in &payload {
+            match variant {
+                Variant::Unit(_) => unreachable!("unit variants are handled above"),
+                Variant::Named(v, fields) => {
+                    let mut build = format!(
+                        "let fields = ::serde::de::as_object(payload, \"{name}::{v}\")?;\n\
+                         Ok({name}::{v} {{\n"
+                    );
+                    for field in fields {
+                        let _ = writeln!(
+                            build,
+                            "{field}: ::serde::de::field(fields, \"{name}::{v}\", \"{field}\")?,"
+                        );
+                    }
+                    build.push_str("})");
+                    let _ = writeln!(inner, "\"{v}\" => {{ {build} }},");
+                }
+                Variant::Tuple(v, arity) => {
+                    let elements: Vec<String> = (0..*arity)
+                        .map(|i| format!("::serde::de::element(items, \"{name}::{v}\", {i})?"))
+                        .collect();
+                    let _ = writeln!(
+                        inner,
+                        "\"{v}\" => {{\n\
+                         let items = ::serde::de::as_array(payload, \"{name}::{v}\", {arity})?;\n\
+                         let _ = items;\n\
+                         Ok({name}::{v}({}))\n}},",
+                        elements.join(", ")
+                    );
+                }
+            }
+        }
+        let _ = writeln!(
+            arms,
+            "::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+             let (variant, payload) = &entries[0];\n\
+             let _ = payload;\n\
+             match variant.as_str() {{\n{inner}\
+             other => Err(::serde::de::unknown_variant(\"{name}\", other)),\n}}\n}},"
+        );
+    }
+    format!(
+        "match value {{\n{arms}other => Err(::serde::de::expected(\"enum {name}\", other)),\n}}"
+    )
 }
 
 fn shape_name(shape: &Shape) -> &str {

@@ -1,19 +1,27 @@
 //! Minimal in-tree substitute for `serde_json`: renders the facade's
-//! [`serde::Value`] tree to JSON text. See `vendor/README.md`.
+//! [`serde::Value`] tree to JSON text and parses JSON text back into value
+//! trees / `Deserialize` types. See `vendor/README.md`.
 
 #![warn(missing_docs)]
 
-use serde::Serialize;
 pub use serde::Value;
+use serde::{Deserialize, Serialize};
 
-/// Serialization can only fail for non-serializable types, which the facade's
-/// trait design makes unrepresentable; the type exists for API compatibility.
-#[derive(Debug)]
-pub struct Error;
+/// A JSON serialization or parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error { message: message.into() }
+    }
+}
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "json serialization error")
+        write!(f, "{}", self.message)
     }
 }
 
@@ -37,6 +45,262 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     let mut out = String::new();
     render(&value.to_value(), Some(2), 0, &mut out);
     Ok(out)
+}
+
+/// Parses JSON text into a value of any [`Deserialize`] type.
+///
+/// # Errors
+/// Returns an error describing the first syntax error in the input, or the
+/// first mismatch between the parsed tree and the target type's shape.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
+    let value = value_from_str(input)?;
+    T::from_value(&value).map_err(|e| Error::new(e.to_string()))
+}
+
+/// Parses JSON text into a [`Value`] tree.
+///
+/// # Errors
+/// Returns an error describing the first syntax error (position included).
+pub fn value_from_str(input: &str) -> Result<Value, Error> {
+    let mut parser = Parser { bytes: input.as_bytes(), pos: 0, depth: 0 };
+    parser.skip_whitespace();
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+/// Maximum container nesting the parser accepts (mirrors real serde_json's
+/// recursion limit); beyond it, input is rejected instead of overflowing the
+/// stack.
+const MAX_PARSE_DEPTH: usize = 128;
+
+/// Recursive-descent JSON parser over the raw input bytes.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: impl std::fmt::Display) -> Error {
+        Error::new(format!("{message} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", byte as char)))
+        }
+    }
+
+    /// Consumes `keyword` if it is next in the input.
+    fn eat_keyword(&mut self, keyword: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(keyword.as_bytes()) {
+            self.pos += keyword.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    /// Bumps the nesting depth on container entry; callers decrement on exit.
+    fn enter(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(self.error(format!("nesting deeper than {MAX_PARSE_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        self.enter()?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        self.enter()?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            fields.push((key, self.parse_value()?));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.error("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    out.push(self.parse_escape()?);
+                }
+                None => return Err(self.error("unterminated string")),
+                Some(_) => unreachable!("scan loop stops only at quote or backslash"),
+            }
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<char, Error> {
+        let escape = self.peek().ok_or_else(|| self.error("unterminated escape"))?;
+        self.pos += 1;
+        Ok(match escape {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'b' => '\u{8}',
+            b'f' => '\u{c}',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'u' => {
+                let high = self.parse_hex4()?;
+                // Surrogate pairs arrive as two consecutive \u escapes.
+                if (0xD800..0xDC00).contains(&high) {
+                    if !self.eat_keyword("\\u") {
+                        return Err(self.error("unpaired surrogate escape"));
+                    }
+                    let low = self.parse_hex4()?;
+                    if !(0xDC00..0xE000).contains(&low) {
+                        return Err(self.error("invalid low surrogate"));
+                    }
+                    let scalar = 0x10000 + ((high - 0xD800) << 10) + (low - 0xDC00);
+                    char::from_u32(scalar).ok_or_else(|| self.error("invalid surrogate pair"))?
+                } else {
+                    char::from_u32(high).ok_or_else(|| self.error("invalid unicode escape"))?
+                }
+            }
+            other => return Err(self.error(format!("invalid escape `\\{}`", other as char))),
+        })
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let digits = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|d| std::str::from_utf8(d).ok())
+            .ok_or_else(|| self.error("truncated \\u escape"))?;
+        let code =
+            u32::from_str_radix(digits, 16).map_err(|_| self.error("invalid hex in \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number characters are ASCII");
+        if !is_float {
+            if let Some(digits) = text.strip_prefix('-') {
+                if let Ok(n) = digits.parse::<u64>() {
+                    if let Ok(signed) = i64::try_from(n) {
+                        return Ok(Value::I64(-signed));
+                    }
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::new(format!("invalid number `{text}` at byte {start}")))
+    }
 }
 
 fn render(value: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
@@ -161,5 +425,90 @@ mod tests {
     #[test]
     fn strings_are_escaped() {
         assert_eq!(to_string(&"a\"b\n".to_string()).unwrap(), r#""a\"b\n""#);
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(value_from_str("null").unwrap(), Value::Null);
+        assert_eq!(value_from_str("true").unwrap(), Value::Bool(true));
+        assert_eq!(value_from_str(" false ").unwrap(), Value::Bool(false));
+        assert_eq!(value_from_str("42").unwrap(), Value::U64(42));
+        assert_eq!(value_from_str("-7").unwrap(), Value::I64(-7));
+        assert_eq!(value_from_str("0.001").unwrap(), Value::F64(0.001));
+        assert_eq!(value_from_str("1e-3").unwrap(), Value::F64(0.001));
+        assert_eq!(value_from_str("-2.5E2").unwrap(), Value::F64(-250.0));
+        assert_eq!(value_from_str("\"hi\"").unwrap(), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let value = value_from_str(r#"{"a": [1, {"b": null}], "c": "x"}"#).unwrap();
+        assert_eq!(
+            value,
+            Value::Object(vec![
+                (
+                    "a".into(),
+                    Value::Array(vec![
+                        Value::U64(1),
+                        Value::Object(vec![("b".into(), Value::Null)]),
+                    ])
+                ),
+                ("c".into(), Value::Str("x".into())),
+            ])
+        );
+        assert_eq!(value_from_str("[]").unwrap(), Value::Array(vec![]));
+        assert_eq!(value_from_str("{}").unwrap(), Value::Object(vec![]));
+    }
+
+    #[test]
+    fn parses_string_escapes() {
+        assert_eq!(value_from_str(r#""a\"b\n\tA""#).unwrap(), Value::Str("a\"b\n\tA".into()));
+        assert_eq!(value_from_str(r#""😀""#).unwrap(), Value::Str("😀".into()));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "tru", "[1,", "{\"a\" 1}", "\"open", "1 2", "[1] trailing", "{1: 2}"] {
+            assert!(value_from_str(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn rejects_excessive_nesting_without_overflowing() {
+        let deep = "[".repeat(200_000) + &"]".repeat(200_000);
+        let err = value_from_str(&deep).unwrap_err();
+        assert!(err.to_string().contains("nesting deeper than"));
+        // Exactly at the limit still parses.
+        let at_limit = "[".repeat(128) + &"]".repeat(128);
+        assert!(value_from_str(&at_limit).is_ok());
+        assert!(value_from_str(&("[".repeat(129) + &"]".repeat(129))).is_err());
+    }
+
+    #[test]
+    fn from_str_decodes_typed_values() {
+        assert_eq!(from_str::<Vec<u32>>("[1, 2, 3]").unwrap(), vec![1, 2, 3]);
+        assert_eq!(from_str::<Option<f64>>("null").unwrap(), None);
+        assert!(from_str::<Vec<u32>>("[1, -2]").is_err());
+    }
+
+    #[test]
+    fn rendered_json_reparses_identically() {
+        let value = Value::Object(vec![
+            ("name".into(), Value::Str("cell \"a\"\n".into())),
+            ("p".into(), Value::F64(0.001)),
+            ("counts".into(), Value::Array(vec![Value::U64(3), Value::I64(-1)])),
+            ("flag".into(), Value::Bool(true)),
+            ("missing".into(), Value::Null),
+        ]);
+        struct Wrapper(Value);
+        impl Serialize for Wrapper {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        let compact = to_string(&Wrapper(value.clone())).unwrap();
+        assert_eq!(value_from_str(&compact).unwrap(), value);
+        let pretty = to_string_pretty(&Wrapper(value.clone())).unwrap();
+        assert_eq!(value_from_str(&pretty).unwrap(), value);
     }
 }
