@@ -1,27 +1,44 @@
-//! `repro` — regenerate the paper's experiments and run declarative sweeps.
+//! `repro` — regenerate the paper's experiments, run declarative sweeps, and
+//! manage record-once/replay-many trace corpora.
 //!
 //! ```text
 //! repro run      [--scale smoke|quick|paper] [--out DIR] [EXPERIMENT ...]
 //! repro sweep    [--spec FILE | --grid KEY=V,V ...] [options] [--out FILE]
+//!                [--corpus DIR [--record-policy LABEL]]
+//! repro record   [--spec FILE | --grid KEY=V,V ...] [options] --corpus DIR
+//! repro replay   --corpus DIR [--policy L1,L2] [--decode] [--verify-live]
+//! repro corpus   DIR [--verify]
 //! repro list
-//! repro snapshot [--out FILE] [--check BASELINE] [--tolerance FRACTION]
+//! repro snapshot [--out FILE] [--trace-out FILE] [--check BASELINE]
+//!                [--check-trace BASELINE] [--tolerance FRACTION]
+//! repro version | repro --version
 //! ```
 //!
 //! Argument parsing is strict: unknown subcommands, flags or experiment names
-//! print usage to stderr and exit with status 2. `snapshot --check` exits 1
-//! when a benchmark regressed beyond the tolerance. Everything else exits 0.
+//! print usage to stderr and exit with status 2. `snapshot --check[-trace]`
+//! exits 1 when a benchmark regressed beyond the tolerance; `replay
+//! --verify-live` and `corpus --verify` exit 1 on a mismatch/corruption.
+//! Everything else exits 0.
 
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use leakage_speculation::PolicyKind;
+use qec_experiments::replay::{
+    cell_key, load_entry, record_into_corpus, replay_corpus, trace_snapshot, ReplayOptions,
+    ReplayReport, REPLAY_SCHEMA_VERSION,
+};
 use qec_experiments::report::{
     bench_lines_to_string, compare_bench_lines, fmt_float, parse_bench_lines, text_table, to_json,
 };
 use qec_experiments::runners::{self, Scale};
 use qec_experiments::scenario::CodeFamily;
-use qec_experiments::sweep::{run_sweep, snapshot, snapshot_spec, SweepReport, SweepSpec};
+use qec_experiments::sweep::{
+    git_describe, run_sweep, run_sweep_with_corpus, snapshot, snapshot_spec, SweepReport,
+    SweepSpec, SWEEP_SCHEMA_VERSION,
+};
+use qec_trace::Corpus;
 
 const EXPERIMENTS: &[&str] = &[
     "fig1", "fig3", "fig4b", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
@@ -38,14 +55,29 @@ commands:
             repro sweep [--spec FILE.json | --grid KEY=V[,V...] ...]
             [--scale smoke|quick|paper] [--shots N] [--rounds-per-distance N]
             [--seed N] [--no-decode] [--no-timing] [--out FILE]
+            [--corpus DIR [--record-policy LABEL]]
             grid keys: d=3,5,7  p=1e-3,2e-3  lr=0.1  policy=eraser+m,...
             code=surface|color|hgp|bpc
+            with --corpus, each policy-free cell is simulated once (recorded
+            into DIR as a .qtr trace) and every grid policy is replayed
+  record    record the grid's policy-free cells into a trace corpus:
+            repro record [--spec FILE.json | --grid ...] [--scale ...]
+            [--shots N] [--rounds-per-distance N] [--seed N]
+            [--record-policy LABEL] --corpus DIR
+  replay    replay policies against a recorded corpus without re-simulating:
+            repro replay --corpus DIR [--policy L1,L2,...] [--decode]
+            [--verify-live] [--out FILE]
+  corpus    inspect a corpus manifest: repro corpus DIR [--verify]
+            (--verify re-reads every trace, checking CRCs and code identity)
   list      print known experiments, policies and code families
-  snapshot  run the pinned perf sweep and write BENCH-format lines:
-            repro snapshot [--out FILE] [--check BASELINE]
-            [--tolerance FRACTION]        (default tolerance 0.25 = +25%)
+  snapshot  run the pinned perf sweeps and write BENCH-format lines:
+            repro snapshot [--out FILE] [--trace-out FILE] [--check BASELINE]
+            [--check-trace BASELINE] [--tolerance FRACTION]
+            (default tolerance 0.25 = +25%)
+  version   print version, git provenance and schema versions (also --version)
 
-exit status: 0 ok; 1 perf regression (snapshot --check); 2 usage error
+exit status: 0 ok; 1 gate failure (snapshot --check*, replay --verify-live,
+corpus --verify); 2 usage error
 ";
 
 /// A usage error: the message is printed to stderr followed by the usage text.
@@ -65,8 +97,12 @@ fn main() -> ExitCode {
             print!("{USAGE}");
             Ok(ExitCode::SUCCESS)
         }
+        Some("--version" | "-V" | "version") => cmd_version(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("record") => cmd_record(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("corpus") => cmd_corpus(&args[1..]),
         Some("list") => cmd_list(&args[1..]),
         Some("snapshot") => cmd_snapshot(&args[1..]),
         Some(other) => Err(UsageError::new(format!("unknown command `{other}`"))),
@@ -174,78 +210,127 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, UsageError> {
 // repro sweep
 // ---------------------------------------------------------------------------------
 
-fn cmd_sweep(args: &[String]) -> Result<ExitCode, UsageError> {
-    let mut scale: Option<Scale> = None;
-    let mut spec_file: Option<PathBuf> = None;
-    let mut grid: Vec<(String, String)> = Vec::new();
-    let mut shots: Option<usize> = None;
-    let mut rounds_per_distance: Option<usize> = None;
-    let mut seed: Option<u64> = None;
-    let mut decode = true;
-    let mut timing = true;
-    let mut out: Option<PathBuf> = None;
-    let mut iter = Args::new(args);
-    while let Some(arg) = iter.next() {
+/// The spec-building flags shared by `sweep` and `record`: a grid (or spec
+/// file) plus scalar overrides.
+#[derive(Default)]
+struct SpecFlags {
+    scale: Option<Scale>,
+    spec_file: Option<PathBuf>,
+    grid: Vec<(String, String)>,
+    shots: Option<usize>,
+    rounds_per_distance: Option<usize>,
+    seed: Option<u64>,
+    no_decode: bool,
+}
+
+impl SpecFlags {
+    /// Consumes `arg` when it is a spec flag, returning whether it was one.
+    fn try_consume(&mut self, arg: &str, iter: &mut Args<'_>) -> Result<bool, UsageError> {
         match arg {
-            "--spec" => spec_file = Some(PathBuf::from(iter.value("--spec")?)),
+            "--spec" => self.spec_file = Some(PathBuf::from(iter.value("--spec")?)),
             "--grid" => {
-                grid.push(split_grid_entry(iter.value("--grid")?)?);
+                self.grid.push(split_grid_entry(iter.value("--grid")?)?);
                 // Consume every following KEY=VALUES token.
                 while iter.peek().is_some_and(|a| !a.starts_with("--") && a.contains('=')) {
                     let entry = iter.next().expect("peeked above");
-                    grid.push(split_grid_entry(entry)?);
+                    self.grid.push(split_grid_entry(entry)?);
                 }
             }
-            "--scale" => scale = Some(parse_scale(iter.value("--scale")?)?),
-            "--shots" => shots = Some(parse_number("--shots", iter.value("--shots")?)?),
+            "--scale" => self.scale = Some(parse_scale(iter.value("--scale")?)?),
+            "--shots" => self.shots = Some(parse_number("--shots", iter.value("--shots")?)?),
             "--rounds-per-distance" => {
                 let value = iter.value("--rounds-per-distance")?;
-                rounds_per_distance = Some(parse_number("--rounds-per-distance", value)?);
+                self.rounds_per_distance = Some(parse_number("--rounds-per-distance", value)?);
             }
-            "--seed" => seed = Some(parse_number("--seed", iter.value("--seed")?)?),
-            "--no-decode" => decode = false,
+            "--seed" => self.seed = Some(parse_number("--seed", iter.value("--seed")?)?),
+            "--no-decode" => self.no_decode = true,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Lowers the collected flags to a concrete [`SweepSpec`].
+    fn build(self) -> Result<SweepSpec, UsageError> {
+        let mut spec = match (&self.spec_file, self.grid.is_empty()) {
+            (Some(_), false) => {
+                return Err(UsageError::new("--spec and --grid are mutually exclusive"));
+            }
+            (Some(path), true) => {
+                // A spec file is complete on its own; --scale only shapes the
+                // grid-path defaults, so combining them would be silently ignored.
+                if self.scale.is_some() {
+                    return Err(UsageError::new("--scale applies only without --spec"));
+                }
+                let text = fs::read_to_string(path)
+                    .map_err(|e| UsageError::new(format!("--spec {}: {e}", path.display())))?;
+                serde_json::from_str::<SweepSpec>(&text)
+                    .map_err(|e| UsageError::new(format!("--spec {}: {e}", path.display())))?
+            }
+            (None, _) => {
+                let mut spec = SweepSpec::for_scale(&self.scale.unwrap_or_else(Scale::quick));
+                apply_grid(&mut spec, &self.grid)?;
+                spec
+            }
+        };
+        // Scalar flags override whatever produced the spec (grid defaults or file).
+        if let Some(shots) = self.shots {
+            spec.shots = shots;
+        }
+        if let Some(k) = self.rounds_per_distance {
+            spec.rounds_per_distance = k;
+        }
+        if let Some(seed) = self.seed {
+            spec.seed = seed;
+        }
+        if self.no_decode {
+            spec.decode = false;
+        }
+        Ok(spec)
+    }
+}
+
+fn parse_policy_label(label: &str) -> Result<PolicyKind, UsageError> {
+    PolicyKind::from_label(label.trim()).ok_or_else(|| {
+        UsageError::new(format!(
+            "unknown policy `{label}`; known: {}",
+            PolicyKind::ALL.map(PolicyKind::label).join(", ")
+        ))
+    })
+}
+
+fn cmd_sweep(args: &[String]) -> Result<ExitCode, UsageError> {
+    let mut flags = SpecFlags::default();
+    let mut timing = true;
+    let mut out: Option<PathBuf> = None;
+    let mut corpus_dir: Option<PathBuf> = None;
+    let mut record_policy: Option<PolicyKind> = None;
+    let mut iter = Args::new(args);
+    while let Some(arg) = iter.next() {
+        if flags.try_consume(arg, &mut iter)? {
+            continue;
+        }
+        match arg {
             "--no-timing" => timing = false,
             "--out" => out = Some(PathBuf::from(iter.value("--out")?)),
+            "--corpus" => corpus_dir = Some(PathBuf::from(iter.value("--corpus")?)),
+            "--record-policy" => {
+                record_policy = Some(parse_policy_label(iter.value("--record-policy")?)?);
+            }
             other => {
                 return Err(UsageError::new(format!("unknown argument `{other}` for `sweep`")));
             }
         }
     }
-    let mut spec = match (&spec_file, grid.is_empty()) {
-        (Some(_), false) => {
-            return Err(UsageError::new("--spec and --grid are mutually exclusive"));
+    if record_policy.is_some() && corpus_dir.is_none() {
+        return Err(UsageError::new("--record-policy requires --corpus"));
+    }
+    let spec = flags.build()?;
+    let report = match &corpus_dir {
+        Some(dir) => {
+            run_sweep_with_corpus(&spec, dir, record_policy, timing).map_err(UsageError::new)?
         }
-        (Some(path), true) => {
-            // A spec file is complete on its own; --scale only shapes the
-            // grid-path defaults, so combining them would be silently ignored.
-            if scale.is_some() {
-                return Err(UsageError::new("--scale applies only without --spec"));
-            }
-            let text = fs::read_to_string(path)
-                .map_err(|e| UsageError::new(format!("--spec {}: {e}", path.display())))?;
-            serde_json::from_str::<SweepSpec>(&text)
-                .map_err(|e| UsageError::new(format!("--spec {}: {e}", path.display())))?
-        }
-        (None, _) => {
-            let mut spec = SweepSpec::for_scale(&scale.unwrap_or_else(Scale::quick));
-            apply_grid(&mut spec, &grid)?;
-            spec
-        }
+        None => run_sweep(&spec, timing).map_err(UsageError::new)?,
     };
-    // Scalar flags override whatever produced the spec (grid defaults or file).
-    if let Some(shots) = shots {
-        spec.shots = shots;
-    }
-    if let Some(k) = rounds_per_distance {
-        spec.rounds_per_distance = k;
-    }
-    if let Some(seed) = seed {
-        spec.seed = seed;
-    }
-    if !decode {
-        spec.decode = false;
-    }
-    let report = run_sweep(&spec, timing).map_err(UsageError::new)?;
     let json = to_json(&report);
     // Persist the artifact before any (interruptible) console output, so a
     // consumer that closes our stdout early still gets the report on disk.
@@ -352,6 +437,267 @@ fn sweep_summary(report: &SweepReport) -> String {
 }
 
 // ---------------------------------------------------------------------------------
+// repro record
+// ---------------------------------------------------------------------------------
+
+fn cmd_record(args: &[String]) -> Result<ExitCode, UsageError> {
+    let mut flags = SpecFlags::default();
+    let mut corpus_dir: Option<PathBuf> = None;
+    let mut record_policy: Option<PolicyKind> = None;
+    let mut iter = Args::new(args);
+    while let Some(arg) = iter.next() {
+        if flags.try_consume(arg, &mut iter)? {
+            continue;
+        }
+        match arg {
+            "--corpus" => corpus_dir = Some(PathBuf::from(iter.value("--corpus")?)),
+            "--record-policy" => {
+                record_policy = Some(parse_policy_label(iter.value("--record-policy")?)?);
+            }
+            other => {
+                return Err(UsageError::new(format!("unknown argument `{other}` for `record`")));
+            }
+        }
+    }
+    let corpus_dir = corpus_dir.ok_or_else(|| UsageError::new("record requires --corpus DIR"))?;
+    let spec = flags.build()?;
+    let scenarios = spec.expand().map_err(UsageError::new)?;
+    let recording = record_policy
+        .or_else(|| scenarios.first().map(|s| s.policy))
+        .expect("expansion yields at least one scenario");
+    let mut corpus = Corpus::open(&corpus_dir).map_err(|e| UsageError::new(e.to_string()))?;
+    let generator = format!("repro record {}", env!("CARGO_PKG_VERSION"));
+    let mut seen: Vec<String> = Vec::new();
+    let (mut recorded, mut cached) = (0usize, 0usize);
+    for scenario in &scenarios {
+        let key = cell_key(scenario);
+        if seen.contains(&key) {
+            continue; // several policies share one policy-free cell
+        }
+        seen.push(key.clone());
+        if let Some(entry) = corpus.lookup(&key) {
+            // A hit recorded under a different policy is not the corpus the
+            // user asked for — mirroring `sweep --corpus` strictness.
+            if entry.policy != recording.label() {
+                return Err(UsageError::new(format!(
+                    "cell {key}: corpus already holds a trace recorded with policy \
+                     `{}`, but this run records with `{}` — pass --record-policy {} or use a \
+                     fresh corpus directory",
+                    entry.policy,
+                    recording.label(),
+                    entry.policy
+                )));
+            }
+            cached += 1;
+            emit(&format!("cached   {key}"));
+            continue;
+        }
+        let entry = record_into_corpus(&mut corpus, scenario, recording, &generator)
+            .map_err(UsageError::new)?;
+        recorded += 1;
+        emit(&format!("recorded {key} -> {}", entry.file));
+    }
+    corpus.save().map_err(|e| UsageError::new(e.to_string()))?;
+    emit(&format!(
+        "({recorded} cell(s) recorded with policy {}, {cached} cached, corpus {})",
+        recording.label(),
+        corpus_dir.display()
+    ));
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------------------
+// repro replay
+// ---------------------------------------------------------------------------------
+
+fn cmd_replay(args: &[String]) -> Result<ExitCode, UsageError> {
+    let mut corpus_dir: Option<PathBuf> = None;
+    let mut options = ReplayOptions::default();
+    let mut out: Option<PathBuf> = None;
+    let mut iter = Args::new(args);
+    while let Some(arg) = iter.next() {
+        match arg {
+            "--corpus" => corpus_dir = Some(PathBuf::from(iter.value("--corpus")?)),
+            "--policy" => {
+                for label in iter.value("--policy")?.split(',') {
+                    options.policies.push(parse_policy_label(label)?);
+                }
+            }
+            "--decode" => options.decode = true,
+            "--verify-live" => options.verify_live = true,
+            "--out" => out = Some(PathBuf::from(iter.value("--out")?)),
+            other => {
+                return Err(UsageError::new(format!("unknown argument `{other}` for `replay`")));
+            }
+        }
+    }
+    let corpus_dir = corpus_dir.ok_or_else(|| UsageError::new("replay requires --corpus DIR"))?;
+    let report = replay_corpus(&corpus_dir, &options).map_err(UsageError::new)?;
+    let json = to_json(&report);
+    let summary = replay_summary(&report);
+    match &out {
+        Some(path) if path.as_os_str() == "-" => {
+            // Keep stdout machine-readable, as `sweep --out -` does.
+            eprint!("{summary}");
+            emit(&json);
+        }
+        Some(path) => {
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                fs::create_dir_all(parent).expect("create output directory");
+            }
+            fs::write(path, json.as_bytes()).expect("write replay report");
+            emit(&summary);
+            emit(&format!("(saved {} rows to {})", report.results.len(), path.display()));
+        }
+        None => emit(&summary),
+    }
+    let mismatches: Vec<&str> = report
+        .results
+        .iter()
+        .filter(|row| row.live_match == Some(false))
+        .map(|row| row.key.as_str())
+        .collect();
+    if options.verify_live {
+        let verified = report.results.iter().filter(|row| row.live_match.is_some()).count();
+        if verified == 0 {
+            // Nothing was exact, so nothing was verified — passing here would
+            // green-light a gate that checked nothing.
+            eprintln!(
+                "verify-live FAILED: no replayed policy matched a cell's recording policy, \
+                 so nothing was verified (drop --policy or include the recording policy)"
+            );
+            return Ok(ExitCode::FAILURE);
+        }
+        if mismatches.is_empty() {
+            let message = format!(
+                "verify-live OK: {verified} exact replay(s) matched the live engine bit-for-bit"
+            );
+            if out.as_ref().is_some_and(|path| path.as_os_str() == "-") {
+                // `--out -` promises pure JSON on stdout; status goes to stderr.
+                eprintln!("{message}");
+            } else {
+                emit(&message);
+            }
+        } else {
+            eprintln!(
+                "verify-live FAILED for {} cell(s): {}",
+                mismatches.len(),
+                mismatches.join(", ")
+            );
+            return Ok(ExitCode::FAILURE);
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn replay_summary(report: &ReplayReport) -> String {
+    let rows: Vec<Vec<String>> = report
+        .results
+        .iter()
+        .map(|row| {
+            vec![
+                row.code.clone(),
+                row.recorded_policy.clone(),
+                row.policy.clone(),
+                if row.exact { "yes".to_string() } else { format!("no ({})", row.divergent_shots) },
+                fmt_float(row.metrics.false_negatives),
+                fmt_float(row.metrics.false_positives),
+                fmt_float(row.metrics.lrcs_per_round),
+                row.metrics.logical_error_rate.map_or("-".to_string(), fmt_float),
+                row.live_match.map_or("-".to_string(), |ok| {
+                    if ok {
+                        "match".to_string()
+                    } else {
+                        "MISMATCH".to_string()
+                    }
+                }),
+            ]
+        })
+        .collect();
+    text_table(
+        &["code", "recorded", "policy", "exact", "FN", "FP", "LRC/round", "LER", "live"],
+        &rows,
+    )
+}
+
+// ---------------------------------------------------------------------------------
+// repro corpus
+// ---------------------------------------------------------------------------------
+
+fn cmd_corpus(args: &[String]) -> Result<ExitCode, UsageError> {
+    let mut dir: Option<PathBuf> = None;
+    let mut verify = false;
+    let mut iter = Args::new(args);
+    while let Some(arg) = iter.next() {
+        match arg {
+            "--verify" => verify = true,
+            flag if flag.starts_with('-') => {
+                return Err(UsageError::new(format!("unknown flag `{flag}` for `corpus`")));
+            }
+            path if dir.is_none() => dir = Some(PathBuf::from(path)),
+            extra => {
+                return Err(UsageError::new(format!("unexpected argument `{extra}` for `corpus`")));
+            }
+        }
+    }
+    let dir = dir.ok_or_else(|| UsageError::new("corpus requires a directory"))?;
+    let corpus = Corpus::open_existing(&dir).map_err(|e| UsageError::new(e.to_string()))?;
+    let rows: Vec<Vec<String>> = corpus
+        .entries()
+        .iter()
+        .map(|entry| {
+            vec![
+                entry.code.clone(),
+                entry.policy.clone(),
+                entry.rounds.to_string(),
+                entry.shots.to_string(),
+                entry.seed.to_string(),
+                entry.file.clone(),
+            ]
+        })
+        .collect();
+    emit(&format!("corpus {} ({} cell(s))", dir.display(), corpus.entries().len()));
+    if !rows.is_empty() {
+        emit(&text_table(&["code", "policy", "rounds", "shots", "seed", "file"], &rows));
+    }
+    if !verify {
+        return Ok(ExitCode::SUCCESS);
+    }
+    let mut corrupt = 0usize;
+    for entry in corpus.entries() {
+        match load_entry(&corpus, entry) {
+            Ok(_) => emit(&format!("verified {}", entry.file)),
+            Err(e) => {
+                corrupt += 1;
+                eprintln!("CORRUPT  {}: {e}", entry.file);
+            }
+        }
+    }
+    if corrupt > 0 {
+        eprintln!("corpus verify FAILED: {corrupt} corrupt trace(s)");
+        return Ok(ExitCode::FAILURE);
+    }
+    emit("corpus verify OK: every trace decoded with valid CRCs and matching code identity");
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------------------
+// repro version
+// ---------------------------------------------------------------------------------
+
+fn cmd_version(args: &[String]) -> Result<ExitCode, UsageError> {
+    if let Some(extra) = args.first() {
+        return Err(UsageError::new(format!("unexpected argument `{extra}` for `version`")));
+    }
+    println!("repro {} ({})", env!("CARGO_PKG_VERSION"), git_describe());
+    println!("sweep report schema:    {SWEEP_SCHEMA_VERSION}");
+    println!("replay report schema:   {REPLAY_SCHEMA_VERSION}");
+    println!("trace (.qtr) schema:    {}", qec_trace::TRACE_SCHEMA_VERSION);
+    println!("corpus manifest schema: {}", qec_trace::MANIFEST_SCHEMA_VERSION);
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------------------
 // repro list
 // ---------------------------------------------------------------------------------
 
@@ -369,15 +715,65 @@ fn cmd_list(args: &[String]) -> Result<ExitCode, UsageError> {
 // repro snapshot
 // ---------------------------------------------------------------------------------
 
+/// Writes `lines` to `out` and, when a baseline is given, gates them against
+/// it. Returns `false` when the gate failed.
+fn snapshot_gate(
+    lines: &[qec_experiments::report::BenchLine],
+    out: &PathBuf,
+    check: Option<&PathBuf>,
+    tolerance: f64,
+) -> Result<bool, UsageError> {
+    let text = bench_lines_to_string(lines);
+    // The artifact lands on disk before the (interruptible) console echo.
+    if let Some(parent) = out.parent().filter(|p| !p.as_os_str().is_empty()) {
+        fs::create_dir_all(parent).expect("create output directory");
+    }
+    fs::write(out, &text).expect("write snapshot file");
+    emit(text.trim_end());
+    emit(&format!("(saved {})", out.display()));
+    let Some(baseline_path) = check else {
+        return Ok(true);
+    };
+    let baseline_text = fs::read_to_string(baseline_path)
+        .map_err(|e| UsageError::new(format!("--check {}: {e}", baseline_path.display())))?;
+    let baseline = parse_bench_lines(&baseline_text)
+        .map_err(|e| UsageError::new(format!("--check {}: {e}", baseline_path.display())))?;
+    let regressions = compare_bench_lines(lines, &baseline, tolerance);
+    if regressions.is_empty() {
+        emit(&format!(
+            "perf gate OK: no benchmark regressed beyond +{:.0}% of {}",
+            tolerance * 100.0,
+            baseline_path.display()
+        ));
+        return Ok(true);
+    }
+    eprintln!(
+        "perf gate FAILED: {} benchmark(s) regressed beyond +{:.0}%:",
+        regressions.len(),
+        tolerance * 100.0
+    );
+    for regression in &regressions {
+        eprintln!(
+            "  {}: {} ns -> {} ns ({:.2}x)",
+            regression.benchmark, regression.baseline_ns, regression.current_ns, regression.ratio
+        );
+    }
+    Ok(false)
+}
+
 fn cmd_snapshot(args: &[String]) -> Result<ExitCode, UsageError> {
     let mut out = PathBuf::from("BENCH_sweep.json");
+    let mut trace_out = PathBuf::from("BENCH_trace.json");
     let mut check: Option<PathBuf> = None;
+    let mut check_trace: Option<PathBuf> = None;
     let mut tolerance = 0.25f64;
     let mut iter = Args::new(args);
     while let Some(arg) = iter.next() {
         match arg {
             "--out" => out = PathBuf::from(iter.value("--out")?),
+            "--trace-out" => trace_out = PathBuf::from(iter.value("--trace-out")?),
             "--check" => check = Some(PathBuf::from(iter.value("--check")?)),
+            "--check-trace" => check_trace = Some(PathBuf::from(iter.value("--check-trace")?)),
             "--tolerance" => {
                 tolerance = parse_number("--tolerance", iter.value("--tolerance")?)?;
             }
@@ -392,43 +788,17 @@ fn cmd_snapshot(args: &[String]) -> Result<ExitCode, UsageError> {
         spec.cell_count(),
         qec_experiments::sweep::SNAPSHOT_SAMPLES
     ));
-    let lines = snapshot();
-    let text = bench_lines_to_string(&lines);
-    // The artifact lands on disk before the (interruptible) console echo.
-    if let Some(parent) = out.parent().filter(|p| !p.as_os_str().is_empty()) {
-        fs::create_dir_all(parent).expect("create output directory");
+    let sweep_ok = snapshot_gate(&snapshot(), &out, check.as_ref(), tolerance)?;
+    emit(&format!(
+        "running pinned trace snapshot (record/encode/decode/replay/resim) x {} samples ...",
+        qec_experiments::sweep::SNAPSHOT_SAMPLES
+    ));
+    let trace_ok = snapshot_gate(&trace_snapshot(), &trace_out, check_trace.as_ref(), tolerance)?;
+    if sweep_ok && trace_ok {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::FAILURE)
     }
-    fs::write(&out, &text).expect("write snapshot file");
-    emit(text.trim_end());
-    emit(&format!("(saved {})", out.display()));
-    let Some(baseline_path) = check else {
-        return Ok(ExitCode::SUCCESS);
-    };
-    let baseline_text = fs::read_to_string(&baseline_path)
-        .map_err(|e| UsageError::new(format!("--check {}: {e}", baseline_path.display())))?;
-    let baseline = parse_bench_lines(&baseline_text)
-        .map_err(|e| UsageError::new(format!("--check {}: {e}", baseline_path.display())))?;
-    let regressions = compare_bench_lines(&lines, &baseline, tolerance);
-    if regressions.is_empty() {
-        emit(&format!(
-            "perf gate OK: no benchmark regressed beyond +{:.0}% of {}",
-            tolerance * 100.0,
-            baseline_path.display()
-        ));
-        return Ok(ExitCode::SUCCESS);
-    }
-    eprintln!(
-        "perf gate FAILED: {} benchmark(s) regressed beyond +{:.0}%:",
-        regressions.len(),
-        tolerance * 100.0
-    );
-    for regression in &regressions {
-        eprintln!(
-            "  {}: {} ns -> {} ns ({:.2}x)",
-            regression.benchmark, regression.baseline_ns, regression.current_ns, regression.ratio
-        );
-    }
-    Ok(ExitCode::FAILURE)
 }
 
 // ---------------------------------------------------------------------------------

@@ -58,7 +58,10 @@ struct ShotContext {
     policy: Box<dyn LeakagePolicy + Send>,
 }
 
-pub(crate) fn build_decoder(code: &Code, rounds: usize) -> Arc<UnionFindDecoder> {
+/// Builds the shared union-find decoder for `rounds` noisy rounds plus the
+/// final perfect measurement layer (`rounds + 1` graph layers).
+#[must_use]
+pub fn build_decoder(code: &Code, rounds: usize) -> Arc<UnionFindDecoder> {
     let graph = MatchingGraph::build(code, CheckBasis::Z, rounds + 1);
     Arc::new(UnionFindDecoder::new(graph))
 }
@@ -132,14 +135,28 @@ impl BatchEngine {
         }
     }
 
-    /// Simulates shot `shot` in `ctx`, leaving the context ready for the next shot.
-    fn simulate_into(&self, ctx: &mut ShotContext, shot: u64) -> RunRecord {
+    /// Simulates shot `shot` in `ctx`, leaving the context ready for the next
+    /// shot. This is the one authoritative per-shot seeding ritual (`reseed` to
+    /// `seed + shot`, policy reset, optional leakage sampling) — every
+    /// execution path, traced or not, must go through it so recorded traces can
+    /// never drift from live runs.
+    fn simulate_observed<S: leaky_sim::TraceSink>(
+        &self,
+        ctx: &mut ShotContext,
+        shot: u64,
+        sink: &mut S,
+    ) -> RunRecord {
         ctx.sim.reseed(self.spec.seed.wrapping_add(shot));
         ctx.policy.reset();
         if self.spec.leakage_sampling {
             ctx.sim.seed_random_data_leakage(1);
         }
-        ctx.sim.run_with_policy(ctx.policy.as_mut(), self.spec.rounds)
+        ctx.sim.run_with_policy_observed(ctx.policy.as_mut(), self.spec.rounds, sink)
+    }
+
+    /// Simulates shot `shot` in `ctx` without observation.
+    fn simulate_into(&self, ctx: &mut ShotContext, shot: u64) -> RunRecord {
+        self.simulate_observed(ctx, shot, &mut leaky_sim::NullTraceSink)
     }
 
     fn score(&self, ctx: &mut ShotContext, shot: u64) -> RunMetrics {
@@ -188,6 +205,42 @@ impl BatchEngine {
                 |ctx, shot| {
                     let run = self.simulate_into(ctx, shot);
                     extract(shot, &run)
+                },
+            )
+            .collect()
+    }
+
+    /// Runs all shots in parallel, recording each one into a
+    /// [`qec_trace::ShotTrace`], returned in shot order.
+    ///
+    /// The traced runs follow the exact seeding contract of [`BatchEngine::run`]
+    /// (observation never touches the RNG stream), and the shot-ordered return
+    /// is what makes serialized trace bytes **independent of worker-thread
+    /// count**: the writer consumes this vector sequentially.
+    ///
+    /// Materializes every shot of the run; at paper-scale shot counts use
+    /// [`BatchEngine::trace_records_range`] to record in bounded chunks (as
+    /// `record_into_corpus` does when streaming to disk).
+    #[must_use]
+    pub fn trace_records(&self) -> Vec<qec_trace::ShotTrace> {
+        self.trace_records_range(0, self.spec.shots as u64)
+    }
+
+    /// Records the shots `start..end` (bounded by the spec's shot count), in
+    /// shot order — the chunked building block behind flat-memory corpus
+    /// recording. Chunking cannot change the bytes: shot `i` is a pure
+    /// function of `seed + i`, whatever chunk it lands in.
+    #[must_use]
+    pub fn trace_records_range(&self, start: u64, end: u64) -> Vec<qec_trace::ShotTrace> {
+        let end = end.min(self.spec.shots as u64);
+        (start..end)
+            .into_par_iter()
+            .map_init(
+                || self.context(),
+                |ctx, shot| {
+                    let mut recorder = qec_trace::ShotRecorder::new();
+                    let _ = self.simulate_observed(ctx, shot, &mut recorder);
+                    recorder.into_trace(shot)
                 },
             )
             .collect()

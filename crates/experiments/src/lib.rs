@@ -28,6 +28,12 @@
 //!   scenarios, [`sweep::run_sweep`] executes them with shared artifacts across cells
 //!   and returns a schema-versioned [`sweep::SweepReport`]; [`sweep::snapshot`] is the
 //!   pinned perf snapshot behind the CI regression gate.
+//! * [`replay`] — corpus-backed evaluation over `qec-trace`: record each policy-free
+//!   scenario cell once ([`replay::record_into_corpus`]), replay any policy against
+//!   the recorded observables ([`replay::replay_cell`], [`replay::replay_corpus`])
+//!   with bit-for-bit fidelity for the recording policy, and
+//!   [`sweep::run_sweep_with_corpus`] for whole grids; [`replay::trace_snapshot`] is
+//!   the trace perf snapshot (record/encode/decode/replay-vs-resim).
 //! * [`report`] — table formatting, JSON export, and the line-per-benchmark snapshot
 //!   format ([`report::BenchLine`]) shared with `crates/bench/BENCH_baseline.json`,
 //!   including the baseline comparison the CI perf gate runs.
@@ -51,6 +57,7 @@
 pub mod engine;
 pub mod harness;
 pub mod metrics;
+pub mod replay;
 pub mod report;
 pub mod runners;
 pub mod scenario;
@@ -59,5 +66,8 @@ pub mod sweep;
 pub use engine::BatchEngine;
 pub use harness::{run_policy_experiment, ExperimentSpec, PolicyExperimentResult};
 pub use metrics::{AggregateMetrics, RunMetrics};
+pub use replay::{replay_corpus, ReplayCellResult, ReplayOptions, ReplayReport};
 pub use scenario::{CodeFamily, Scenario};
-pub use sweep::{run_scenarios, run_sweep, SweepCell, SweepReport, SweepSpec};
+pub use sweep::{
+    run_scenarios, run_sweep, run_sweep_with_corpus, SweepCell, SweepReport, SweepSpec,
+};

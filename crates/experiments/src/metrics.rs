@@ -73,6 +73,66 @@ impl RunMetrics {
         }
     }
 
+    /// Scores a *replayed* speculation schedule against a recorded run: the
+    /// policy's per-round planned LRCs (`planned`) are judged against the
+    /// run's ground-truth leak flags, and the cycle-time model re-prices each
+    /// round for the planned schedule.
+    ///
+    /// When `planned` equals the run's recorded schedule (replaying the
+    /// policy that recorded the trace), this is **bit-for-bit identical** to
+    /// [`RunMetrics::score`] of the live run — same counting loops, same f64
+    /// accumulation order. DLP fields always describe the recorded execution
+    /// (a different policy's counterfactual leakage lifetimes are unknowable
+    /// without re-simulating).
+    ///
+    /// # Panics
+    /// Panics when `planned` and the run disagree on the round count.
+    #[must_use]
+    pub fn score_replay(
+        run: &RunRecord,
+        planned: &[leaky_sim::LrcRequest],
+        noise: &leaky_sim::NoiseParams,
+        cnot_layers: usize,
+    ) -> Self {
+        assert_eq!(planned.len(), run.rounds.len(), "one planned request per round");
+        let mut false_positives = 0usize;
+        let mut false_negatives = 0usize;
+        let mut data_lrcs = 0usize;
+        let mut ancilla_lrcs = 0usize;
+        let mut total_time_ns = 0.0f64;
+        for (round, plan) in run.rounds.iter().zip(planned) {
+            data_lrcs += plan.data.len();
+            ancilla_lrcs += plan.ancilla.len();
+            for &q in &plan.data {
+                if !round.data_leak_before[q] {
+                    false_positives += 1;
+                }
+            }
+            for (q, &leaked) in round.data_leak_before.iter().enumerate() {
+                if leaked && !plan.data.contains(&q) {
+                    false_negatives += 1;
+                }
+            }
+            total_time_ns +=
+                noise.base_round_ns(cnot_layers) + noise.lrc_time_ns * plan.len() as f64;
+        }
+        let dlp_series: Vec<f64> = run.rounds.iter().map(|r| r.data_leak_fraction()).collect();
+        let total_lrcs = data_lrcs + ancilla_lrcs;
+        RunMetrics {
+            rounds: run.num_rounds(),
+            false_positives,
+            false_negatives,
+            data_lrcs,
+            ancilla_lrcs,
+            average_dlp: run.average_data_leak_fraction(),
+            final_dlp: run.final_data_leak_fraction(),
+            dlp_series,
+            total_time_ns,
+            lrc_time_ns: noise.lrc_time_ns * total_lrcs as f64,
+            logical_error: None,
+        }
+    }
+
     /// Total LRC count (data + parity).
     #[must_use]
     pub fn total_lrcs(&self) -> usize {

@@ -1,0 +1,507 @@
+//! Corpus-backed speculation evaluation: record each scenario cell once,
+//! replay every policy against it.
+//!
+//! The recording side drives [`BatchEngine::trace_records`] (shot-ordered, so
+//! trace bytes are independent of worker-thread count) and files the result in
+//! a [`Corpus`] under a **policy-free cell key** — `(family, distance, rounds,
+//! p, lr, shots, seed)`. The replay side reconstructs each shot's run
+//! bit-for-bit, drives any [`PolicyKind`]'s speculation against the recorded
+//! observables ([`qec_trace::ReplayContext`]), and scores it with
+//! [`RunMetrics::score_replay`].
+//!
+//! Replaying the policy that recorded a trace reproduces the live engine's
+//! FP/FN/DLP/LRC metrics (and, with decoding, the LER) **bit-for-bit** — the
+//! determinism tests in `crates/experiments/tests/replay.rs` pin this for all
+//! policy kinds. Replaying any other policy is the trace-driven open-loop
+//! evaluation of ERASER/Varbanov: speculation accuracy against the recorded
+//! execution, at replay cost instead of simulation cost.
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use gladiator::GladiatorConfig;
+use leakage_speculation::{PolicyFactory, PolicyKind};
+use qec_codes::Code;
+use qec_decoder::{detection_events, logical_failure, MemoryBasis, UnionFindDecoder};
+use qec_trace::{
+    code_fingerprint, read_trace_file, Corpus, CorpusEntry, ReplayContext, ShotTrace, TraceHeader,
+    TRACE_SCHEMA_VERSION,
+};
+
+use crate::engine::{build_decoder, BatchEngine};
+use crate::harness::ExperimentSpec;
+use crate::metrics::{AggregateMetrics, RunMetrics};
+use crate::report::BenchLine;
+use crate::scenario::{CodeFamily, Scenario};
+use crate::sweep::{git_describe, SNAPSHOT_SAMPLES};
+
+/// Version of the replay-report JSON schema; bump when the shape changes.
+pub const REPLAY_SCHEMA_VERSION: u32 = 1;
+
+/// The policy-free identity of a scenario cell — everything that determines
+/// the recorded execution except the policy under evaluation (and the decode
+/// flag, which is a post-processing choice). This string keys the corpus.
+#[must_use]
+pub fn cell_key(scenario: &Scenario) -> String {
+    format!(
+        "{} d={} rounds={} p={:e} lr={:e} shots={} seed={}",
+        scenario.code.label(),
+        scenario.distance,
+        scenario.rounds,
+        scenario.p,
+        scenario.leakage_ratio,
+        scenario.shots,
+        scenario.seed
+    )
+}
+
+/// The GLADIATOR calibration the recording run used, re-derived from the
+/// header's bit-exact noise model (matches [`Scenario::to_spec`]).
+#[must_use]
+pub fn calibration_for(header: &TraceHeader) -> GladiatorConfig {
+    GladiatorConfig::default()
+        .with_error_rate(header.noise.p)
+        .with_leakage_ratio(header.noise.leakage_ratio)
+}
+
+/// Reconstructs the [`ExperimentSpec`] a trace was recorded under, with the
+/// policy and decode flag replaced by the caller's choice. Because the header
+/// stores the noise model bit-exactly, a [`BatchEngine`] built from this spec
+/// re-simulates the recording run bit-for-bit.
+#[must_use]
+pub fn spec_from_header(header: &TraceHeader, policy: PolicyKind, decode: bool) -> ExperimentSpec {
+    ExperimentSpec {
+        policy,
+        noise: header.noise,
+        gladiator: calibration_for(header),
+        rounds: header.rounds,
+        shots: header.shots,
+        seed: header.seed,
+        leakage_sampling: header.leakage_sampling,
+        decode,
+    }
+}
+
+/// Builds the recording engine and trace header for one scenario cell.
+fn recording_engine(
+    scenario: &Scenario,
+    record_policy: PolicyKind,
+    generator: &str,
+) -> (BatchEngine, TraceHeader) {
+    let code = scenario.build_code();
+    let spec = Scenario { policy: record_policy, ..*scenario }.to_spec();
+    let engine = BatchEngine::new(&code, &spec);
+    let header = TraceHeader {
+        schema_version: TRACE_SCHEMA_VERSION,
+        generator: generator.to_string(),
+        git_describe: git_describe(),
+        code_name: code.name().to_string(),
+        code_fingerprint: code_fingerprint(&code),
+        num_data: code.num_data(),
+        num_checks: code.num_checks(),
+        cnot_layers: code.checks().iter().map(qec_codes::Check::weight).max().unwrap_or(0),
+        rounds: spec.rounds,
+        shots: spec.shots,
+        seed: spec.seed,
+        policy: record_policy.label().to_string(),
+        leakage_sampling: spec.leakage_sampling,
+        noise: spec.noise,
+    };
+    (engine, header)
+}
+
+/// Records one scenario cell closed-loop under `record_policy`, returning the
+/// trace header and the shot-ordered traces **fully materialized** — fine for
+/// tests and benchmark cells; [`record_into_corpus`] streams to disk in
+/// bounded chunks for large shot counts.
+#[must_use]
+pub fn record_cell(
+    scenario: &Scenario,
+    record_policy: PolicyKind,
+    generator: &str,
+) -> (TraceHeader, Vec<ShotTrace>) {
+    let (engine, header) = recording_engine(scenario, record_policy, generator);
+    (header, engine.trace_records())
+}
+
+/// Shots simulated per recording chunk: bounds recording memory to
+/// `O(chunk · rounds · qubits)` regardless of the cell's shot count, while
+/// leaving plenty of parallelism per chunk. Chunking cannot change the trace
+/// bytes (shot `i` is a pure function of `seed + i`).
+const RECORD_CHUNK_SHOTS: u64 = 1024;
+
+/// Records a cell and files it in `corpus` (trace file + manifest entry,
+/// replacing any previous recording of the same key), streaming to disk in
+/// [`RECORD_CHUNK_SHOTS`]-sized chunks so memory stays flat at paper-scale
+/// shot counts. The caller persists the manifest with [`Corpus::save`].
+///
+/// # Errors
+/// Returns a message on I/O failure.
+pub fn record_into_corpus(
+    corpus: &mut Corpus,
+    scenario: &Scenario,
+    record_policy: PolicyKind,
+    generator: &str,
+) -> Result<CorpusEntry, String> {
+    let key = cell_key(scenario);
+    let hash = Corpus::cell_hash(&key);
+    let (engine, header) = recording_engine(scenario, record_policy, generator);
+    let rel_path = Corpus::shard_rel_path(hash);
+    let path = corpus.dir().join(&rel_path);
+    (|| -> Result<(), qec_trace::TraceError> {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = std::fs::File::create(&path)?;
+        let mut writer = qec_trace::TraceWriter::new(std::io::BufWriter::new(file), &header)?;
+        let mut shot = 0u64;
+        while shot < header.shots as u64 {
+            let chunk_end = (shot + RECORD_CHUNK_SHOTS).min(header.shots as u64);
+            for trace in engine.trace_records_range(shot, chunk_end) {
+                writer.write_shot(&trace)?;
+            }
+            shot = chunk_end;
+        }
+        writer.finish()?;
+        Ok(())
+    })()
+    .map_err(|e| format!("recording {key}: {e}"))?;
+    let entry = CorpusEntry {
+        key,
+        hash: format!("{hash:016x}"),
+        file: rel_path,
+        code: header.code_name.clone(),
+        family: scenario.code.label().to_string(),
+        distance: scenario.distance,
+        rounds: scenario.rounds,
+        p: scenario.p,
+        leakage_ratio: scenario.leakage_ratio,
+        shots: scenario.shots,
+        seed: scenario.seed,
+        policy: record_policy.label().to_string(),
+        trace_schema: header.schema_version,
+    };
+    corpus.insert(entry.clone());
+    Ok(entry)
+}
+
+/// One corpus cell loaded into memory, ready for repeated replay.
+#[derive(Debug)]
+pub struct LoadedCell {
+    /// The trace header (provenance, noise model, seeding contract).
+    pub header: TraceHeader,
+    /// All recorded shots, in shot order.
+    pub shots: Vec<ShotTrace>,
+    /// The code the cell was recorded on (fingerprint-checked).
+    pub code: Code,
+}
+
+/// Loads a corpus entry's trace file and rebuilds its code, cross-checking the
+/// structural fingerprint.
+///
+/// # Errors
+/// Returns a message on I/O failure, corruption, an unknown code family, or a
+/// fingerprint mismatch.
+pub fn load_entry(corpus: &Corpus, entry: &CorpusEntry) -> Result<LoadedCell, String> {
+    let family = CodeFamily::from_label(&entry.family)
+        .ok_or_else(|| format!("{}: unknown code family `{}`", entry.key, entry.family))?;
+    let code = family.build(entry.distance);
+    let path = corpus.trace_path(entry);
+    let (header, shots) = read_trace_file(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    if code_fingerprint(&code) != header.code_fingerprint {
+        return Err(format!(
+            "{}: manifest code {} does not match the trace's recorded code {}",
+            entry.key,
+            code.name(),
+            header.code_name
+        ));
+    }
+    if shots.len() != header.shots {
+        return Err(format!(
+            "{}: trace holds {} shots, header says {}",
+            entry.key,
+            shots.len(),
+            header.shots
+        ));
+    }
+    Ok(LoadedCell { header, shots, code })
+}
+
+/// The aggregate outcome of replaying one policy against one loaded cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReplay {
+    /// Aggregated replay metrics (see [`RunMetrics::score_replay`] semantics).
+    pub metrics: AggregateMetrics,
+    /// Shots whose planned schedule diverged from the recorded one (always 0
+    /// when replaying the recording policy).
+    pub divergent_shots: usize,
+}
+
+/// Replays `policy` against every shot of `cell`, in parallel, aggregating in
+/// shot order. `factory` must be calibrated for the cell
+/// ([`calibration_for`]); pass a `decoder` to also decode each reconstructed
+/// run (meaningful when `policy` is the recording policy — the resulting LER
+/// is exactly the live engine's).
+///
+/// # Errors
+/// Returns a message when the cell's code and header disagree.
+pub fn replay_cell(
+    cell: &LoadedCell,
+    factory: &Arc<PolicyFactory>,
+    policy: PolicyKind,
+    decoder: Option<&UnionFindDecoder>,
+) -> Result<CellReplay, String> {
+    let ctx = ReplayContext::new(&cell.code, &cell.header).map_err(|e| e.to_string())?;
+    let per_shot: Vec<(RunMetrics, bool)> = (0..cell.shots.len())
+        .into_par_iter()
+        .map_init(
+            || factory.build(policy),
+            |instance, shot| {
+                let trace = &cell.shots[shot];
+                instance.reset();
+                let replay = ctx.replay_shot(trace, instance.as_mut());
+                let mut metrics = RunMetrics::score_replay(
+                    &replay.run,
+                    &replay.planned,
+                    &cell.header.noise,
+                    cell.header.cnot_layers,
+                );
+                if let Some(decoder) = decoder {
+                    let events = detection_events(&replay.run, decoder.graph());
+                    let correction = decoder.decode(&events);
+                    metrics.logical_error =
+                        Some(logical_failure(&cell.code, &replay.run, &correction, MemoryBasis::Z));
+                }
+                (metrics, replay.is_exact())
+            },
+        )
+        .collect();
+    let divergent_shots = per_shot.iter().filter(|(_, exact)| !exact).count();
+    let runs: Vec<RunMetrics> = per_shot.into_iter().map(|(metrics, _)| metrics).collect();
+    Ok(CellReplay { metrics: AggregateMetrics::from_runs(&runs), divergent_shots })
+}
+
+/// One row of a [`ReplayReport`]: one `(cell, policy)` pairing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayCellResult {
+    /// The corpus cell key.
+    pub key: String,
+    /// Name of the concrete code instance.
+    pub code: String,
+    /// Policy that recorded the trace.
+    pub recorded_policy: String,
+    /// Policy whose speculation was replayed.
+    pub policy: String,
+    /// Shots replayed.
+    pub shots: usize,
+    /// Rounds per shot.
+    pub rounds: usize,
+    /// `policy == recorded_policy`: metrics are bit-for-bit the live engine's.
+    pub exact: bool,
+    /// Shots whose planned schedule diverged from the recorded one.
+    pub divergent_shots: usize,
+    /// When live verification ran: whether the replayed metrics equalled a
+    /// fresh live-engine run exactly.
+    pub live_match: Option<bool>,
+    /// Aggregated replay metrics.
+    pub metrics: AggregateMetrics,
+}
+
+/// A self-describing replay run over a whole corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayReport {
+    /// [`REPLAY_SCHEMA_VERSION`] at write time.
+    pub schema_version: u32,
+    /// Tool and version that produced the report.
+    pub generator: String,
+    /// `git describe --always --dirty` of the producing checkout, or `unknown`.
+    pub git_describe: String,
+    /// Corpus directory the report was computed from.
+    pub corpus: String,
+    /// One row per `(cell, policy)`, cells in manifest order.
+    pub results: Vec<ReplayCellResult>,
+}
+
+/// Options of [`replay_corpus`].
+#[derive(Debug, Clone, Default)]
+pub struct ReplayOptions {
+    /// Policies to replay against every cell; empty ⇒ each cell's recording
+    /// policy (the bit-for-bit validation mode).
+    pub policies: Vec<PolicyKind>,
+    /// Decode reconstructed runs of exact (recording-policy) pairings and
+    /// report their LER.
+    pub decode: bool,
+    /// Re-simulate every exact pairing live and record whether the replayed
+    /// metrics match bit-for-bit.
+    pub verify_live: bool,
+}
+
+/// Replays policies against every cell of the corpus at `dir`.
+///
+/// # Errors
+/// Returns a message when the corpus, a trace file, or a policy label cannot
+/// be loaded.
+pub fn replay_corpus(dir: &Path, options: &ReplayOptions) -> Result<ReplayReport, String> {
+    let corpus = Corpus::open_existing(dir).map_err(|e| e.to_string())?;
+    let mut results = Vec::new();
+    for entry in corpus.entries() {
+        let cell = load_entry(&corpus, entry)?;
+        let recorded = PolicyKind::from_label(&cell.header.policy).ok_or_else(|| {
+            format!("{}: unknown recorded policy `{}`", entry.key, cell.header.policy)
+        })?;
+        let policies: Vec<PolicyKind> =
+            if options.policies.is_empty() { vec![recorded] } else { options.policies.clone() };
+        let factory = Arc::new(PolicyFactory::new(&cell.code, &calibration_for(&cell.header)));
+        // The decoder only ever serves exact (recording-policy) pairings; skip
+        // the matching-graph build entirely when none is scheduled.
+        let decoder = (options.decode && policies.contains(&recorded))
+            .then(|| build_decoder(&cell.code, cell.header.rounds));
+        for policy in policies {
+            let exact = policy == recorded;
+            let replay =
+                replay_cell(&cell, &factory, policy, decoder.as_deref().filter(|_| exact))?;
+            let live_match = (options.verify_live && exact).then(|| {
+                let spec = spec_from_header(&cell.header, policy, options.decode);
+                let live = BatchEngine::new(&cell.code, &spec).run();
+                live.metrics == replay.metrics
+            });
+            results.push(ReplayCellResult {
+                key: entry.key.clone(),
+                code: cell.code.name().to_string(),
+                recorded_policy: recorded.label().to_string(),
+                policy: policy.label().to_string(),
+                shots: cell.header.shots,
+                rounds: cell.header.rounds,
+                exact,
+                divergent_shots: replay.divergent_shots,
+                live_match,
+                metrics: replay.metrics,
+            });
+        }
+    }
+    Ok(ReplayReport {
+        schema_version: REPLAY_SCHEMA_VERSION,
+        generator: format!("repro replay {}", env!("CARGO_PKG_VERSION")),
+        git_describe: git_describe(),
+        corpus: dir.display().to_string(),
+        results,
+    })
+}
+
+/// The pinned cell behind the trace perf snapshot: one mid-size surface-code
+/// workload whose record/encode/decode/replay/re-simulate timings are
+/// meaningful per shot. Changing it invalidates
+/// `crates/bench/BENCH_trace_baseline.json`.
+#[must_use]
+pub fn trace_snapshot_scenario() -> Scenario {
+    Scenario {
+        code: CodeFamily::Surface,
+        distance: 5,
+        rounds: 30,
+        p: 1e-3,
+        leakage_ratio: 0.1,
+        policy: PolicyKind::GladiatorM,
+        shots: 16,
+        seed: 11,
+        decode: false,
+    }
+}
+
+/// Runs the pinned trace benchmarks [`SNAPSHOT_SAMPLES`] times each and
+/// reports per-shot wall-times as [`BenchLine`]s: `trace/record`,
+/// `trace/encode`, `trace/decode`, `trace/replay/<policy>` and
+/// `trace/resim/<policy>`. The replay-vs-resim pair is the machine-checkable
+/// form of the corpus value proposition: each *additional* policy evaluated
+/// against a recorded cell costs `replay`, not `resim`.
+#[must_use]
+pub fn trace_snapshot() -> Vec<BenchLine> {
+    let scenario = trace_snapshot_scenario();
+    let policy = scenario.policy;
+    let code = scenario.build_code();
+    let spec = scenario.to_spec();
+    let engine = BatchEngine::new(&code, &spec);
+    let shots = spec.shots as u64;
+    let per_shot = |total_ns: u128| (total_ns as u64) / shots;
+
+    let (header, traces) = record_cell(&scenario, policy, "repro snapshot");
+    let mut encoded = Vec::new();
+    {
+        let mut writer =
+            qec_trace::TraceWriter::new(&mut encoded, &header).expect("in-memory write");
+        for trace in &traces {
+            writer.write_shot(trace).expect("in-memory write");
+        }
+        let _ = writer.finish().expect("in-memory write");
+    }
+    let cell = LoadedCell { header: header.clone(), shots: traces.clone(), code: code.clone() };
+    let factory = Arc::new(PolicyFactory::new(&code, &calibration_for(&header)));
+    // Warm every path once before timing.
+    let _ = engine.run();
+    let _ = replay_cell(&cell, &factory, policy, None).expect("replay warmup");
+
+    let sample = |mut body: Box<dyn FnMut() + '_>| -> BenchLine {
+        let samples: Vec<u64> = (0..SNAPSHOT_SAMPLES)
+            .map(|_| {
+                let start = Instant::now();
+                body();
+                per_shot(start.elapsed().as_nanos())
+            })
+            .collect();
+        BenchLine {
+            benchmark: String::new(),
+            samples: SNAPSHOT_SAMPLES,
+            mean_ns: samples.iter().sum::<u64>() / SNAPSHOT_SAMPLES as u64,
+            min_ns: samples.iter().copied().min().unwrap_or(0),
+            max_ns: samples.iter().copied().max().unwrap_or(0),
+        }
+    };
+    let named = |name: String, mut line: BenchLine| {
+        line.benchmark = name;
+        line
+    };
+
+    vec![
+        named(
+            format!("trace/record/{}", scenario.id()),
+            sample(Box::new(|| {
+                let _ = engine.trace_records();
+            })),
+        ),
+        named(
+            format!("trace/encode/{}", scenario.id()),
+            sample(Box::new(|| {
+                let mut bytes = Vec::new();
+                let mut writer =
+                    qec_trace::TraceWriter::new(&mut bytes, &header).expect("in-memory write");
+                for trace in &traces {
+                    writer.write_shot(trace).expect("in-memory write");
+                }
+                let _ = writer.finish().expect("in-memory write");
+            })),
+        ),
+        named(
+            format!("trace/decode/{}", scenario.id()),
+            sample(Box::new(|| {
+                let mut reader =
+                    qec_trace::TraceReader::new(encoded.as_slice()).expect("in-memory read");
+                let _ = reader.read_all().expect("in-memory read");
+            })),
+        ),
+        named(
+            format!("trace/replay/{}", scenario.id()),
+            sample(Box::new(|| {
+                let _ = replay_cell(&cell, &factory, policy, None).expect("replay");
+            })),
+        ),
+        named(
+            format!("trace/resim/{}", scenario.id()),
+            sample(Box::new(|| {
+                let _ = engine.run();
+            })),
+        ),
+    ]
+}

@@ -39,7 +39,8 @@ use crate::runners::Scale;
 use crate::scenario::{CodeFamily, Scenario};
 
 /// Version of the sweep-report JSON schema; bump when the shape changes.
-pub const SWEEP_SCHEMA_VERSION: u32 = 1;
+/// (v2: added the `recorded_policy` provenance field for corpus-backed sweeps.)
+pub const SWEEP_SCHEMA_VERSION: u32 = 2;
 
 /// How often [`snapshot`] re-runs every cell to get min/mean/max timings.
 /// The regression gate compares minima, so more samples mean a tighter,
@@ -204,6 +205,12 @@ pub struct SweepReport {
     pub git_describe: String,
     /// Whether wall-times were recorded (false ⇒ every `wall_time_ms` is 0).
     pub timing: bool,
+    /// For corpus-backed sweeps ([`run_sweep_with_corpus`]): the label of the
+    /// policy that recorded each cell's trace. Cells for that policy are
+    /// bit-for-bit live metrics; other policies are trace-driven open-loop
+    /// speculation scores (their DLP/LER describe the recorded execution).
+    /// `None` for fully simulated sweeps.
+    pub recorded_policy: Option<String>,
     /// The sweep specification the report answers.
     pub spec: SweepSpec,
     /// One row per grid cell, in [`SweepSpec::expand`] order.
@@ -226,6 +233,142 @@ pub fn run_sweep(spec: &SweepSpec, timing: bool) -> Result<SweepReport, String> 
         generator: format!("repro sweep {}", env!("CARGO_PKG_VERSION")),
         git_describe: git_describe(),
         timing,
+        recorded_policy: None,
+        spec: spec.clone(),
+        cells,
+    })
+}
+
+/// Expands and executes a sweep against a trace corpus: every *policy-free*
+/// cell `(family, d, rounds, p, lr, shots, seed)` is **simulated once** — a
+/// corpus hit reuses the recorded trace, a miss records it under
+/// `record_policy` (default: the grid's first policy) — and every policy of
+/// the grid is then *replayed* against that recording.
+///
+/// The cell whose policy recorded the trace carries bit-for-bit the metrics a
+/// fully simulated sweep would report (including the LER when decoding);
+/// other policies carry trace-driven speculation scores — their FP/FN and LRC
+/// counts answer "what would this policy have speculated on this execution",
+/// while DLP (and any LER) describe the recorded execution itself. This is
+/// the evaluation methodology of ERASER (arXiv:2309.13143); it turns an
+/// `O(policies × shots)` simulation bill into `O(shots)` + cheap replay.
+///
+/// With `timing = false` the report is byte-identical across worker-thread
+/// counts, exactly like [`run_sweep`].
+///
+/// # Errors
+/// Returns a message when the spec fails to expand or the corpus cannot be
+/// read or written.
+pub fn run_sweep_with_corpus(
+    spec: &SweepSpec,
+    corpus_dir: &std::path::Path,
+    record_policy: Option<PolicyKind>,
+    timing: bool,
+) -> Result<SweepReport, String> {
+    use crate::replay::{calibration_for, cell_key, load_entry, record_into_corpus, replay_cell};
+
+    let scenarios = spec.expand()?;
+    let mut corpus = qec_trace::Corpus::open(corpus_dir).map_err(|e| e.to_string())?;
+    let recording_kind = record_policy
+        .or_else(|| scenarios.first().map(|s| s.policy))
+        .expect("expansion yields at least one scenario");
+    let generator = format!("repro sweep {}", env!("CARGO_PKG_VERSION"));
+    let mut cells = Vec::with_capacity(scenarios.len());
+    let mut manifest_dirty = false;
+    // Shared per-(family, distance) artifacts, exactly like [`run_scenarios`]:
+    // the factory is *recalibrated* (code-derived structures survive) when the
+    // error-rate axis moves, and decoders are reused per round count.
+    let mut shared: Option<(CodeFamily, usize, Arc<PolicyFactory>)> = None;
+    let mut decoders: BTreeMap<usize, Arc<qec_decoder::UnionFindDecoder>> = BTreeMap::new();
+    let mut start = 0usize;
+    while start < scenarios.len() {
+        // Policies are the innermost expansion axis, so one recorded cell
+        // serves a consecutive scenario group.
+        let key = cell_key(&scenarios[start]);
+        let end = start + scenarios[start..].iter().take_while(|s| cell_key(s) == key).count();
+        let entry = match corpus.lookup(&key) {
+            Some(entry) => entry.clone(),
+            None => {
+                let entry =
+                    record_into_corpus(&mut corpus, &scenarios[start], recording_kind, &generator)
+                        .map_err(|e| format!("cell {key}: {e}"))?;
+                manifest_dirty = true;
+                entry
+            }
+        };
+        let cell = load_entry(&corpus, &entry)?;
+        if cell.header.rounds != scenarios[start].rounds
+            || cell.header.shots != scenarios[start].shots
+        {
+            return Err(format!(
+                "cell {key}: corpus trace was recorded with rounds={}, shots={} — delete the \
+                 stale entry or use a fresh corpus directory",
+                cell.header.rounds, cell.header.shots
+            ));
+        }
+        // A cache hit recorded under a different policy would silently turn the
+        // report's "recorded policy" cells into open-loop replays (and drop
+        // their LER). Insist the corpus matches the sweep's recording policy.
+        if cell.header.policy != recording_kind.label() {
+            return Err(format!(
+                "cell {key}: corpus trace was recorded with policy `{}`, but this sweep records \
+                 with `{}` — pass --record-policy {} or use a fresh corpus directory",
+                cell.header.policy,
+                recording_kind.label(),
+                cell.header.policy
+            ));
+        }
+        let calibration = calibration_for(&cell.header);
+        let group_key = (scenarios[start].code, scenarios[start].distance);
+        let factory = match shared.take() {
+            Some((family, distance, factory)) if (family, distance) == group_key => {
+                if factory.config() == &calibration {
+                    factory
+                } else {
+                    Arc::new(factory.recalibrated(&calibration))
+                }
+            }
+            _ => {
+                decoders.clear(); // decoders are (family, distance)-specific too
+                Arc::new(PolicyFactory::new(&cell.code, &calibration))
+            }
+        };
+        shared = Some((group_key.0, group_key.1, Arc::clone(&factory)));
+        for scenario in &scenarios[start..end] {
+            let cell_start = Instant::now();
+            let exact = scenario.policy.label() == cell.header.policy;
+            let want_decode = scenario.decode && exact;
+            let shot_decoder = if want_decode {
+                Some(Arc::clone(
+                    decoders
+                        .entry(scenario.rounds)
+                        .or_insert_with(|| build_decoder(&cell.code, scenario.rounds)),
+                ))
+            } else {
+                None
+            };
+            let shot_decoder = shot_decoder.as_deref();
+            let replay = replay_cell(&cell, &factory, scenario.policy, shot_decoder)
+                .map_err(|e| format!("cell {}: {e}", scenario.id()))?;
+            let wall_time_ms = if timing { cell_start.elapsed().as_secs_f64() * 1e3 } else { 0.0 };
+            cells.push(SweepCell {
+                scenario: *scenario,
+                code: cell.code.name().to_string(),
+                metrics: replay.metrics,
+                wall_time_ms,
+            });
+        }
+        start = end;
+    }
+    if manifest_dirty {
+        corpus.save().map_err(|e| e.to_string())?;
+    }
+    Ok(SweepReport {
+        schema_version: SWEEP_SCHEMA_VERSION,
+        generator,
+        git_describe: git_describe(),
+        timing,
+        recorded_policy: Some(recording_kind.label().to_string()),
         spec: spec.clone(),
         cells,
     })

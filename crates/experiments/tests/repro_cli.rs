@@ -141,3 +141,213 @@ fn grid_flags_restrict_the_sweep() {
     assert!(report.cells.iter().all(|c| c.scenario.distance == 3));
     let _ = std::fs::remove_file(out);
 }
+
+// ---------------------------------------------------------------------------------
+// trace corpora: record | replay | corpus | sweep --corpus | version
+// ---------------------------------------------------------------------------------
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("repro-cli-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn version_prints_provenance_and_every_schema_version() {
+    for invocation in [&["--version"][..], &["-V"], &["version"]] {
+        let output = run(invocation);
+        assert_eq!(output.status.code(), Some(0), "{invocation:?}");
+        let stdout = String::from_utf8_lossy(&output.stdout).into_owned();
+        assert!(stdout.starts_with("repro 0.1.0 ("), "{invocation:?}: {stdout}");
+        assert!(
+            stdout.contains(&format!(
+                "sweep report schema:    {}",
+                qec_experiments::sweep::SWEEP_SCHEMA_VERSION
+            )),
+            "{stdout}"
+        );
+        assert!(
+            stdout
+                .contains(&format!("trace (.qtr) schema:    {}", qec_trace::TRACE_SCHEMA_VERSION)),
+            "{stdout}"
+        );
+        assert!(
+            stdout.contains(&format!(
+                "corpus manifest schema: {}",
+                qec_trace::MANIFEST_SCHEMA_VERSION
+            )),
+            "{stdout}"
+        );
+        assert!(
+            stdout.contains(&format!(
+                "replay report schema:   {}",
+                qec_experiments::replay::REPLAY_SCHEMA_VERSION
+            )),
+            "{stdout}"
+        );
+    }
+}
+
+#[test]
+fn trace_subcommands_reject_bad_usage() {
+    assert_usage_error(&["version", "extra"]);
+    assert_usage_error(&["record"]); // missing --corpus
+    assert_usage_error(&["record", "--corpus"]); // missing value
+    assert_usage_error(&["record", "--corpus", "dir", "--frobnicate"]);
+    assert_usage_error(&["replay"]); // missing --corpus
+    assert_usage_error(&["replay", "--corpus", "dir", "--policy", "bogus"]);
+    assert_usage_error(&["corpus"]); // missing directory
+    assert_usage_error(&["corpus", "a", "b"]);
+    assert_usage_error(&["sweep", "--record-policy", "ideal"]); // requires --corpus
+    assert_usage_error(&["snapshot", "--check-trace"]); // missing value
+}
+
+fn record_args(corpus: &str) -> Vec<&str> {
+    vec![
+        "record",
+        "--grid",
+        "d=3",
+        "p=1e-3",
+        "policy=eraser+m,gladiator+m",
+        "--shots",
+        "4",
+        "--rounds-per-distance",
+        "2",
+        "--seed",
+        "7",
+        "--corpus",
+        corpus,
+    ]
+}
+
+#[test]
+fn record_replay_corpus_flow_verifies_against_the_live_engine() {
+    let dir = tmp_dir("flow");
+    let corpus = dir.to_str().unwrap();
+    // Record: two policies collapse onto one policy-free cell.
+    let output = run(&record_args(corpus));
+    assert_eq!(output.status.code(), Some(0), "stderr: {}", stderr_of(&output));
+    let stdout = String::from_utf8_lossy(&output.stdout).into_owned();
+    assert!(stdout.contains("1 cell(s) recorded with policy eraser+m"), "{stdout}");
+
+    // Re-recording is a cache hit, not a new simulation.
+    let rerun = run(&record_args(corpus));
+    let stdout = String::from_utf8_lossy(&rerun.stdout).into_owned();
+    assert!(stdout.contains("0 cell(s) recorded"), "{stdout}");
+    assert!(stdout.contains("1 cached"), "{stdout}");
+
+    // Replay with live verification: bit-for-bit or exit 1.
+    let out = dir.join("replay.json");
+    let output = run(&[
+        "replay",
+        "--corpus",
+        corpus,
+        "--policy",
+        "eraser+m,gladiator+m",
+        "--decode",
+        "--verify-live",
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert_eq!(output.status.code(), Some(0), "stderr: {}", stderr_of(&output));
+    let report: qec_experiments::ReplayReport =
+        serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    assert_eq!(report.results.len(), 2);
+    assert!(report.results[0].exact);
+    assert_eq!(report.results[0].live_match, Some(true));
+    assert!(!report.results[1].exact, "gladiator+m replays an eraser+m trace open-loop");
+
+    // Corpus verification decodes every trace with CRC checking.
+    let output = run(&["corpus", corpus, "--verify"]);
+    assert_eq!(output.status.code(), Some(0), "stderr: {}", stderr_of(&output));
+    let stdout = String::from_utf8_lossy(&output.stdout).into_owned();
+    assert!(stdout.contains("corpus verify OK"), "{stdout}");
+
+    // A flipped byte inside the shard file makes both verify paths fail.
+    let shard = report_shard_file(&dir);
+    let mut bytes = std::fs::read(&shard).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&shard, &bytes).unwrap();
+    let output = run(&["corpus", corpus, "--verify"]);
+    assert_eq!(output.status.code(), Some(1), "corrupt trace must fail the verify gate");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn report_shard_file(dir: &Path) -> PathBuf {
+    let shards = dir.join("shards");
+    let sub = std::fs::read_dir(&shards).unwrap().next().unwrap().unwrap().path();
+    std::fs::read_dir(sub).unwrap().next().unwrap().unwrap().path()
+}
+
+fn corpus_sweep(corpus: &str, out: &Path, threads: &str) -> String {
+    let output = repro(&[
+        "sweep",
+        "--grid",
+        "d=3",
+        "p=1e-3,2e-3",
+        "policy=eraser+m,gladiator+m,ideal",
+        "--shots",
+        "3",
+        "--rounds-per-distance",
+        "2",
+        "--seed",
+        "13",
+        "--no-timing",
+        "--corpus",
+        corpus,
+        "--out",
+        out.to_str().unwrap(),
+    ])
+    .env("RAYON_NUM_THREADS", threads)
+    .output()
+    .expect("spawn repro sweep --corpus");
+    assert_eq!(output.status.code(), Some(0), "stderr: {}", stderr_of(&output));
+    std::fs::read_to_string(out).expect("corpus sweep report written")
+}
+
+#[test]
+fn corpus_sweeps_are_byte_identical_across_worker_counts_including_trace_files() {
+    let dir1 = tmp_dir("cs1");
+    let dir4 = tmp_dir("cs4");
+    let out1 = dir1.join("report.json");
+    let out4 = dir4.join("report.json");
+    let report1 = corpus_sweep(dir1.to_str().unwrap(), &out1, "1");
+    let report4 = corpus_sweep(dir4.to_str().unwrap(), &out4, "4");
+    assert_eq!(report1, report4, "corpus sweep reports must not depend on worker count");
+    let report: qec_experiments::SweepReport = serde_json::from_str(&report1).unwrap();
+    assert_eq!(report.recorded_policy.as_deref(), Some("eraser+m"));
+    assert_eq!(report.cells.len(), 6);
+    // The recorded .qtr bytes themselves are worker-count invariant.
+    let shard1 = report_shard_file(&dir1);
+    let shard4 = dir4.join(shard1.strip_prefix(&dir1).unwrap());
+    assert_eq!(
+        std::fs::read(&shard1).unwrap(),
+        std::fs::read(&shard4).unwrap(),
+        "trace bytes must be identical under 1 vs 4 workers"
+    );
+    let _ = std::fs::remove_dir_all(&dir1);
+    let _ = std::fs::remove_dir_all(&dir4);
+}
+
+#[test]
+fn read_only_corpus_commands_reject_a_missing_directory() {
+    // A mistyped corpus path must not pass verification vacuously.
+    assert_usage_error(&["corpus", "/nonexistent-corpus-dir"]);
+    assert_usage_error(&["replay", "--corpus", "/nonexistent-corpus-dir", "--verify-live"]);
+}
+
+#[test]
+fn replay_to_stdout_keeps_stdout_pure_json_even_with_verify_live() {
+    let dir = tmp_dir("pure-json");
+    let output = run(&record_args(dir.to_str().unwrap()));
+    assert_eq!(output.status.code(), Some(0), "stderr: {}", stderr_of(&output));
+    let output = run(&["replay", "--corpus", dir.to_str().unwrap(), "--verify-live", "--out", "-"]);
+    assert_eq!(output.status.code(), Some(0), "stderr: {}", stderr_of(&output));
+    let stdout = String::from_utf8_lossy(&output.stdout).into_owned();
+    let report: qec_experiments::ReplayReport =
+        serde_json::from_str(&stdout).expect("stdout must be nothing but the JSON report");
+    assert_eq!(report.results.len(), 1);
+    assert!(stderr_of(&output).contains("verify-live OK"), "status line must go to stderr");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -122,6 +122,18 @@ impl QubitFrames {
         self.data_leak.clone()
     }
 
+    /// Borrowed view of the data leak flags (allocation-free).
+    #[must_use]
+    pub fn data_leaks(&self) -> &[bool] {
+        &self.data_leak
+    }
+
+    /// Borrowed view of the ancilla leak flags (allocation-free).
+    #[must_use]
+    pub fn ancilla_leaks(&self) -> &[bool] {
+        &self.ancilla_leak
+    }
+
     /// Snapshot of the ancilla leak flags.
     #[must_use]
     pub fn ancilla_leak_flags(&self) -> Vec<bool> {

@@ -44,10 +44,12 @@ pub mod policy;
 pub mod record;
 pub mod rounds;
 pub mod simulator;
+pub mod sink;
 
 pub use frame::QubitFrames;
 pub use noise::{NoiseParams, NoiseParamsBuilder};
 pub use pauli::Pauli;
-pub use policy::{LeakagePolicy, LrcRequest, PolicyContext};
+pub use policy::{GroundTruth, LeakagePolicy, LrcRequest, PolicyContext};
 pub use record::{RoundRecord, RunRecord};
 pub use simulator::Simulator;
+pub use sink::{NullTraceSink, TraceSink};

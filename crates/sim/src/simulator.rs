@@ -9,6 +9,7 @@ use crate::frame::QubitFrames;
 use crate::noise::NoiseParams;
 use crate::policy::{GroundTruth, LeakagePolicy, LrcRequest, PolicyContext};
 use crate::record::{RoundRecord, RunRecord};
+use crate::sink::TraceSink;
 
 /// Leakage-aware Pauli-frame simulator for one logical qubit of a CSS code.
 ///
@@ -132,6 +133,24 @@ impl Simulator {
         policy: &mut P,
         rounds: usize,
     ) -> RunRecord {
+        self.run_with_policy_observed(policy, rounds, &mut crate::sink::NullTraceSink)
+    }
+
+    /// Like [`Simulator::run_with_policy`], but reports the initial leak flags,
+    /// every completed round and the finalized run to `sink` as they happen.
+    ///
+    /// The sink only ever observes; it cannot perturb the run, so the returned
+    /// record is bit-for-bit identical to an unobserved run with the same seed.
+    /// With [`crate::sink::NullTraceSink`] the observation calls monomorphize to
+    /// nothing — this *is* the plain round loop.
+    pub fn run_with_policy_observed<P: LeakagePolicy + ?Sized, S: TraceSink>(
+        &mut self,
+        policy: &mut P,
+        rounds: usize,
+        sink: &mut S,
+    ) -> RunRecord {
+        // Borrowed views keep the disabled (NullTraceSink) path allocation-free.
+        sink.begin_shot(self.frames.data_leaks(), self.frames.ancilla_leaks());
         let mut history: Vec<RoundRecord> = Vec::with_capacity(rounds);
         for round in 0..rounds {
             let request = {
@@ -150,9 +169,12 @@ impl Simulator {
                 policy.plan_lrcs(&ctx)
             };
             let record = self.run_round(&request);
+            sink.record_round(&record);
             history.push(record);
         }
-        self.finalize_run(history)
+        let run = self.finalize_run(history);
+        sink.finish_shot(&run);
+        run
     }
 
     /// Finalizes a run: leaked data qubits are depolarized back into the computational

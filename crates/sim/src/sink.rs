@@ -1,0 +1,107 @@
+//! Observation hook for recording execution traces from the closed-loop round loop.
+//!
+//! A [`TraceSink`] watches one simulated shot as it executes: the initial leak
+//! flags, every completed [`RoundRecord`], and the finalized [`RunRecord`]. The
+//! simulator only ever *reads* state on behalf of the sink — observation never
+//! touches the RNG stream, so a traced run is bit-for-bit identical to an
+//! untraced one.
+//!
+//! The hook is zero-cost when disabled: [`Simulator::run_with_policy`] runs
+//! through the same generic loop with the [`NullTraceSink`], whose empty inline
+//! methods monomorphize away entirely.
+//!
+//! [`Simulator::run_with_policy`]: crate::Simulator::run_with_policy
+
+use crate::record::{RoundRecord, RunRecord};
+
+/// Observer of one simulated shot, called from inside the closed-loop round loop.
+///
+/// Implementations must not assume anything beyond the call order guaranteed by
+/// [`Simulator::run_with_policy_observed`]: exactly one `begin_shot`, then one
+/// `record_round` per executed round (in order), then exactly one `finish_shot`.
+///
+/// [`Simulator::run_with_policy_observed`]: crate::Simulator::run_with_policy_observed
+pub trait TraceSink {
+    /// Called once before the first round, with the leak flags the run starts
+    /// from (non-trivial under leakage sampling or failure injection).
+    fn begin_shot(&mut self, data_leaked: &[bool], ancilla_leaked: &[bool]);
+
+    /// Called after every executed round with its complete record.
+    fn record_round(&mut self, record: &RoundRecord);
+
+    /// Called once after finalization with the complete run (final data frames
+    /// and the perfect measurement layer included).
+    fn finish_shot(&mut self, run: &RunRecord);
+}
+
+/// The disabled sink: every method is an empty inline no-op, so the observed
+/// round loop compiles down to the unobserved one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullTraceSink;
+
+impl TraceSink for NullTraceSink {
+    #[inline(always)]
+    fn begin_shot(&mut self, _data_leaked: &[bool], _ancilla_leaked: &[bool]) {}
+
+    #[inline(always)]
+    fn record_round(&mut self, _record: &RoundRecord) {}
+
+    #[inline(always)]
+    fn finish_shot(&mut self, _run: &RunRecord) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::NoiseParams;
+    use crate::policy::NeverLrc;
+    use crate::simulator::Simulator;
+    use qec_codes::Code;
+
+    /// Collects everything the simulator reports, for the contract tests.
+    #[derive(Default)]
+    struct Collector {
+        begins: usize,
+        rounds: Vec<RoundRecord>,
+        finishes: usize,
+        initial_data_leak: Vec<bool>,
+    }
+
+    impl TraceSink for Collector {
+        fn begin_shot(&mut self, data_leaked: &[bool], _ancilla_leaked: &[bool]) {
+            self.begins += 1;
+            self.initial_data_leak = data_leaked.to_vec();
+        }
+        fn record_round(&mut self, record: &RoundRecord) {
+            self.rounds.push(record.clone());
+        }
+        fn finish_shot(&mut self, _run: &RunRecord) {
+            self.finishes += 1;
+        }
+    }
+
+    #[test]
+    fn observed_run_is_bit_identical_to_an_unobserved_one() {
+        let code = Code::rotated_surface(3);
+        let noise = NoiseParams::default();
+        let plain = Simulator::new(&code, noise, 77).run_with_policy(&mut NeverLrc, 12);
+        let mut sink = Collector::default();
+        let observed =
+            Simulator::new(&code, noise, 77).run_with_policy_observed(&mut NeverLrc, 12, &mut sink);
+        assert_eq!(plain, observed, "observation must not perturb the RNG stream");
+    }
+
+    #[test]
+    fn sink_sees_every_round_in_order_between_one_begin_and_one_finish() {
+        let code = Code::rotated_surface(3);
+        let mut sim = Simulator::new(&code, NoiseParams::default(), 5);
+        sim.inject_data_leakage(2);
+        let mut sink = Collector::default();
+        let run = sim.run_with_policy_observed(&mut NeverLrc, 8, &mut sink);
+        assert_eq!(sink.begins, 1);
+        assert_eq!(sink.finishes, 1);
+        assert_eq!(sink.rounds, run.rounds);
+        assert!(sink.initial_data_leak[2], "begin_shot must see the injected leak");
+        assert_eq!(sink.rounds[0].data_leak_before, sink.initial_data_leak);
+    }
+}

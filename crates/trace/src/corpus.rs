@@ -1,0 +1,242 @@
+//! Sharded on-disk trace corpora with a JSON manifest.
+//!
+//! A corpus is a directory: `manifest.json` at the root, trace files under
+//! `shards/<hh>/<16-hex-hash>.qtr` where `hh` is the first hex byte of the
+//! cell hash (256-way fan-out keeps directory listings flat at scale). The
+//! cell *key* is a caller-composed string naming everything that identifies a
+//! recorded execution **except the policy under evaluation** — that exclusion
+//! is the whole point: one simulation per cell, arbitrarily many policies
+//! replayed against it.
+
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::format::fnv1a_str;
+use crate::wire::TraceError;
+
+/// Version of the corpus manifest schema; bump when the JSON shape changes.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 1;
+
+/// File name of the manifest inside a corpus directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// One recorded cell of a corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusEntry {
+    /// The cell key the trace is indexed under (policy-free scenario identity).
+    pub key: String,
+    /// `fnv1a_str(key)` as 16 lowercase hex digits (also the file stem).
+    pub hash: String,
+    /// Trace file path relative to the corpus root.
+    pub file: String,
+    /// Name of the concrete code instance (e.g. `surface-d5`).
+    pub code: String,
+    /// Code family label (`surface`, `color`, `hgp`, `bpc`).
+    pub family: String,
+    /// Family size parameter of the cell.
+    pub distance: usize,
+    /// QEC rounds per shot.
+    pub rounds: usize,
+    /// Physical error rate of the cell (informational; the trace header's
+    /// bit-exact noise model is authoritative).
+    pub p: f64,
+    /// Leakage ratio of the cell (informational, as `p`).
+    pub leakage_ratio: f64,
+    /// Recorded shots.
+    pub shots: usize,
+    /// Base RNG seed of the recording run.
+    pub seed: u64,
+    /// Label of the policy that drove the recording run.
+    pub policy: String,
+    /// `.qtr` schema version of the trace file.
+    pub trace_schema: u32,
+}
+
+/// The manifest: schema version plus one entry per recorded cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusManifest {
+    /// [`MANIFEST_SCHEMA_VERSION`] at write time.
+    pub schema_version: u32,
+    /// Recorded cells, in insertion order.
+    pub entries: Vec<CorpusEntry>,
+}
+
+/// A corpus directory opened for reading and/or recording.
+#[derive(Debug)]
+pub struct Corpus {
+    dir: PathBuf,
+    manifest: CorpusManifest,
+}
+
+impl Corpus {
+    /// Opens an **existing** corpus at `dir`, failing when no manifest is
+    /// there. This is the right entry point for read-only consumers (replay,
+    /// verification): a mistyped path must error, not verify an empty corpus
+    /// vacuously. Recording paths that may legitimately start from nothing use
+    /// [`Corpus::open`].
+    ///
+    /// # Errors
+    /// Fails when `manifest.json` is absent, unreadable, unparsable, or of a
+    /// newer schema than this build understands.
+    pub fn open_existing(dir: impl Into<PathBuf>) -> Result<Self, TraceError> {
+        let dir = dir.into();
+        if !dir.join(MANIFEST_FILE).exists() {
+            return Err(TraceError::corrupt(format!(
+                "{} is not a corpus (no {MANIFEST_FILE})",
+                dir.display()
+            )));
+        }
+        Corpus::open(dir)
+    }
+
+    /// Opens `dir` as a corpus, loading `manifest.json` when present and
+    /// starting empty otherwise (the directory itself is created lazily by
+    /// [`Corpus::save`]).
+    ///
+    /// # Errors
+    /// Fails when an existing manifest cannot be read or parsed, or declares a
+    /// newer schema than this build understands.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, TraceError> {
+        let dir = dir.into();
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let manifest = if manifest_path.exists() {
+            let text = std::fs::read_to_string(&manifest_path)?;
+            let manifest: CorpusManifest = serde_json::from_str(&text)
+                .map_err(|e| TraceError::corrupt(format!("{}: {e}", manifest_path.display())))?;
+            if manifest.schema_version != MANIFEST_SCHEMA_VERSION {
+                return Err(TraceError::corrupt(format!(
+                    "manifest schema {} unsupported (this build reads {MANIFEST_SCHEMA_VERSION})",
+                    manifest.schema_version
+                )));
+            }
+            manifest
+        } else {
+            CorpusManifest { schema_version: MANIFEST_SCHEMA_VERSION, entries: Vec::new() }
+        };
+        Ok(Corpus { dir, manifest })
+    }
+
+    /// The corpus root directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// All recorded cells, in insertion order.
+    #[must_use]
+    pub fn entries(&self) -> &[CorpusEntry] {
+        &self.manifest.entries
+    }
+
+    /// The 64-bit hash a key is indexed under.
+    #[must_use]
+    pub fn cell_hash(key: &str) -> u64 {
+        fnv1a_str(key)
+    }
+
+    /// The shard-relative trace path for a cell hash:
+    /// `shards/<hh>/<16-hex>.qtr`.
+    #[must_use]
+    pub fn shard_rel_path(hash: u64) -> String {
+        let hex = format!("{hash:016x}");
+        format!("shards/{}/{hex}.qtr", &hex[..2])
+    }
+
+    /// Looks up the recorded cell for `key`, if any.
+    #[must_use]
+    pub fn lookup(&self, key: &str) -> Option<&CorpusEntry> {
+        self.manifest.entries.iter().find(|entry| entry.key == key)
+    }
+
+    /// Absolute path of an entry's trace file.
+    #[must_use]
+    pub fn trace_path(&self, entry: &CorpusEntry) -> PathBuf {
+        self.dir.join(&entry.file)
+    }
+
+    /// Inserts (or replaces, by key) a cell entry. Call [`Corpus::save`] to
+    /// persist the manifest afterwards.
+    pub fn insert(&mut self, entry: CorpusEntry) {
+        if let Some(existing) =
+            self.manifest.entries.iter_mut().find(|existing| existing.key == entry.key)
+        {
+            *existing = entry;
+        } else {
+            self.manifest.entries.push(entry);
+        }
+    }
+
+    /// Writes `manifest.json` (creating the corpus directory if needed).
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn save(&self) -> Result<(), TraceError> {
+        std::fs::create_dir_all(&self.dir)?;
+        let json =
+            serde_json::to_string_pretty(&self.manifest).expect("manifest is always serializable");
+        std::fs::write(self.dir.join(MANIFEST_FILE), json)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(key: &str) -> CorpusEntry {
+        let hash = Corpus::cell_hash(key);
+        CorpusEntry {
+            key: key.to_string(),
+            hash: format!("{hash:016x}"),
+            file: Corpus::shard_rel_path(hash),
+            code: "surface-d3".to_string(),
+            family: "surface".to_string(),
+            distance: 3,
+            rounds: 10,
+            p: 1e-3,
+            leakage_ratio: 0.1,
+            shots: 8,
+            seed: 7,
+            policy: "eraser+m".to_string(),
+            trace_schema: 1,
+        }
+    }
+
+    #[test]
+    fn shard_paths_fan_out_on_the_first_hash_byte() {
+        let path = Corpus::shard_rel_path(0xAB12_3456_789A_BCDE);
+        assert_eq!(path, "shards/ab/ab123456789abcde.qtr");
+    }
+
+    #[test]
+    fn manifest_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("qtr-corpus-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut corpus = Corpus::open(&dir).unwrap();
+        assert!(corpus.entries().is_empty());
+        corpus.insert(entry("cell-a"));
+        corpus.insert(entry("cell-b"));
+        // Replacing by key keeps one entry.
+        let mut replacement = entry("cell-a");
+        replacement.shots = 99;
+        corpus.insert(replacement);
+        corpus.save().unwrap();
+
+        let reopened = Corpus::open(&dir).unwrap();
+        assert_eq!(reopened.entries().len(), 2);
+        assert_eq!(reopened.lookup("cell-a").unwrap().shots, 99);
+        assert!(reopened.lookup("cell-c").is_none());
+        assert_eq!(reopened.entries(), corpus.entries());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_manifest_fails_loudly() {
+        let dir = std::env::temp_dir().join(format!("qtr-corpus-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(MANIFEST_FILE), "{not json").unwrap();
+        assert!(Corpus::open(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

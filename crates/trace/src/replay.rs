@@ -1,0 +1,201 @@
+//! Trace-driven speculation replay: drive any [`LeakagePolicy`] against a
+//! recorded execution without re-simulating.
+//!
+//! Replay feeds the policy exactly the [`PolicyContext`] it would have seen
+//! live — the reconstructed round history, and the recorded ground-truth leak
+//! flags for oracle policies — and collects the LRC schedule it *plans* each
+//! round. Because every policy in this workspace is a deterministic function of
+//! its context, replaying the trace with the **same** policy that recorded it
+//! reproduces the recorded schedule exactly (checked per round as divergence
+//! detection), which is what pins replayed metrics bit-for-bit to the live
+//! engine. Replaying a **different** policy scores that policy's speculation
+//! open-loop against the recorded observables, the evaluation style of ERASER
+//! (arXiv:2309.13143) and Varbanov et al. (arXiv:2002.07119).
+
+use leaky_sim::{GroundTruth, LeakagePolicy, LrcRequest, PolicyContext, RunRecord};
+use qec_codes::{Code, DataAdjacency};
+
+use crate::format::{code_fingerprint, ShotTrace, TraceHeader};
+use crate::wire::TraceError;
+
+/// The outcome of replaying one shot against one policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShotReplay {
+    /// The recorded run, reconstructed bit-for-bit ([`ShotTrace::to_run`]).
+    pub run: RunRecord,
+    /// The LRC schedule the replayed policy planned for each round.
+    pub planned: Vec<LrcRequest>,
+    /// First round where the planned schedule differs from the recorded one,
+    /// if any. Always `None` when replaying the recording policy itself.
+    pub divergence: Option<usize>,
+}
+
+impl ShotReplay {
+    /// `true` when the policy reproduced the recorded schedule exactly.
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        self.divergence.is_none()
+    }
+}
+
+/// Prebuilt per-trace replay state: the code, its adjacency, and the recording
+/// run's timing inputs. Build once per trace, replay many shots/policies.
+#[derive(Debug)]
+pub struct ReplayContext {
+    code: Code,
+    adjacency: DataAdjacency,
+    header: TraceHeader,
+}
+
+impl ReplayContext {
+    /// Validates that `code` is the code the trace was recorded on (structural
+    /// fingerprint and sizes) and prepares the shared replay state.
+    ///
+    /// # Errors
+    /// Fails when the code does not match the header.
+    pub fn new(code: &Code, header: &TraceHeader) -> Result<Self, TraceError> {
+        let fingerprint = code_fingerprint(code);
+        if fingerprint != header.code_fingerprint
+            || code.num_data() != header.num_data
+            || code.num_checks() != header.num_checks
+        {
+            return Err(TraceError::corrupt(format!(
+                "code `{}` (fingerprint {fingerprint:#018x}) does not match the trace's `{}` \
+                 (fingerprint {:#018x})",
+                code.name(),
+                header.code_name,
+                header.code_fingerprint
+            )));
+        }
+        Ok(ReplayContext {
+            code: code.clone(),
+            adjacency: code.data_adjacency(),
+            header: header.clone(),
+        })
+    }
+
+    /// The trace header the context was built from.
+    #[must_use]
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// The code under replay.
+    #[must_use]
+    pub fn code(&self) -> &Code {
+        &self.code
+    }
+
+    /// Replays one recorded shot against `policy`.
+    ///
+    /// The caller owns the policy's lifecycle: call [`LeakagePolicy::reset`]
+    /// before each shot, exactly as the live batch engine does.
+    ///
+    /// Round `r` hands the policy the history of rounds `0..r` (reconstructed
+    /// records), and ground truth equal to the leak flags at planning time:
+    /// `data_leak_before` of round `r` and the previous round's
+    /// `ancilla_leak_after` (the initial flags for round 0).
+    #[must_use]
+    pub fn replay_shot(&self, trace: &ShotTrace, policy: &mut dyn LeakagePolicy) -> ShotReplay {
+        let run = trace.to_run(&self.header.noise, self.header.cnot_layers);
+        let mut planned = Vec::with_capacity(run.rounds.len());
+        let mut divergence = None;
+        for (round, record) in run.rounds.iter().enumerate() {
+            let ancilla_leaked = if round == 0 {
+                &trace.initial_ancilla_leak
+            } else {
+                &run.rounds[round - 1].ancilla_leak_after
+            };
+            let ctx = PolicyContext {
+                round,
+                code: &self.code,
+                adjacency: &self.adjacency,
+                history: &run.rounds[..round],
+                ground_truth: GroundTruth { data_leaked: &record.data_leak_before, ancilla_leaked },
+            };
+            let plan = policy.plan_lrcs(&ctx);
+            if divergence.is_none()
+                && (plan.data != record.data_lrcs || plan.ancilla != record.ancilla_lrcs)
+            {
+                divergence = Some(round);
+            }
+            planned.push(plan);
+        }
+        ShotReplay { run, planned, divergence }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{ShotRecorder, TRACE_SCHEMA_VERSION};
+    use gladiator::GladiatorConfig;
+    use leakage_speculation::{build_policy, PolicyKind};
+    use leaky_sim::{NoiseParams, Simulator};
+
+    fn record(code: &Code, kind: PolicyKind, seed: u64, rounds: usize) -> (TraceHeader, ShotTrace) {
+        let noise = NoiseParams::default();
+        let mut policy = build_policy(kind, code, &GladiatorConfig::default());
+        let mut sim = Simulator::new(code, noise, seed);
+        sim.seed_random_data_leakage(1);
+        let mut recorder = ShotRecorder::new();
+        let run = sim.run_with_policy_observed(policy.as_mut(), rounds, &mut recorder);
+        let header = TraceHeader {
+            schema_version: TRACE_SCHEMA_VERSION,
+            generator: "replay test".to_string(),
+            git_describe: "unknown".to_string(),
+            code_name: code.name().to_string(),
+            code_fingerprint: code_fingerprint(code),
+            num_data: code.num_data(),
+            num_checks: code.num_checks(),
+            cnot_layers: code.checks().iter().map(qec_codes::Check::weight).max().unwrap_or(0),
+            rounds,
+            shots: 1,
+            seed,
+            policy: kind.label().to_string(),
+            leakage_sampling: true,
+            noise,
+        };
+        let trace = recorder.into_trace(0);
+        assert_eq!(trace.to_run(&noise, header.cnot_layers), run);
+        (header, trace)
+    }
+
+    #[test]
+    fn replaying_the_recording_policy_is_exact_for_every_kind() {
+        let code = Code::rotated_surface(3);
+        for kind in PolicyKind::ALL {
+            let (header, trace) = record(&code, kind, 17, 10);
+            let ctx = ReplayContext::new(&code, &header).unwrap();
+            let mut policy = build_policy(kind, &code, &GladiatorConfig::default());
+            let replay = ctx.replay_shot(&trace, policy.as_mut());
+            assert!(replay.is_exact(), "{kind:?} diverged at round {:?}", replay.divergence);
+            // The planned schedule is exactly the recorded one.
+            for (plan, record) in replay.planned.iter().zip(&replay.run.rounds) {
+                assert_eq!(plan.data, record.data_lrcs, "{kind:?}");
+                assert_eq!(plan.ancilla, record.ancilla_lrcs, "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn replaying_a_different_policy_reports_divergence() {
+        let code = Code::rotated_surface(3);
+        let (header, trace) = record(&code, PolicyKind::NoLrc, 3, 12);
+        let ctx = ReplayContext::new(&code, &header).unwrap();
+        // Always-LRC plans a full schedule every round; the no-lrc trace recorded none.
+        let mut policy = build_policy(PolicyKind::AlwaysLrc, &code, &GladiatorConfig::default());
+        let replay = ctx.replay_shot(&trace, policy.as_mut());
+        assert_eq!(replay.divergence, Some(0));
+        assert_eq!(replay.planned[0].len(), code.num_data() + code.num_checks());
+    }
+
+    #[test]
+    fn replay_context_rejects_the_wrong_code() {
+        let code = Code::rotated_surface(3);
+        let (header, _) = record(&code, PolicyKind::NoLrc, 1, 4);
+        let other = Code::rotated_surface(5);
+        let err = ReplayContext::new(&other, &header).unwrap_err();
+        assert!(err.to_string().contains("does not match"), "{err}");
+    }
+}

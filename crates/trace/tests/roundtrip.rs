@@ -1,0 +1,70 @@
+//! Property-based round-trip coverage of the `.qtr` wire primitives.
+
+use proptest::prelude::*;
+use qec_trace::wire::{crc32, Decoder, Encoder};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every u64 survives a varint round trip, and the encoding is minimal
+    /// (ceil(bits/7) bytes).
+    #[test]
+    fn varint_round_trips_any_u64(value in any::<u64>()) {
+        let mut enc = Encoder::new();
+        enc.put_varint(value);
+        let bytes = enc.into_bytes();
+        let expected_len = if value == 0 { 1 } else { (64 - value.leading_zeros() as usize).div_ceil(7) };
+        prop_assert_eq!(bytes.len(), expected_len);
+        let mut dec = Decoder::new(&bytes);
+        prop_assert_eq!(dec.take_varint().unwrap(), value);
+        prop_assert!(dec.finished());
+    }
+
+    /// Bit-packed boolean sequences of arbitrary length round trip exactly.
+    #[test]
+    fn bitpack_round_trips_any_length(len in 0usize..200, seed in any::<u64>()) {
+        let bits: Vec<bool> = (0..len).map(|i| (seed >> (i % 64)) & 1 == 1).collect();
+        let mut enc = Encoder::new();
+        enc.put_bits(&bits);
+        let bytes = enc.into_bytes();
+        prop_assert_eq!(bytes.len(), len.div_ceil(8));
+        prop_assert_eq!(Decoder::new(&bytes).take_bits(len).unwrap(), bits);
+    }
+
+    /// f64 payloads are bit-exact, including negative zero and subnormals.
+    #[test]
+    fn f64_round_trips_bit_exactly(bits in any::<u64>()) {
+        let value = f64::from_bits(bits);
+        let mut enc = Encoder::new();
+        enc.put_f64(value);
+        let bytes = enc.into_bytes();
+        prop_assert_eq!(Decoder::new(&bytes).take_f64().unwrap().to_bits(), bits);
+    }
+
+    /// Mixed sequences of varints, strings and index lists decode in order.
+    #[test]
+    fn mixed_payloads_round_trip(a in any::<u64>(), n in 0usize..20, bound in 21usize..100) {
+        let indices: Vec<usize> = (0..n).map(|i| (a as usize).wrapping_add(7 * i) % bound).collect();
+        let text = format!("cell-{a}");
+        let mut enc = Encoder::new();
+        enc.put_varint(a);
+        enc.put_str(&text);
+        enc.put_index_seq(&indices);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        prop_assert_eq!(dec.take_varint().unwrap(), a);
+        prop_assert_eq!(dec.take_str().unwrap(), text);
+        prop_assert_eq!(dec.take_index_seq(bound).unwrap(), indices);
+        dec.expect_finished().unwrap();
+    }
+
+    /// Single-bit corruption of a payload always changes its CRC-32.
+    #[test]
+    fn crc_detects_single_bit_flips(seed in any::<u64>(), len in 1usize..64, flip in 0usize..512) {
+        let bytes: Vec<u8> = (0..len).map(|i| (seed.wrapping_mul(i as u64 + 1) >> 32) as u8).collect();
+        let mut damaged = bytes.clone();
+        let bit = flip % (len * 8);
+        damaged[bit / 8] ^= 1 << (bit % 8);
+        prop_assert_ne!(crc32(&bytes), crc32(&damaged));
+    }
+}

@@ -87,3 +87,102 @@ fn leaky_sim_never() -> impl LeakagePolicy {
 }
 
 use gladiator_suite::sim as leaky_sim;
+
+// ---------------------------------------------------------------------------------
+// Vendored serde_json: string escapes and number classification (the JSON layer
+// every sweep spec, manifest and report round-trips through).
+// ---------------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Non-negative integers always classify as `Value::U64`, exactly.
+    #[test]
+    fn json_unsigned_integers_classify_as_u64(n in any::<u64>()) {
+        let value = serde_json::value_from_str(&n.to_string()).unwrap();
+        prop_assert_eq!(value, serde_json::Value::U64(n));
+    }
+
+    /// Negative integers always classify as `Value::I64`, exactly.
+    #[test]
+    fn json_negative_integers_classify_as_i64(n in any::<u64>()) {
+        // The modulus spans [-2^63, -1]: i64::MIN, whose magnitude has no
+        // positive i64, is the classification edge case and must be included.
+        let v = -1 - (n % (1u64 << 63)) as i64;
+        let value = serde_json::value_from_str(&v.to_string()).unwrap();
+        prop_assert_eq!(value, serde_json::Value::I64(v));
+    }
+
+    /// The i64::MIN boundary explicitly: magnitude 2^63 parses as an integer,
+    /// magnitude 2^63 + 1 falls through to f64 (like real serde_json).
+    #[test]
+    fn json_i64_min_boundary_classifies_exactly(_n in 0u64..2) {
+        let min = serde_json::value_from_str("-9223372036854775808").unwrap();
+        prop_assert_eq!(min, serde_json::Value::I64(i64::MIN));
+        let below = serde_json::value_from_str("-9223372036854775809").unwrap();
+        prop_assert!(matches!(below, serde_json::Value::F64(_)));
+    }
+
+    /// Any finite f64 survives render -> parse bit-exactly (incl. -0.0 and
+    /// subnormals), regardless of which number class the text lands in.
+    #[test]
+    fn json_finite_floats_round_trip_bit_exactly(bits in any::<u64>()) {
+        let x = f64::from_bits(bits);
+        if x.is_finite() {
+            let json = serde_json::to_string(&x).unwrap();
+            let back: f64 = serde_json::from_str(&json).unwrap();
+            prop_assert_eq!(back.to_bits(), bits, "{}", json);
+        }
+    }
+
+    /// Number texts with a fraction or exponent always classify as `F64`,
+    /// never silently as an integer.
+    #[test]
+    fn json_exponent_texts_classify_as_f64(mantissa in 0u64..1_000_000, exp in 0u32..20) {
+        let text = format!("{mantissa}e-{exp}");
+        let value = serde_json::value_from_str(&text).unwrap();
+        match value {
+            serde_json::Value::F64(x) => {
+                prop_assert_eq!(x.to_bits(), text.parse::<f64>().unwrap().to_bits())
+            }
+            other => prop_assert!(false, "`{}` classified as {:?}", text, other),
+        }
+    }
+
+    /// Strings of arbitrary scalar values — control characters, quotes,
+    /// backslashes, non-BMP code points — survive escape -> parse round trips.
+    #[test]
+    fn json_string_escapes_round_trip(seed in any::<u64>(), len in 0usize..24) {
+        let mut state = seed;
+        let mut text = String::new();
+        for _ in 0..len {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let choice = (state >> 33) as u32;
+            let c = match choice % 6 {
+                0 => char::from_u32(choice % 0x20).unwrap(),          // control chars
+                1 => ['"', '\\', '/', '\n', '\t'][(choice % 5) as usize],
+                2 => char::from_u32(0x1F300 + choice % 0x100).unwrap(), // non-BMP (emoji block)
+                3 => char::from_u32(0x80 + choice % 0x780).unwrap(),    // Latin-1..Greek
+                _ => char::from_u32(b'a' as u32 + choice % 26).unwrap(),
+            };
+            text.push(c);
+        }
+        let json = serde_json::to_string(text.as_str()).unwrap();
+        let back: String = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, text, "json was {}", json);
+    }
+
+    /// `\uXXXX` surrogate pairs parse to the intended non-BMP scalar.
+    #[test]
+    fn json_surrogate_pair_escapes_parse(offset in 0u32..0x10000) {
+        let scalar = 0x10000 + offset; // every value here is a valid char
+        let c = char::from_u32(scalar).unwrap();
+        let v = scalar - 0x10000;
+        let json = format!("\"\\u{:04x}\\u{:04x}\"", 0xD800 + (v >> 10), 0xDC00 + (v & 0x3FF));
+        let back: String = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, c.to_string());
+        // An unpaired high surrogate must be rejected, not mangled.
+        let broken = format!("\"\\u{:04x}x\"", 0xD800 + (v >> 10));
+        prop_assert!(serde_json::from_str::<String>(&broken).is_err());
+    }
+}

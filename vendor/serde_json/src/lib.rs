@@ -292,6 +292,12 @@ impl Parser<'_> {
                     if let Ok(signed) = i64::try_from(n) {
                         return Ok(Value::I64(-signed));
                     }
+                    // Magnitude 2^63 has no positive i64, but its negation is
+                    // exactly i64::MIN — classify it as an integer like real
+                    // serde_json does, not as a lossy float.
+                    if n == (1u64 << 63) {
+                        return Ok(Value::I64(i64::MIN));
+                    }
                 }
             } else if let Ok(n) = text.parse::<u64>() {
                 return Ok(Value::U64(n));
