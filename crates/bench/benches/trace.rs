@@ -11,10 +11,11 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 use std::time::Duration;
 
-use leakage_speculation::PolicyFactory;
+use leakage_speculation::{PolicyFactory, PolicyKind};
 use qec_experiments::engine::BatchEngine;
 use qec_experiments::replay::{
-    calibration_for, record_cell, replay_cell, trace_snapshot_scenario, LoadedCell,
+    calibration_for, record_cell, replay_cell, replay_cell_closed_loop, trace_snapshot_scenario,
+    LoadedCell,
 };
 use qec_trace::{TraceReader, TraceWriter};
 
@@ -66,6 +67,19 @@ fn bench_trace(c: &mut Criterion) {
     });
     group.bench_function("resim_16_shots", |b| {
         b.iter(|| engine.run());
+    });
+    // Closed-loop replay of the recording policy: zero divergence, so this is
+    // the pure-replay fast path of exact counterfactual evaluation.
+    group.bench_function("closed_loop_16_shots", |b| {
+        b.iter(|| replay_cell_closed_loop(&cell, &factory, policy, None).expect("closed-loop"));
+    });
+    // Closed-loop replay of a different policy: pays divergence repair
+    // (forced prefix + live suffix) on every divergent shot.
+    group.bench_function("closed_loop_cross_16_shots", |b| {
+        b.iter(|| {
+            replay_cell_closed_loop(&cell, &factory, PolicyKind::EraserM, None)
+                .expect("closed-loop cross")
+        });
     });
     group.finish();
 }

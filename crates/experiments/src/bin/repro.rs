@@ -4,9 +4,10 @@
 //! ```text
 //! repro run      [--scale smoke|quick|paper] [--out DIR] [EXPERIMENT ...]
 //! repro sweep    [--spec FILE | --grid KEY=V,V ...] [options] [--out FILE]
-//!                [--corpus DIR [--record-policy LABEL]]
+//!                [--corpus DIR [--record-policy LABEL] [--closed-loop]]
 //! repro record   [--spec FILE | --grid KEY=V,V ...] [options] --corpus DIR
-//! repro replay   --corpus DIR [--policy L1,L2] [--decode] [--verify-live]
+//! repro replay   --corpus DIR [--policy L1,L2] [--decode] [--closed-loop]
+//!                [--verify-live]
 //! repro corpus   DIR [--verify]
 //! repro list
 //! repro snapshot [--out FILE] [--trace-out FILE] [--check BASELINE]
@@ -26,8 +27,8 @@ use std::process::ExitCode;
 
 use leakage_speculation::PolicyKind;
 use qec_experiments::replay::{
-    cell_key, load_entry, record_into_corpus, replay_corpus, trace_snapshot, ReplayOptions,
-    ReplayReport, REPLAY_SCHEMA_VERSION,
+    cell_key, load_entry, record_into_corpus, replay_corpus, trace_snapshot, ReplayMode,
+    ReplayOptions, ReplayReport, REPLAY_SCHEMA_VERSION,
 };
 use qec_experiments::report::{
     bench_lines_to_string, compare_bench_lines, fmt_float, parse_bench_lines, text_table, to_json,
@@ -55,18 +56,24 @@ commands:
             repro sweep [--spec FILE.json | --grid KEY=V[,V...] ...]
             [--scale smoke|quick|paper] [--shots N] [--rounds-per-distance N]
             [--seed N] [--no-decode] [--no-timing] [--out FILE]
-            [--corpus DIR [--record-policy LABEL]]
+            [--corpus DIR [--record-policy LABEL] [--closed-loop]]
             grid keys: d=3,5,7  p=1e-3,2e-3  lr=0.1  policy=eraser+m,...
             code=surface|color|hgp|bpc
             with --corpus, each policy-free cell is simulated once (recorded
-            into DIR as a .qtr trace) and every grid policy is replayed
+            into DIR as a .qtr trace) and every grid policy is replayed;
+            --closed-loop re-simulates each shot from its first schedule
+            divergence, making every cell an exact counterfactual
   record    record the grid's policy-free cells into a trace corpus:
             repro record [--spec FILE.json | --grid ...] [--scale ...]
             [--shots N] [--rounds-per-distance N] [--seed N]
             [--record-policy LABEL] --corpus DIR
   replay    replay policies against a recorded corpus without re-simulating:
             repro replay --corpus DIR [--policy L1,L2,...] [--decode]
-            [--verify-live] [--out FILE]
+            [--closed-loop] [--verify-live] [--out FILE]
+            --closed-loop repairs divergences by re-simulating from the first
+            divergent round (exact counterfactual metrics + divergence
+            profiles); with --verify-live every policy is checked bit-for-bit
+            against a fresh live simulation (exit 1 on any mismatch)
   corpus    inspect a corpus manifest: repro corpus DIR [--verify]
             (--verify re-reads every trace, checking CRCs and code identity)
   list      print known experiments, policies and code families
@@ -304,6 +311,7 @@ fn cmd_sweep(args: &[String]) -> Result<ExitCode, UsageError> {
     let mut out: Option<PathBuf> = None;
     let mut corpus_dir: Option<PathBuf> = None;
     let mut record_policy: Option<PolicyKind> = None;
+    let mut mode = ReplayMode::OpenLoop;
     let mut iter = Args::new(args);
     while let Some(arg) = iter.next() {
         if flags.try_consume(arg, &mut iter)? {
@@ -316,6 +324,7 @@ fn cmd_sweep(args: &[String]) -> Result<ExitCode, UsageError> {
             "--record-policy" => {
                 record_policy = Some(parse_policy_label(iter.value("--record-policy")?)?);
             }
+            "--closed-loop" => mode = ReplayMode::ClosedLoop,
             other => {
                 return Err(UsageError::new(format!("unknown argument `{other}` for `sweep`")));
             }
@@ -324,11 +333,13 @@ fn cmd_sweep(args: &[String]) -> Result<ExitCode, UsageError> {
     if record_policy.is_some() && corpus_dir.is_none() {
         return Err(UsageError::new("--record-policy requires --corpus"));
     }
+    if mode == ReplayMode::ClosedLoop && corpus_dir.is_none() {
+        return Err(UsageError::new("--closed-loop requires --corpus"));
+    }
     let spec = flags.build()?;
     let report = match &corpus_dir {
-        Some(dir) => {
-            run_sweep_with_corpus(&spec, dir, record_policy, timing).map_err(UsageError::new)?
-        }
+        Some(dir) => run_sweep_with_corpus(&spec, dir, record_policy, timing, mode)
+            .map_err(UsageError::new)?,
         None => run_sweep(&spec, timing).map_err(UsageError::new)?,
     };
     let json = to_json(&report);
@@ -524,6 +535,7 @@ fn cmd_replay(args: &[String]) -> Result<ExitCode, UsageError> {
                 }
             }
             "--decode" => options.decode = true,
+            "--closed-loop" => options.mode = ReplayMode::ClosedLoop,
             "--verify-live" => options.verify_live = true,
             "--out" => out = Some(PathBuf::from(iter.value("--out")?)),
             other => {
@@ -560,17 +572,19 @@ fn cmd_replay(args: &[String]) -> Result<ExitCode, UsageError> {
     if options.verify_live {
         let verified = report.results.iter().filter(|row| row.live_match.is_some()).count();
         if verified == 0 {
-            // Nothing was exact, so nothing was verified — passing here would
-            // green-light a gate that checked nothing.
+            // Nothing was verified — passing here would green-light a gate
+            // that checked nothing. (Open-loop verification only covers exact
+            // pairings; closed-loop verifies every pairing.)
             eprintln!(
-                "verify-live FAILED: no replayed policy matched a cell's recording policy, \
-                 so nothing was verified (drop --policy or include the recording policy)"
+                "verify-live FAILED: nothing was verified (in open-loop mode include the \
+                 recording policy in --policy, or pass --closed-loop to verify every policy)"
             );
             return Ok(ExitCode::FAILURE);
         }
         if mismatches.is_empty() {
             let message = format!(
-                "verify-live OK: {verified} exact replay(s) matched the live engine bit-for-bit"
+                "verify-live OK: {verified} {} replay(s) matched the live engine bit-for-bit",
+                report.replay_mode
             );
             if out.as_ref().is_some_and(|path| path.as_os_str() == "-") {
                 // `--out -` promises pure JSON on stdout; status goes to stderr.
@@ -604,6 +618,11 @@ fn replay_summary(report: &ReplayReport) -> String {
                 fmt_float(row.metrics.false_positives),
                 fmt_float(row.metrics.lrcs_per_round),
                 row.metrics.logical_error_rate.map_or("-".to_string(), fmt_float),
+                // The honest cost measure: divergent shots re-execute their
+                // full round count (forced prefix + live suffix).
+                row.divergence_profile.as_ref().map_or("-".to_string(), |profile| {
+                    format!("{:.0}%", profile.simulated_fraction() * 100.0)
+                }),
                 row.live_match.map_or("-".to_string(), |ok| {
                     if ok {
                         "match".to_string()
@@ -614,9 +633,24 @@ fn replay_summary(report: &ReplayReport) -> String {
             ]
         })
         .collect();
-    text_table(
-        &["code", "recorded", "policy", "exact", "FN", "FP", "LRC/round", "LER", "live"],
-        &rows,
+    format!(
+        "replay mode: {}\n{}",
+        report.replay_mode,
+        text_table(
+            &[
+                "code",
+                "recorded",
+                "policy",
+                "exact",
+                "FN",
+                "FP",
+                "LRC/round",
+                "LER",
+                "resim",
+                "live"
+            ],
+            &rows,
+        )
     )
 }
 

@@ -136,21 +136,20 @@ impl BatchEngine {
     }
 
     /// Simulates shot `shot` in `ctx`, leaving the context ready for the next
-    /// shot. This is the one authoritative per-shot seeding ritual (`reseed` to
-    /// `seed + shot`, policy reset, optional leakage sampling) — every
-    /// execution path, traced or not, must go through it so recorded traces can
-    /// never drift from live runs.
+    /// shot. The simulator side of the ritual is
+    /// [`Simulator::reseed_for_shot`] (`seed + shot`, optional leakage
+    /// sampling) — the same entry point closed-loop replay uses for divergence
+    /// repair — plus the policy reset, so every execution path, traced, live
+    /// or replayed, prepares shots identically and recorded traces can never
+    /// drift from live runs.
     fn simulate_observed<S: leaky_sim::TraceSink>(
         &self,
         ctx: &mut ShotContext,
         shot: u64,
         sink: &mut S,
     ) -> RunRecord {
-        ctx.sim.reseed(self.spec.seed.wrapping_add(shot));
+        ctx.sim.reseed_for_shot(self.spec.seed, shot, self.spec.leakage_sampling);
         ctx.policy.reset();
-        if self.spec.leakage_sampling {
-            ctx.sim.seed_random_data_leakage(1);
-        }
         ctx.sim.run_with_policy_observed(ctx.policy.as_mut(), self.spec.rounds, sink)
     }
 

@@ -31,9 +31,14 @@
 //! * [`replay`] — corpus-backed evaluation over `qec-trace`: record each policy-free
 //!   scenario cell once ([`replay::record_into_corpus`]), replay any policy against
 //!   the recorded observables ([`replay::replay_cell`], [`replay::replay_corpus`])
-//!   with bit-for-bit fidelity for the recording policy, and
-//!   [`sweep::run_sweep_with_corpus`] for whole grids; [`replay::trace_snapshot`] is
-//!   the trace perf snapshot (record/encode/decode/replay-vs-resim).
+//!   with bit-for-bit fidelity for the recording policy — or **closed-loop**
+//!   ([`replay::replay_cell_closed_loop`], [`replay::ReplayMode::ClosedLoop`]),
+//!   which repairs each shot's first schedule divergence by re-simulating from
+//!   that round under the recorded seed contract and makes *every* policy's
+//!   metrics (DLP and LER included) bit-for-bit a from-scratch live run, with
+//!   per-round divergence profiles; [`sweep::run_sweep_with_corpus`] for whole
+//!   grids in either mode; [`replay::trace_snapshot`] is the trace perf
+//!   snapshot (record/encode/decode/replay-vs-resim/closed-loop).
 //! * [`report`] — table formatting, JSON export, and the line-per-benchmark snapshot
 //!   format ([`report::BenchLine`]) shared with `crates/bench/BENCH_baseline.json`,
 //!   including the baseline comparison the CI perf gate runs.
@@ -66,7 +71,7 @@ pub mod sweep;
 pub use engine::BatchEngine;
 pub use harness::{run_policy_experiment, ExperimentSpec, PolicyExperimentResult};
 pub use metrics::{AggregateMetrics, RunMetrics};
-pub use replay::{replay_corpus, ReplayCellResult, ReplayOptions, ReplayReport};
+pub use replay::{replay_corpus, ReplayCellResult, ReplayMode, ReplayOptions, ReplayReport};
 pub use scenario::{CodeFamily, Scenario};
 pub use sweep::{
     run_scenarios, run_sweep, run_sweep_with_corpus, SweepCell, SweepReport, SweepSpec,

@@ -251,18 +251,12 @@ mod tests {
     fn unnecessary_lrc_counts_as_false_positive() {
         let code = Code::rotated_surface(3);
         let mut sim = Simulator::new(&code, quiet_noise(), 1);
-        sim.run_round(&LrcRequest { data: vec![0, 1], ancilla: vec![] });
-        let run = sim.run_with_policy(&mut NeverLrc, 0);
-        // reconstruct a RunRecord manually from the executed round
-        // (run_with_policy with 0 rounds returns empty; instead score a fresh run)
-        let mut sim2 = Simulator::new(&code, quiet_noise(), 1);
         let mut policy = CountingPolicy { fire_round: 0 };
-        let run2 = sim2.run_with_policy(&mut policy, 2);
-        let metrics = RunMetrics::score(&run2, 100.0);
+        let run = sim.run_with_policy(&mut policy, 2);
+        let metrics = RunMetrics::score(&run, 100.0);
         assert_eq!(metrics.false_positives, 2);
         assert_eq!(metrics.false_negatives, 0);
         assert_eq!(metrics.data_lrcs, 2);
-        drop(run);
     }
 
     /// Test helper: requests two data LRCs in one specific round, nothing otherwise.

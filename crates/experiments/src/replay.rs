@@ -12,9 +12,23 @@
 //! Replaying the policy that recorded a trace reproduces the live engine's
 //! FP/FN/DLP/LRC metrics (and, with decoding, the LER) **bit-for-bit** — the
 //! determinism tests in `crates/experiments/tests/replay.rs` pin this for all
-//! policy kinds. Replaying any other policy is the trace-driven open-loop
-//! evaluation of ERASER/Varbanov: speculation accuracy against the recorded
-//! execution, at replay cost instead of simulation cost.
+//! policy kinds. Replaying any other policy is, in [`ReplayMode::OpenLoop`],
+//! the trace-driven evaluation of ERASER/Varbanov: speculation accuracy
+//! against the recorded execution, at replay cost instead of simulation cost —
+//! but every round after the first schedule divergence is counterfactual, so
+//! cross-policy DLP/LER describe the recorded execution, not the candidate's.
+//!
+//! [`ReplayMode::ClosedLoop`] repairs that: each shot replays until its first
+//! divergence, then exact simulator state is reconstructed from the trace and
+//! the recorded `seed + shot` contract and the suffix is re-simulated live
+//! under the candidate ([`qec_trace::ReplayContext::replay_shot_closed_loop`]).
+//! Closed-loop metrics — including DLP and the decoded LER, for *every*
+//! candidate policy — are **bit-for-bit** a from-scratch live simulation of
+//! that policy on the same cell and seeds (the exact-counterfactual contract,
+//! pinned by `crates/experiments/tests/closed_loop.rs`), while non-divergent
+//! shots never touch the simulator and divergent shots skip all prefix policy
+//! evaluation. Per-round [`DivergenceProfile`]s report where shots diverged
+//! and how much re-simulation the repairs cost.
 
 use std::path::Path;
 use std::sync::Arc;
@@ -28,8 +42,8 @@ use leakage_speculation::{PolicyFactory, PolicyKind};
 use qec_codes::Code;
 use qec_decoder::{detection_events, logical_failure, MemoryBasis, UnionFindDecoder};
 use qec_trace::{
-    code_fingerprint, read_trace_file, Corpus, CorpusEntry, ReplayContext, ShotTrace, TraceHeader,
-    TRACE_SCHEMA_VERSION,
+    code_fingerprint, read_trace_file, Corpus, CorpusEntry, DivergenceProfile, ReplayContext,
+    ShotTrace, TraceHeader, TRACE_SCHEMA_VERSION,
 };
 
 use crate::engine::{build_decoder, BatchEngine};
@@ -40,7 +54,34 @@ use crate::scenario::{CodeFamily, Scenario};
 use crate::sweep::{git_describe, SNAPSHOT_SAMPLES};
 
 /// Version of the replay-report JSON schema; bump when the shape changes.
-pub const REPLAY_SCHEMA_VERSION: u32 = 1;
+/// (v2: added the `replay_mode` provenance field and per-row closed-loop
+/// divergence profiles.)
+pub const REPLAY_SCHEMA_VERSION: u32 = 2;
+
+/// How recorded cells are evaluated against candidate policies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplayMode {
+    /// ERASER-style trace-driven scoring: the candidate's planned schedule is
+    /// judged against the recorded execution; nothing is re-simulated, and
+    /// cross-policy DLP/LER describe the recorded run.
+    #[default]
+    OpenLoop,
+    /// Divergence-repaired counterfactuals: each shot re-simulates from its
+    /// first schedule divergence under the recorded seed contract, so every
+    /// metric is bit-for-bit a from-scratch live run of the candidate.
+    ClosedLoop,
+}
+
+impl ReplayMode {
+    /// The label used in report provenance fields and CLI flags.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ReplayMode::OpenLoop => "open-loop",
+            ReplayMode::ClosedLoop => "closed-loop",
+        }
+    }
+}
 
 /// The policy-free identity of a scenario cell — everything that determines
 /// the recorded execution except the policy under evaluation (and the decode
@@ -228,17 +269,38 @@ pub fn load_entry(corpus: &Corpus, entry: &CorpusEntry) -> Result<LoadedCell, St
             header.shots
         ));
     }
+    // Manifest metadata and trace header must agree on the execution identity;
+    // a mismatch means the manifest was edited or points at the wrong shard.
+    for (field, manifest_value, header_value) in [
+        ("rounds", entry.rounds.to_string(), header.rounds.to_string()),
+        ("shots", entry.shots.to_string(), header.shots.to_string()),
+        ("seed", entry.seed.to_string(), header.seed.to_string()),
+        ("policy", entry.policy.clone(), header.policy.clone()),
+        ("trace_schema", entry.trace_schema.to_string(), header.schema_version.to_string()),
+    ] {
+        if manifest_value != header_value {
+            return Err(format!(
+                "{}: manifest says {field}={manifest_value}, but the trace file was recorded \
+                 with {field}={header_value} — the manifest does not describe this shard",
+                entry.key
+            ));
+        }
+    }
     Ok(LoadedCell { header, shots, code })
 }
 
 /// The aggregate outcome of replaying one policy against one loaded cell.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellReplay {
-    /// Aggregated replay metrics (see [`RunMetrics::score_replay`] semantics).
+    /// Aggregated replay metrics: [`RunMetrics::score_replay`] semantics in
+    /// open-loop mode, the live engine's [`RunMetrics::score`] semantics (on
+    /// exact counterfactual runs) in closed-loop mode.
     pub metrics: AggregateMetrics,
     /// Shots whose planned schedule diverged from the recorded one (always 0
     /// when replaying the recording policy).
     pub divergent_shots: usize,
+    /// Per-round divergence statistics; populated by closed-loop replay only.
+    pub profile: Option<DivergenceProfile>,
 }
 
 /// Replays `policy` against every shot of `cell`, in parallel, aggregating in
@@ -282,7 +344,65 @@ pub fn replay_cell(
         .collect();
     let divergent_shots = per_shot.iter().filter(|(_, exact)| !exact).count();
     let runs: Vec<RunMetrics> = per_shot.into_iter().map(|(metrics, _)| metrics).collect();
-    Ok(CellReplay { metrics: AggregateMetrics::from_runs(&runs), divergent_shots })
+    Ok(CellReplay { metrics: AggregateMetrics::from_runs(&runs), divergent_shots, profile: None })
+}
+
+/// Closed-loop-replays `policy` against every shot of `cell`, in parallel,
+/// aggregating in shot order: each shot replays until its first schedule
+/// divergence, then re-simulates from that round under the recorded seed
+/// contract, so the aggregated metrics are **bit-for-bit** what
+/// [`BatchEngine::run`] reports for a live run of `policy` on the cell's spec
+/// — for every candidate policy, not just the recording one. Pass a `decoder`
+/// to decode every counterfactual run and report its (exact) LER.
+///
+/// # Errors
+/// Returns a message when the cell's code and header disagree, or when the
+/// trace fails to reproduce under this build's simulator (stale corpus).
+pub fn replay_cell_closed_loop(
+    cell: &LoadedCell,
+    factory: &Arc<PolicyFactory>,
+    policy: PolicyKind,
+    decoder: Option<&UnionFindDecoder>,
+) -> Result<CellReplay, String> {
+    /// Per-shot outcome: scored metrics, divergence round, re-simulated
+    /// (suffix) rounds, restored (forced-prefix) rounds.
+    type ShotOutcome = Result<(RunMetrics, Option<usize>, usize, usize), String>;
+    let ctx = ReplayContext::new(&cell.code, &cell.header).map_err(|e| e.to_string())?;
+    let per_shot: Vec<ShotOutcome> = (0..cell.shots.len())
+        .into_par_iter()
+        .map_init(
+            || (factory.build(policy), ctx.make_simulator()),
+            |(instance, sim), shot| {
+                let trace = &cell.shots[shot];
+                instance.reset();
+                let replay = ctx
+                    .replay_shot_closed_loop(trace, instance.as_mut(), sim)
+                    .map_err(|e| e.to_string())?;
+                // Identical scoring path to the live engine (`BatchEngine::score`):
+                // same counting loops, same f64 accumulation order.
+                let mut metrics = RunMetrics::score(&replay.run, cell.header.noise.lrc_time_ns);
+                if let Some(decoder) = decoder {
+                    let events = detection_events(&replay.run, decoder.graph());
+                    let correction = decoder.decode(&events);
+                    metrics.logical_error =
+                        Some(logical_failure(&cell.code, &replay.run, &correction, MemoryBasis::Z));
+                }
+                Ok((metrics, replay.divergence, replay.resimulated_rounds, replay.restored_rounds))
+            },
+        )
+        .collect();
+    let mut runs = Vec::with_capacity(per_shot.len());
+    let mut profile = DivergenceProfile::new(cell.header.rounds);
+    for outcome in per_shot {
+        let (metrics, divergence, resimulated_rounds, restored_rounds) = outcome?;
+        profile.add(divergence, resimulated_rounds, restored_rounds);
+        runs.push(metrics);
+    }
+    Ok(CellReplay {
+        metrics: AggregateMetrics::from_runs(&runs),
+        divergent_shots: profile.divergent_shots,
+        profile: Some(profile),
+    })
 }
 
 /// One row of a [`ReplayReport`]: one `(cell, policy)` pairing.
@@ -300,13 +420,16 @@ pub struct ReplayCellResult {
     pub shots: usize,
     /// Rounds per shot.
     pub rounds: usize,
-    /// `policy == recorded_policy`: metrics are bit-for-bit the live engine's.
+    /// `policy == recorded_policy`: metrics are bit-for-bit the live engine's
+    /// in either mode (closed-loop makes this true of *every* row).
     pub exact: bool,
     /// Shots whose planned schedule diverged from the recorded one.
     pub divergent_shots: usize,
     /// When live verification ran: whether the replayed metrics equalled a
     /// fresh live-engine run exactly.
     pub live_match: Option<bool>,
+    /// Per-round divergence statistics (closed-loop rows only).
+    pub divergence_profile: Option<DivergenceProfile>,
     /// Aggregated replay metrics.
     pub metrics: AggregateMetrics,
 }
@@ -322,6 +445,9 @@ pub struct ReplayReport {
     pub git_describe: String,
     /// Corpus directory the report was computed from.
     pub corpus: String,
+    /// Evaluation mode of every row: `open-loop` (trace-driven scoring) or
+    /// `closed-loop` (divergence-repaired exact counterfactuals).
+    pub replay_mode: String,
     /// One row per `(cell, policy)`, cells in manifest order.
     pub results: Vec<ReplayCellResult>,
 }
@@ -332,21 +458,33 @@ pub struct ReplayOptions {
     /// Policies to replay against every cell; empty ⇒ each cell's recording
     /// policy (the bit-for-bit validation mode).
     pub policies: Vec<PolicyKind>,
-    /// Decode reconstructed runs of exact (recording-policy) pairings and
-    /// report their LER.
+    /// Decode replayed runs and report their LER. Open-loop mode can only
+    /// decode exact (recording-policy) pairings; closed-loop mode decodes the
+    /// exact counterfactual run of **every** pairing.
     pub decode: bool,
-    /// Re-simulate every exact pairing live and record whether the replayed
-    /// metrics match bit-for-bit.
+    /// Re-simulate pairings live and record whether the replayed metrics match
+    /// bit-for-bit: exact pairings in open-loop mode, every pairing in
+    /// closed-loop mode (the exact-counterfactual gate).
     pub verify_live: bool,
+    /// Evaluation mode (see [`ReplayMode`]).
+    pub mode: ReplayMode,
 }
 
-/// Replays policies against every cell of the corpus at `dir`.
+/// Replays policies against every cell of the corpus at `dir`, in the mode
+/// requested by `options` (see [`ReplayMode`]).
 ///
 /// # Errors
-/// Returns a message when the corpus, a trace file, or a policy label cannot
-/// be loaded.
+/// Returns a message when the corpus is empty, or when the corpus, a trace
+/// file, or a policy label cannot be loaded.
 pub fn replay_corpus(dir: &Path, options: &ReplayOptions) -> Result<ReplayReport, String> {
     let corpus = Corpus::open_existing(dir).map_err(|e| e.to_string())?;
+    if corpus.entries().is_empty() {
+        return Err(format!(
+            "corpus {} is empty — nothing to replay (record cells first)",
+            dir.display()
+        ));
+    }
+    let closed_loop = options.mode == ReplayMode::ClosedLoop;
     let mut results = Vec::new();
     for entry in corpus.entries() {
         let cell = load_entry(&corpus, entry)?;
@@ -356,15 +494,23 @@ pub fn replay_corpus(dir: &Path, options: &ReplayOptions) -> Result<ReplayReport
         let policies: Vec<PolicyKind> =
             if options.policies.is_empty() { vec![recorded] } else { options.policies.clone() };
         let factory = Arc::new(PolicyFactory::new(&cell.code, &calibration_for(&cell.header)));
-        // The decoder only ever serves exact (recording-policy) pairings; skip
-        // the matching-graph build entirely when none is scheduled.
-        let decoder = (options.decode && policies.contains(&recorded))
+        // Open-loop decoding is only meaningful for exact (recording-policy)
+        // pairings; closed-loop runs are exact counterfactuals, so the decoder
+        // serves every pairing. Skip the matching-graph build when unused.
+        let decoder = (options.decode && (closed_loop || policies.contains(&recorded)))
             .then(|| build_decoder(&cell.code, cell.header.rounds));
         for policy in policies {
             let exact = policy == recorded;
-            let replay =
-                replay_cell(&cell, &factory, policy, decoder.as_deref().filter(|_| exact))?;
-            let live_match = (options.verify_live && exact).then(|| {
+            let replay = if closed_loop {
+                replay_cell_closed_loop(&cell, &factory, policy, decoder.as_deref())
+                    .map_err(|e| format!("{}: {e}", entry.key))?
+            } else {
+                replay_cell(&cell, &factory, policy, decoder.as_deref().filter(|_| exact))?
+            };
+            // Closed-loop metrics claim bit-for-bit equality with a live run
+            // for every candidate, so live verification covers every pairing;
+            // open-loop only makes that claim for the recording policy.
+            let live_match = (options.verify_live && (closed_loop || exact)).then(|| {
                 let spec = spec_from_header(&cell.header, policy, options.decode);
                 let live = BatchEngine::new(&cell.code, &spec).run();
                 live.metrics == replay.metrics
@@ -379,6 +525,7 @@ pub fn replay_corpus(dir: &Path, options: &ReplayOptions) -> Result<ReplayReport
                 exact,
                 divergent_shots: replay.divergent_shots,
                 live_match,
+                divergence_profile: replay.profile,
                 metrics: replay.metrics,
             });
         }
@@ -388,6 +535,7 @@ pub fn replay_corpus(dir: &Path, options: &ReplayOptions) -> Result<ReplayReport
         generator: format!("repro replay {}", env!("CARGO_PKG_VERSION")),
         git_describe: git_describe(),
         corpus: dir.display().to_string(),
+        replay_mode: options.mode.label().to_string(),
         results,
     })
 }
@@ -413,14 +561,20 @@ pub fn trace_snapshot_scenario() -> Scenario {
 
 /// Runs the pinned trace benchmarks [`SNAPSHOT_SAMPLES`] times each and
 /// reports per-shot wall-times as [`BenchLine`]s: `trace/record`,
-/// `trace/encode`, `trace/decode`, `trace/replay/<policy>` and
-/// `trace/resim/<policy>`. The replay-vs-resim pair is the machine-checkable
-/// form of the corpus value proposition: each *additional* policy evaluated
-/// against a recorded cell costs `replay`, not `resim`.
+/// `trace/encode`, `trace/decode`, `trace/replay/<policy>`,
+/// `trace/resim/<policy>`, `trace/closed-loop/<policy>` (closed-loop replay of
+/// the recording policy — zero divergence, so it prices the pure-replay fast
+/// path of exact counterfactuals) and `trace/closed-loop-cross/<policy>`
+/// (closed-loop replay of a *different* policy, paying divergence repair). The
+/// replay-vs-resim pair is the machine-checkable form of the corpus value
+/// proposition: each *additional* policy evaluated against a recorded cell
+/// costs `replay` (open-loop) or at most `closed-loop-cross` (exact), not
+/// `resim`.
 #[must_use]
 pub fn trace_snapshot() -> Vec<BenchLine> {
     let scenario = trace_snapshot_scenario();
     let policy = scenario.policy;
+    let cross_policy = PolicyKind::EraserM;
     let code = scenario.build_code();
     let spec = scenario.to_spec();
     let engine = BatchEngine::new(&code, &spec);
@@ -442,6 +596,8 @@ pub fn trace_snapshot() -> Vec<BenchLine> {
     // Warm every path once before timing.
     let _ = engine.run();
     let _ = replay_cell(&cell, &factory, policy, None).expect("replay warmup");
+    let _ =
+        replay_cell_closed_loop(&cell, &factory, cross_policy, None).expect("closed-loop warmup");
 
     let sample = |mut body: Box<dyn FnMut() + '_>| -> BenchLine {
         let samples: Vec<u64> = (0..SNAPSHOT_SAMPLES)
@@ -501,6 +657,20 @@ pub fn trace_snapshot() -> Vec<BenchLine> {
             format!("trace/resim/{}", scenario.id()),
             sample(Box::new(|| {
                 let _ = engine.run();
+            })),
+        ),
+        named(
+            format!("trace/closed-loop/{}", scenario.id()),
+            sample(Box::new(|| {
+                let _ =
+                    replay_cell_closed_loop(&cell, &factory, policy, None).expect("closed-loop");
+            })),
+        ),
+        named(
+            format!("trace/closed-loop-cross/{}", scenario.id()),
+            sample(Box::new(|| {
+                let _ = replay_cell_closed_loop(&cell, &factory, cross_policy, None)
+                    .expect("closed-loop cross");
             })),
         ),
     ]

@@ -34,13 +34,16 @@ use leakage_speculation::{PolicyFactory, PolicyKind};
 
 use crate::engine::{build_decoder, BatchEngine};
 use crate::metrics::AggregateMetrics;
+use crate::replay::ReplayMode;
 use crate::report::BenchLine;
 use crate::runners::Scale;
 use crate::scenario::{CodeFamily, Scenario};
 
 /// Version of the sweep-report JSON schema; bump when the shape changes.
-/// (v2: added the `recorded_policy` provenance field for corpus-backed sweeps.)
-pub const SWEEP_SCHEMA_VERSION: u32 = 2;
+/// (v2: added the `recorded_policy` provenance field for corpus-backed sweeps.
+/// v3: added the `replay_mode` provenance field and per-cell closed-loop
+/// divergence profiles.)
+pub const SWEEP_SCHEMA_VERSION: u32 = 3;
 
 /// How often [`snapshot`] re-runs every cell to get min/mean/max timings.
 /// The regression gate compares minima, so more samples mean a tighter,
@@ -188,6 +191,11 @@ pub struct SweepCell {
     pub code: String,
     /// Aggregated per-shot metrics (LER, LRC counts, FP/FN accuracy, DLP).
     pub metrics: AggregateMetrics,
+    /// Per-round divergence statistics of closed-loop corpus-backed cells:
+    /// where the policy's shots first left the recorded schedule and how much
+    /// re-simulation the divergence repairs cost. `None` for fully simulated
+    /// and open-loop cells.
+    pub divergence_profile: Option<qec_trace::DivergenceProfile>,
     /// Wall-clock time of the cell in milliseconds; exactly `0.0` when the
     /// sweep ran with timing disabled (determinism-comparison mode).
     pub wall_time_ms: f64,
@@ -207,10 +215,15 @@ pub struct SweepReport {
     pub timing: bool,
     /// For corpus-backed sweeps ([`run_sweep_with_corpus`]): the label of the
     /// policy that recorded each cell's trace. Cells for that policy are
-    /// bit-for-bit live metrics; other policies are trace-driven open-loop
-    /// speculation scores (their DLP/LER describe the recorded execution).
-    /// `None` for fully simulated sweeps.
+    /// bit-for-bit live metrics; what other policies' cells mean depends on
+    /// `replay_mode`. `None` for fully simulated sweeps.
     pub recorded_policy: Option<String>,
+    /// For corpus-backed sweeps: `open-loop` (cross-policy cells are
+    /// trace-driven speculation scores whose DLP/LER describe the recorded
+    /// execution) or `closed-loop` (every cell is a bit-for-bit exact
+    /// counterfactual of its policy, divergence-repaired per shot). `None` for
+    /// fully simulated sweeps.
+    pub replay_mode: Option<String>,
     /// The sweep specification the report answers.
     pub spec: SweepSpec,
     /// One row per grid cell, in [`SweepSpec::expand`] order.
@@ -234,6 +247,7 @@ pub fn run_sweep(spec: &SweepSpec, timing: bool) -> Result<SweepReport, String> 
         git_describe: git_describe(),
         timing,
         recorded_policy: None,
+        replay_mode: None,
         spec: spec.clone(),
         cells,
     })
@@ -246,12 +260,21 @@ pub fn run_sweep(spec: &SweepSpec, timing: bool) -> Result<SweepReport, String> 
 /// the grid is then *replayed* against that recording.
 ///
 /// The cell whose policy recorded the trace carries bit-for-bit the metrics a
-/// fully simulated sweep would report (including the LER when decoding);
-/// other policies carry trace-driven speculation scores — their FP/FN and LRC
-/// counts answer "what would this policy have speculated on this execution",
-/// while DLP (and any LER) describe the recorded execution itself. This is
-/// the evaluation methodology of ERASER (arXiv:2309.13143); it turns an
-/// `O(policies × shots)` simulation bill into `O(shots)` + cheap replay.
+/// fully simulated sweep would report (including the LER when decoding). What
+/// the other policies' cells mean depends on `mode`:
+///
+/// * [`ReplayMode::OpenLoop`] — trace-driven speculation scores: FP/FN and
+///   LRC counts answer "what would this policy have speculated on this
+///   execution", while DLP (and any LER) describe the recorded execution
+///   itself. This is the evaluation methodology of ERASER (arXiv:2309.13143);
+///   it turns an `O(policies × shots)` simulation bill into `O(shots)` +
+///   cheap replay.
+/// * [`ReplayMode::ClosedLoop`] — exact counterfactuals: each shot replays
+///   until its first schedule divergence and re-simulates from there under
+///   the recorded seed contract, so **every** cell (DLP and LER included) is
+///   bit-for-bit what a fully simulated sweep of that policy would report,
+///   at replay cost for non-divergent shots. Cells carry per-round
+///   [`qec_trace::DivergenceProfile`]s.
 ///
 /// With `timing = false` the report is byte-identical across worker-thread
 /// counts, exactly like [`run_sweep`].
@@ -264,9 +287,14 @@ pub fn run_sweep_with_corpus(
     corpus_dir: &std::path::Path,
     record_policy: Option<PolicyKind>,
     timing: bool,
+    mode: ReplayMode,
 ) -> Result<SweepReport, String> {
-    use crate::replay::{calibration_for, cell_key, load_entry, record_into_corpus, replay_cell};
+    use crate::replay::{
+        calibration_for, cell_key, load_entry, record_into_corpus, replay_cell,
+        replay_cell_closed_loop,
+    };
 
+    let closed_loop = mode == ReplayMode::ClosedLoop;
     let scenarios = spec.expand()?;
     let mut corpus = qec_trace::Corpus::open(corpus_dir).map_err(|e| e.to_string())?;
     let recording_kind = record_policy
@@ -337,7 +365,10 @@ pub fn run_sweep_with_corpus(
         for scenario in &scenarios[start..end] {
             let cell_start = Instant::now();
             let exact = scenario.policy.label() == cell.header.policy;
-            let want_decode = scenario.decode && exact;
+            // Open-loop decoding is only meaningful for the recording policy;
+            // closed-loop cells are exact counterfactuals, so every policy
+            // decodes when the scenario asks for it.
+            let want_decode = scenario.decode && (closed_loop || exact);
             let shot_decoder = if want_decode {
                 Some(Arc::clone(
                     decoders
@@ -348,13 +379,18 @@ pub fn run_sweep_with_corpus(
                 None
             };
             let shot_decoder = shot_decoder.as_deref();
-            let replay = replay_cell(&cell, &factory, scenario.policy, shot_decoder)
-                .map_err(|e| format!("cell {}: {e}", scenario.id()))?;
+            let replay = if closed_loop {
+                replay_cell_closed_loop(&cell, &factory, scenario.policy, shot_decoder)
+            } else {
+                replay_cell(&cell, &factory, scenario.policy, shot_decoder)
+            }
+            .map_err(|e| format!("cell {}: {e}", scenario.id()))?;
             let wall_time_ms = if timing { cell_start.elapsed().as_secs_f64() * 1e3 } else { 0.0 };
             cells.push(SweepCell {
                 scenario: *scenario,
                 code: cell.code.name().to_string(),
                 metrics: replay.metrics,
+                divergence_profile: replay.profile,
                 wall_time_ms,
             });
         }
@@ -369,6 +405,7 @@ pub fn run_sweep_with_corpus(
         git_describe: git_describe(),
         timing,
         recorded_policy: Some(recording_kind.label().to_string()),
+        replay_mode: Some(mode.label().to_string()),
         spec: spec.clone(),
         cells,
     })
@@ -415,6 +452,7 @@ pub fn run_scenarios(scenarios: &[Scenario], timing: bool) -> Vec<SweepCell> {
                 scenario: *scenario,
                 code: result.code,
                 metrics: result.metrics,
+                divergence_profile: None,
                 wall_time_ms,
             });
         }

@@ -331,6 +331,81 @@ fn corpus_sweeps_are_byte_identical_across_worker_counts_including_trace_files()
 }
 
 #[test]
+fn closed_loop_replay_flow_verifies_every_policy_and_reports_profiles() {
+    let dir = tmp_dir("closed-loop");
+    let corpus = dir.to_str().unwrap();
+    let output = run(&record_args(corpus));
+    assert_eq!(output.status.code(), Some(0), "stderr: {}", stderr_of(&output));
+
+    // Closed-loop + verify-live is the exact-counterfactual gate: every
+    // policy (not just the recording one) must match live simulation.
+    let out = dir.join("closed.json");
+    let output = run(&[
+        "replay",
+        "--corpus",
+        corpus,
+        "--policy",
+        "eraser+m,gladiator+m,always-lrc",
+        "--decode",
+        "--closed-loop",
+        "--verify-live",
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert_eq!(output.status.code(), Some(0), "stderr: {}", stderr_of(&output));
+    let stdout = String::from_utf8_lossy(&output.stdout).into_owned();
+    assert!(stdout.contains("replay mode: closed-loop"), "{stdout}");
+    assert!(stdout.contains("verify-live OK: 3 closed-loop replay(s)"), "{stdout}");
+    let report: qec_experiments::ReplayReport =
+        serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    assert_eq!(report.replay_mode, "closed-loop");
+    assert_eq!(report.results.len(), 3);
+    for row in &report.results {
+        assert_eq!(row.live_match, Some(true), "{} must verify live", row.policy);
+        assert!(row.metrics.logical_error_rate.is_some(), "{} must decode", row.policy);
+        assert!(row.divergence_profile.is_some(), "{} must carry a profile", row.policy);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn closed_loop_corpus_sweep_carries_mode_and_profiles() {
+    let dir = tmp_dir("cl-sweep");
+    let out = dir.join("report.json");
+    let output = run(&[
+        "sweep",
+        "--grid",
+        "d=3",
+        "p=1e-3",
+        "policy=eraser+m,ideal",
+        "--shots",
+        "3",
+        "--rounds-per-distance",
+        "2",
+        "--seed",
+        "13",
+        "--no-timing",
+        "--corpus",
+        dir.to_str().unwrap(),
+        "--closed-loop",
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert_eq!(output.status.code(), Some(0), "stderr: {}", stderr_of(&output));
+    let report: qec_experiments::SweepReport =
+        serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    assert_eq!(report.replay_mode.as_deref(), Some("closed-loop"));
+    assert!(report.cells.iter().all(|c| c.divergence_profile.is_some()));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn closed_loop_flags_reject_bad_usage() {
+    assert_usage_error(&["sweep", "--closed-loop"]); // requires --corpus
+    assert_usage_error(&["record", "--corpus", "dir", "--closed-loop"]); // replay-side flag
+}
+
+#[test]
 fn read_only_corpus_commands_reject_a_missing_directory() {
     // A mistyped corpus path must not pass verification vacuously.
     assert_usage_error(&["corpus", "/nonexistent-corpus-dir"]);

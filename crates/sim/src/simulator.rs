@@ -118,6 +118,20 @@ impl Simulator {
         self.reset_state();
     }
 
+    /// THE per-shot seeding ritual of the Monte-Carlo contract: shot `shot` of a
+    /// run with base seed `base_seed` is simulated from RNG seed
+    /// `base_seed + shot` (wrapping), optionally seeding one random leaked data
+    /// qubit (leakage sampling). Every execution path that claims bit-for-bit
+    /// shot reproducibility — the batch engine, trace recording, and closed-loop
+    /// replay's divergence repair — must prepare shots through this one method,
+    /// so the contract can never drift between recording and replay.
+    pub fn reseed_for_shot(&mut self, base_seed: u64, shot: u64, leakage_sampling: bool) {
+        self.reseed(base_seed.wrapping_add(shot));
+        if leakage_sampling {
+            self.seed_random_data_leakage(1);
+        }
+    }
+
     /// Executes a single QEC round, applying the requested LRCs first.
     pub fn run_round(&mut self, request: &LrcRequest) -> RoundRecord {
         let record = self.execute_round(request);
@@ -128,6 +142,13 @@ impl Simulator {
     /// Runs `rounds` QEC rounds closed-loop with `policy`, then finalizes the run
     /// (returning leaked qubits to the computational subspace and appending a round of
     /// perfect measurements for decoding).
+    ///
+    /// # Panics
+    /// Panics when the simulator has already executed rounds this run (a shot
+    /// starts from a fresh construction, [`Simulator::reseed`] /
+    /// [`Simulator::reseed_for_shot`], or [`Simulator::reset_state`]); a run
+    /// started mid-stream would mislabel every round index. Use
+    /// [`Simulator::resume_with_policy`] to continue a partially executed shot.
     pub fn run_with_policy<P: LeakagePolicy + ?Sized>(
         &mut self,
         policy: &mut P,
@@ -138,6 +159,7 @@ impl Simulator {
 
     /// Like [`Simulator::run_with_policy`], but reports the initial leak flags,
     /// every completed round and the finalized run to `sink` as they happen.
+    /// Panics under the same start-of-shot precondition.
     ///
     /// The sink only ever observes; it cannot perturb the run, so the returned
     /// record is bit-for-bit identical to an unobserved run with the same seed.
@@ -151,8 +173,58 @@ impl Simulator {
     ) -> RunRecord {
         // Borrowed views keep the disabled (NullTraceSink) path allocation-free.
         sink.begin_shot(self.frames.data_leaks(), self.frames.ancilla_leaks());
-        let mut history: Vec<RoundRecord> = Vec::with_capacity(rounds);
-        for round in 0..rounds {
+        self.resume_with_policy_observed(policy, Vec::with_capacity(rounds), rounds, sink)
+    }
+
+    /// Resumes a partially executed shot closed-loop with `policy`: `history`
+    /// must hold exactly the rounds this simulator has already executed (the
+    /// checkpoint), and the remaining `history.len()..total_rounds` rounds are
+    /// planned and executed live, after which the run is finalized as usual.
+    ///
+    /// With an empty history this *is* [`Simulator::run_with_policy`]. With a
+    /// non-empty one it is the divergence-repair entry point of closed-loop
+    /// trace replay: re-execute the recorded prefix with [`Simulator::run_round`]
+    /// (forced schedule, no policy), then hand the simulator to this method and
+    /// the resumed shot is bit-for-bit a from-scratch run of `policy` — same
+    /// frames, same RNG stream position, same history fed to every plan.
+    ///
+    /// # Panics
+    /// Panics when `history.len()` disagrees with [`Simulator::rounds_executed`]
+    /// (the checkpoint would be inconsistent with the simulator state).
+    pub fn resume_with_policy<P: LeakagePolicy + ?Sized>(
+        &mut self,
+        policy: &mut P,
+        history: Vec<RoundRecord>,
+        total_rounds: usize,
+    ) -> RunRecord {
+        self.resume_with_policy_observed(
+            policy,
+            history,
+            total_rounds,
+            &mut crate::sink::NullTraceSink,
+        )
+    }
+
+    /// [`Simulator::resume_with_policy`] with a [`TraceSink`] observing the
+    /// *resumed* rounds only: the sink sees one `record_round` per live round
+    /// and the final `finish_shot`, but no `begin_shot` — shot-level bracketing
+    /// belongs to whoever executed the prefix.
+    ///
+    /// # Panics
+    /// Panics when `history.len()` disagrees with [`Simulator::rounds_executed`].
+    pub fn resume_with_policy_observed<P: LeakagePolicy + ?Sized, S: TraceSink>(
+        &mut self,
+        policy: &mut P,
+        mut history: Vec<RoundRecord>,
+        total_rounds: usize,
+        sink: &mut S,
+    ) -> RunRecord {
+        assert_eq!(
+            self.round_index,
+            history.len(),
+            "resume checkpoint must describe exactly the rounds already executed"
+        );
+        for round in history.len()..total_rounds {
             let request = {
                 let data_leaked = self.frames.data_leak_flags();
                 let ancilla_leaked = self.frames.ancilla_leak_flags();
@@ -314,6 +386,71 @@ mod tests {
         assert_eq!(sim.frames().leaked_data_count(), 0);
         assert!(sim.frames().data_x_frames().iter().all(|&b| !b));
         assert!(sim.measure_ideal().iter().all(|&m| !m));
+    }
+
+    #[test]
+    fn reseed_for_shot_matches_the_manual_ritual() {
+        let code = Code::rotated_surface(3);
+        let noise = NoiseParams::default();
+        let mut ritual = Simulator::new(&code, noise, 0);
+        ritual.reseed_for_shot(40, 2, true);
+        let run_ritual = ritual.run_with_policy(&mut NeverLrc, 12);
+
+        let mut manual = Simulator::new(&code, noise, 42);
+        manual.seed_random_data_leakage(1);
+        let run_manual = manual.run_with_policy(&mut NeverLrc, 12);
+        assert_eq!(run_ritual, run_manual);
+
+        // Without leakage sampling the ritual is a plain reseed.
+        let mut plain = Simulator::new(&code, noise, 0);
+        plain.reseed_for_shot(7, 0, false);
+        assert_eq!(
+            plain.run_with_policy(&mut NeverLrc, 8),
+            Simulator::new(&code, noise, 7).run_with_policy(&mut NeverLrc, 8)
+        );
+    }
+
+    #[test]
+    fn resuming_from_a_forced_prefix_is_bit_identical_to_a_full_run() {
+        let code = Code::rotated_surface(3);
+        let noise = NoiseParams::default();
+        let rounds = 20;
+        // Reference: one uninterrupted closed-loop run.
+        let mut reference = Simulator::new(&code, noise, 77);
+        reference.seed_random_data_leakage(1);
+        let full = reference.run_with_policy(&mut NeverLrc, rounds);
+
+        for split in [0usize, 1, 7, rounds] {
+            // Re-execute the recorded prefix with forced requests, then resume
+            // closed-loop: the result must be the full run, bit for bit.
+            let mut sim = Simulator::new(&code, noise, 0);
+            sim.reseed_for_shot(77, 0, true);
+            let mut history = Vec::new();
+            for record in &full.rounds[..split] {
+                let request = LrcRequest {
+                    data: record.data_lrcs.clone(),
+                    ancilla: record.ancilla_lrcs.clone(),
+                };
+                let executed = sim.run_round(&request);
+                assert_eq!(&executed, record, "forced prefix must reproduce round {split}");
+                history.push(executed);
+            }
+            let resumed = sim.resume_with_policy(&mut NeverLrc, history, rounds);
+            assert_eq!(resumed, full, "split at round {split}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "resume checkpoint")]
+    fn resume_rejects_a_history_that_disagrees_with_the_simulator() {
+        let code = Code::rotated_surface(3);
+        let mut sim = Simulator::new(&code, NoiseParams::default(), 1);
+        let run = sim.run_with_policy(&mut NeverLrc, 3);
+        // Three rounds executed but the simulator was never reset: an empty
+        // history is a lie about the checkpoint.
+        let mut fresh = Simulator::new(&code, NoiseParams::default(), 1);
+        let _ = fresh.run_round(&LrcRequest::none());
+        let _ = fresh.resume_with_policy(&mut NeverLrc, run.rounds, 5);
     }
 
     #[test]

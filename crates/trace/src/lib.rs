@@ -17,9 +17,13 @@
 //!   flat-memory in the shot count; shots are framed in shot order so trace
 //!   bytes never depend on recording thread count.
 //! * [`replay`] — drives any [`LeakagePolicy`](leaky_sim::LeakagePolicy)
-//!   against the recorded observables without re-simulating, with per-round
-//!   divergence detection against the recorded schedule. Same-policy replay
-//!   reproduces the live engine's decisions (and hence metrics) bit-for-bit.
+//!   against the recorded observables, with per-round divergence detection
+//!   against the recorded schedule. Open-loop replay never re-simulates;
+//!   closed-loop replay repairs the first divergence by reconstructing exact
+//!   simulator state (recorded seed contract + forced prefix re-execution) and
+//!   re-simulating the suffix, yielding the candidate policy's run bit-for-bit
+//!   as a from-scratch live simulation would. Same-policy replay reproduces
+//!   the live engine's decisions (and hence metrics) bit-for-bit either way.
 //! * [`corpus`] — a sharded corpus directory (`shards/<hh>/<hash>.qtr`) with a
 //!   JSON manifest keyed by policy-free cell keys, so sweeps simulate each
 //!   cell once and replay every policy against it.
@@ -42,6 +46,6 @@ pub use format::{
     code_fingerprint, ShotRecorder, ShotTrace, TraceHeader, TraceRound, TRACE_MAGIC,
     TRACE_SCHEMA_VERSION,
 };
-pub use replay::{ReplayContext, ShotReplay};
+pub use replay::{ClosedLoopReplay, DivergenceProfile, ReplayContext, ShotReplay};
 pub use stream::{read_trace_file, write_trace_file, TraceReader, TraceWriter};
 pub use wire::{crc32, TraceError};

@@ -1,19 +1,39 @@
 //! Trace-driven speculation replay: drive any [`LeakagePolicy`] against a
-//! recorded execution without re-simulating.
+//! recorded execution, open-loop or closed-loop.
 //!
-//! Replay feeds the policy exactly the [`PolicyContext`] it would have seen
-//! live — the reconstructed round history, and the recorded ground-truth leak
-//! flags for oracle policies — and collects the LRC schedule it *plans* each
-//! round. Because every policy in this workspace is a deterministic function of
-//! its context, replaying the trace with the **same** policy that recorded it
-//! reproduces the recorded schedule exactly (checked per round as divergence
-//! detection), which is what pins replayed metrics bit-for-bit to the live
-//! engine. Replaying a **different** policy scores that policy's speculation
-//! open-loop against the recorded observables, the evaluation style of ERASER
-//! (arXiv:2309.13143) and Varbanov et al. (arXiv:2002.07119).
+//! **Open-loop** ([`ReplayContext::replay_shot`]) feeds the policy exactly the
+//! [`PolicyContext`] it would have seen live — the reconstructed round history,
+//! and the recorded ground-truth leak flags for oracle policies — and collects
+//! the LRC schedule it *plans* each round. Because every policy in this
+//! workspace is a deterministic function of its context, replaying the trace
+//! with the **same** policy that recorded it reproduces the recorded schedule
+//! exactly (checked per round as divergence detection), which is what pins
+//! replayed metrics bit-for-bit to the live engine. Replaying a **different**
+//! policy scores that policy's speculation open-loop against the recorded
+//! observables, the evaluation style of ERASER (arXiv:2309.13143) and Varbanov
+//! et al. (arXiv:2002.07119) — but every round after the first divergence is
+//! counterfactual, so open-loop cross-policy DLP/LER describe the *recorded*
+//! execution, not the candidate's.
+//!
+//! **Closed-loop** ([`ReplayContext::replay_shot_closed_loop`]) repairs that
+//! divergence: the shot replays open-loop until the first round where the
+//! candidate's planned schedule differs from the recorded one, then the
+//! simulator state at that round is reconstructed exactly — reseed through the
+//! recorded `seed + shot` contract ([`Simulator::reseed_for_shot`]), force-run
+//! the recorded LRC schedule up to the divergence round (verifying each
+//! re-executed round against the trace bit-for-bit), and resume the shot live
+//! under the candidate policy ([`Simulator::resume_with_policy`]). The result
+//! is bit-for-bit the run a from-scratch simulation of the candidate policy on
+//! the same cell and seed would produce — exact counterfactual LER/DLP/LRC
+//! metrics — while shots that never diverge cost one replay and divergent
+//! shots skip all prefix policy evaluation.
+//!
+//! [`Simulator::reseed_for_shot`]: leaky_sim::Simulator::reseed_for_shot
+//! [`Simulator::resume_with_policy`]: leaky_sim::Simulator::resume_with_policy
 
-use leaky_sim::{GroundTruth, LeakagePolicy, LrcRequest, PolicyContext, RunRecord};
+use leaky_sim::{GroundTruth, LeakagePolicy, LrcRequest, PolicyContext, RunRecord, Simulator};
 use qec_codes::{Code, DataAdjacency};
+use serde::{Deserialize, Serialize};
 
 use crate::format::{code_fingerprint, ShotTrace, TraceHeader};
 use crate::wire::TraceError;
@@ -35,6 +55,154 @@ impl ShotReplay {
     #[must_use]
     pub fn is_exact(&self) -> bool {
         self.divergence.is_none()
+    }
+}
+
+/// The outcome of closed-loop replaying one shot against one policy: the exact
+/// counterfactual run the candidate policy would have produced live.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosedLoopReplay {
+    /// The candidate policy's run, **bit-for-bit** what a from-scratch live
+    /// simulation of that policy on the recorded cell and shot seed returns.
+    /// When the shot never diverged this is the recorded run itself.
+    pub run: RunRecord,
+    /// First round where the candidate's planned schedule differed from the
+    /// recorded one; `None` when the whole shot was served from the trace.
+    pub divergence: Option<usize>,
+    /// Rounds executed live under the candidate's own schedule (the suffix
+    /// from the divergence round on); `0` for non-divergent shots. These are
+    /// the rounds whose *outcomes* are counterfactual.
+    pub resimulated_rounds: usize,
+    /// Pre-divergence rounds force-re-executed with the recorded schedule to
+    /// rebuild simulator state; `0` for non-divergent shots. These rounds
+    /// reproduce the trace bit-for-bit, but they cost full simulation work
+    /// (no policy planning) — for any divergent shot,
+    /// `restored_rounds + resimulated_rounds` equals the shot's round count.
+    pub restored_rounds: usize,
+}
+
+impl ClosedLoopReplay {
+    /// `true` when the candidate reproduced the recorded schedule exactly and
+    /// the run was served entirely from the trace.
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        self.divergence.is_none()
+    }
+}
+
+/// Per-round divergence statistics of closed-loop replaying one policy against
+/// one recorded cell: where shots first left the recorded schedule, and how
+/// much re-simulation the repairs cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DivergenceProfile {
+    /// Shots replayed.
+    pub shots: usize,
+    /// Rounds per shot.
+    pub rounds: usize,
+    /// Shots whose planned schedule left the recorded one at some round.
+    pub divergent_shots: usize,
+    /// `first_divergence[r]` = number of shots whose *first* divergence was
+    /// round `r` (length [`DivergenceProfile::rounds`]; sums to
+    /// [`DivergenceProfile::divergent_shots`]).
+    pub first_divergence: Vec<usize>,
+    /// Total rounds re-simulated under candidate schedules across all shots
+    /// (post-divergence suffixes: the counterfactual rounds).
+    pub resimulated_rounds: u64,
+    /// Total pre-divergence rounds force-re-executed to rebuild simulator
+    /// state across all shots. Full simulation cost, no policy planning;
+    /// `restored_rounds + resimulated_rounds == divergent_shots · rounds`.
+    pub restored_rounds: u64,
+}
+
+impl DivergenceProfile {
+    /// An empty profile for `rounds`-round shots.
+    #[must_use]
+    pub fn new(rounds: usize) -> Self {
+        DivergenceProfile {
+            shots: 0,
+            rounds,
+            divergent_shots: 0,
+            first_divergence: vec![0; rounds],
+            resimulated_rounds: 0,
+            restored_rounds: 0,
+        }
+    }
+
+    /// Folds one shot's closed-loop outcome into the profile.
+    ///
+    /// # Panics
+    /// Panics when a divergence round is outside the profile's round range.
+    pub fn record(&mut self, replay: &ClosedLoopReplay) {
+        self.add(replay.divergence, replay.resimulated_rounds, replay.restored_rounds);
+    }
+
+    /// Folds one shot described by its divergence round, re-simulated
+    /// (suffix) round count and restored (forced-prefix) round count — the
+    /// building block behind [`DivergenceProfile::record`].
+    ///
+    /// # Panics
+    /// Panics when the divergence round is outside the profile's round range.
+    pub fn add(
+        &mut self,
+        divergence: Option<usize>,
+        resimulated_rounds: usize,
+        restored_rounds: usize,
+    ) {
+        self.shots += 1;
+        if let Some(round) = divergence {
+            self.divergent_shots += 1;
+            self.first_divergence[round] += 1;
+        }
+        self.resimulated_rounds += resimulated_rounds as u64;
+        self.restored_rounds += restored_rounds as u64;
+    }
+
+    /// Shots that never diverged (served entirely from the trace).
+    #[must_use]
+    pub fn exact_shots(&self) -> usize {
+        self.shots - self.divergent_shots
+    }
+
+    /// Cumulative divergence counts by round: entry `r` is the number of shots
+    /// that had diverged by the end of round `r`. Monotone non-decreasing,
+    /// ending at [`DivergenceProfile::divergent_shots`].
+    #[must_use]
+    pub fn cumulative_divergent(&self) -> Vec<usize> {
+        let mut total = 0usize;
+        self.first_divergence
+            .iter()
+            .map(|&count| {
+                total += count;
+                total
+            })
+            .collect()
+    }
+
+    /// Fraction of all rounds whose outcomes are counterfactual (re-simulated
+    /// under the candidate's own schedule, post-divergence). This measures
+    /// *divergence depth*, not cost — forced prefix restoration is excluded.
+    #[must_use]
+    pub fn resimulated_fraction(&self) -> f64 {
+        let total = (self.shots * self.rounds) as u64;
+        if total == 0 {
+            return 0.0;
+        }
+        self.resimulated_rounds as f64 / total as f64
+    }
+
+    /// Fraction of all rounds that touched the simulator during replay —
+    /// forced prefix restoration plus the live suffix — i.e. the honest
+    /// simulation-cost measure (`0.0` = pure replay, `1.0` = every round of
+    /// every shot re-executed). Because each divergent shot pays its full
+    /// round count (prefix + suffix), this equals the divergent-shot
+    /// fraction.
+    #[must_use]
+    pub fn simulated_fraction(&self) -> f64 {
+        let total = (self.shots * self.rounds) as u64;
+        if total == 0 {
+            return 0.0;
+        }
+        (self.resimulated_rounds + self.restored_rounds) as f64 / total as f64
     }
 }
 
@@ -123,6 +291,131 @@ impl ReplayContext {
         }
         ShotReplay { run, planned, divergence }
     }
+
+    /// Builds a simulator compatible with [`ReplayContext::replay_shot_closed_loop`]:
+    /// the trace's code and bit-exact recorded noise model. The seed is
+    /// irrelevant — closed-loop replay reseeds per shot through the recorded
+    /// contract.
+    #[must_use]
+    pub fn make_simulator(&self) -> Simulator {
+        Simulator::new(&self.code, self.header.noise, self.header.seed)
+    }
+
+    /// Replays one recorded shot against `policy` **closed-loop**: open-loop
+    /// until the candidate's planned schedule first leaves the recorded one,
+    /// then repair the divergence by reconstructing exact simulator state (the
+    /// recorded seed contract + forced re-execution of the recorded prefix)
+    /// and re-simulating the rest of the shot live under the candidate.
+    ///
+    /// The returned run is bit-for-bit what `Simulator::new(code, noise,
+    /// seed + shot)` driven by `policy` from scratch would produce — the exact
+    /// counterfactual, not an open-loop approximation. As with
+    /// [`ReplayContext::replay_shot`], the caller owns the policy lifecycle
+    /// (call [`LeakagePolicy::reset`] before each shot). `sim` must come from
+    /// [`ReplayContext::make_simulator`] (or be equivalent); its per-run state
+    /// is overwritten, so one simulator serves arbitrarily many shots.
+    ///
+    /// # Errors
+    /// Fails when `sim` disagrees with the trace header (wrong code shape or
+    /// noise model), or when a forced prefix round fails to reproduce the
+    /// recorded round — the recorded execution does not replay under this
+    /// build's simulator, so exact counterfactuals are impossible (a stale
+    /// corpus or a behavioral simulator change; re-record the corpus).
+    pub fn replay_shot_closed_loop(
+        &self,
+        trace: &ShotTrace,
+        policy: &mut dyn LeakagePolicy,
+        sim: &mut Simulator,
+    ) -> Result<ClosedLoopReplay, TraceError> {
+        if sim.code().num_data() != self.header.num_data
+            || sim.code().num_checks() != self.header.num_checks
+            || *sim.noise() != self.header.noise
+        {
+            return Err(TraceError::corrupt(
+                "closed-loop simulator does not match the trace's code/noise \
+                 (build it with ReplayContext::make_simulator)",
+            ));
+        }
+        let recorded = trace.to_run(&self.header.noise, self.header.cnot_layers);
+        let total_rounds = recorded.rounds.len();
+
+        // Open-loop phase: feed the policy the recorded history until its plan
+        // leaves the recorded schedule.
+        let mut divergence: Option<(usize, LrcRequest)> = None;
+        for (round, record) in recorded.rounds.iter().enumerate() {
+            let ancilla_leaked = if round == 0 {
+                &trace.initial_ancilla_leak
+            } else {
+                &recorded.rounds[round - 1].ancilla_leak_after
+            };
+            let ctx = PolicyContext {
+                round,
+                code: &self.code,
+                adjacency: &self.adjacency,
+                history: &recorded.rounds[..round],
+                ground_truth: GroundTruth { data_leaked: &record.data_leak_before, ancilla_leaked },
+            };
+            let plan = policy.plan_lrcs(&ctx);
+            if plan.data != record.data_lrcs || plan.ancilla != record.ancilla_lrcs {
+                divergence = Some((round, plan));
+                break;
+            }
+        }
+        let Some((div_round, div_plan)) = divergence else {
+            // The candidate reproduces the recorded schedule at every round, so
+            // by induction its live run is the recorded execution itself.
+            return Ok(ClosedLoopReplay {
+                run: recorded,
+                divergence: None,
+                resimulated_rounds: 0,
+                restored_rounds: 0,
+            });
+        };
+
+        // Divergence repair: rebuild the exact simulator state at the start of
+        // the divergence round. Reseeding through the recorded contract and
+        // force-running the recorded schedule consumes the identical RNG stream
+        // a live candidate run would have (its prefix schedule IS the recorded
+        // one), so frames, leak flags, measurement history and RNG position all
+        // land exactly where the candidate's live run would stand.
+        sim.reseed_for_shot(self.header.seed, trace.shot, self.header.leakage_sampling);
+        if sim.frames().data_leaks() != trace.initial_data_leak.as_slice()
+            || sim.frames().ancilla_leaks() != trace.initial_ancilla_leak.as_slice()
+        {
+            return Err(TraceError::corrupt(format!(
+                "shot {}: reseeding does not reproduce the recorded initial leak flags — the \
+                 trace was not recorded under this build's seeding contract",
+                trace.shot
+            )));
+        }
+        let mut history = Vec::with_capacity(total_rounds);
+        for record in &recorded.rounds[..div_round] {
+            let request =
+                LrcRequest { data: record.data_lrcs.clone(), ancilla: record.ancilla_lrcs.clone() };
+            let executed = sim.run_round(&request);
+            if &executed != record {
+                return Err(TraceError::corrupt(format!(
+                    "shot {}: forced re-execution of round {} does not reproduce the recorded \
+                     round — the corpus predates a simulator behavior change; re-record it",
+                    trace.shot, record.round
+                )));
+            }
+            history.push(executed);
+        }
+
+        // The divergence round executes the plan the policy already made (its
+        // internal state has advanced past planning this round), then the
+        // remaining rounds run fully closed-loop.
+        let resimulated_rounds = total_rounds - div_round;
+        history.push(sim.run_round(&div_plan));
+        let run = sim.resume_with_policy(policy, history, total_rounds);
+        Ok(ClosedLoopReplay {
+            run,
+            divergence: Some(div_round),
+            resimulated_rounds,
+            restored_rounds: div_round,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -188,6 +481,163 @@ mod tests {
         let replay = ctx.replay_shot(&trace, policy.as_mut());
         assert_eq!(replay.divergence, Some(0));
         assert_eq!(replay.planned[0].len(), code.num_data() + code.num_checks());
+    }
+
+    /// From-scratch live run of `kind` on the recorded cell/seed — the oracle
+    /// closed-loop replay must match bit-for-bit.
+    fn live_run(code: &Code, kind: PolicyKind, header: &TraceHeader, shot: u64) -> RunRecord {
+        let mut policy = build_policy(kind, code, &GladiatorConfig::default());
+        let mut sim = Simulator::new(code, header.noise, 0);
+        sim.reseed_for_shot(header.seed, shot, header.leakage_sampling);
+        sim.run_with_policy(policy.as_mut(), header.rounds)
+    }
+
+    #[test]
+    fn closed_loop_replay_is_bit_identical_to_a_live_run_for_every_candidate() {
+        let code = Code::rotated_surface(3);
+        let (header, trace) = record(&code, PolicyKind::GladiatorM, 23, 12);
+        let ctx = ReplayContext::new(&code, &header).unwrap();
+        let mut sim = ctx.make_simulator();
+        for kind in PolicyKind::ALL {
+            let mut policy = build_policy(kind, &code, &GladiatorConfig::default());
+            let replay = ctx.replay_shot_closed_loop(&trace, policy.as_mut(), &mut sim).unwrap();
+            let live = live_run(&code, kind, &header, trace.shot);
+            assert_eq!(replay.run, live, "{kind:?} counterfactual must be exact");
+            if kind == PolicyKind::GladiatorM {
+                assert!(replay.is_exact(), "recording policy must never diverge");
+                assert_eq!(replay.resimulated_rounds, 0);
+                assert_eq!(replay.restored_rounds, 0);
+            }
+            if let Some(round) = replay.divergence {
+                assert_eq!(replay.resimulated_rounds, header.rounds - round);
+                assert_eq!(replay.restored_rounds, round);
+            }
+        }
+    }
+
+    #[test]
+    fn closed_loop_divergence_round_matches_open_loop_detection() {
+        let code = Code::rotated_surface(3);
+        let (header, trace) = record(&code, PolicyKind::NoLrc, 9, 10);
+        let ctx = ReplayContext::new(&code, &header).unwrap();
+        let mut sim = ctx.make_simulator();
+        let mut open = build_policy(PolicyKind::AlwaysLrc, &code, &GladiatorConfig::default());
+        let open_loop = ctx.replay_shot(&trace, open.as_mut());
+        let mut closed = build_policy(PolicyKind::AlwaysLrc, &code, &GladiatorConfig::default());
+        let replay = ctx.replay_shot_closed_loop(&trace, closed.as_mut(), &mut sim).unwrap();
+        assert_eq!(replay.divergence, open_loop.divergence);
+        assert_eq!(replay.divergence, Some(0));
+        // Always-LRC diverges immediately: no prefix to restore, the whole
+        // shot is re-simulated, and every executed round carries the full
+        // schedule.
+        assert_eq!(replay.resimulated_rounds, header.rounds);
+        assert_eq!(replay.restored_rounds, 0);
+        for round in &replay.run.rounds {
+            assert_eq!(round.data_lrcs.len(), code.num_data());
+        }
+    }
+
+    #[test]
+    fn closed_loop_replay_rejects_a_mismatched_simulator() {
+        let code = Code::rotated_surface(3);
+        let (header, trace) = record(&code, PolicyKind::NoLrc, 5, 6);
+        let ctx = ReplayContext::new(&code, &header).unwrap();
+        let mut policy = build_policy(PolicyKind::AlwaysLrc, &code, &GladiatorConfig::default());
+        // Wrong noise model: the RNG stream would not reproduce the recording.
+        let mut sim =
+            Simulator::new(&code, NoiseParams::builder().physical_error_rate(0.5).build(), 0);
+        let err = ctx.replay_shot_closed_loop(&trace, policy.as_mut(), &mut sim).unwrap_err();
+        assert!(err.to_string().contains("does not match"), "{err}");
+    }
+
+    /// Test policy: schedules nothing until `fire_round`, then requests one LRC
+    /// — so against a no-lrc trace the first divergence lands exactly there.
+    struct DivergeAt {
+        fire_round: usize,
+    }
+
+    impl LeakagePolicy for DivergeAt {
+        fn name(&self) -> &str {
+            "diverge-at"
+        }
+        fn plan_lrcs(&mut self, ctx: &PolicyContext<'_>) -> LrcRequest {
+            if ctx.round >= self.fire_round {
+                LrcRequest { data: vec![0], ancilla: vec![] }
+            } else {
+                LrcRequest::none()
+            }
+        }
+    }
+
+    #[test]
+    fn closed_loop_replay_detects_a_trace_that_does_not_reproduce() {
+        let code = Code::rotated_surface(3);
+        let (header, mut trace) = record(&code, PolicyKind::NoLrc, 31, 8);
+        // Corrupt a recorded mid-run measurement: when the candidate diverges
+        // *after* that round, the forced prefix re-execution must notice the
+        // recorded round no longer reproduces.
+        trace.rounds[1].measurements[0] = !trace.rounds[1].measurements[0];
+        let ctx = ReplayContext::new(&code, &header).unwrap();
+        let mut sim = ctx.make_simulator();
+        let err = ctx
+            .replay_shot_closed_loop(&trace, &mut DivergeAt { fire_round: 3 }, &mut sim)
+            .unwrap_err();
+        assert!(err.to_string().contains("does not reproduce"), "{err}");
+    }
+
+    #[test]
+    fn closed_loop_replay_detects_corrupt_initial_leak_flags() {
+        let code = Code::rotated_surface(3);
+        let (header, mut trace) = record(&code, PolicyKind::NoLrc, 13, 6);
+        // Flip an initial leak flag: reseeding through the contract can no
+        // longer reproduce the recorded starting state.
+        trace.initial_data_leak[0] = !trace.initial_data_leak[0];
+        let ctx = ReplayContext::new(&code, &header).unwrap();
+        let mut sim = ctx.make_simulator();
+        let err = ctx
+            .replay_shot_closed_loop(&trace, &mut DivergeAt { fire_round: 2 }, &mut sim)
+            .unwrap_err();
+        assert!(err.to_string().contains("seeding contract"), "{err}");
+    }
+
+    #[test]
+    fn divergence_profile_invariants_hold() {
+        let mut profile = DivergenceProfile::new(5);
+        let run = RunRecord {
+            rounds: vec![],
+            final_data_x: vec![],
+            final_data_z: vec![],
+            final_perfect_measurements: vec![],
+        };
+        let shot = |divergence: Option<usize>| ClosedLoopReplay {
+            run: run.clone(),
+            divergence,
+            resimulated_rounds: divergence.map_or(0, |r| 5 - r),
+            restored_rounds: divergence.unwrap_or(0),
+        };
+        for divergence in [None, Some(2), Some(0), Some(2), None, Some(4)] {
+            profile.record(&shot(divergence));
+        }
+        assert_eq!(profile.shots, 6);
+        assert_eq!(profile.divergent_shots, 4);
+        assert_eq!(profile.exact_shots(), 2);
+        assert_eq!(profile.first_divergence, vec![1, 0, 2, 0, 1]);
+        assert_eq!(profile.first_divergence.iter().sum::<usize>(), profile.divergent_shots);
+        let cumulative = profile.cumulative_divergent();
+        assert!(cumulative.windows(2).all(|w| w[0] <= w[1]), "cumulative must be monotone");
+        assert_eq!(cumulative.last(), Some(&profile.divergent_shots));
+        assert_eq!(profile.resimulated_rounds, (5 - 2) as u64 + 5 + 3 + 1);
+        // Divergence rounds 2, 0, 2, 4 ⇒ restored prefixes of those lengths.
+        assert_eq!(profile.restored_rounds, 8);
+        // Every divergent shot pays its full round count on the simulator.
+        assert_eq!(
+            profile.resimulated_rounds + profile.restored_rounds,
+            (profile.divergent_shots * profile.rounds) as u64
+        );
+        assert!((profile.resimulated_fraction() - 12.0 / 30.0).abs() < 1e-12);
+        assert!((profile.simulated_fraction() - 20.0 / 30.0).abs() < 1e-12);
+        assert!((DivergenceProfile::new(0).resimulated_fraction()).abs() < 1e-12);
+        assert!((DivergenceProfile::new(0).simulated_fraction()).abs() < 1e-12);
     }
 
     #[test]
