@@ -1,0 +1,85 @@
+//! Benchmarks of the serving layer: wire-protocol encode/parse costs and the
+//! full loopback `eval` round trip against a live daemon with a hot cache —
+//! the per-query price a client pays once the corpus is resident, which is
+//! the number the daemon exists to minimize (versus `repro replay`'s
+//! process-startup + corpus-open + artifact-construction bill per query).
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use leakage_speculation::PolicyKind;
+use qec_experiments::replay::record_into_corpus;
+use qec_experiments::scenario::{CodeFamily, Scenario};
+use qec_serve::{
+    parse_request, parse_response, request_line, Client, EvalSpec, Request, RequestKind,
+    ResponseKind, ServeConfig, Server,
+};
+use qec_trace::Corpus;
+
+fn bench_serve(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("qec-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut corpus = Corpus::open(&dir).expect("open bench corpus");
+    let scenario = Scenario {
+        code: CodeFamily::Surface,
+        distance: 3,
+        rounds: 9,
+        p: 1e-3,
+        leakage_ratio: 0.1,
+        policy: PolicyKind::EraserM,
+        shots: 8,
+        seed: 11,
+        decode: false,
+    };
+    let entry = record_into_corpus(&mut corpus, &scenario, PolicyKind::EraserM, "serve bench")
+        .expect("record bench cell");
+    corpus.save().expect("save bench corpus");
+
+    let server = Server::bind(&dir, &ServeConfig::default()).expect("bind bench server");
+    let addr = server.local_addr();
+    let daemon = std::thread::spawn(move || server.run());
+    let mut client = Client::connect(addr).expect("connect bench client");
+
+    let eval = Request {
+        id: Some(1),
+        request: RequestKind::Eval(EvalSpec {
+            key: entry.key.clone(),
+            policy: "gladiator+m".to_string(),
+            mode: None,
+            decode: None,
+        }),
+    };
+    let eval_line = request_line(&eval);
+    // Warm the cache (and capture a response line for the parse bench).
+    let response_line = client.send_raw(&eval_line).expect("warmup eval");
+
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("encode_eval_request", |b| {
+        b.iter(|| request_line(black_box(&eval)));
+    });
+    group.bench_function("parse_eval_request", |b| {
+        b.iter(|| parse_request(black_box(&eval_line)).expect("parse"));
+    });
+    group.bench_function("parse_eval_response", |b| {
+        b.iter(|| parse_response(black_box(&response_line)).expect("parse"));
+    });
+    // One full round trip: socket write, server-side cache-hit evaluation of
+    // 8 recorded shots, response serialization, socket read.
+    group.bench_function("eval_roundtrip_hot_cache", |b| {
+        b.iter(|| client.send_raw(black_box(&eval_line)).expect("eval"));
+    });
+    group.finish();
+
+    match client.request(RequestKind::Shutdown).expect("shutdown") {
+        ResponseKind::ShuttingDown => {}
+        other => panic!("unexpected shutdown answer: {other:?}"),
+    }
+    daemon.join().expect("daemon thread");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

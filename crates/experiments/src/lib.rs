@@ -71,7 +71,10 @@ pub mod sweep;
 pub use engine::BatchEngine;
 pub use harness::{run_policy_experiment, ExperimentSpec, PolicyExperimentResult};
 pub use metrics::{AggregateMetrics, RunMetrics};
-pub use replay::{replay_corpus, ReplayCellResult, ReplayMode, ReplayOptions, ReplayReport};
+pub use replay::{
+    evaluate_cell, evaluation_row, replay_corpus, CellReplay, LoadedCell, ReplayCellResult,
+    ReplayMode, ReplayOptions, ReplayReport,
+};
 pub use scenario::{CodeFamily, Scenario};
 pub use sweep::{
     run_scenarios, run_sweep, run_sweep_with_corpus, SweepCell, SweepReport, SweepSpec,

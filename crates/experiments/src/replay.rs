@@ -177,8 +177,8 @@ const RECORD_CHUNK_SHOTS: u64 = 1024;
 
 /// Records a cell and files it in `corpus` (trace file + manifest entry,
 /// replacing any previous recording of the same key), streaming to disk in
-/// [`RECORD_CHUNK_SHOTS`]-sized chunks so memory stays flat at paper-scale
-/// shot counts. The caller persists the manifest with [`Corpus::save`].
+/// `RECORD_CHUNK_SHOTS`-sized chunks so memory stays flat at paper-scale shot
+/// counts. The caller persists the manifest with [`Corpus::save`].
 ///
 /// # Errors
 /// Returns a message on I/O failure.
@@ -405,6 +405,61 @@ pub fn replay_cell_closed_loop(
     })
 }
 
+/// Replay-evaluates one `(cell, policy)` pairing in `mode` — the single
+/// evaluation entry point shared by `repro replay`, corpus-backed sweeps and
+/// the `qec-serve` daemon, which is what makes a served `eval` answer
+/// bit-identical to the CLI's replay row for the same pairing.
+///
+/// Open-loop decoding is only meaningful for exact (recording-policy)
+/// pairings, so in that mode a `decoder` is used only when `policy` recorded
+/// the cell; closed-loop runs are exact counterfactuals, so the decoder serves
+/// every pairing.
+///
+/// # Errors
+/// Returns a message when the cell's code and header disagree, or (closed
+/// loop) when the trace fails to reproduce under this build's simulator.
+pub fn evaluate_cell(
+    cell: &LoadedCell,
+    factory: &Arc<PolicyFactory>,
+    policy: PolicyKind,
+    decoder: Option<&UnionFindDecoder>,
+    mode: ReplayMode,
+) -> Result<CellReplay, String> {
+    match mode {
+        ReplayMode::ClosedLoop => replay_cell_closed_loop(cell, factory, policy, decoder),
+        ReplayMode::OpenLoop => {
+            let exact = cell.header.policy == policy.label();
+            replay_cell(cell, factory, policy, decoder.filter(|_| exact))
+        }
+    }
+}
+
+/// Builds the report row for one evaluated pairing. Shared by
+/// [`replay_corpus`] and the daemon so the two serializations of the same
+/// evaluation cannot drift apart (`live_match` starts as `None`; verification
+/// paths fill it in afterwards).
+#[must_use]
+pub fn evaluation_row(
+    key: &str,
+    cell: &LoadedCell,
+    policy: PolicyKind,
+    replay: &CellReplay,
+) -> ReplayCellResult {
+    ReplayCellResult {
+        key: key.to_string(),
+        code: cell.code.name().to_string(),
+        recorded_policy: cell.header.policy.clone(),
+        policy: policy.label().to_string(),
+        shots: cell.header.shots,
+        rounds: cell.header.rounds,
+        exact: cell.header.policy == policy.label(),
+        divergent_shots: replay.divergent_shots,
+        live_match: None,
+        divergence_profile: replay.profile.clone(),
+        metrics: replay.metrics.clone(),
+    }
+}
+
 /// One row of a [`ReplayReport`]: one `(cell, policy)` pairing.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ReplayCellResult {
@@ -501,33 +556,18 @@ pub fn replay_corpus(dir: &Path, options: &ReplayOptions) -> Result<ReplayReport
             .then(|| build_decoder(&cell.code, cell.header.rounds));
         for policy in policies {
             let exact = policy == recorded;
-            let replay = if closed_loop {
-                replay_cell_closed_loop(&cell, &factory, policy, decoder.as_deref())
-                    .map_err(|e| format!("{}: {e}", entry.key))?
-            } else {
-                replay_cell(&cell, &factory, policy, decoder.as_deref().filter(|_| exact))?
-            };
+            let replay = evaluate_cell(&cell, &factory, policy, decoder.as_deref(), options.mode)
+                .map_err(|e| format!("{}: {e}", entry.key))?;
+            let mut row = evaluation_row(&entry.key, &cell, policy, &replay);
             // Closed-loop metrics claim bit-for-bit equality with a live run
             // for every candidate, so live verification covers every pairing;
             // open-loop only makes that claim for the recording policy.
-            let live_match = (options.verify_live && (closed_loop || exact)).then(|| {
+            row.live_match = (options.verify_live && (closed_loop || exact)).then(|| {
                 let spec = spec_from_header(&cell.header, policy, options.decode);
                 let live = BatchEngine::new(&cell.code, &spec).run();
                 live.metrics == replay.metrics
             });
-            results.push(ReplayCellResult {
-                key: entry.key.clone(),
-                code: cell.code.name().to_string(),
-                recorded_policy: recorded.label().to_string(),
-                policy: policy.label().to_string(),
-                shots: cell.header.shots,
-                rounds: cell.header.rounds,
-                exact,
-                divergent_shots: replay.divergent_shots,
-                live_match,
-                divergence_profile: replay.profile,
-                metrics: replay.metrics,
-            });
+            results.push(row);
         }
     }
     Ok(ReplayReport {

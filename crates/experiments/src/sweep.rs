@@ -20,7 +20,7 @@
 //! and can be disabled for comparison jobs (`timing = false`).
 //!
 //! [`snapshot`] runs a pinned quick-scale sweep repeatedly and emits
-//! [`BenchLine`](crate::report::BenchLine) rows — the machine-readable perf
+//! [`crate::report::BenchLine`] rows — the machine-readable perf
 //! snapshot the CI regression gate diffs against the committed baseline.
 
 use std::collections::BTreeMap;
@@ -289,10 +289,7 @@ pub fn run_sweep_with_corpus(
     timing: bool,
     mode: ReplayMode,
 ) -> Result<SweepReport, String> {
-    use crate::replay::{
-        calibration_for, cell_key, load_entry, record_into_corpus, replay_cell,
-        replay_cell_closed_loop,
-    };
+    use crate::replay::{calibration_for, cell_key, evaluate_cell, load_entry, record_into_corpus};
 
     let closed_loop = mode == ReplayMode::ClosedLoop;
     let scenarios = spec.expand()?;
@@ -379,12 +376,8 @@ pub fn run_sweep_with_corpus(
                 None
             };
             let shot_decoder = shot_decoder.as_deref();
-            let replay = if closed_loop {
-                replay_cell_closed_loop(&cell, &factory, scenario.policy, shot_decoder)
-            } else {
-                replay_cell(&cell, &factory, scenario.policy, shot_decoder)
-            }
-            .map_err(|e| format!("cell {}: {e}", scenario.id()))?;
+            let replay = evaluate_cell(&cell, &factory, scenario.policy, shot_decoder, mode)
+                .map_err(|e| format!("cell {}: {e}", scenario.id()))?;
             let wall_time_ms = if timing { cell_start.elapsed().as_secs_f64() * 1e3 } else { 0.0 };
             cells.push(SweepCell {
                 scenario: *scenario,

@@ -1,5 +1,5 @@
-//! `repro` — regenerate the paper's experiments, run declarative sweeps, and
-//! manage record-once/replay-many trace corpora.
+//! `repro` — regenerate the paper's experiments, run declarative sweeps,
+//! manage record-once/replay-many trace corpora, and serve them hot.
 //!
 //! ```text
 //! repro run      [--scale smoke|quick|paper] [--out DIR] [EXPERIMENT ...]
@@ -9,6 +9,9 @@
 //! repro replay   --corpus DIR [--policy L1,L2] [--decode] [--closed-loop]
 //!                [--verify-live]
 //! repro corpus   DIR [--verify]
+//! repro serve    --corpus DIR [--addr HOST:PORT] [--cache-cells N]
+//! repro query    --addr HOST:PORT ACTION [--key KEY] [--policy L1,L2]
+//!                [--closed-loop] [--decode]
 //! repro list
 //! repro snapshot [--out FILE] [--trace-out FILE] [--check BASELINE]
 //!                [--check-trace BASELINE] [--tolerance FRACTION]
@@ -18,8 +21,8 @@
 //! Argument parsing is strict: unknown subcommands, flags or experiment names
 //! print usage to stderr and exit with status 2. `snapshot --check[-trace]`
 //! exits 1 when a benchmark regressed beyond the tolerance; `replay
-//! --verify-live` and `corpus --verify` exit 1 on a mismatch/corruption.
-//! Everything else exits 0.
+//! --verify-live` and `corpus --verify` exit 1 on a mismatch/corruption;
+//! `query` exits 1 on an error response. Everything else exits 0.
 
 use std::fs;
 use std::path::PathBuf;
@@ -38,6 +41,10 @@ use qec_experiments::scenario::CodeFamily;
 use qec_experiments::sweep::{
     git_describe, run_sweep, run_sweep_with_corpus, snapshot, snapshot_spec, SweepReport,
     SweepSpec, SWEEP_SCHEMA_VERSION,
+};
+use qec_serve::{
+    parse_response, request_line, Client, EvalSpec, Request, RequestKind, ResponseKind,
+    ServeConfig, Server, PROTOCOL_VERSION,
 };
 use qec_trace::Corpus;
 
@@ -76,6 +83,21 @@ commands:
             against a fresh live simulation (exit 1 on any mismatch)
   corpus    inspect a corpus manifest: repro corpus DIR [--verify]
             (--verify re-reads every trace, checking CRCs and code identity)
+  serve     run the speculation-evaluation daemon over a recorded corpus:
+            repro serve --corpus DIR [--addr HOST:PORT] [--cache-cells N]
+            binds --addr (default 127.0.0.1:0 = ephemeral; the bound address
+            is printed on startup), holds an LRU cache of N cells (default 8)
+            hot in memory, and answers the newline-delimited JSON protocol of
+            docs/SERVE_PROTOCOL.md until a shutdown request arrives
+  query     send one request to a running daemon and print the raw response:
+            repro query --addr HOST:PORT ACTION [flags]
+            actions: ping | version | stats | cells | shutdown
+                     stat --key KEY | verify --key KEY
+                     eval --key KEY --policy LABEL [--closed-loop] [--decode]
+                     batch-eval [--key KEY ...] --policy L1,L2,...
+                                [--closed-loop] [--decode]
+            batch-eval with no --key pairs every corpus cell with every
+            policy; stdout carries the server's response line verbatim
   list      print known experiments, policies and code families
   snapshot  run the pinned perf sweeps and write BENCH-format lines:
             repro snapshot [--out FILE] [--trace-out FILE] [--check BASELINE]
@@ -110,6 +132,8 @@ fn main() -> ExitCode {
         Some("record") => cmd_record(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("corpus") => cmd_corpus(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
         Some("list") => cmd_list(&args[1..]),
         Some("snapshot") => cmd_snapshot(&args[1..]),
         Some(other) => Err(UsageError::new(format!("unknown command `{other}`"))),
@@ -716,6 +740,216 @@ fn cmd_corpus(args: &[String]) -> Result<ExitCode, UsageError> {
 }
 
 // ---------------------------------------------------------------------------------
+// repro serve
+// ---------------------------------------------------------------------------------
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, UsageError> {
+    let mut corpus_dir: Option<PathBuf> = None;
+    let mut config = ServeConfig::default();
+    let mut iter = Args::new(args);
+    while let Some(arg) = iter.next() {
+        match arg {
+            "--corpus" => corpus_dir = Some(PathBuf::from(iter.value("--corpus")?)),
+            "--addr" => config.addr = iter.value("--addr")?.to_string(),
+            "--cache-cells" => {
+                config.cache_cells = parse_number("--cache-cells", iter.value("--cache-cells")?)?;
+                if config.cache_cells == 0 {
+                    return Err(UsageError::new("--cache-cells must be at least 1"));
+                }
+            }
+            other => {
+                return Err(UsageError::new(format!("unknown argument `{other}` for `serve`")));
+            }
+        }
+    }
+    let corpus_dir = corpus_dir.ok_or_else(|| UsageError::new("serve requires --corpus DIR"))?;
+    // Corpus/bind failures are runtime errors (exit 1), not usage errors: the
+    // flags were fine, the environment was not.
+    let server = match Server::bind(&corpus_dir, &config) {
+        Ok(server) => server,
+        Err(message) => {
+            eprintln!("repro serve: {message}");
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    // The announce line is the startup handshake scripts parse for the bound
+    // (possibly ephemeral) address — flush it through any pipe buffering.
+    {
+        use std::io::Write as _;
+        let mut stdout = std::io::stdout();
+        let _ = writeln!(
+            stdout,
+            "qec-serve listening on {} (corpus {}, {} cell(s), cache {} cell(s))",
+            server.local_addr(),
+            corpus_dir.display(),
+            server.corpus_cells(),
+            config.cache_cells
+        );
+        let _ = stdout.flush();
+    }
+    server.run();
+    emit("qec-serve: clean shutdown");
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------------------
+// repro query
+// ---------------------------------------------------------------------------------
+
+fn cmd_query(args: &[String]) -> Result<ExitCode, UsageError> {
+    let mut addr: Option<String> = None;
+    let mut action: Option<String> = None;
+    let mut keys: Vec<String> = Vec::new();
+    let mut policies: Vec<String> = Vec::new();
+    let mut mode: Option<String> = None;
+    let mut decode = false;
+    let mut iter = Args::new(args);
+    while let Some(arg) = iter.next() {
+        match arg {
+            "--addr" => addr = Some(iter.value("--addr")?.to_string()),
+            "--key" => keys.push(iter.value("--key")?.to_string()),
+            "--policy" => {
+                for label in iter.value("--policy")?.split(',') {
+                    // Validated client-side for a friendly exit-2; the server
+                    // re-validates and answers unknown-policy for raw clients.
+                    parse_policy_label(label)?;
+                    policies.push(label.trim().to_string());
+                }
+            }
+            "--closed-loop" => mode = Some(ReplayMode::ClosedLoop.label().to_string()),
+            "--decode" => decode = true,
+            flag if flag.starts_with('-') => {
+                return Err(UsageError::new(format!("unknown flag `{flag}` for `query`")));
+            }
+            name if action.is_none() => action = Some(name.to_string()),
+            extra => {
+                return Err(UsageError::new(format!("unexpected argument `{extra}` for `query`")));
+            }
+        }
+    }
+    let addr = addr.ok_or_else(|| UsageError::new("query requires --addr HOST:PORT"))?;
+    let action = action.ok_or_else(|| UsageError::new("query requires an action"))?;
+    // Strict parsing, like every other subcommand: a flag the chosen action
+    // cannot consume is a usage error, not silently ignored.
+    let takes_key = matches!(action.as_str(), "stat" | "verify" | "eval" | "batch-eval");
+    let takes_eval_flags = matches!(action.as_str(), "eval" | "batch-eval");
+    if !takes_key && !keys.is_empty() {
+        return Err(UsageError::new(format!("query {action} does not take --key")));
+    }
+    if !takes_eval_flags {
+        if !policies.is_empty() {
+            return Err(UsageError::new(format!("query {action} does not take --policy")));
+        }
+        if mode.is_some() {
+            return Err(UsageError::new(format!("query {action} does not take --closed-loop")));
+        }
+        if decode {
+            return Err(UsageError::new(format!("query {action} does not take --decode")));
+        }
+    }
+    let eval_spec = |key: &str, policy: &str| EvalSpec {
+        key: key.to_string(),
+        policy: policy.to_string(),
+        mode: mode.clone(),
+        decode: decode.then_some(true),
+    };
+    let one_key = || -> Result<&String, UsageError> {
+        match keys.as_slice() {
+            [key] => Ok(key),
+            [] => Err(UsageError::new(format!("query {action} requires --key KEY"))),
+            _ => Err(UsageError::new(format!("query {action} takes exactly one --key"))),
+        }
+    };
+    let request = match action.as_str() {
+        "ping" => RequestKind::Ping,
+        "version" => RequestKind::Version,
+        "stats" => RequestKind::Stats,
+        "cells" => RequestKind::ListCells,
+        "shutdown" => RequestKind::Shutdown,
+        "stat" => RequestKind::StatCell { key: one_key()?.clone() },
+        "verify" => RequestKind::VerifyCell { key: one_key()?.clone() },
+        "eval" => match policies.as_slice() {
+            [policy] => RequestKind::Eval(eval_spec(one_key()?, policy)),
+            _ => return Err(UsageError::new("query eval requires exactly one --policy LABEL")),
+        },
+        "batch-eval" => {
+            if policies.is_empty() {
+                return Err(UsageError::new("query batch-eval requires --policy L1[,L2...]"));
+            }
+            // Keys (all cells when no --key) are resolved after connecting,
+            // over the same connection the batch request goes out on.
+            RequestKind::BatchEval { evals: Vec::new() }
+        }
+        other => {
+            return Err(UsageError::new(format!("unknown query action `{other}`")));
+        }
+    };
+    let mut client = match Client::connect(&addr) {
+        Ok(client) => client,
+        Err(message) => {
+            eprintln!("repro query: {message}");
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    let request = match request {
+        RequestKind::BatchEval { .. } => {
+            // No --key = every corpus cell, in manifest order.
+            let keys = if keys.is_empty() {
+                match fetch_all_keys(&mut client) {
+                    Ok(keys) => keys,
+                    Err(message) => {
+                        eprintln!("repro query: {message}");
+                        return Ok(ExitCode::FAILURE);
+                    }
+                }
+            } else {
+                keys.clone()
+            };
+            let evals: Vec<EvalSpec> = keys
+                .iter()
+                .flat_map(|key| policies.iter().map(move |policy| eval_spec(key, policy)))
+                .collect();
+            RequestKind::BatchEval { evals }
+        }
+        other => other,
+    };
+    let line = match client.send_raw(&request_line(&Request { id: None, request })) {
+        Ok(line) => line,
+        Err(message) => {
+            eprintln!("repro query: {message}");
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    // stdout carries the server's response bytes verbatim (machine-readable,
+    // byte-comparable across runs); status classification goes by the parsed
+    // payload.
+    emit(&line);
+    match parse_response(&line) {
+        Ok(response) => match response.response {
+            ResponseKind::Error(error) => {
+                eprintln!("repro query: server error {error}");
+                Ok(ExitCode::FAILURE)
+            }
+            _ => Ok(ExitCode::SUCCESS),
+        },
+        Err(error) => {
+            eprintln!("repro query: unparsable response: {error}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// Asks the daemon for its cell list over the already-open connection (used
+/// by `batch-eval` with no `--key`).
+fn fetch_all_keys(client: &mut Client) -> Result<Vec<String>, String> {
+    match client.request(RequestKind::ListCells) {
+        Ok(ResponseKind::Cells(cells)) => Ok(cells.into_iter().map(|cell| cell.key).collect()),
+        Ok(other) => Err(format!("batch-eval: unexpected list-cells answer {other:?}")),
+        Err(message) => Err(format!("batch-eval: {message}")),
+    }
+}
+
+// ---------------------------------------------------------------------------------
 // repro version
 // ---------------------------------------------------------------------------------
 
@@ -728,6 +962,7 @@ fn cmd_version(args: &[String]) -> Result<ExitCode, UsageError> {
     println!("replay report schema:   {REPLAY_SCHEMA_VERSION}");
     println!("trace (.qtr) schema:    {}", qec_trace::TRACE_SCHEMA_VERSION);
     println!("corpus manifest schema: {}", qec_trace::MANIFEST_SCHEMA_VERSION);
+    println!("serve protocol:         {PROTOCOL_VERSION}");
     Ok(ExitCode::SUCCESS)
 }
 

@@ -1,0 +1,231 @@
+//! LRU-bounded in-memory cache of corpus cells and their evaluation
+//! artifacts.
+//!
+//! The daemon's whole value proposition is that repeated queries against the
+//! same cell skip process startup, corpus open **and** artifact construction.
+//! A [`CachedCell`] therefore bundles everything one cell's evaluations need:
+//! the loaded trace ([`LoadedCell`]), the calibrated [`PolicyFactory`] (every
+//! policy built from it shares the offline GLADIATOR model, pattern extractor
+//! and coloring), and a lazily built union-find decoder. Cells are keyed by
+//! the manifest's policy-free cell key and evicted least-recently-used.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use leakage_speculation::{PolicyFactory, PolicyKind};
+use qec_decoder::UnionFindDecoder;
+use qec_experiments::engine::build_decoder;
+use qec_experiments::replay::{calibration_for, load_entry};
+use qec_experiments::LoadedCell;
+use qec_trace::{Corpus, CorpusEntry};
+
+/// One corpus cell resident in memory with its shared evaluation artifacts.
+#[derive(Debug)]
+pub struct CachedCell {
+    /// The corpus cell key this entry was loaded under.
+    pub key: String,
+    /// The loaded trace: header, shot-ordered shots, fingerprint-checked code.
+    pub cell: LoadedCell,
+    /// Factory calibrated for the cell's recorded noise model; shared across
+    /// every evaluation of the cell.
+    pub factory: Arc<PolicyFactory>,
+    /// The policy that recorded the trace.
+    pub recorded: PolicyKind,
+    decoder: OnceLock<Arc<UnionFindDecoder>>,
+}
+
+impl CachedCell {
+    /// The cell's union-find decoder, built on first use (decoding is
+    /// optional per request, and the matching-graph build is not free) and
+    /// shared by every later decode of the cell.
+    #[must_use]
+    pub fn decoder(&self) -> Arc<UnionFindDecoder> {
+        Arc::clone(
+            self.decoder.get_or_init(|| build_decoder(&self.cell.code, self.cell.header.rounds)),
+        )
+    }
+}
+
+/// Cache occupancy and traffic counters (all totals since construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the cell resident.
+    pub hits: u64,
+    /// Lookups that loaded the cell from disk.
+    pub misses: u64,
+    /// Cells evicted to make room.
+    pub evictions: u64,
+    /// Cells currently resident.
+    pub cached_cells: usize,
+    /// Maximum resident cells.
+    pub capacity: usize,
+}
+
+/// Most-recently-used-last queue of resident cells.
+struct Inner {
+    /// `(key, cell)`; front = least recently used.
+    entries: VecDeque<(String, Arc<CachedCell>)>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// The LRU-bounded cell cache. Loads are serialized under the cache lock, so
+/// concurrent requests for the same cold cell load it exactly once (and the
+/// hit/miss/eviction history is a deterministic function of the lookup
+/// sequence, never of thread timing).
+pub struct CellCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for CellCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("CellCache")
+            .field("capacity", &self.capacity)
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+impl CellCache {
+    /// Creates a cache holding at most `capacity` cells (at least one).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        CellCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner { entries: VecDeque::new(), hits: 0, misses: 0, evictions: 0 }),
+        }
+    }
+
+    /// Returns the resident cell for `entry`, loading (and possibly evicting)
+    /// on a miss. The boolean is `true` on a hit — the request paid no corpus
+    /// I/O.
+    ///
+    /// # Errors
+    /// Returns a message when the shard fails to load or verify, or when the
+    /// recorded policy label is unknown to this build.
+    pub fn get_or_load(
+        &self,
+        corpus: &Corpus,
+        entry: &CorpusEntry,
+    ) -> Result<(Arc<CachedCell>, bool), String> {
+        let mut inner = self.inner.lock().expect("cell cache poisoned");
+        if let Some(position) = inner.entries.iter().position(|(key, _)| *key == entry.key) {
+            let resident = inner.entries.remove(position).expect("position is in range");
+            let cell = Arc::clone(&resident.1);
+            inner.entries.push_back(resident);
+            inner.hits += 1;
+            return Ok((cell, true));
+        }
+        let cell = load_entry(corpus, entry)?;
+        let recorded = PolicyKind::from_label(&cell.header.policy).ok_or_else(|| {
+            format!("{}: unknown recorded policy `{}`", entry.key, cell.header.policy)
+        })?;
+        let factory = Arc::new(PolicyFactory::new(&cell.code, &calibration_for(&cell.header)));
+        let cached = Arc::new(CachedCell {
+            key: entry.key.clone(),
+            cell,
+            factory,
+            recorded,
+            decoder: OnceLock::new(),
+        });
+        inner.misses += 1;
+        while inner.entries.len() >= self.capacity {
+            inner.entries.pop_front();
+            inner.evictions += 1;
+        }
+        inner.entries.push_back((entry.key.clone(), Arc::clone(&cached)));
+        Ok((cached, false))
+    }
+
+    /// Current occupancy and traffic counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cell cache poisoned");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            cached_cells: inner.entries.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakage_speculation::PolicyKind;
+    use qec_experiments::replay::record_into_corpus;
+    use qec_experiments::scenario::{CodeFamily, Scenario};
+
+    fn tiny_corpus(name: &str, distances: &[usize]) -> Corpus {
+        let dir = std::env::temp_dir().join(format!("serve-cache-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut corpus = Corpus::open(&dir).unwrap();
+        for &distance in distances {
+            let scenario = Scenario {
+                code: CodeFamily::Surface,
+                distance,
+                rounds: 3,
+                p: 1e-3,
+                leakage_ratio: 0.1,
+                policy: PolicyKind::EraserM,
+                shots: 2,
+                seed: 5,
+                decode: false,
+            };
+            record_into_corpus(&mut corpus, &scenario, PolicyKind::EraserM, "cache test").unwrap();
+        }
+        corpus.save().unwrap();
+        corpus
+    }
+
+    #[test]
+    fn hits_misses_and_lru_eviction_are_counted() {
+        let corpus = tiny_corpus("lru", &[3, 5]);
+        let entries: Vec<CorpusEntry> = corpus.entries().to_vec();
+        let cache = CellCache::new(1);
+        let (first, hit) = cache.get_or_load(&corpus, &entries[0]).unwrap();
+        assert!(!hit);
+        let (again, hit) = cache.get_or_load(&corpus, &entries[0]).unwrap();
+        assert!(hit, "second lookup of the same cell must be a hit");
+        assert!(Arc::ptr_eq(&first, &again), "a hit returns the resident cell");
+        // Capacity 1: loading the second cell evicts the first.
+        let (_, hit) = cache.get_or_load(&corpus, &entries[1]).unwrap();
+        assert!(!hit);
+        let (_, hit) = cache.get_or_load(&corpus, &entries[0]).unwrap();
+        assert!(!hit, "evicted cell must reload");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 3, 2));
+        assert_eq!(stats.cached_cells, 1);
+        let _ = std::fs::remove_dir_all(corpus.dir());
+    }
+
+    #[test]
+    fn evicted_cells_stay_usable_through_existing_handles() {
+        let corpus = tiny_corpus("handles", &[3, 5]);
+        let entries: Vec<CorpusEntry> = corpus.entries().to_vec();
+        let cache = CellCache::new(1);
+        let (first, _) = cache.get_or_load(&corpus, &entries[0]).unwrap();
+        let (_second, _) = cache.get_or_load(&corpus, &entries[1]).unwrap();
+        // `first` was evicted but the Arc keeps its shots alive.
+        assert_eq!(first.cell.shots.len(), 2);
+        assert_eq!(first.recorded, PolicyKind::EraserM);
+        let _ = std::fs::remove_dir_all(corpus.dir());
+    }
+
+    #[test]
+    fn decoder_is_built_once_and_shared() {
+        let corpus = tiny_corpus("decoder", &[3]);
+        let entry = corpus.entries()[0].clone();
+        let cache = CellCache::new(2);
+        let (cell, _) = cache.get_or_load(&corpus, &entry).unwrap();
+        let a = cell.decoder();
+        let b = cell.decoder();
+        assert!(Arc::ptr_eq(&a, &b));
+        let _ = std::fs::remove_dir_all(corpus.dir());
+    }
+}

@@ -1,0 +1,79 @@
+//! A minimal blocking client for the `qec-serve` protocol.
+//!
+//! One TCP connection, one request line out, one response line back — the
+//! transport behind `repro query` and the daemon's end-to-end tests. The
+//! client checks the response envelope's protocol version and hands back the
+//! payload (or the raw line, for byte-comparison tooling).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{
+    parse_response, request_line, Request, RequestKind, Response, ResponseKind, PROTOCOL_VERSION,
+};
+
+/// A connected protocol client.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    /// Returns a message when the connection cannot be established.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, String> {
+        let writer = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        // One-line requests must leave immediately, not sit in Nagle's buffer.
+        let _ = writer.set_nodelay(true);
+        let read_half = writer.try_clone().map_err(|e| format!("connect: {e}"))?;
+        Ok(Client { reader: BufReader::new(read_half), writer })
+    }
+
+    /// Sends one raw line (newline appended) and returns the raw response
+    /// line. This is the byte-level escape hatch: `repro query` uses it so
+    /// stdout carries the server's bytes verbatim, and tests use it to probe
+    /// malformed-input handling.
+    ///
+    /// # Errors
+    /// Returns a message on I/O failure or a closed connection.
+    pub fn send_raw(&mut self, line: &str) -> Result<String, String> {
+        writeln!(self.writer, "{line}").map_err(|e| format!("send: {e}"))?;
+        self.writer.flush().map_err(|e| format!("send: {e}"))?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response).map_err(|e| format!("recv: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection".to_string());
+        }
+        Ok(response.trim_end_matches(['\r', '\n']).to_string())
+    }
+
+    /// Sends a full request envelope and parses the response envelope,
+    /// checking the protocol version.
+    ///
+    /// # Errors
+    /// Returns a message on I/O failure, an unparsable response, or a
+    /// protocol-version mismatch.
+    pub fn send(&mut self, request: &Request) -> Result<Response, String> {
+        let line = self.send_raw(&request_line(request))?;
+        let response = parse_response(&line).map_err(|e| e.to_string())?;
+        if response.v != PROTOCOL_VERSION {
+            return Err(format!(
+                "server speaks protocol v{}, this client v{PROTOCOL_VERSION}",
+                response.v
+            ));
+        }
+        Ok(response)
+    }
+
+    /// Convenience wrapper: sends `kind` with no correlation id and returns
+    /// the response payload.
+    ///
+    /// # Errors
+    /// As [`Client::send`].
+    pub fn request(&mut self, kind: RequestKind) -> Result<ResponseKind, String> {
+        Ok(self.send(&Request { id: None, request: kind })?.response)
+    }
+}

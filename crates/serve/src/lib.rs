@@ -1,0 +1,53 @@
+//! `qec-serve` — a long-running speculation-evaluation daemon over hot trace
+//! corpora.
+//!
+//! PR 3/4 made policy comparison cheap *offline*: record a scenario cell once
+//! (`qec-trace`), replay any candidate policy against it, closed-loop replay
+//! bit-identical to live simulation. But every CLI invocation still pays
+//! process startup, corpus open and artifact construction (offline GLADIATOR
+//! model, pattern extractor, decoder graphs). This crate removes that tax for
+//! the many-queries-one-corpus workflow — the "evaluate many candidate
+//! policies against one recorded execution" loop that ERASER-style adaptive
+//! suppression needs at scale:
+//!
+//! * [`server`] — a daemon over `std::net::TcpListener` speaking a
+//!   newline-delimited JSON protocol. It holds an LRU-bounded in-memory cache
+//!   of corpus cells ([`cache`]) with their shared evaluation artifacts
+//!   (calibrated `PolicyFactory`, lazily built union-find decoder) and
+//!   answers `cell × policy → metrics` queries without reloading anything.
+//!   Batch queries fan out on a persistent `rayon::ThreadPool` reused across
+//!   requests, with results in request order.
+//! * [`protocol`] — the wire types: `ping`/`version`/`stats`,
+//!   `list-cells`/`stat-cell`/`verify-cell`, `eval`/`batch-eval`, `shutdown`,
+//!   plus typed error codes. The format is frozen by
+//!   `docs/SERVE_PROTOCOL.md`, in the same spirit as `docs/TRACE_FORMAT.md`
+//!   for `.qtr`.
+//! * [`client`] — the blocking client behind `repro query` and the e2e tests.
+//!
+//! Served evaluations go through the *same* entry points as `repro replay`
+//! (`qec_experiments::replay::{evaluate_cell, evaluation_row}`), so a served
+//! `eval` row is byte-identical to the CLI's replay-report row for the same
+//! `corpus × cell × policy × mode × decode` — the e2e tests in
+//! `crates/serve/tests/server.rs` pin exactly that, and the CI `serve-smoke`
+//! job additionally pins responses across `RAYON_NUM_THREADS=1` vs `4`.
+//!
+//! The `repro` binary (moved here from `qec-experiments` so the CLI can host
+//! the `serve`/`query` subcommands without a dependency cycle) remains the
+//! workspace's single command-line entry point.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheStats, CachedCell, CellCache};
+pub use client::Client;
+pub use protocol::{
+    parse_request, parse_response, request_line, response_line, CellStat, ErrorCode, EvalResult,
+    EvalSpec, Request, RequestKind, Response, ResponseKind, ServerStats, VerifiedCell, VersionInfo,
+    WireError, PROTOCOL_VERSION,
+};
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,551 @@
+//! The `qec-serve` wire protocol: newline-delimited JSON requests and
+//! responses.
+//!
+//! The full wire format — framing, every request/response type, error codes
+//! and the versioning rules — is specified in `docs/SERVE_PROTOCOL.md`; this
+//! module is its executable counterpart, and the serde round-trip tests in
+//! `crates/serve/tests/protocol.rs` pin each documented shape.
+//!
+//! Shape conventions (mirroring the workspace's derive conventions, but with
+//! stable kebab-case wire tags that are **frozen** by the protocol doc):
+//!
+//! * requests and responses are one JSON object per line (LF-terminated);
+//! * payload-free kinds are bare strings (`"ping"`), payload-carrying kinds
+//!   are single-entry objects (`{"eval": {...}}`);
+//! * every response envelope carries the protocol version in `v`, the same
+//!   schema-versioned-provenance discipline as sweep/replay reports.
+
+use serde::{de, Deserialize, Serialize, Value};
+
+use qec_experiments::ReplayCellResult;
+use qec_trace::CorpusEntry;
+
+/// Version of the wire protocol. Additive changes (new request kinds, new
+/// optional fields) do **not** bump it; anything that changes the meaning or
+/// shape of an existing line does. See `docs/SERVE_PROTOCOL.md` for the exact
+/// rules.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------------
+
+/// One request line: an optional client-chosen correlation id plus the request
+/// itself. The server echoes `id` verbatim in the response envelope.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response (`null`/absent is
+    /// fine: responses arrive in request order on each connection).
+    pub id: Option<u64>,
+    /// The request itself.
+    pub request: RequestKind,
+}
+
+/// Everything the daemon can be asked to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestKind {
+    /// Liveness probe; answered with `pong`.
+    Ping,
+    /// Server, schema and protocol versions plus git provenance.
+    Version,
+    /// Request/eval counters and cache occupancy (the cache-hit counters live
+    /// here).
+    Stats,
+    /// The corpus manifest: every recorded cell.
+    ListCells,
+    /// Manifest entry + shard provenance for one cell, at `O(header)` cost
+    /// (the shard's shot blocks are not read).
+    StatCell {
+        /// The corpus cell key.
+        key: String,
+    },
+    /// Full integrity check of one cell's shard: every block re-read from
+    /// disk, CRCs and code identity verified.
+    VerifyCell {
+        /// The corpus cell key.
+        key: String,
+    },
+    /// Evaluate one `cell × policy` pairing.
+    Eval(EvalSpec),
+    /// Evaluate many pairings on the server's persistent worker pool; results
+    /// come back in request order.
+    BatchEval {
+        /// The pairings to evaluate, in the order results are wanted.
+        evals: Vec<EvalSpec>,
+    },
+    /// Finish open connections' in-flight requests and exit the accept loop.
+    Shutdown,
+}
+
+/// One `cell × policy` evaluation request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalSpec {
+    /// The corpus cell key (as listed by `list-cells`).
+    pub key: String,
+    /// Policy label to evaluate (as printed by `repro list`).
+    pub policy: String,
+    /// Replay mode label: `"open-loop"` (default when absent) or
+    /// `"closed-loop"`.
+    pub mode: Option<String>,
+    /// Decode the replayed runs and report the LER (default `false`). As in
+    /// `repro replay`, open-loop decoding only applies to recording-policy
+    /// pairings; closed-loop decodes every pairing.
+    pub decode: Option<bool>,
+}
+
+// ---------------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------------
+
+/// One response line: the echoed request id, the protocol version, and the
+/// response payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// The request's `id`, echoed verbatim.
+    pub id: Option<u64>,
+    /// [`PROTOCOL_VERSION`] of the answering server.
+    pub v: u32,
+    /// The response payload.
+    pub response: ResponseKind,
+}
+
+/// Everything the daemon can answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseKind {
+    /// Answer to `ping`.
+    Pong,
+    /// Answer to `version`.
+    Version(VersionInfo),
+    /// Answer to `stats`.
+    Stats(ServerStats),
+    /// Answer to `list-cells`: the manifest entries, in manifest order.
+    Cells(Vec<CorpusEntry>),
+    /// Answer to `stat-cell`.
+    CellStat(CellStat),
+    /// Answer to `verify-cell` (success; failures are `error` responses with
+    /// code `corrupt-corpus`).
+    Verified(VerifiedCell),
+    /// Answer to `eval`.
+    Eval(EvalResult),
+    /// Answer to `batch-eval`: one result per requested pairing, in request
+    /// order.
+    Batch(Vec<EvalResult>),
+    /// Answer to `shutdown`; the server exits after this line is written.
+    ShuttingDown,
+    /// Any failure: a stable machine-readable code plus a human-readable
+    /// message. Malformed input never closes the connection or crashes the
+    /// server — it produces this.
+    Error(WireError),
+}
+
+/// Server, schema and protocol versions plus git provenance — the per-session
+/// form of the provenance block every sweep/replay report carries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VersionInfo {
+    /// Server name and crate version, e.g. `qec-serve 0.1.0`.
+    pub server: String,
+    /// `git describe --always --dirty` of the serving build, or `unknown`.
+    pub git_describe: String,
+    /// [`PROTOCOL_VERSION`].
+    pub protocol: u32,
+    /// `.qtr` trace schema the server reads.
+    pub trace_schema: u32,
+    /// Corpus manifest schema the server reads.
+    pub manifest_schema: u32,
+    /// Replay-report schema of `eval` result rows.
+    pub replay_schema: u32,
+}
+
+/// Counters since server start. All counters are totals, never reset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Requests handled (all kinds, malformed lines included).
+    pub requests: u64,
+    /// `cell × policy` evaluations successfully computed (batch members
+    /// counted individually).
+    pub evals: u64,
+    /// `batch-eval` requests answered with a `batch` response.
+    pub batch_evals: u64,
+    /// Evaluations that found their cell already resident (no corpus I/O).
+    pub cache_hits: u64,
+    /// Evaluations that had to load their cell's shard from disk.
+    pub cache_misses: u64,
+    /// Cells evicted to make room (least recently used first).
+    pub cache_evictions: u64,
+    /// Cells currently resident.
+    pub cached_cells: usize,
+    /// Maximum resident cells.
+    pub cache_capacity: usize,
+    /// Cells in the corpus manifest.
+    pub corpus_cells: usize,
+}
+
+/// Manifest entry plus shard-header provenance for one cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellStat {
+    /// The manifest entry.
+    pub entry: CorpusEntry,
+    /// Size of the `.qtr` shard file in bytes.
+    pub file_bytes: u64,
+    /// Generator string recorded in the shard header.
+    pub generator: String,
+    /// Git provenance recorded in the shard header.
+    pub git_describe: String,
+}
+
+/// Successful `verify-cell` summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerifiedCell {
+    /// The verified cell key.
+    pub key: String,
+    /// Shots decoded (CRC-checked) from the shard.
+    pub shots: usize,
+}
+
+/// One evaluated `cell × policy` pairing. `result` is **the same row type,
+/// built by the same code path** (`qec_experiments::replay::evaluation_row`)
+/// as a `repro replay` report row, so served metrics are byte-identical to the
+/// CLI's for the same pairing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalResult {
+    /// Whether the cell was already resident in the server's cache (`true`
+    /// means the request paid no corpus I/O).
+    pub cached: bool,
+    /// The evaluation row (identical to a replay-report row; `live_match` is
+    /// always `null` — the daemon never re-simulates for verification).
+    pub result: ReplayCellResult,
+}
+
+/// Machine-readable failure categories. The code set may grow (an additive,
+/// non-version-bumping change); existing codes never change meaning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The line was not valid JSON, not a valid request shape, or carried an
+    /// invalid field value (e.g. an unknown replay mode).
+    BadRequest,
+    /// The request named a cell key the corpus manifest does not hold.
+    UnknownCell,
+    /// The request named a policy label this build does not know.
+    UnknownPolicy,
+    /// The cell's shard failed to load or verify (I/O error, CRC mismatch,
+    /// manifest/shard disagreement, stale corpus).
+    CorruptCorpus,
+    /// Anything else that failed server-side.
+    Internal,
+    /// A code this build does not know (from a newer server). Never sent by
+    /// this server; it exists so clients honor the versioning rule that
+    /// unknown error codes are opaque failures, not parse errors.
+    Other(String),
+}
+
+impl ErrorCode {
+    /// Every code this build can emit, in documentation order.
+    pub const ALL: [ErrorCode; 5] = [
+        ErrorCode::BadRequest,
+        ErrorCode::UnknownCell,
+        ErrorCode::UnknownPolicy,
+        ErrorCode::CorruptCorpus,
+        ErrorCode::Internal,
+    ];
+
+    /// The stable wire label of the code.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        match self {
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::UnknownCell => "unknown-cell",
+            ErrorCode::UnknownPolicy => "unknown-policy",
+            ErrorCode::CorruptCorpus => "corrupt-corpus",
+            ErrorCode::Internal => "internal",
+            ErrorCode::Other(label) => label,
+        }
+    }
+
+    /// Parses a wire label into a **known** code; `None` for labels this
+    /// build does not know (deserialization maps those to
+    /// [`ErrorCode::Other`] instead, so future additive codes stay parsable).
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<ErrorCode> {
+        ErrorCode::ALL.into_iter().find(|code| code.label() == label)
+    }
+}
+
+impl Serialize for ErrorCode {
+    fn to_value(&self) -> Value {
+        Value::Str(self.label().to_string())
+    }
+}
+
+impl Deserialize for ErrorCode {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Str(label) => {
+                Ok(ErrorCode::from_label(label).unwrap_or_else(|| ErrorCode::Other(label.clone())))
+            }
+            other => Err(de::expected("error-code string", other)),
+        }
+    }
+}
+
+/// A typed failure: stable code plus human-readable message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireError {
+    /// Machine-readable category.
+    pub code: ErrorCode,
+    /// Human-readable detail (free-form; never parse it).
+    pub message: String,
+}
+
+impl WireError {
+    /// Builds an error of `code` with `message`.
+    #[must_use]
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        WireError { code, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code.label(), self.message)
+    }
+}
+
+// ---------------------------------------------------------------------------------
+// Hand-written enum serde: the derive macro would use CamelCase variant names;
+// the protocol freezes kebab-case tags instead, so the two kind enums (and
+// nothing else) are implemented by hand. tests/protocol.rs pins every tag.
+// ---------------------------------------------------------------------------------
+
+/// `{tag: payload}` single-entry object.
+fn tagged(tag: &str, payload: Value) -> Value {
+    Value::Object(vec![(tag.to_string(), payload)])
+}
+
+/// `{"key": <key>}` payload for the by-key request kinds.
+fn key_payload(key: &str) -> Value {
+    Value::Object(vec![("key".to_string(), Value::Str(key.to_string()))])
+}
+
+impl Serialize for RequestKind {
+    fn to_value(&self) -> Value {
+        match self {
+            RequestKind::Ping => Value::Str("ping".to_string()),
+            RequestKind::Version => Value::Str("version".to_string()),
+            RequestKind::Stats => Value::Str("stats".to_string()),
+            RequestKind::ListCells => Value::Str("list-cells".to_string()),
+            RequestKind::Shutdown => Value::Str("shutdown".to_string()),
+            RequestKind::StatCell { key } => tagged("stat-cell", key_payload(key)),
+            RequestKind::VerifyCell { key } => tagged("verify-cell", key_payload(key)),
+            RequestKind::Eval(spec) => tagged("eval", spec.to_value()),
+            RequestKind::BatchEval { evals } => {
+                tagged("batch-eval", Value::Object(vec![("evals".to_string(), evals.to_value())]))
+            }
+        }
+    }
+}
+
+impl Deserialize for RequestKind {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Str(tag) => match tag.as_str() {
+                "ping" => Ok(RequestKind::Ping),
+                "version" => Ok(RequestKind::Version),
+                "stats" => Ok(RequestKind::Stats),
+                "list-cells" => Ok(RequestKind::ListCells),
+                "shutdown" => Ok(RequestKind::Shutdown),
+                other => Err(de::unknown_variant("request", other)),
+            },
+            Value::Object(entries) if entries.len() == 1 => {
+                let (tag, payload) = &entries[0];
+                match tag.as_str() {
+                    "stat-cell" => {
+                        let fields = de::as_object(payload, "stat-cell")?;
+                        Ok(RequestKind::StatCell { key: de::field(fields, "stat-cell", "key")? })
+                    }
+                    "verify-cell" => {
+                        let fields = de::as_object(payload, "verify-cell")?;
+                        Ok(RequestKind::VerifyCell {
+                            key: de::field(fields, "verify-cell", "key")?,
+                        })
+                    }
+                    "eval" => Ok(RequestKind::Eval(
+                        EvalSpec::from_value(payload).map_err(|e| e.in_context("eval"))?,
+                    )),
+                    "batch-eval" => {
+                        let fields = de::as_object(payload, "batch-eval")?;
+                        Ok(RequestKind::BatchEval {
+                            evals: de::field(fields, "batch-eval", "evals")?,
+                        })
+                    }
+                    other => Err(de::unknown_variant("request", other)),
+                }
+            }
+            other => Err(de::expected("request (string or single-entry object)", other)),
+        }
+    }
+}
+
+impl Serialize for ResponseKind {
+    fn to_value(&self) -> Value {
+        match self {
+            ResponseKind::Pong => Value::Str("pong".to_string()),
+            ResponseKind::ShuttingDown => Value::Str("shutting-down".to_string()),
+            ResponseKind::Version(info) => tagged("version", info.to_value()),
+            ResponseKind::Stats(stats) => tagged("stats", stats.to_value()),
+            ResponseKind::Cells(cells) => tagged("cells", cells.to_value()),
+            ResponseKind::CellStat(stat) => tagged("cell-stat", stat.to_value()),
+            ResponseKind::Verified(verified) => tagged("verified", verified.to_value()),
+            ResponseKind::Eval(result) => tagged("eval", result.to_value()),
+            ResponseKind::Batch(results) => tagged("batch", results.to_value()),
+            ResponseKind::Error(error) => tagged("error", error.to_value()),
+        }
+    }
+}
+
+impl Deserialize for ResponseKind {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Str(tag) => match tag.as_str() {
+                "pong" => Ok(ResponseKind::Pong),
+                "shutting-down" => Ok(ResponseKind::ShuttingDown),
+                other => Err(de::unknown_variant("response", other)),
+            },
+            Value::Object(entries) if entries.len() == 1 => {
+                let (tag, payload) = &entries[0];
+                let context = |e: de::Error| e.in_context(tag);
+                match tag.as_str() {
+                    "version" => Ok(ResponseKind::Version(
+                        VersionInfo::from_value(payload).map_err(context)?,
+                    )),
+                    "stats" => {
+                        Ok(ResponseKind::Stats(ServerStats::from_value(payload).map_err(context)?))
+                    }
+                    "cells" => Ok(ResponseKind::Cells(
+                        Vec::<CorpusEntry>::from_value(payload).map_err(context)?,
+                    )),
+                    "cell-stat" => {
+                        Ok(ResponseKind::CellStat(CellStat::from_value(payload).map_err(context)?))
+                    }
+                    "verified" => Ok(ResponseKind::Verified(
+                        VerifiedCell::from_value(payload).map_err(context)?,
+                    )),
+                    "eval" => {
+                        Ok(ResponseKind::Eval(EvalResult::from_value(payload).map_err(context)?))
+                    }
+                    "batch" => Ok(ResponseKind::Batch(
+                        Vec::<EvalResult>::from_value(payload).map_err(context)?,
+                    )),
+                    "error" => {
+                        Ok(ResponseKind::Error(WireError::from_value(payload).map_err(context)?))
+                    }
+                    other => Err(de::unknown_variant("response", other)),
+                }
+            }
+            other => Err(de::expected("response (string or single-entry object)", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------------
+
+/// Renders a request as one compact-JSON wire line (no trailing newline; the
+/// transport adds the LF).
+#[must_use]
+pub fn request_line(request: &Request) -> String {
+    serde_json::to_string(request).expect("requests are always serializable")
+}
+
+/// Renders a response as one compact-JSON wire line (no trailing newline).
+#[must_use]
+pub fn response_line(response: &Response) -> String {
+    serde_json::to_string(response).expect("responses are always serializable")
+}
+
+/// Parses one wire line into a request. Any failure — bad JSON, wrong
+/// envelope, unknown request tag — maps to a `bad-request` error the server
+/// answers with instead of dropping the connection.
+///
+/// # Errors
+/// Returns a [`WireError`] with code [`ErrorCode::BadRequest`].
+pub fn parse_request(line: &str) -> Result<Request, WireError> {
+    serde_json::from_str(line)
+        .map_err(|e| WireError::new(ErrorCode::BadRequest, format!("malformed request: {e}")))
+}
+
+/// Parses one wire line into a response (the client side of
+/// [`parse_request`]).
+///
+/// # Errors
+/// Returns a [`WireError`] with code [`ErrorCode::BadRequest`] describing the
+/// first mismatch.
+pub fn parse_response(line: &str) -> Result<Response, WireError> {
+    serde_json::from_str(line)
+        .map_err(|e| WireError::new(ErrorCode::BadRequest, format!("malformed response: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_free_requests_are_bare_strings() {
+        for (kind, tag) in [
+            (RequestKind::Ping, "\"ping\""),
+            (RequestKind::Version, "\"version\""),
+            (RequestKind::Stats, "\"stats\""),
+            (RequestKind::ListCells, "\"list-cells\""),
+            (RequestKind::Shutdown, "\"shutdown\""),
+        ] {
+            assert_eq!(serde_json::to_string(&kind).unwrap(), tag);
+        }
+    }
+
+    #[test]
+    fn eval_request_uses_the_documented_shape() {
+        let request = Request {
+            id: Some(7),
+            request: RequestKind::Eval(EvalSpec {
+                key: "surface d=3".to_string(),
+                policy: "gladiator+m".to_string(),
+                mode: Some("closed-loop".to_string()),
+                decode: Some(true),
+            }),
+        };
+        let line = request_line(&request);
+        assert_eq!(
+            line,
+            r#"{"id":7,"request":{"eval":{"key":"surface d=3","policy":"gladiator+m","mode":"closed-loop","decode":true}}}"#
+        );
+        assert_eq!(parse_request(&line).unwrap(), request);
+    }
+
+    #[test]
+    fn optional_eval_fields_may_be_omitted() {
+        let parsed =
+            parse_request(r#"{"id":null,"request":{"eval":{"key":"k","policy":"ideal"}}}"#)
+                .unwrap();
+        let RequestKind::Eval(spec) = parsed.request else { panic!("not an eval") };
+        assert_eq!(spec.mode, None);
+        assert_eq!(spec.decode, None);
+    }
+
+    #[test]
+    fn malformed_lines_become_bad_request_errors() {
+        for bad in ["", "{", "42", r#"{"request":"frobnicate","id":null}"#, r#"{"id":1}"#] {
+            let err = parse_request(bad).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadRequest, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn error_codes_round_trip_their_labels() {
+        for code in ErrorCode::ALL {
+            assert_eq!(ErrorCode::from_label(code.label()), Some(code.clone()));
+            let json = serde_json::to_string(&code).unwrap();
+            assert_eq!(serde_json::from_str::<ErrorCode>(&json).unwrap(), code);
+        }
+        assert_eq!(ErrorCode::from_label("no-such-code"), None);
+    }
+}

@@ -1,0 +1,415 @@
+//! The daemon: a `TcpListener` accept loop, per-connection request handling,
+//! and the dispatch from protocol requests to corpus-backed evaluations.
+//!
+//! Request handling is deliberately boring: one thread per connection (scoped,
+//! so shutdown joins them all), requests answered strictly in arrival order
+//! per connection, every failure mapped to a typed [`WireError`] response —
+//! malformed input never crashes the server or closes the connection. Batch
+//! evaluations fan out on a persistent [`rayon::ThreadPool`] that is reused
+//! across requests, with results returned in request order regardless of
+//! worker count.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use leakage_speculation::PolicyKind;
+use qec_experiments::replay::{evaluate_cell, evaluation_row, load_entry, REPLAY_SCHEMA_VERSION};
+use qec_experiments::sweep::git_describe;
+use qec_experiments::ReplayMode;
+use qec_trace::{read_trace_header, Corpus, CorpusEntry};
+
+use crate::cache::{CachedCell, CellCache};
+use crate::protocol::{
+    parse_request, response_line, CellStat, ErrorCode, EvalResult, EvalSpec, RequestKind, Response,
+    ResponseKind, ServerStats, VerifiedCell, VersionInfo, WireError, PROTOCOL_VERSION,
+};
+
+/// Server construction options.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind, `host:port`. Port `0` picks an ephemeral port —
+    /// read it back from [`Server::local_addr`].
+    pub addr: String,
+    /// Maximum corpus cells resident in the cache.
+    pub cache_cells: usize,
+    /// Worker threads of the persistent batch-evaluation pool. `0` means
+    /// [`rayon::current_num_threads`] (so `RAYON_NUM_THREADS` governs it).
+    pub pool_threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { addr: "127.0.0.1:0".to_string(), cache_cells: 8, pool_threads: 0 }
+    }
+}
+
+/// Shared server state: the corpus manifest, the cell cache, the persistent
+/// pool and the traffic counters behind the `stats` response.
+struct ServerState {
+    corpus: Corpus,
+    cache: CellCache,
+    pool: rayon::ThreadPool,
+    addr: SocketAddr,
+    requests: AtomicU64,
+    evals: AtomicU64,
+    batch_evals: AtomicU64,
+    shutdown: AtomicBool,
+    /// Read-half clones of open connections, so shutdown can unblock handler
+    /// threads parked in `read_line` (an idle client must not keep the daemon
+    /// alive forever).
+    connections: Mutex<Vec<(u64, TcpStream)>>,
+}
+
+/// A bound, not-yet-running daemon. [`Server::run`] blocks until a `shutdown`
+/// request arrives.
+pub struct Server {
+    listener: TcpListener,
+    state: ServerState,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.state.addr)
+            .field("cells", &self.state.corpus.entries().len())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Opens the corpus at `corpus_dir` (which must exist and be non-empty —
+    /// a daemon over nothing answers nothing) and binds the listen socket.
+    ///
+    /// # Errors
+    /// Returns a message when the corpus is missing/empty/corrupt or the
+    /// address cannot be bound.
+    pub fn bind(corpus_dir: &Path, config: &ServeConfig) -> Result<Server, String> {
+        let corpus = Corpus::open_existing(corpus_dir).map_err(|e| e.to_string())?;
+        if corpus.entries().is_empty() {
+            return Err(format!(
+                "corpus {} is empty — nothing to serve (record cells first)",
+                corpus_dir.display()
+            ));
+        }
+        let listener =
+            TcpListener::bind(&config.addr).map_err(|e| format!("bind {}: {e}", config.addr))?;
+        let addr = listener.local_addr().map_err(|e| e.to_string())?;
+        let pool = if config.pool_threads == 0 {
+            rayon::ThreadPool::with_default_threads()
+        } else {
+            rayon::ThreadPool::new(config.pool_threads)
+        };
+        Ok(Server {
+            listener,
+            state: ServerState {
+                corpus,
+                cache: CellCache::new(config.cache_cells),
+                pool,
+                addr,
+                requests: AtomicU64::new(0),
+                evals: AtomicU64::new(0),
+                batch_evals: AtomicU64::new(0),
+                shutdown: AtomicBool::new(false),
+                connections: Mutex::new(Vec::new()),
+            },
+        })
+    }
+
+    /// The bound address (resolves an ephemeral port request).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Number of cells in the served corpus manifest.
+    #[must_use]
+    pub fn corpus_cells(&self) -> usize {
+        self.state.corpus.entries().len()
+    }
+
+    /// Accepts and serves connections until a `shutdown` request is handled,
+    /// then joins every connection thread and returns.
+    pub fn run(self) {
+        let state = &self.state;
+        let next_id = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for stream in self.listener.incoming() {
+                if state.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                // Request/response lines are tiny; Nagle + delayed ACK would
+                // add ~40ms stalls per round trip on small writes.
+                let _ = stream.set_nodelay(true);
+                let id = next_id.fetch_add(1, Ordering::Relaxed);
+                if let Ok(clone) = stream.try_clone() {
+                    state
+                        .connections
+                        .lock()
+                        .expect("connection registry poisoned")
+                        .push((id, clone));
+                }
+                scope.spawn(move || {
+                    handle_connection(state, stream);
+                    state
+                        .connections
+                        .lock()
+                        .expect("connection registry poisoned")
+                        .retain(|(conn_id, _)| *conn_id != id);
+                });
+            }
+            // Accept loop done: close the *read* side of every remaining
+            // connection so idle clients cannot keep handler threads (and the
+            // scope join) alive. Writes stay open, so a handler mid-request
+            // still delivers its in-flight response before seeing EOF — the
+            // protocol doc's "force-closed after their in-flight request".
+            for (_, conn) in state.connections.lock().expect("connection registry poisoned").iter()
+            {
+                let _ = conn.shutdown(std::net::Shutdown::Read);
+            }
+        });
+    }
+}
+
+/// Serves one connection: reads LF-terminated request lines, answers each in
+/// order. Empty lines are ignored; EOF or a write failure ends the
+/// connection; a `shutdown` request ends the whole server.
+fn handle_connection(state: &ServerState, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else { return };
+    let reader = BufReader::new(read_half);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        let (id, outcome) = match parse_request(&line) {
+            Ok(request) => (request.id, handle_request(state, request.request)),
+            Err(error) => (None, ResponseKind::Error(error)),
+        };
+        let stop = matches!(outcome, ResponseKind::ShuttingDown);
+        let response = Response { id, v: PROTOCOL_VERSION, response: outcome };
+        if writeln!(writer, "{}", response_line(&response)).is_err() {
+            break;
+        }
+        let _ = writer.flush();
+        if stop {
+            state.shutdown.store(true, Ordering::Release);
+            // Unblock the accept loop so it observes the flag. A wildcard
+            // bind (0.0.0.0 / ::) is not connectable everywhere, so the poke
+            // targets loopback on the bound port.
+            let mut poke = state.addr;
+            if poke.ip().is_unspecified() {
+                poke.set_ip(match poke {
+                    std::net::SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+                    std::net::SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+                });
+            }
+            let _ = TcpStream::connect(poke);
+            break;
+        }
+    }
+}
+
+/// Dispatches one parsed request. Never panics on user input: every failure
+/// becomes a typed error response.
+fn handle_request(state: &ServerState, request: RequestKind) -> ResponseKind {
+    match request {
+        RequestKind::Ping => ResponseKind::Pong,
+        RequestKind::Shutdown => ResponseKind::ShuttingDown,
+        RequestKind::Version => ResponseKind::Version(VersionInfo {
+            server: format!("qec-serve {}", env!("CARGO_PKG_VERSION")),
+            git_describe: git_describe(),
+            protocol: PROTOCOL_VERSION,
+            trace_schema: qec_trace::TRACE_SCHEMA_VERSION,
+            manifest_schema: qec_trace::MANIFEST_SCHEMA_VERSION,
+            replay_schema: REPLAY_SCHEMA_VERSION,
+        }),
+        RequestKind::Stats => {
+            let cache = state.cache.stats();
+            ResponseKind::Stats(ServerStats {
+                requests: state.requests.load(Ordering::Relaxed),
+                evals: state.evals.load(Ordering::Relaxed),
+                batch_evals: state.batch_evals.load(Ordering::Relaxed),
+                cache_hits: cache.hits,
+                cache_misses: cache.misses,
+                cache_evictions: cache.evictions,
+                cached_cells: cache.cached_cells,
+                cache_capacity: cache.capacity,
+                corpus_cells: state.corpus.entries().len(),
+            })
+        }
+        RequestKind::ListCells => ResponseKind::Cells(state.corpus.entries().to_vec()),
+        RequestKind::StatCell { key } => match stat_cell(state, &key) {
+            Ok(stat) => ResponseKind::CellStat(stat),
+            Err(error) => ResponseKind::Error(error),
+        },
+        RequestKind::VerifyCell { key } => match verify_cell(state, &key) {
+            Ok(verified) => ResponseKind::Verified(verified),
+            Err(error) => ResponseKind::Error(error),
+        },
+        RequestKind::Eval(spec) => match prepare_eval(state, &spec).map(compute_eval) {
+            Ok(Ok(result)) => {
+                state.evals.fetch_add(1, Ordering::Relaxed);
+                ResponseKind::Eval(result)
+            }
+            Ok(Err(error)) | Err(error) => ResponseKind::Error(error),
+        },
+        RequestKind::BatchEval { evals } => match batch_eval(state, &evals) {
+            Ok(results) => ResponseKind::Batch(results),
+            Err(error) => ResponseKind::Error(error),
+        },
+    }
+}
+
+fn lookup<'c>(state: &'c ServerState, key: &str) -> Result<&'c CorpusEntry, WireError> {
+    state.corpus.lookup(key).ok_or_else(|| {
+        WireError::new(
+            ErrorCode::UnknownCell,
+            format!("no cell `{key}` in the served corpus (try list-cells)"),
+        )
+    })
+}
+
+/// `stat-cell`: manifest entry + shard provenance at `O(header)` cost — the
+/// shard's shot blocks are never read (`qec_trace::read_trace_header`).
+fn stat_cell(state: &ServerState, key: &str) -> Result<CellStat, WireError> {
+    let entry = lookup(state, key)?;
+    let path = state.corpus.trace_path(entry);
+    let corrupt =
+        |e: String| WireError::new(ErrorCode::CorruptCorpus, format!("{}: {e}", path.display()));
+    let file_bytes = std::fs::metadata(&path).map_err(|e| corrupt(e.to_string()))?.len();
+    let header = read_trace_header(&path).map_err(|e| corrupt(e.to_string()))?;
+    Ok(CellStat {
+        entry: entry.clone(),
+        file_bytes,
+        generator: header.generator,
+        git_describe: header.git_describe,
+    })
+}
+
+/// `verify-cell`: a full CRC + identity re-read from disk, deliberately
+/// bypassing the cache (a cached cell proves nothing about today's bytes).
+fn verify_cell(state: &ServerState, key: &str) -> Result<VerifiedCell, WireError> {
+    let entry = lookup(state, key)?;
+    let cell = load_entry(&state.corpus, entry)
+        .map_err(|e| WireError::new(ErrorCode::CorruptCorpus, e))?;
+    Ok(VerifiedCell { key: key.to_string(), shots: cell.shots.len() })
+}
+
+/// One eval with its cell resolved and its labels parsed — everything owned,
+/// so batch members can move onto pool workers.
+struct PreparedEval {
+    key: String,
+    cached: Arc<CachedCell>,
+    hit: bool,
+    policy: PolicyKind,
+    mode: ReplayMode,
+    decode: bool,
+}
+
+/// Resolves an [`EvalSpec`] against the corpus and cache. Sequential (under
+/// the cache lock), so cache traffic is a deterministic function of the
+/// request stream.
+fn prepare_eval(state: &ServerState, spec: &EvalSpec) -> Result<PreparedEval, WireError> {
+    let entry = lookup(state, &spec.key)?;
+    let policy = PolicyKind::from_label(&spec.policy).ok_or_else(|| {
+        WireError::new(
+            ErrorCode::UnknownPolicy,
+            format!(
+                "unknown policy `{}`; known: {}",
+                spec.policy,
+                PolicyKind::ALL.map(PolicyKind::label).join(", ")
+            ),
+        )
+    })?;
+    let mode = match spec.mode.as_deref() {
+        None => ReplayMode::OpenLoop,
+        Some(label) => [ReplayMode::OpenLoop, ReplayMode::ClosedLoop]
+            .into_iter()
+            .find(|mode| mode.label() == label)
+            .ok_or_else(|| {
+                WireError::new(
+                    ErrorCode::BadRequest,
+                    format!("unknown mode `{label}` (open-loop|closed-loop)"),
+                )
+            })?,
+    };
+    let (cached, hit) = state
+        .cache
+        .get_or_load(&state.corpus, entry)
+        .map_err(|e| WireError::new(ErrorCode::CorruptCorpus, e))?;
+    Ok(PreparedEval {
+        key: spec.key.clone(),
+        cached,
+        hit,
+        policy,
+        mode,
+        decode: spec.decode.unwrap_or(false),
+    })
+}
+
+/// Runs one prepared evaluation. This calls the exact entry points
+/// (`evaluate_cell` + `evaluation_row`) that `repro replay` reports go
+/// through, so a served result is byte-identical to the CLI row for the same
+/// `corpus × cell × policy × mode × decode`.
+fn compute_eval(prepared: PreparedEval) -> Result<EvalResult, WireError> {
+    let cell = &prepared.cached.cell;
+    // Mirrors `replay_corpus`: open-loop decoding only for the recording
+    // policy, closed-loop decoding for every (exact counterfactual) pairing.
+    let decoder = (prepared.decode
+        && (prepared.mode == ReplayMode::ClosedLoop
+            || prepared.policy == prepared.cached.recorded))
+        .then(|| prepared.cached.decoder());
+    let replay = evaluate_cell(
+        cell,
+        &prepared.cached.factory,
+        prepared.policy,
+        decoder.as_deref(),
+        prepared.mode,
+    )
+    .map_err(|e| WireError::new(ErrorCode::CorruptCorpus, format!("{}: {e}", prepared.key)))?;
+    let result = evaluation_row(&prepared.key, cell, prepared.policy, &replay);
+    Ok(EvalResult { cached: prepared.hit, result })
+}
+
+/// `batch-eval`: resolve every pairing sequentially (deterministic cache
+/// traffic), then fan the computations out on the persistent pool. The batch
+/// answer is all-or-nothing: an unresolvable pairing fails the whole request
+/// before anything is evaluated, and a compute-stage failure (e.g. a stale
+/// corpus under closed-loop repair) discards the sibling results; either way
+/// the error message names the offending index.
+fn batch_eval(state: &ServerState, evals: &[EvalSpec]) -> Result<Vec<EvalResult>, WireError> {
+    if evals.is_empty() {
+        return Err(WireError::new(ErrorCode::BadRequest, "batch-eval with no evals"));
+    }
+    let indexed = |index: usize| {
+        move |mut error: WireError| {
+            error.message = format!("evals[{index}]: {}", error.message);
+            error
+        }
+    };
+    let prepared: Vec<PreparedEval> = evals
+        .iter()
+        .enumerate()
+        .map(|(index, spec)| prepare_eval(state, spec).map_err(indexed(index)))
+        .collect::<Result<_, _>>()?;
+    let jobs: Vec<_> = prepared
+        .into_iter()
+        .enumerate()
+        .map(|(index, p)| move || compute_eval(p).map_err(indexed(index)))
+        .collect();
+    let outcomes = state.pool.execute_ordered(jobs);
+    // `evals` counts successfully computed pairings (matching the single-eval
+    // path, which only counts successes); `batch_evals` counts batches that
+    // were answered with a `batch` response.
+    let successes = outcomes.iter().filter(|outcome| outcome.is_ok()).count();
+    state.evals.fetch_add(successes as u64, Ordering::Relaxed);
+    let results = outcomes.into_iter().collect::<Result<Vec<EvalResult>, WireError>>()?;
+    state.batch_evals.fetch_add(1, Ordering::Relaxed);
+    Ok(results)
+}

@@ -1,0 +1,236 @@
+//! Serde round-trip tests for **every** request/response type documented in
+//! `docs/SERVE_PROTOCOL.md`. Each documented wire shape is pinned here: a
+//! protocol change that breaks a round trip (or a frozen tag) must fail this
+//! suite before it can ship.
+
+use qec_experiments::metrics::AggregateMetrics;
+use qec_experiments::ReplayCellResult;
+use qec_serve::{
+    parse_request, parse_response, request_line, response_line, CellStat, ErrorCode, EvalResult,
+    EvalSpec, Request, RequestKind, Response, ResponseKind, ServerStats, VerifiedCell, VersionInfo,
+    WireError, PROTOCOL_VERSION,
+};
+use qec_trace::{CorpusEntry, DivergenceProfile};
+
+fn sample_entry() -> CorpusEntry {
+    CorpusEntry {
+        key: "surface d=3 rounds=9 p=1e-3 lr=1e-1 shots=4 seed=7".to_string(),
+        hash: "00ff00ff00ff00ff".to_string(),
+        file: "shards/00/00ff00ff00ff00ff.qtr".to_string(),
+        code: "surface-d3".to_string(),
+        family: "surface".to_string(),
+        distance: 3,
+        rounds: 9,
+        p: 1e-3,
+        leakage_ratio: 0.1,
+        shots: 4,
+        seed: 7,
+        policy: "eraser+m".to_string(),
+        trace_schema: 1,
+    }
+}
+
+fn sample_metrics() -> AggregateMetrics {
+    AggregateMetrics {
+        shots: 4,
+        false_positives: 0.25,
+        false_negatives: 1.5,
+        data_lrcs: 2.0,
+        ancilla_lrcs: 0.0,
+        lrcs_per_round: 0.222,
+        average_dlp: 0.01,
+        final_dlp: 0.02,
+        dlp_series: vec![0.0, 0.01, 0.02],
+        inaccuracy_per_round: 0.19,
+        total_time_ns: 12345.0,
+        lrc_time_ns: 660.0,
+        logical_error_rate: Some(0.25),
+    }
+}
+
+fn sample_row() -> ReplayCellResult {
+    let mut profile = DivergenceProfile::new(9);
+    profile.add(Some(2), 7, 2);
+    profile.add(None, 0, 0);
+    ReplayCellResult {
+        key: sample_entry().key,
+        code: "surface-d3".to_string(),
+        recorded_policy: "eraser+m".to_string(),
+        policy: "gladiator+m".to_string(),
+        shots: 4,
+        rounds: 9,
+        exact: false,
+        divergent_shots: 1,
+        live_match: None,
+        divergence_profile: Some(profile),
+        metrics: sample_metrics(),
+    }
+}
+
+fn sample_eval_spec() -> EvalSpec {
+    EvalSpec {
+        key: sample_entry().key,
+        policy: "gladiator+m".to_string(),
+        mode: Some("closed-loop".to_string()),
+        decode: Some(true),
+    }
+}
+
+#[track_caller]
+fn roundtrip_request(kind: RequestKind) {
+    let request = Request { id: Some(42), request: kind };
+    let line = request_line(&request);
+    assert_eq!(parse_request(&line).unwrap(), request, "wire line: {line}");
+}
+
+#[track_caller]
+fn roundtrip_response(kind: ResponseKind) {
+    let response = Response { id: Some(42), v: PROTOCOL_VERSION, response: kind };
+    let line = response_line(&response);
+    assert_eq!(parse_response(&line).unwrap(), response, "wire line: {line}");
+}
+
+#[test]
+fn every_request_kind_round_trips() {
+    roundtrip_request(RequestKind::Ping);
+    roundtrip_request(RequestKind::Version);
+    roundtrip_request(RequestKind::Stats);
+    roundtrip_request(RequestKind::ListCells);
+    roundtrip_request(RequestKind::StatCell { key: sample_entry().key });
+    roundtrip_request(RequestKind::VerifyCell { key: sample_entry().key });
+    roundtrip_request(RequestKind::Eval(sample_eval_spec()));
+    roundtrip_request(RequestKind::BatchEval {
+        evals: vec![
+            sample_eval_spec(),
+            EvalSpec {
+                key: "k2".to_string(),
+                policy: "ideal".to_string(),
+                mode: None,
+                decode: None,
+            },
+        ],
+    });
+    roundtrip_request(RequestKind::Shutdown);
+}
+
+#[test]
+fn every_response_kind_round_trips() {
+    roundtrip_response(ResponseKind::Pong);
+    roundtrip_response(ResponseKind::Version(VersionInfo {
+        server: "qec-serve 0.1.0".to_string(),
+        git_describe: "unknown".to_string(),
+        protocol: PROTOCOL_VERSION,
+        trace_schema: 1,
+        manifest_schema: 1,
+        replay_schema: 2,
+    }));
+    roundtrip_response(ResponseKind::Stats(ServerStats {
+        requests: 10,
+        evals: 6,
+        batch_evals: 1,
+        cache_hits: 4,
+        cache_misses: 2,
+        cache_evictions: 1,
+        cached_cells: 1,
+        cache_capacity: 8,
+        corpus_cells: 3,
+    }));
+    roundtrip_response(ResponseKind::Cells(vec![sample_entry()]));
+    roundtrip_response(ResponseKind::CellStat(CellStat {
+        entry: sample_entry(),
+        file_bytes: 4096,
+        generator: "repro record 0.1.0".to_string(),
+        git_describe: "unknown".to_string(),
+    }));
+    roundtrip_response(ResponseKind::Verified(VerifiedCell { key: sample_entry().key, shots: 4 }));
+    roundtrip_response(ResponseKind::Eval(EvalResult { cached: true, result: sample_row() }));
+    roundtrip_response(ResponseKind::Batch(vec![
+        EvalResult { cached: false, result: sample_row() },
+        EvalResult { cached: true, result: sample_row() },
+    ]));
+    roundtrip_response(ResponseKind::ShuttingDown);
+    for code in ErrorCode::ALL {
+        roundtrip_response(ResponseKind::Error(WireError::new(code, "something happened")));
+    }
+}
+
+#[test]
+fn unknown_error_codes_from_newer_servers_stay_parsable() {
+    // The versioning rules declare new error codes additive: a client must
+    // treat them as opaque failures, not parse errors.
+    let line =
+        r#"{"id":null,"v":1,"response":{"error":{"code":"rate-limited","message":"later"}}}"#;
+    let response = parse_response(line).unwrap();
+    let ResponseKind::Error(error) = response.response else { panic!("error response") };
+    assert_eq!(error.code, ErrorCode::Other("rate-limited".to_string()));
+    assert_eq!(error.code.label(), "rate-limited");
+    // And it re-serializes to the same label.
+    let rendered = response_line(&Response {
+        id: None,
+        v: PROTOCOL_VERSION,
+        response: ResponseKind::Error(error),
+    });
+    assert!(rendered.contains("\"rate-limited\""), "{rendered}");
+    // from_label stays restricted to codes this build can emit.
+    assert_eq!(ErrorCode::from_label("rate-limited"), None);
+}
+
+#[test]
+fn frozen_wire_tags_do_not_drift() {
+    // These exact tags are frozen by docs/SERVE_PROTOCOL.md; renaming a Rust
+    // variant must not rename a wire tag.
+    let cases: Vec<(String, &str)> = vec![
+        (serde_json::to_string(&RequestKind::Ping).unwrap(), "\"ping\""),
+        (serde_json::to_string(&RequestKind::ListCells).unwrap(), "\"list-cells\""),
+        (serde_json::to_string(&RequestKind::Shutdown).unwrap(), "\"shutdown\""),
+        (serde_json::to_string(&ResponseKind::Pong).unwrap(), "\"pong\""),
+        (serde_json::to_string(&ResponseKind::ShuttingDown).unwrap(), "\"shutting-down\""),
+    ];
+    for (rendered, expected) in cases {
+        assert_eq!(rendered, expected);
+    }
+    for (kind, tag) in [
+        (RequestKind::StatCell { key: "k".to_string() }, "stat-cell"),
+        (RequestKind::VerifyCell { key: "k".to_string() }, "verify-cell"),
+        (RequestKind::Eval(sample_eval_spec()), "eval"),
+        (RequestKind::BatchEval { evals: vec![] }, "batch-eval"),
+    ] {
+        let rendered = serde_json::to_string(&kind).unwrap();
+        assert!(rendered.starts_with(&format!("{{\"{tag}\":")), "{rendered}");
+    }
+    assert_eq!(
+        ErrorCode::ALL.map(|code| code.label().to_string()),
+        ["bad-request", "unknown-cell", "unknown-policy", "corrupt-corpus", "internal"]
+    );
+}
+
+#[test]
+fn eval_result_metrics_serialize_exactly_like_replay_report_rows() {
+    // The acceptance contract behind "served evals are byte-identical to
+    // `repro replay` rows": the row embedded in an eval response serializes
+    // through the same `ReplayCellResult` impl the replay report uses.
+    let row = sample_row();
+    let report_row_json = serde_json::to_string(&row).unwrap();
+    let response = ResponseKind::Eval(EvalResult { cached: false, result: row });
+    let response_json = serde_json::to_string(&response).unwrap();
+    assert!(
+        response_json.contains(&report_row_json),
+        "eval response must embed the replay row verbatim:\n{response_json}\n{report_row_json}"
+    );
+}
+
+#[test]
+fn unknown_tags_and_bad_envelopes_are_rejected() {
+    assert!(parse_request(r#"{"id":null,"request":"frobnicate"}"#).is_err());
+    assert!(parse_request(r#"{"id":null,"request":{"frobnicate":{}}}"#).is_err());
+    assert!(
+        parse_request(r#"{"id":null,"request":{"eval":{"key":"k"}}}"#).is_err(),
+        "missing policy"
+    );
+    assert!(parse_response(r#"{"id":null,"v":1,"response":"frobnicate"}"#).is_err());
+    assert!(parse_response(r#"{"id":null,"response":"pong"}"#).is_err(), "missing v");
+    // Error context names the offending field.
+    let err =
+        parse_request(r#"{"id":null,"request":{"eval":{"key":7,"policy":"x"}}}"#).unwrap_err();
+    assert!(err.message.contains("key"), "{err}");
+}

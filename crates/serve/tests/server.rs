@@ -1,0 +1,468 @@
+//! Daemon lifecycle tests: in-process server behavior (typed errors, cache
+//! hits, batch ordering) and the full `repro serve`/`repro query` binary flow,
+//! including the acceptance gate that a served `eval` is **byte-identical** to
+//! the `repro replay` report row for the same `cell × policy`.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+
+use leakage_speculation::PolicyKind;
+use qec_experiments::replay::record_into_corpus;
+use qec_experiments::scenario::{CodeFamily, Scenario};
+use qec_experiments::ReplayReport;
+use qec_serve::{
+    Client, ErrorCode, EvalSpec, RequestKind, ResponseKind, ServeConfig, Server, PROTOCOL_VERSION,
+};
+use qec_trace::Corpus;
+
+// ---------------------------------------------------------------------------------
+// helpers
+// ---------------------------------------------------------------------------------
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qec-serve-test-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Records a tiny two-cell corpus (d=3 and d=5) directly through the library.
+fn record_corpus(dir: &Path) -> Vec<String> {
+    let mut corpus = Corpus::open(dir).unwrap();
+    let mut keys = Vec::new();
+    for distance in [3usize, 5] {
+        let scenario = Scenario {
+            code: CodeFamily::Surface,
+            distance,
+            rounds: 4,
+            p: 1e-3,
+            leakage_ratio: 0.1,
+            policy: PolicyKind::EraserM,
+            shots: 3,
+            seed: 11,
+            decode: false,
+        };
+        let entry =
+            record_into_corpus(&mut corpus, &scenario, PolicyKind::EraserM, "server test").unwrap();
+        keys.push(entry.key);
+    }
+    corpus.save().unwrap();
+    keys
+}
+
+/// Starts an in-process server on an ephemeral port and returns its address
+/// plus the join handle of the accept loop.
+fn start_in_process(dir: &Path, cache_cells: usize) -> (String, std::thread::JoinHandle<()>) {
+    let config =
+        ServeConfig { addr: "127.0.0.1:0".to_string(), cache_cells, ..ServeConfig::default() };
+    let server = Server::bind(dir, &config).unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn shutdown(addr: &str) {
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(client.request(RequestKind::Shutdown).unwrap(), ResponseKind::ShuttingDown);
+}
+
+fn eval_spec(key: &str, policy: &str, closed_loop: bool, decode: bool) -> EvalSpec {
+    EvalSpec {
+        key: key.to_string(),
+        policy: policy.to_string(),
+        mode: closed_loop.then(|| "closed-loop".to_string()),
+        decode: decode.then_some(true),
+    }
+}
+
+// ---------------------------------------------------------------------------------
+// in-process lifecycle
+// ---------------------------------------------------------------------------------
+
+#[test]
+fn malformed_requests_get_typed_errors_and_never_kill_the_connection() {
+    let dir = tmp_dir("malformed");
+    record_corpus(&dir);
+    let (addr, handle) = start_in_process(&dir, 2);
+    let mut client = Client::connect(&addr).unwrap();
+    for garbage in [
+        "this is not json",
+        "{",
+        "[1,2,3]",
+        r#"{"id":null,"request":"frobnicate"}"#,
+        r#"{"id":null,"request":{"eval":{"key":"k"}}}"#,
+        r#"{"no":"envelope"}"#,
+    ] {
+        let line = client.send_raw(garbage).unwrap();
+        let response = qec_serve::parse_response(&line).unwrap();
+        let ResponseKind::Error(error) = response.response else {
+            panic!("{garbage:?} must yield an error response, got {line}");
+        };
+        assert_eq!(error.code, ErrorCode::BadRequest, "{garbage:?} -> {error}");
+    }
+    // The connection survived all of it.
+    assert_eq!(client.request(RequestKind::Ping).unwrap(), ResponseKind::Pong);
+    // Typed domain errors, not bad-request.
+    let ResponseKind::Error(error) = client
+        .request(RequestKind::Eval(eval_spec("no such cell", "ideal", false, false)))
+        .unwrap()
+    else {
+        panic!("unknown cell must error");
+    };
+    assert_eq!(error.code, ErrorCode::UnknownCell);
+    let key = {
+        let corpus = Corpus::open_existing(&dir).unwrap();
+        corpus.entries()[0].key.clone()
+    };
+    let ResponseKind::Error(error) =
+        client.request(RequestKind::Eval(eval_spec(&key, "not-a-policy", false, false))).unwrap()
+    else {
+        panic!("unknown policy must error");
+    };
+    assert_eq!(error.code, ErrorCode::UnknownPolicy);
+    let ResponseKind::Error(error) = client
+        .request(RequestKind::Eval(EvalSpec {
+            key: key.clone(),
+            policy: "ideal".to_string(),
+            mode: Some("sideways".to_string()),
+            decode: None,
+        }))
+        .unwrap()
+    else {
+        panic!("unknown mode must error");
+    };
+    assert_eq!(error.code, ErrorCode::BadRequest);
+    drop(client);
+    shutdown(&addr);
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn repeated_evals_hit_the_cache_and_say_so() {
+    let dir = tmp_dir("cache-hits");
+    let keys = record_corpus(&dir);
+    let (addr, handle) = start_in_process(&dir, 2);
+    let mut client = Client::connect(&addr).unwrap();
+    let eval = |client: &mut Client, key: &str| -> bool {
+        match client
+            .request(RequestKind::Eval(eval_spec(key, "gladiator+m", false, false)))
+            .unwrap()
+        {
+            ResponseKind::Eval(result) => result.cached,
+            other => panic!("expected eval result, got {other:?}"),
+        }
+    };
+    assert!(!eval(&mut client, &keys[0]), "first touch loads from disk");
+    assert!(eval(&mut client, &keys[0]), "second touch must be a cache hit");
+    assert!(!eval(&mut client, &keys[1]));
+    let ResponseKind::Stats(stats) = client.request(RequestKind::Stats).unwrap() else {
+        panic!("stats");
+    };
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_misses, 2);
+    assert_eq!(stats.cached_cells, 2);
+    assert_eq!(stats.evals, 3);
+    assert_eq!(stats.corpus_cells, 2);
+    assert!(stats.requests >= 4);
+    shutdown(&addr);
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batch_eval_returns_results_in_request_order_and_is_all_or_nothing() {
+    let dir = tmp_dir("batch");
+    let keys = record_corpus(&dir);
+    let (addr, handle) = start_in_process(&dir, 2);
+    let mut client = Client::connect(&addr).unwrap();
+    // Deliberately interleaved ordering across cells and policies.
+    let evals: Vec<EvalSpec> = [
+        (&keys[1], "ideal"),
+        (&keys[0], "gladiator+m"),
+        (&keys[1], "eraser+m"),
+        (&keys[0], "ideal"),
+    ]
+    .into_iter()
+    .map(|(key, policy)| eval_spec(key, policy, false, false))
+    .collect();
+    let ResponseKind::Batch(results) =
+        client.request(RequestKind::BatchEval { evals: evals.clone() }).unwrap()
+    else {
+        panic!("batch");
+    };
+    assert_eq!(results.len(), evals.len());
+    for (result, spec) in results.iter().zip(&evals) {
+        assert_eq!(result.result.key, spec.key, "results must follow request order");
+        assert_eq!(result.result.policy, spec.policy);
+    }
+    // Batch answers match single-eval answers for the same pairing.
+    let ResponseKind::Eval(single) = client.request(RequestKind::Eval(evals[1].clone())).unwrap()
+    else {
+        panic!("eval");
+    };
+    assert_eq!(single.result, results[1].result);
+    // One bad pairing fails the whole batch with its index in the message.
+    let mut bad = evals.clone();
+    bad[2].policy = "not-a-policy".to_string();
+    let ResponseKind::Error(error) = client.request(RequestKind::BatchEval { evals: bad }).unwrap()
+    else {
+        panic!("bad batch must error");
+    };
+    assert_eq!(error.code, ErrorCode::UnknownPolicy);
+    assert!(error.message.contains("evals[2]"), "{error}");
+    let ResponseKind::Error(error) =
+        client.request(RequestKind::BatchEval { evals: Vec::new() }).unwrap()
+    else {
+        panic!("empty batch must error");
+    };
+    assert_eq!(error.code, ErrorCode::BadRequest);
+    shutdown(&addr);
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corpus_requests_serve_manifest_stat_and_verify() {
+    let dir = tmp_dir("corpus-reqs");
+    let keys = record_corpus(&dir);
+    let (addr, handle) = start_in_process(&dir, 2);
+    let mut client = Client::connect(&addr).unwrap();
+    let ResponseKind::Cells(cells) = client.request(RequestKind::ListCells).unwrap() else {
+        panic!("cells");
+    };
+    assert_eq!(cells.iter().map(|c| c.key.clone()).collect::<Vec<_>>(), keys);
+    let ResponseKind::CellStat(stat) =
+        client.request(RequestKind::StatCell { key: keys[0].clone() }).unwrap()
+    else {
+        panic!("stat");
+    };
+    assert_eq!(stat.entry.key, keys[0]);
+    assert!(stat.file_bytes > 0);
+    assert_eq!(stat.generator, "server test");
+    let ResponseKind::Verified(verified) =
+        client.request(RequestKind::VerifyCell { key: keys[0].clone() }).unwrap()
+    else {
+        panic!("verify");
+    };
+    assert_eq!(verified.shots, 3);
+    let ResponseKind::Version(version) = client.request(RequestKind::Version).unwrap() else {
+        panic!("version");
+    };
+    assert_eq!(version.protocol, PROTOCOL_VERSION);
+    assert_eq!(version.trace_schema, qec_trace::TRACE_SCHEMA_VERSION);
+    // Corrupt the second cell's shard on disk: verify-cell must catch it
+    // (it re-reads from disk and bypasses the cache).
+    let corpus = Corpus::open_existing(&dir).unwrap();
+    let shard = corpus.trace_path(&corpus.entries()[1].clone());
+    let mut bytes = std::fs::read(&shard).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(&shard, &bytes).unwrap();
+    let ResponseKind::Error(error) =
+        client.request(RequestKind::VerifyCell { key: keys[1].clone() }).unwrap()
+    else {
+        panic!("corrupt shard must fail verification");
+    };
+    assert_eq!(error.code, ErrorCode::CorruptCorpus);
+    shutdown(&addr);
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn binding_an_empty_or_missing_corpus_fails() {
+    let dir = tmp_dir("empty");
+    assert!(Server::bind(&dir, &ServeConfig::default()).is_err(), "missing corpus");
+    let corpus = Corpus::open(&dir).unwrap();
+    corpus.save().unwrap();
+    let err = Server::bind(&dir, &ServeConfig::default()).unwrap_err();
+    assert!(err.contains("empty"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------------
+// full binary flow: repro serve / repro query
+// ---------------------------------------------------------------------------------
+
+fn repro(args: &[&str]) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
+    cmd.args(args);
+    cmd
+}
+
+fn run_ok(args: &[&str]) -> Output {
+    let output = repro(args).output().expect("spawn repro");
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "{args:?} stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    output
+}
+
+/// Starts `repro serve` on an ephemeral port and parses the announced address
+/// from its first stdout line.
+fn spawn_daemon(corpus: &str) -> (Child, String) {
+    let mut child = repro(&["serve", "--corpus", corpus, "--addr", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn repro serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read announce line");
+    let addr = line
+        .strip_prefix("qec-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected announce line: {line}"))
+        .split_whitespace()
+        .next()
+        .expect("address token")
+        .to_string();
+    (child, addr)
+}
+
+#[test]
+fn served_evals_are_byte_identical_to_repro_replay_rows() {
+    let dir = tmp_dir("bin-flow");
+    std::fs::create_dir_all(&dir).unwrap();
+    let corpus = dir.join("corpus");
+    let corpus_str = corpus.to_str().unwrap();
+    run_ok(&[
+        "record",
+        "--grid",
+        "d=3",
+        "p=1e-3",
+        "policy=eraser+m",
+        "--shots",
+        "4",
+        "--rounds-per-distance",
+        "2",
+        "--seed",
+        "7",
+        "--corpus",
+        corpus_str,
+    ]);
+
+    // Reference rows straight from the CLI, in both replay modes.
+    let open_out = dir.join("open.json");
+    run_ok(&[
+        "replay",
+        "--corpus",
+        corpus_str,
+        "--policy",
+        "eraser+m,gladiator+m",
+        "--out",
+        open_out.to_str().unwrap(),
+    ]);
+    let closed_out = dir.join("closed.json");
+    run_ok(&[
+        "replay",
+        "--corpus",
+        corpus_str,
+        "--policy",
+        "eraser+m,gladiator+m",
+        "--closed-loop",
+        "--decode",
+        "--out",
+        closed_out.to_str().unwrap(),
+    ]);
+    let open: ReplayReport =
+        serde_json::from_str(&std::fs::read_to_string(&open_out).unwrap()).unwrap();
+    let closed: ReplayReport =
+        serde_json::from_str(&std::fs::read_to_string(&closed_out).unwrap()).unwrap();
+
+    let (mut child, addr) = spawn_daemon(corpus_str);
+    let query_eval = |policy: &str, closed_loop: bool, decode: bool| -> (bool, String) {
+        let key = &open.results[0].key;
+        let mut args = vec!["query", "--addr", &addr, "eval", "--key", key, "--policy", policy];
+        if closed_loop {
+            args.push("--closed-loop");
+        }
+        if decode {
+            args.push("--decode");
+        }
+        let output = run_ok(&args);
+        let line = String::from_utf8_lossy(&output.stdout).into_owned();
+        let response = qec_serve::parse_response(line.trim()).expect("query stdout parses");
+        match response.response {
+            ResponseKind::Eval(result) => {
+                (result.cached, serde_json::to_string(&result.result).unwrap())
+            }
+            other => panic!("expected eval response, got {other:?}"),
+        }
+    };
+
+    // The acceptance gate: served rows byte-identical to CLI replay rows, for
+    // both modes, both policies (incl. closed-loop decoded LER).
+    for (index, row) in open.results.iter().enumerate() {
+        let (_, served) = query_eval(&row.policy, false, false);
+        let expected = serde_json::to_string(row).unwrap();
+        assert_eq!(served, expected, "open-loop row {index} must match the CLI");
+    }
+    for (index, row) in closed.results.iter().enumerate() {
+        let (cached, served) = query_eval(&row.policy, true, true);
+        assert!(cached, "the cell stayed hot across queries");
+        let expected = serde_json::to_string(row).unwrap();
+        assert_eq!(served, expected, "closed-loop row {index} must match the CLI");
+    }
+
+    // Repeated queries skipped the corpus reload: one miss, the rest hits.
+    let stats_out = run_ok(&["query", "--addr", &addr, "stats"]);
+    let stats_line = String::from_utf8_lossy(&stats_out.stdout).into_owned();
+    let response = qec_serve::parse_response(stats_line.trim()).unwrap();
+    let ResponseKind::Stats(stats) = response.response else { panic!("stats") };
+    assert_eq!(stats.cache_misses, 1);
+    assert!(stats.cache_hits >= 3, "stats: {stats:?}");
+
+    // query exits 1 on a server-side error but prints the typed response.
+    let bad = repro(&["query", "--addr", &addr, "eval", "--key", "nope", "--policy", "ideal"])
+        .output()
+        .unwrap();
+    assert_eq!(bad.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&bad.stdout).contains("unknown-cell"));
+
+    // Clean shutdown: the daemon process exits 0.
+    run_ok(&["query", "--addr", &addr, "shutdown"]);
+    let status = child.wait().expect("daemon exit");
+    assert_eq!(status.code(), Some(0), "daemon must exit cleanly after shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_and_query_reject_bad_usage() {
+    for args in [
+        &["serve"][..],         // missing --corpus
+        &["serve", "--corpus"], // missing value
+        &["serve", "--corpus", "dir", "--cache-cells", "0"],
+        &["serve", "--corpus", "dir", "--frobnicate"],
+        &["query"], // missing --addr
+        &["query", "--addr", "127.0.0.1:1", "frobnicate"],
+        &["query", "--addr", "127.0.0.1:1", "eval"], // missing key/policy
+        &["query", "--addr", "127.0.0.1:1", "eval", "--key", "k"],
+        &["query", "--addr", "127.0.0.1:1", "eval", "--key", "k", "--policy", "bogus"],
+        &["query", "--addr", "127.0.0.1:1", "batch-eval"],
+        &["query", "--addr", "127.0.0.1:1", "ping", "extra"],
+        // Flags the action cannot consume are usage errors, never silently
+        // ignored (strict-CLI contract).
+        &["query", "--addr", "127.0.0.1:1", "ping", "--key", "k"],
+        &["query", "--addr", "127.0.0.1:1", "shutdown", "--decode"],
+        &["query", "--addr", "127.0.0.1:1", "stats", "--policy", "ideal"],
+        &["query", "--addr", "127.0.0.1:1", "stat", "--key", "k", "--closed-loop"],
+    ] {
+        let output = repro(args).output().unwrap();
+        assert_eq!(output.status.code(), Some(2), "{args:?} must exit 2");
+        assert!(
+            String::from_utf8_lossy(&output.stderr).contains("usage: repro"),
+            "{args:?} must print usage"
+        );
+    }
+    // A fine command line against a dead server is a runtime failure (1).
+    let output = repro(&["query", "--addr", "127.0.0.1:1", "ping"]).output().unwrap();
+    assert_eq!(output.status.code(), Some(1));
+    // Serving a missing corpus is a runtime failure too.
+    let output = repro(&["serve", "--corpus", "/nonexistent-corpus-dir"]).output().unwrap();
+    assert_eq!(output.status.code(), Some(1));
+}

@@ -6,7 +6,7 @@
 //! lifetimes of a *recorded* execution. This crate makes that execution a
 //! durable artifact:
 //!
-//! * [`format`] — the compact, schema-versioned `.qtr` layout: magic + header
+//! * [`format`](mod@format) — the compact, schema-versioned `.qtr` layout: magic + header
 //!   with provenance (generator, git describe, code fingerprint, bit-exact
 //!   noise model) followed by per-shot, per-round frames — bit-packed
 //!   syndromes, ground-truth leak flags, the applied LRC schedule and MLR
@@ -47,5 +47,7 @@ pub use format::{
     TRACE_SCHEMA_VERSION,
 };
 pub use replay::{ClosedLoopReplay, DivergenceProfile, ReplayContext, ShotReplay};
-pub use stream::{read_trace_file, write_trace_file, TraceReader, TraceWriter};
+pub use stream::{
+    open_trace_file, read_trace_file, read_trace_header, write_trace_file, TraceReader, TraceWriter,
+};
 pub use wire::{crc32, TraceError};

@@ -176,10 +176,33 @@ pub fn write_trace_file(
 /// # Errors
 /// Fails on any structural violation (see [`TraceReader`]) or I/O failure.
 pub fn read_trace_file(path: &Path) -> Result<(TraceHeader, Vec<ShotTrace>), TraceError> {
-    let file = File::open(path)?;
-    let mut reader = TraceReader::new(BufReader::new(file))?;
+    let mut reader = open_trace_file(path)?;
     let shots = reader.read_all()?;
     Ok((reader.header().clone(), shots))
+}
+
+/// Opens a trace file for **lazy**, shot-at-a-time reading: the magic and
+/// header are validated eagerly, shot blocks are decoded only as
+/// [`TraceReader::next_shot`] is called. This is what lets consumers that hold
+/// many shards (the `qec-serve` daemon, corpus tooling) decide per shard
+/// whether to pay for the shot payload at all.
+///
+/// # Errors
+/// Fails on a bad magic, a corrupt header block, or I/O failure.
+pub fn open_trace_file(path: &Path) -> Result<TraceReader<BufReader<File>>, TraceError> {
+    let file = File::open(path)?;
+    TraceReader::new(BufReader::new(file))
+}
+
+/// Reads **only the header** of a trace file — provenance, noise model and
+/// shot/round counts without touching a single shot block. Corpus `stat`-style
+/// queries use this to cross-check a manifest entry against its shard at
+/// `O(header)` cost instead of `O(shots)`.
+///
+/// # Errors
+/// Fails on a bad magic, a corrupt header block, or I/O failure.
+pub fn read_trace_header(path: &Path) -> Result<TraceHeader, TraceError> {
+    Ok(open_trace_file(path)?.header().clone())
 }
 
 #[cfg(test)]
@@ -258,6 +281,28 @@ mod tests {
         bytes[middle] ^= 0x40;
         std::fs::write(&path, &bytes).unwrap();
         assert!(read_trace_file(&path).is_err(), "corrupted file must not parse");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn header_only_read_never_touches_shot_blocks() {
+        let (header, shots) = sample(2, 4);
+        let dir = std::env::temp_dir().join(format!("qtr-lazy-{}", std::process::id()));
+        let path = dir.join("lazy.qtr");
+        write_trace_file(&path, &header, &shots).unwrap();
+        // Corrupt the *last* byte (inside the end block): a header-only read
+        // must still succeed because it never reads past the header block.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(read_trace_header(&path).unwrap(), header);
+        assert!(read_trace_file(&path).is_err(), "full read must still detect the corruption");
+        // Lazy shot-at-a-time reading decodes the intact shots fine.
+        let mut reader = open_trace_file(&path).unwrap();
+        assert_eq!(reader.next_shot().unwrap().unwrap(), shots[0]);
+        assert_eq!(reader.next_shot().unwrap().unwrap(), shots[1]);
+        assert!(reader.next_shot().is_err(), "the corrupt end block must error");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

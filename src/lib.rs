@@ -11,6 +11,8 @@
 //!   hardware cost, mobility estimation).
 //! * [`policies`] — the runtime speculation policies.
 //! * [`experiments`] — metrics, the Monte-Carlo harness and per-figure/table runners.
+//! * [`serve`] — the long-running speculation-evaluation daemon and its wire
+//!   protocol (see `docs/SERVE_PROTOCOL.md`).
 //!
 //! # Quickstart
 //!
@@ -34,6 +36,7 @@ pub use leaky_sim as sim;
 pub use qec_codes as codes;
 pub use qec_decoder as decoder;
 pub use qec_experiments as experiments;
+pub use qec_serve as serve;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {

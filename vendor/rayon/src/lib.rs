@@ -10,8 +10,11 @@
 
 #![warn(missing_docs)]
 
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Number of worker threads used for parallel execution. Like real rayon, the
 /// `RAYON_NUM_THREADS` environment variable overrides the detected parallelism
@@ -167,6 +170,177 @@ impl<T: Send> IntoParallelIterator for Vec<T> {
     }
 }
 
+// ---------------------------------------------------------------------------------
+// Persistent thread pool
+// ---------------------------------------------------------------------------------
+
+/// A queued unit of work: type-erased so one queue serves every result type.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Queue state shared between submitters and workers.
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// Decrements the batch's outstanding-job counter when dropped, so a panicking
+/// job can never leave [`ThreadPool::execute_ordered`] waiting forever.
+struct CompletionGuard {
+    remaining: Arc<(Mutex<usize>, Condvar)>,
+}
+
+impl Drop for CompletionGuard {
+    fn drop(&mut self) {
+        let (count, cond) = &*self.remaining;
+        let mut count = count.lock().expect("completion counter poisoned");
+        *count -= 1;
+        if *count == 0 {
+            cond.notify_all();
+        }
+    }
+}
+
+/// A **persistent** worker pool: threads are spawned once and reused across
+/// arbitrarily many [`ThreadPool::execute_ordered`] batches, unlike the
+/// scoped-thread `into_par_iter` path which spawns per call. This is the
+/// substrate long-running services (the `qec-serve` daemon) use so request
+/// handling does not pay thread spawn/join on every batch.
+///
+/// Jobs must be `'static` (own their data — typically `Arc` clones); the
+/// borrowing fan-out of `into_par_iter` remains the right tool inside one
+/// computation. Do not submit a batch from inside a pool job: a pool whose
+/// workers all wait on sub-batches deadlocks.
+pub struct ThreadPool {
+    shared: Arc<(Mutex<QueueState>, Condvar)>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool").field("threads", &self.workers.len()).finish()
+    }
+}
+
+impl ThreadPool {
+    /// Spawns a pool of `threads` workers (at least one).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared: Arc<(Mutex<QueueState>, Condvar)> = Arc::new((
+            Mutex::new(QueueState { jobs: VecDeque::new(), shutdown: false }),
+            Condvar::new(),
+        ));
+        let workers = (0..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    let (queue, available) = &*shared;
+                    loop {
+                        let job = {
+                            let mut state = queue.lock().expect("pool queue poisoned");
+                            loop {
+                                if let Some(job) = state.jobs.pop_front() {
+                                    break job;
+                                }
+                                if state.shutdown {
+                                    return;
+                                }
+                                state = available.wait(state).expect("pool queue poisoned");
+                            }
+                        };
+                        // A panicking job must not kill the worker: the panic is
+                        // contained here and re-surfaced to the submitting batch
+                        // by its missing result slot.
+                        let _ = std::panic::catch_unwind(AssertUnwindSafe(job));
+                    }
+                })
+            })
+            .collect();
+        ThreadPool { shared, workers }
+    }
+
+    /// A pool sized like the data-parallel path: [`current_num_threads`]
+    /// workers (so `RAYON_NUM_THREADS` governs it too).
+    #[must_use]
+    pub fn with_default_threads() -> Self {
+        ThreadPool::new(current_num_threads())
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs every job on the pool and returns the results **in submission
+    /// order**, regardless of worker count or completion order — the same
+    /// order-stability contract as `into_par_iter().map(..).collect()`. Blocks
+    /// the calling thread until the whole batch is done.
+    ///
+    /// # Panics
+    /// Panics when a job panicked (after the rest of the batch finished).
+    pub fn execute_ordered<R, F>(&self, jobs: Vec<F>) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let results: Arc<Mutex<Vec<Option<R>>>> =
+            Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+        let remaining = Arc::new((Mutex::new(n), Condvar::new()));
+        {
+            let (queue, available) = &*self.shared;
+            let mut state = queue.lock().expect("pool queue poisoned");
+            assert!(!state.shutdown, "execute_ordered on a shut-down pool");
+            for (index, job) in jobs.into_iter().enumerate() {
+                let results = Arc::clone(&results);
+                let guard = CompletionGuard { remaining: Arc::clone(&remaining) };
+                state.jobs.push_back(Box::new(move || {
+                    // Moved in so the guard drops (and decrements) even when
+                    // `job()` unwinds.
+                    let _guard = guard;
+                    let result = job();
+                    results.lock().expect("pool results poisoned")[index] = Some(result);
+                }));
+            }
+            available.notify_all();
+        }
+        let (count, cond) = &*remaining;
+        let mut count = count.lock().expect("completion counter poisoned");
+        while *count > 0 {
+            count = cond.wait(count).expect("completion counter poisoned");
+        }
+        drop(count);
+        // Drain under the lock rather than `Arc::try_unwrap`: a worker's
+        // completion guard decrements (waking this thread) a moment before the
+        // worker closure's own `Arc` clone is dropped, so the refcount may
+        // transiently still be > 1 here.
+        let mut slots = results.lock().expect("pool results poisoned");
+        slots
+            .drain(..)
+            .map(|slot| slot.expect("a pool job panicked before storing its result"))
+            .collect()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let (queue, available) = &*self.shared;
+            if let Ok(mut state) = queue.lock() {
+                state.shutdown = true;
+            }
+            available.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
 /// The commonly-glob-imported API surface (`rayon::prelude::*`).
 pub mod prelude {
     pub use crate::{IntoParallelIterator, ParIter};
@@ -215,5 +389,81 @@ mod tests {
     fn vec_input_works() {
         let out: Vec<String> = vec![1, 2, 3].into_par_iter().map(|i: i32| format!("{i}")).collect();
         assert_eq!(out, vec!["1", "2", "3"]);
+    }
+
+    #[test]
+    fn pool_preserves_submission_order() {
+        let pool = super::ThreadPool::new(4);
+        let jobs: Vec<_> = (0..100usize)
+            .map(|i| {
+                move || {
+                    // Uneven job cost: later jobs finish first under any
+                    // scheduler, yet results must come back in order.
+                    if i % 7 == 0 {
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                    }
+                    i * 3
+                }
+            })
+            .collect();
+        let out = pool.execute_ordered(jobs);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_threads_are_reused_across_batches() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let pool = super::ThreadPool::new(2);
+        let seen: std::sync::Arc<Mutex<HashSet<std::thread::ThreadId>>> =
+            std::sync::Arc::new(Mutex::new(HashSet::new()));
+        for _ in 0..5 {
+            let jobs: Vec<_> = (0..8)
+                .map(|_| {
+                    let seen = std::sync::Arc::clone(&seen);
+                    move || {
+                        seen.lock().unwrap().insert(std::thread::current().id());
+                    }
+                })
+                .collect();
+            pool.execute_ordered(jobs);
+        }
+        // 5 batches of 8 jobs ran on at most 2 distinct threads: the workers
+        // persisted across batches instead of being respawned.
+        assert!(seen.lock().unwrap().len() <= 2);
+    }
+
+    #[test]
+    fn rapid_tiny_batches_never_race_result_collection() {
+        // Regression guard: the batch submitter used to `Arc::try_unwrap` the
+        // result slots after the last completion signal, racing the worker
+        // closure's own Arc clone being dropped. Tiny jobs maximize the
+        // window between the guard's decrement and the closure's drop.
+        let pool = super::ThreadPool::new(4);
+        for round in 0..500usize {
+            let jobs: Vec<_> = (0..4usize).map(|i| move || round * 10 + i).collect();
+            let out = pool.execute_ordered(jobs);
+            assert_eq!(out, (0..4).map(|i| round * 10 + i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_batch_returns_immediately() {
+        let pool = super::ThreadPool::new(1);
+        let out: Vec<u32> = pool.execute_ordered(Vec::<fn() -> u32>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn panicking_job_does_not_hang_or_kill_the_pool() {
+        let pool = super::ThreadPool::new(2);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            vec![Box::new(|| 1), Box::new(|| panic!("job boom")), Box::new(|| 3)];
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.execute_ordered(jobs)));
+        assert!(result.is_err(), "batch with a panicked job must propagate the panic");
+        // The pool survives and serves the next batch.
+        let out = pool.execute_ordered(vec![|| 7usize, || 8]);
+        assert_eq!(out, vec![7, 8]);
     }
 }
