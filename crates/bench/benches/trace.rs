@@ -4,6 +4,11 @@
 //! (each additional policy evaluated against a corpus costs `replay`, not
 //! `resim`).
 //!
+//! The closed-loop lines cover both replay paths: per-policy divergence
+//! repair (`closed_loop_cross`) and shared-checkpoint cross-policy
+//! evaluation (`closed_loop_cross_shared`, `closed_loop_multi` — one forced
+//! pass per shot serving four candidate suffixes).
+//!
 //! A snapshot of the replay-vs-resim numbers (produced by `repro snapshot`)
 //! lives in `crates/bench/BENCH_trace_baseline.json` and gates CI.
 
@@ -14,8 +19,9 @@ use std::time::Duration;
 use leakage_speculation::{PolicyFactory, PolicyKind};
 use qec_experiments::engine::BatchEngine;
 use qec_experiments::replay::{
-    calibration_for, record_cell, replay_cell, replay_cell_closed_loop, trace_snapshot_scenario,
-    LoadedCell,
+    calibration_for, evaluate_cell_set, record_cell, replay_cell, replay_cell_closed_loop,
+    trace_snapshot_multi_cell, trace_snapshot_scenario, LoadedCell, ReplayMode,
+    MULTI_SNAPSHOT_POLICIES,
 };
 use qec_trace::{TraceReader, TraceWriter};
 
@@ -79,6 +85,41 @@ fn bench_trace(c: &mut Criterion) {
         b.iter(|| {
             replay_cell_closed_loop(&cell, &factory, PolicyKind::EraserM, None)
                 .expect("closed-loop cross")
+        });
+    });
+    // Same cross-policy workload through the shared-checkpoint path. With a
+    // single candidate there is nothing to share, so this measures the
+    // overhead of checkpoint planning relative to the per-policy path above.
+    group.bench_function("closed_loop_cross_shared_16_shots", |b| {
+        b.iter(|| {
+            evaluate_cell_set(
+                &cell,
+                &factory,
+                &[PolicyKind::EraserM],
+                &[None],
+                ReplayMode::ClosedLoop,
+                true,
+            )
+            .expect("closed-loop cross shared")
+        });
+    });
+    // Four candidate policies against one organically-leaking recorded cell:
+    // one forced pass per divergent shot plus per-candidate suffixes, instead
+    // of four full re-simulations. This is the headline cost model of
+    // shared-checkpoint cross-policy replay.
+    let (multi_cell, multi_factory) = trace_snapshot_multi_cell();
+    let no_decoders = vec![None; MULTI_SNAPSHOT_POLICIES.len()];
+    group.bench_function("closed_loop_multi_16_shots", |b| {
+        b.iter(|| {
+            evaluate_cell_set(
+                &multi_cell,
+                &multi_factory,
+                &MULTI_SNAPSHOT_POLICIES,
+                &no_decoders,
+                ReplayMode::ClosedLoop,
+                true,
+            )
+            .expect("closed-loop multi")
         });
     });
     group.finish();

@@ -72,8 +72,9 @@ pub use engine::BatchEngine;
 pub use harness::{run_policy_experiment, ExperimentSpec, PolicyExperimentResult};
 pub use metrics::{AggregateMetrics, RunMetrics};
 pub use replay::{
-    evaluate_cell, evaluation_row, replay_corpus, CellReplay, LoadedCell, ReplayCellResult,
-    ReplayMode, ReplayOptions, ReplayReport,
+    evaluate_cell, evaluate_cell_set, evaluation_row, replay_cell_closed_loop_shared,
+    replay_corpus, replay_corpus_with_stats, CellCheckpointStats, CellReplay, CheckpointStats,
+    LoadedCell, ReplayCellResult, ReplayMode, ReplayOptions, ReplayReport,
 };
 pub use scenario::{CodeFamily, Scenario};
 pub use sweep::{

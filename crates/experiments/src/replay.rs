@@ -405,6 +405,208 @@ pub fn replay_cell_closed_loop(
     })
 }
 
+/// Checkpoint-sharing economics of evaluating one cell's policy set — the
+/// out-of-band cost accounting of closed-loop replay. Deliberately **not**
+/// part of [`ReplayCellResult`]/[`ReplayReport`]: reports must stay
+/// byte-identical whether sharing is on or off (CI `cmp`s them), so these
+/// stats travel to the CLI summary and the serve `stats` counters instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Forced re-executions of a recorded prefix: with sharing, one per shot
+    /// that had at least one divergent candidate; on the legacy per-policy
+    /// path, one per divergent `(shot, policy)` pair.
+    pub forced_passes: u64,
+    /// Total rounds executed by forced passes (with sharing, each shot pays
+    /// only up to its deepest divergence round, once).
+    pub forced_rounds: u64,
+    /// Candidate suffixes resumed live — divergent `(shot, policy)` pairs,
+    /// identical under both paths.
+    pub suffixes: u64,
+    /// Simulator checkpoints held at any shot's high-water mark (= distinct
+    /// divergence rounds of the candidate set); `0` on the legacy path, which
+    /// never stores one.
+    pub peak_checkpoints: u64,
+}
+
+impl CheckpointStats {
+    /// Folds another cell's stats into this one (sums, except the high-water
+    /// mark which takes the max).
+    pub fn absorb(&mut self, other: &CheckpointStats) {
+        self.forced_passes += other.forced_passes;
+        self.forced_rounds += other.forced_rounds;
+        self.suffixes += other.suffixes;
+        self.peak_checkpoints = self.peak_checkpoints.max(other.peak_checkpoints);
+    }
+}
+
+/// [`CheckpointStats`] for one corpus cell, keyed for CLI summaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellCheckpointStats {
+    /// The corpus cell key the stats describe.
+    pub key: String,
+    /// The cell's checkpoint-sharing economics.
+    pub stats: CheckpointStats,
+}
+
+/// Closed-loop-replays a whole candidate **set** against every shot of `cell`
+/// from shared checkpoints ([`ReplayContext::replay_shot_closed_loop_shared`]):
+/// per shot, one forced pass to the deepest divergence round plus one resumed
+/// suffix per divergent candidate, instead of one full forced prefix per
+/// divergent `(shot, policy)` pair. `decoders` is index-aligned with
+/// `policies` (pass `None` to skip decoding that candidate).
+///
+/// Every returned [`CellReplay`] — metrics, divergent-shot count and
+/// divergence profile — is **bit-identical** to what
+/// [`replay_cell_closed_loop`] returns for that candidate alone: the per-shot
+/// results are bit-identical (see the sharing bit-identity argument on the
+/// trace-level entry point) and both paths aggregate in shot order.
+///
+/// # Errors
+/// Returns a message when the cell's code and header disagree, when
+/// `policies` and `decoders` lengths differ, or when the trace fails to
+/// reproduce under this build's simulator (stale corpus).
+pub fn replay_cell_closed_loop_shared(
+    cell: &LoadedCell,
+    factory: &Arc<PolicyFactory>,
+    policies: &[PolicyKind],
+    decoders: &[Option<&UnionFindDecoder>],
+) -> Result<(Vec<CellReplay>, CheckpointStats), String> {
+    if policies.len() != decoders.len() {
+        return Err(format!(
+            "policy set of {} needs one decoder slot per candidate, got {}",
+            policies.len(),
+            decoders.len()
+        ));
+    }
+    /// Per-shot outcome: per-candidate scored results (metrics, divergence
+    /// round, suffix rounds, forced-prefix depth) plus the shot's sharing
+    /// stats (forced rounds, suffixes, peak checkpoints).
+    type ShotOutcome =
+        Result<(Vec<(RunMetrics, Option<usize>, usize, usize)>, usize, usize, usize), String>;
+    let ctx = ReplayContext::new(&cell.code, &cell.header).map_err(|e| e.to_string())?;
+    let per_shot: Vec<ShotOutcome> = (0..cell.shots.len())
+        .into_par_iter()
+        .map_init(
+            || {
+                let instances: Vec<_> = policies.iter().map(|&p| factory.build(p)).collect();
+                (instances, ctx.make_simulator())
+            },
+            |(instances, sim), shot| {
+                let trace = &cell.shots[shot];
+                for instance in instances.iter_mut() {
+                    instance.reset();
+                }
+                let mut refs: Vec<&mut dyn leaky_sim::LeakagePolicy> =
+                    instances.iter_mut().map(|p| p.as_mut() as _).collect();
+                let shared = ctx
+                    .replay_shot_closed_loop_shared(trace, &mut refs, sim)
+                    .map_err(|e| e.to_string())?;
+                // Identical scoring path to the live engine and the per-policy
+                // closed-loop evaluator: same counting loops, same decoder.
+                let scored = shared
+                    .replays
+                    .iter()
+                    .zip(decoders)
+                    .map(|(replay, decoder)| {
+                        let mut metrics =
+                            RunMetrics::score(&replay.run, cell.header.noise.lrc_time_ns);
+                        if let Some(decoder) = decoder {
+                            let events = detection_events(&replay.run, decoder.graph());
+                            let correction = decoder.decode(&events);
+                            metrics.logical_error = Some(logical_failure(
+                                &cell.code,
+                                &replay.run,
+                                &correction,
+                                MemoryBasis::Z,
+                            ));
+                        }
+                        (
+                            metrics,
+                            replay.divergence,
+                            replay.resimulated_rounds,
+                            replay.restored_rounds,
+                        )
+                    })
+                    .collect();
+                Ok((scored, shared.forced_rounds, shared.suffixes, shared.peak_checkpoints))
+            },
+        )
+        .collect();
+
+    let mut stats = CheckpointStats::default();
+    let mut runs: Vec<Vec<RunMetrics>> =
+        policies.iter().map(|_| Vec::with_capacity(cell.shots.len())).collect();
+    let mut profiles: Vec<DivergenceProfile> =
+        policies.iter().map(|_| DivergenceProfile::new(cell.header.rounds)).collect();
+    for outcome in per_shot {
+        let (scored, forced_rounds, suffixes, peak_checkpoints) = outcome?;
+        stats.forced_passes += u64::from(suffixes > 0);
+        stats.forced_rounds += forced_rounds as u64;
+        stats.suffixes += suffixes as u64;
+        stats.peak_checkpoints = stats.peak_checkpoints.max(peak_checkpoints as u64);
+        for (index, (metrics, divergence, resimulated, restored)) in scored.into_iter().enumerate()
+        {
+            profiles[index].add(divergence, resimulated, restored);
+            runs[index].push(metrics);
+        }
+    }
+    let replays = runs
+        .iter()
+        .zip(profiles)
+        .map(|(runs, profile)| CellReplay {
+            metrics: AggregateMetrics::from_runs(runs),
+            divergent_shots: profile.divergent_shots,
+            profile: Some(profile),
+        })
+        .collect();
+    Ok((replays, stats))
+}
+
+/// Replay-evaluates a whole `(cell, policy set)` in `mode` — the set-level
+/// sibling of [`evaluate_cell`], index-aligned with `policies`/`decoders`.
+/// Closed-loop sets with `shared_checkpoints` route through
+/// [`replay_cell_closed_loop_shared`] (1 forced pass + N suffixes per shot);
+/// everything else runs the legacy one-policy-at-a-time passes via
+/// [`evaluate_cell`]. Results are bit-identical either way; only the returned
+/// [`CheckpointStats`] (and the wall-clock) differ.
+///
+/// # Errors
+/// Returns a message on any per-policy evaluation failure or a
+/// `policies`/`decoders` length mismatch.
+pub fn evaluate_cell_set(
+    cell: &LoadedCell,
+    factory: &Arc<PolicyFactory>,
+    policies: &[PolicyKind],
+    decoders: &[Option<&UnionFindDecoder>],
+    mode: ReplayMode,
+    shared_checkpoints: bool,
+) -> Result<(Vec<CellReplay>, CheckpointStats), String> {
+    if mode == ReplayMode::ClosedLoop && shared_checkpoints {
+        return replay_cell_closed_loop_shared(cell, factory, policies, decoders);
+    }
+    if policies.len() != decoders.len() {
+        return Err(format!(
+            "policy set of {} needs one decoder slot per candidate, got {}",
+            policies.len(),
+            decoders.len()
+        ));
+    }
+    let mut replays = Vec::with_capacity(policies.len());
+    let mut stats = CheckpointStats::default();
+    for (&policy, &decoder) in policies.iter().zip(decoders) {
+        let replay = evaluate_cell(cell, factory, policy, decoder, mode)?;
+        if let Some(profile) = &replay.profile {
+            // Legacy accounting: every divergent (shot, policy) pair pays its
+            // own full forced prefix, and nothing is ever checkpointed.
+            stats.forced_passes += profile.divergent_shots as u64;
+            stats.forced_rounds += profile.restored_rounds;
+            stats.suffixes += profile.divergent_shots as u64;
+        }
+        replays.push(replay);
+    }
+    Ok((replays, stats))
+}
+
 /// Replay-evaluates one `(cell, policy)` pairing in `mode` — the single
 /// evaluation entry point shared by `repro replay`, corpus-backed sweeps and
 /// the `qec-serve` daemon, which is what makes a served `eval` answer
@@ -508,7 +710,7 @@ pub struct ReplayReport {
 }
 
 /// Options of [`replay_corpus`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ReplayOptions {
     /// Policies to replay against every cell; empty ⇒ each cell's recording
     /// policy (the bit-for-bit validation mode).
@@ -523,6 +725,23 @@ pub struct ReplayOptions {
     pub verify_live: bool,
     /// Evaluation mode (see [`ReplayMode`]).
     pub mode: ReplayMode,
+    /// Closed-loop only: serve each cell's whole policy set from shared
+    /// checkpoints (1 forced pass + N suffixes per shot) instead of one full
+    /// forced prefix per divergent pairing. On by default; reports are
+    /// byte-identical either way — only cost and [`CheckpointStats`] differ.
+    pub shared_checkpoints: bool,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        ReplayOptions {
+            policies: Vec::new(),
+            decode: false,
+            verify_live: false,
+            mode: ReplayMode::default(),
+            shared_checkpoints: true,
+        }
+    }
 }
 
 /// Replays policies against every cell of the corpus at `dir`, in the mode
@@ -532,6 +751,19 @@ pub struct ReplayOptions {
 /// Returns a message when the corpus is empty, or when the corpus, a trace
 /// file, or a policy label cannot be loaded.
 pub fn replay_corpus(dir: &Path, options: &ReplayOptions) -> Result<ReplayReport, String> {
+    replay_corpus_with_stats(dir, options).map(|(report, _)| report)
+}
+
+/// [`replay_corpus`] plus each cell's out-of-band [`CheckpointStats`] (for
+/// CLI summaries — never part of the report, which must stay byte-identical
+/// with sharing on or off).
+///
+/// # Errors
+/// Same failure modes as [`replay_corpus`].
+pub fn replay_corpus_with_stats(
+    dir: &Path,
+    options: &ReplayOptions,
+) -> Result<(ReplayReport, Vec<CellCheckpointStats>), String> {
     let corpus = Corpus::open_existing(dir).map_err(|e| e.to_string())?;
     if corpus.entries().is_empty() {
         return Err(format!(
@@ -541,6 +773,7 @@ pub fn replay_corpus(dir: &Path, options: &ReplayOptions) -> Result<ReplayReport
     }
     let closed_loop = options.mode == ReplayMode::ClosedLoop;
     let mut results = Vec::new();
+    let mut cell_stats = Vec::new();
     for entry in corpus.entries() {
         let cell = load_entry(&corpus, entry)?;
         let recorded = PolicyKind::from_label(&cell.header.policy).ok_or_else(|| {
@@ -554,10 +787,20 @@ pub fn replay_corpus(dir: &Path, options: &ReplayOptions) -> Result<ReplayReport
         // serves every pairing. Skip the matching-graph build when unused.
         let decoder = (options.decode && (closed_loop || policies.contains(&recorded)))
             .then(|| build_decoder(&cell.code, cell.header.rounds));
-        for policy in policies {
+        let decoders: Vec<Option<&UnionFindDecoder>> =
+            policies.iter().map(|_| decoder.as_deref()).collect();
+        let (replays, stats) = evaluate_cell_set(
+            &cell,
+            &factory,
+            &policies,
+            &decoders,
+            options.mode,
+            options.shared_checkpoints,
+        )
+        .map_err(|e| format!("{}: {e}", entry.key))?;
+        cell_stats.push(CellCheckpointStats { key: entry.key.clone(), stats });
+        for (policy, replay) in policies.into_iter().zip(replays) {
             let exact = policy == recorded;
-            let replay = evaluate_cell(&cell, &factory, policy, decoder.as_deref(), options.mode)
-                .map_err(|e| format!("{}: {e}", entry.key))?;
             let mut row = evaluation_row(&entry.key, &cell, policy, &replay);
             // Closed-loop metrics claim bit-for-bit equality with a live run
             // for every candidate, so live verification covers every pairing;
@@ -570,14 +813,15 @@ pub fn replay_corpus(dir: &Path, options: &ReplayOptions) -> Result<ReplayReport
             results.push(row);
         }
     }
-    Ok(ReplayReport {
+    let report = ReplayReport {
         schema_version: REPLAY_SCHEMA_VERSION,
         generator: format!("repro replay {}", env!("CARGO_PKG_VERSION")),
         git_describe: git_describe(),
         corpus: dir.display().to_string(),
         replay_mode: options.mode.label().to_string(),
         results,
-    })
+    };
+    Ok((report, cell_stats))
 }
 
 /// The pinned cell behind the trace perf snapshot: one mid-size surface-code
@@ -599,6 +843,64 @@ pub fn trace_snapshot_scenario() -> Scenario {
     }
 }
 
+/// The candidate set behind `trace/closed-loop-multi`: the recording policy
+/// (an exact counterfactual), its two speculation-family variants, and the
+/// herald-only baseline — the smallest policy comparison a serve-side
+/// `batch-eval` actually issues.
+pub const MULTI_SNAPSHOT_POLICIES: [PolicyKind; 4] =
+    [PolicyKind::GladiatorM, PolicyKind::Gladiator, PolicyKind::GladiatorDM, PolicyKind::MlrOnly];
+
+/// MLR false-flag rate of the multi-policy snapshot cell (see
+/// [`trace_snapshot_multi_cell`]).
+pub const MULTI_SNAPSHOT_MLR_FALSE_FLAG: f64 = 1e-4;
+
+/// The organic-leakage companion cell behind `trace/closed-loop-multi`: the
+/// pinned snapshot scenario at `p = 3e-4` with `mlr_false_flag = 1e-4` and
+/// **leakage sampling off**, recorded under the same policy. Without the
+/// per-shot seeded leak, leakage and heralds arrive organically and rarely, so
+/// candidate policies agree with the recording for most rounds — the regime
+/// where shared-checkpoint replay's forced-prefix deduplication pays (the
+/// pinned cell seeds a leak at round 0, forcing near-full re-simulation per
+/// divergent candidate no matter how checkpoints are shared). Changing this
+/// cell invalidates `crates/bench/BENCH_trace_baseline.json`.
+#[must_use]
+pub fn trace_snapshot_multi_scenario() -> Scenario {
+    Scenario { p: 3e-4, ..trace_snapshot_scenario() }
+}
+
+/// Records [`trace_snapshot_multi_scenario`]'s cell — leakage sampling **off**
+/// and `mlr_false_flag` lowered to [`MULTI_SNAPSHOT_MLR_FALSE_FLAG`] — and
+/// builds its policy factory. See [`trace_snapshot_multi_scenario`] for why
+/// the multi-policy benchmark uses this cell.
+#[must_use]
+pub fn trace_snapshot_multi_cell() -> (LoadedCell, Arc<PolicyFactory>) {
+    let scenario = trace_snapshot_multi_scenario();
+    let code = scenario.build_code();
+    let mut spec = scenario.to_spec();
+    spec.leakage_sampling = false;
+    spec.noise.mlr_false_flag = MULTI_SNAPSHOT_MLR_FALSE_FLAG;
+    let engine = BatchEngine::new(&code, &spec);
+    let header = TraceHeader {
+        schema_version: TRACE_SCHEMA_VERSION,
+        generator: "repro snapshot".to_string(),
+        git_describe: git_describe(),
+        code_name: code.name().to_string(),
+        code_fingerprint: code_fingerprint(&code),
+        num_data: code.num_data(),
+        num_checks: code.num_checks(),
+        cnot_layers: code.checks().iter().map(qec_codes::Check::weight).max().unwrap_or(0),
+        rounds: spec.rounds,
+        shots: spec.shots,
+        seed: spec.seed,
+        policy: spec.policy.label().to_string(),
+        leakage_sampling: spec.leakage_sampling,
+        noise: spec.noise,
+    };
+    let shots = engine.trace_records();
+    let factory = Arc::new(PolicyFactory::new(&code, &calibration_for(&header)));
+    (LoadedCell { header, shots, code }, factory)
+}
+
 /// Runs the pinned trace benchmarks [`SNAPSHOT_SAMPLES`] times each and
 /// reports per-shot wall-times as [`BenchLine`]s: `trace/record`,
 /// `trace/encode`, `trace/decode`, `trace/replay/<policy>`,
@@ -610,6 +912,15 @@ pub fn trace_snapshot_scenario() -> Scenario {
 /// proposition: each *additional* policy evaluated against a recorded cell
 /// costs `replay` (open-loop) or at most `closed-loop-cross` (exact), not
 /// `resim`.
+///
+/// Two lines price the shared-checkpoint path:
+/// `trace/closed-loop-cross-shared/<id>` re-runs the cross-policy repair
+/// through [`evaluate_cell_set`] with sharing on (a single candidate, so it
+/// guards "sharing never regresses the degenerate case"), and
+/// `trace/closed-loop-multi/<id>` evaluates the [`MULTI_SNAPSHOT_POLICIES`]
+/// set against the organic-leakage cell of [`trace_snapshot_multi_cell`] —
+/// the number that matters for serve-side batch-eval latency, and the one the
+/// perf gate holds below N× resim.
 #[must_use]
 pub fn trace_snapshot() -> Vec<BenchLine> {
     let scenario = trace_snapshot_scenario();
@@ -633,11 +944,23 @@ pub fn trace_snapshot() -> Vec<BenchLine> {
     }
     let cell = LoadedCell { header: header.clone(), shots: traces.clone(), code: code.clone() };
     let factory = Arc::new(PolicyFactory::new(&code, &calibration_for(&header)));
+    let (multi_cell, multi_factory) = trace_snapshot_multi_cell();
+    let multi_scenario = trace_snapshot_multi_scenario();
+    let no_decoders: Vec<Option<&UnionFindDecoder>> = vec![None; MULTI_SNAPSHOT_POLICIES.len()];
     // Warm every path once before timing.
     let _ = engine.run();
     let _ = replay_cell(&cell, &factory, policy, None).expect("replay warmup");
     let _ =
         replay_cell_closed_loop(&cell, &factory, cross_policy, None).expect("closed-loop warmup");
+    let _ = evaluate_cell_set(
+        &multi_cell,
+        &multi_factory,
+        &MULTI_SNAPSHOT_POLICIES,
+        &no_decoders,
+        ReplayMode::ClosedLoop,
+        true,
+    )
+    .expect("multi warmup");
 
     let sample = |mut body: Box<dyn FnMut() + '_>| -> BenchLine {
         let samples: Vec<u64> = (0..SNAPSHOT_SAMPLES)
@@ -711,6 +1034,34 @@ pub fn trace_snapshot() -> Vec<BenchLine> {
             sample(Box::new(|| {
                 let _ = replay_cell_closed_loop(&cell, &factory, cross_policy, None)
                     .expect("closed-loop cross");
+            })),
+        ),
+        named(
+            format!("trace/closed-loop-cross-shared/{}", scenario.id()),
+            sample(Box::new(|| {
+                let _ = evaluate_cell_set(
+                    &cell,
+                    &factory,
+                    &[cross_policy],
+                    &[None],
+                    ReplayMode::ClosedLoop,
+                    true,
+                )
+                .expect("closed-loop cross shared");
+            })),
+        ),
+        named(
+            format!("trace/closed-loop-multi/{}", multi_scenario.id()),
+            sample(Box::new(|| {
+                let _ = evaluate_cell_set(
+                    &multi_cell,
+                    &multi_factory,
+                    &MULTI_SNAPSHOT_POLICIES,
+                    &no_decoders,
+                    ReplayMode::ClosedLoop,
+                    true,
+                )
+                .expect("closed-loop multi");
             })),
         ),
     ]

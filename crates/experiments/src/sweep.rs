@@ -276,6 +276,15 @@ pub fn run_sweep(spec: &SweepSpec, timing: bool) -> Result<SweepReport, String> 
 ///   at replay cost for non-divergent shots. Cells carry per-round
 ///   [`qec_trace::DivergenceProfile`]s.
 ///
+/// Each recorded cell's whole policy group is evaluated as one candidate set
+/// ([`crate::replay::evaluate_cell_set`]); with `shared_checkpoints` (and
+/// closed-loop mode) divergent shots re-execute their forced prefix **once
+/// per shot** and serve every candidate from shared simulator checkpoints
+/// instead of once per `(shot, policy)`. Reports are byte-identical with
+/// sharing on or off; with `timing`, cells in a policy group report an equal
+/// share of the group's wall time (the shared path evaluates the group
+/// jointly, so per-policy time is not separable).
+///
 /// With `timing = false` the report is byte-identical across worker-thread
 /// counts, exactly like [`run_sweep`].
 ///
@@ -288,8 +297,11 @@ pub fn run_sweep_with_corpus(
     record_policy: Option<PolicyKind>,
     timing: bool,
     mode: ReplayMode,
+    shared_checkpoints: bool,
 ) -> Result<SweepReport, String> {
-    use crate::replay::{calibration_for, cell_key, evaluate_cell, load_entry, record_into_corpus};
+    use crate::replay::{
+        calibration_for, cell_key, evaluate_cell_set, load_entry, record_into_corpus,
+    };
 
     let closed_loop = mode == ReplayMode::ClosedLoop;
     let scenarios = spec.expand()?;
@@ -359,26 +371,37 @@ pub fn run_sweep_with_corpus(
             }
         };
         shared = Some((group_key.0, group_key.1, Arc::clone(&factory)));
-        for scenario in &scenarios[start..end] {
-            let cell_start = Instant::now();
-            let exact = scenario.policy.label() == cell.header.policy;
-            // Open-loop decoding is only meaningful for the recording policy;
-            // closed-loop cells are exact counterfactuals, so every policy
-            // decodes when the scenario asks for it.
-            let want_decode = scenario.decode && (closed_loop || exact);
-            let shot_decoder = if want_decode {
-                Some(Arc::clone(
-                    decoders
-                        .entry(scenario.rounds)
-                        .or_insert_with(|| build_decoder(&cell.code, scenario.rounds)),
-                ))
-            } else {
-                None
-            };
-            let shot_decoder = shot_decoder.as_deref();
-            let replay = evaluate_cell(&cell, &factory, scenario.policy, shot_decoder, mode)
-                .map_err(|e| format!("cell {}: {e}", scenario.id()))?;
-            let wall_time_ms = if timing { cell_start.elapsed().as_secs_f64() * 1e3 } else { 0.0 };
+        let group = &scenarios[start..end];
+        let group_start = Instant::now();
+        let shot_decoders: Vec<Option<Arc<qec_decoder::UnionFindDecoder>>> = group
+            .iter()
+            .map(|scenario| {
+                let exact = scenario.policy.label() == cell.header.policy;
+                // Open-loop decoding is only meaningful for the recording
+                // policy; closed-loop cells are exact counterfactuals, so
+                // every policy decodes when the scenario asks for it.
+                let want_decode = scenario.decode && (closed_loop || exact);
+                want_decode.then(|| {
+                    Arc::clone(
+                        decoders
+                            .entry(scenario.rounds)
+                            .or_insert_with(|| build_decoder(&cell.code, scenario.rounds)),
+                    )
+                })
+            })
+            .collect();
+        let decoder_refs: Vec<Option<&qec_decoder::UnionFindDecoder>> =
+            shot_decoders.iter().map(std::option::Option::as_deref).collect();
+        let kinds: Vec<PolicyKind> = group.iter().map(|s| s.policy).collect();
+        let (replays, _stats) =
+            evaluate_cell_set(&cell, &factory, &kinds, &decoder_refs, mode, shared_checkpoints)
+                .map_err(|e| format!("cell {key}: {e}"))?;
+        let wall_time_ms = if timing {
+            group_start.elapsed().as_secs_f64() * 1e3 / group.len() as f64
+        } else {
+            0.0
+        };
+        for (scenario, replay) in group.iter().zip(replays) {
             cells.push(SweepCell {
                 scenario: *scenario,
                 code: cell.code.name().to_string(),

@@ -18,9 +18,11 @@ use leakage_speculation::{PolicyFactory, PolicyKind};
 use proptest::prelude::*;
 use qec_experiments::engine::build_decoder;
 use qec_experiments::replay::{
-    calibration_for, record_cell, record_into_corpus, replay_cell_closed_loop, replay_corpus,
-    spec_from_header, CellReplay, LoadedCell, ReplayMode, ReplayOptions,
+    calibration_for, evaluate_cell_set, record_cell, record_into_corpus, replay_cell_closed_loop,
+    replay_corpus, replay_corpus_with_stats, spec_from_header, CellReplay, LoadedCell, ReplayMode,
+    ReplayOptions,
 };
+use qec_experiments::report::to_json;
 use qec_experiments::sweep::{run_sweep, run_sweep_with_corpus, SweepSpec};
 use qec_experiments::{BatchEngine, CodeFamily, Scenario};
 use qec_trace::Corpus;
@@ -231,7 +233,8 @@ fn closed_loop_corpus_sweep_matches_a_fully_simulated_sweep_for_every_policy() {
         seed: 13,
         decode: true,
     };
-    let report = run_sweep_with_corpus(&spec, &dir, None, false, ReplayMode::ClosedLoop).unwrap();
+    let report =
+        run_sweep_with_corpus(&spec, &dir, None, false, ReplayMode::ClosedLoop, true).unwrap();
     assert_eq!(report.replay_mode.as_deref(), Some("closed-loop"));
     assert_eq!(report.recorded_policy.as_deref(), Some("eraser+m"));
     let live = run_sweep(&spec, false).unwrap();
@@ -251,7 +254,8 @@ fn closed_loop_corpus_sweep_matches_a_fully_simulated_sweep_for_every_policy() {
         assert!(live_cell.divergence_profile.is_none(), "simulated cells carry no profile");
     }
     // Deterministic: a rerun from the populated corpus is identical.
-    let rerun = run_sweep_with_corpus(&spec, &dir, None, false, ReplayMode::ClosedLoop).unwrap();
+    let rerun =
+        run_sweep_with_corpus(&spec, &dir, None, false, ReplayMode::ClosedLoop, true).unwrap();
     assert_eq!(rerun, report);
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -271,6 +275,7 @@ fn closed_loop_replay_corpus_live_verifies_every_policy() {
         decode: true,
         verify_live: true,
         mode: ReplayMode::ClosedLoop,
+        shared_checkpoints: true,
     };
     let report = replay_corpus(&dir, &options).unwrap();
     assert_eq!(report.replay_mode, "closed-loop");
@@ -301,6 +306,121 @@ fn replaying_an_empty_corpus_is_an_error() {
     corpus.save().unwrap();
     let err = replay_corpus(&dir, &ReplayOptions::default()).unwrap_err();
     assert!(err.contains("empty"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The shared-checkpoint oracle: evaluating ALL 11 policy kinds as one
+/// candidate set (1 forced pass + N suffixes per divergent shot) must be
+/// bit-identical, DLP series and decoded LER included, to (a) the per-policy
+/// closed-loop path it replaces and (b) a from-scratch live simulation of
+/// each candidate.
+#[test]
+fn shared_checkpoint_evaluation_matches_per_policy_and_live_for_all_11_policies() {
+    let scenario = cell_scenario(3, 10, 1e-3, 0.1, 29, PolicyKind::GladiatorM);
+    let cell = record_loaded(&scenario);
+    let factory = Arc::new(PolicyFactory::new(&cell.code, &calibration_for(&cell.header)));
+    let decoder = build_decoder(&cell.code, cell.header.rounds);
+    let decoders = vec![Some(&*decoder); PolicyKind::ALL.len()];
+    let (shared, stats) = evaluate_cell_set(
+        &cell,
+        &factory,
+        &PolicyKind::ALL,
+        &decoders,
+        ReplayMode::ClosedLoop,
+        true,
+    )
+    .unwrap();
+    assert_eq!(shared.len(), PolicyKind::ALL.len());
+    for (candidate, replay) in PolicyKind::ALL.into_iter().zip(&shared) {
+        let per_policy =
+            replay_cell_closed_loop(&cell, &factory, candidate, Some(&decoder)).unwrap();
+        assert_eq!(replay, &per_policy, "{candidate:?}: shared must equal per-policy replay");
+        let live = assert_exact_counterfactual(&cell, candidate, true);
+        assert_eq!(replay.metrics, live.metrics, "{candidate:?}: shared must equal live");
+        assert!(replay.metrics.logical_error_rate.is_some(), "{candidate:?} must decode");
+    }
+    // The candidate set includes the recording policy plus divergent
+    // candidates, so the shared pass actually ran and served suffixes.
+    assert!(stats.forced_passes > 0, "divergent candidates force prefix passes");
+    assert!(stats.suffixes >= stats.forced_passes, "every forced pass serves >= 1 suffix");
+    assert!(stats.peak_checkpoints >= 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Randomized candidate sets over randomized cells: the replay rows must
+    /// be identical with checkpoint sharing on and off — sharing is a cost
+    /// optimization, never an observable one. Serialized JSON is compared so
+    /// the guarantee is byte-level, matching the CI `cmp` gate.
+    #[test]
+    fn randomized_candidate_sets_report_identically_with_and_without_sharing(
+        rounds in 2usize..10,
+        p in 1e-4f64..5e-3,
+        leakage_ratio in 0.0f64..0.6,
+        seed in any::<u32>(),
+        recorded_index in 0usize..11,
+        candidate_mask in 1u16..(1 << 11),
+    ) {
+        let recorded = PolicyKind::ALL[recorded_index];
+        let candidates: Vec<PolicyKind> = PolicyKind::ALL
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| candidate_mask & (1 << i) != 0)
+            .map(|(_, kind)| kind)
+            .collect();
+        let scenario =
+            cell_scenario(3, rounds, p, leakage_ratio, u64::from(seed), recorded);
+        let cell = record_loaded(&scenario);
+        let factory = Arc::new(PolicyFactory::new(&cell.code, &calibration_for(&cell.header)));
+        let decoders = vec![None; candidates.len()];
+        let (with_sharing, _) = evaluate_cell_set(
+            &cell, &factory, &candidates, &decoders, ReplayMode::ClosedLoop, true,
+        ).unwrap();
+        let (without_sharing, _) = evaluate_cell_set(
+            &cell, &factory, &candidates, &decoders, ReplayMode::ClosedLoop, false,
+        ).unwrap();
+        prop_assert_eq!(to_json(&with_sharing.iter().map(|r| &r.metrics).collect::<Vec<_>>()),
+            to_json(&without_sharing.iter().map(|r| &r.metrics).collect::<Vec<_>>()));
+        prop_assert_eq!(with_sharing, without_sharing);
+    }
+}
+
+/// Whole-report determinism, CLI-shaped: `replay_corpus` over a corpus must
+/// serialize to the exact same JSON document with sharing on and off (the CI
+/// smoke job `cmp`s these files), while the out-of-band checkpoint stats
+/// record that the shared run actually consolidated its forced passes.
+#[test]
+fn corpus_replay_reports_are_byte_identical_with_and_without_sharing() {
+    let dir = std::env::temp_dir().join(format!("qtr-shared-corpus-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let scenario = cell_scenario(3, 8, 2e-3, 0.2, 71, PolicyKind::GladiatorM);
+    let mut corpus = Corpus::open(&dir).unwrap();
+    record_into_corpus(&mut corpus, &scenario, PolicyKind::GladiatorM, "closed-loop test").unwrap();
+    corpus.save().unwrap();
+    let mut options = ReplayOptions {
+        policies: vec![
+            PolicyKind::GladiatorM,
+            PolicyKind::AlwaysLrc,
+            PolicyKind::EraserM,
+            PolicyKind::MlrOnly,
+        ],
+        decode: true,
+        verify_live: false,
+        mode: ReplayMode::ClosedLoop,
+        shared_checkpoints: true,
+    };
+    let (shared_report, shared_stats) = replay_corpus_with_stats(&dir, &options).unwrap();
+    options.shared_checkpoints = false;
+    let (unshared_report, unshared_stats) = replay_corpus_with_stats(&dir, &options).unwrap();
+    assert_eq!(to_json(&shared_report), to_json(&unshared_report));
+    // AlwaysLrc diverges on every shot, so both runs paid forced work — but
+    // the shared run paid one forced pass per divergent shot for the whole
+    // candidate set, never more than the per-policy run's total.
+    let shared_total: u64 = shared_stats.iter().map(|cell| cell.stats.forced_passes).sum();
+    let unshared_total: u64 = unshared_stats.iter().map(|cell| cell.stats.forced_passes).sum();
+    assert!(shared_total > 0);
+    assert!(shared_total <= unshared_total, "{shared_total} vs {unshared_total}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -116,6 +116,7 @@ fn replay_corpus_verifies_live_and_scores_cross_policy_speculation() {
         decode: true,
         verify_live: true,
         mode: ReplayMode::OpenLoop,
+        shared_checkpoints: true,
     };
     let report = replay_corpus(&dir, &options).unwrap();
     assert_eq!(report.results.len(), 3);
@@ -159,7 +160,8 @@ fn corpus_sweep_spec() -> SweepSpec {
 fn corpus_sweep_records_each_cell_once_and_pins_the_recording_policy_cells() {
     let dir = tmp_dir("sweep");
     let spec = corpus_sweep_spec();
-    let report = run_sweep_with_corpus(&spec, &dir, None, false, ReplayMode::OpenLoop).unwrap();
+    let report =
+        run_sweep_with_corpus(&spec, &dir, None, false, ReplayMode::OpenLoop, true).unwrap();
     assert_eq!(report.recorded_policy.as_deref(), Some("eraser+m"));
     assert_eq!(report.cells.len(), 6, "2 error rates x 3 policies");
 
@@ -178,7 +180,8 @@ fn corpus_sweep_records_each_cell_once_and_pins_the_recording_policy_cells() {
 
     // Re-running against the populated corpus replays from disk and reproduces
     // the report byte-for-byte (timing disabled).
-    let rerun = run_sweep_with_corpus(&spec, &dir, None, false, ReplayMode::OpenLoop).unwrap();
+    let rerun =
+        run_sweep_with_corpus(&spec, &dir, None, false, ReplayMode::OpenLoop, true).unwrap();
     assert_eq!(rerun, report);
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -188,9 +191,15 @@ fn corpus_sweep_records_each_cell_once_and_pins_the_recording_policy_cells() {
 fn corpus_sweep_honors_an_explicit_recording_policy() {
     let dir = tmp_dir("recpol");
     let spec = corpus_sweep_spec();
-    let report =
-        run_sweep_with_corpus(&spec, &dir, Some(PolicyKind::Ideal), false, ReplayMode::OpenLoop)
-            .unwrap();
+    let report = run_sweep_with_corpus(
+        &spec,
+        &dir,
+        Some(PolicyKind::Ideal),
+        false,
+        ReplayMode::OpenLoop,
+        true,
+    )
+    .unwrap();
     assert_eq!(report.recorded_policy.as_deref(), Some("ideal"));
     let corpus = Corpus::open(&dir).unwrap();
     assert!(corpus.entries().iter().all(|e| e.policy == "ideal"));
@@ -203,7 +212,7 @@ fn corpus_sweep_honors_an_explicit_recording_policy() {
 fn corpus_sweep_rejects_stale_cells_with_different_shot_counts() {
     let dir = tmp_dir("stale");
     let spec = corpus_sweep_spec();
-    let _ = run_sweep_with_corpus(&spec, &dir, None, false, ReplayMode::OpenLoop).unwrap();
+    let _ = run_sweep_with_corpus(&spec, &dir, None, false, ReplayMode::OpenLoop, true).unwrap();
     // Same key components except shots: the key changes, so this records new
     // cells — but a manually altered manifest key must be caught.
     let mut corpus = Corpus::open(&dir).unwrap();
@@ -213,7 +222,8 @@ fn corpus_sweep_rejects_stale_cells_with_different_shot_counts() {
     corpus.insert(entry);
     corpus.save().unwrap();
     let bigger = SweepSpec { shots: 5, ..spec };
-    let err = run_sweep_with_corpus(&bigger, &dir, None, false, ReplayMode::OpenLoop).unwrap_err();
+    let err =
+        run_sweep_with_corpus(&bigger, &dir, None, false, ReplayMode::OpenLoop, true).unwrap_err();
     assert!(err.contains("recorded with"), "{err}");
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -256,16 +266,29 @@ fn corpus_sweep_rejects_cells_recorded_under_a_different_policy() {
     let spec = corpus_sweep_spec();
     // Populate the corpus under `ideal`, then sweep with the default
     // recording policy (the grid's first: eraser+m).
-    let _ =
-        run_sweep_with_corpus(&spec, &dir, Some(PolicyKind::Ideal), false, ReplayMode::OpenLoop)
-            .unwrap();
-    let err = run_sweep_with_corpus(&spec, &dir, None, false, ReplayMode::OpenLoop).unwrap_err();
+    let _ = run_sweep_with_corpus(
+        &spec,
+        &dir,
+        Some(PolicyKind::Ideal),
+        false,
+        ReplayMode::OpenLoop,
+        true,
+    )
+    .unwrap();
+    let err =
+        run_sweep_with_corpus(&spec, &dir, None, false, ReplayMode::OpenLoop, true).unwrap_err();
     assert!(err.contains("recorded with policy `ideal`"), "{err}");
     assert!(err.contains("--record-policy"), "{err}");
     // Passing the matching recording policy replays the cached cells fine.
-    let ok =
-        run_sweep_with_corpus(&spec, &dir, Some(PolicyKind::Ideal), false, ReplayMode::OpenLoop)
-            .unwrap();
+    let ok = run_sweep_with_corpus(
+        &spec,
+        &dir,
+        Some(PolicyKind::Ideal),
+        false,
+        ReplayMode::OpenLoop,
+        true,
+    )
+    .unwrap();
     assert_eq!(ok.recorded_policy.as_deref(), Some("ideal"));
     let _ = std::fs::remove_dir_all(&dir);
 }

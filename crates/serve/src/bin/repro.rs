@@ -30,8 +30,8 @@ use std::process::ExitCode;
 
 use leakage_speculation::PolicyKind;
 use qec_experiments::replay::{
-    cell_key, load_entry, record_into_corpus, replay_corpus, trace_snapshot, ReplayMode,
-    ReplayOptions, ReplayReport, REPLAY_SCHEMA_VERSION,
+    cell_key, load_entry, record_into_corpus, replay_corpus_with_stats, trace_snapshot,
+    CellCheckpointStats, ReplayMode, ReplayOptions, ReplayReport, REPLAY_SCHEMA_VERSION,
 };
 use qec_experiments::report::{
     bench_lines_to_string, compare_bench_lines, fmt_float, parse_bench_lines, text_table, to_json,
@@ -63,24 +63,33 @@ commands:
             repro sweep [--spec FILE.json | --grid KEY=V[,V...] ...]
             [--scale smoke|quick|paper] [--shots N] [--rounds-per-distance N]
             [--seed N] [--no-decode] [--no-timing] [--out FILE]
-            [--corpus DIR [--record-policy LABEL] [--closed-loop]]
+            [--corpus DIR [--record-policy LABEL] [--closed-loop
+            [--no-shared-checkpoints]]]
             grid keys: d=3,5,7  p=1e-3,2e-3  lr=0.1  policy=eraser+m,...
             code=surface|color|hgp|bpc
             with --corpus, each policy-free cell is simulated once (recorded
             into DIR as a .qtr trace) and every grid policy is replayed;
             --closed-loop re-simulates each shot from its first schedule
-            divergence, making every cell an exact counterfactual
+            divergence, making every cell an exact counterfactual; each cell's
+            policy group shares one forced prefix pass per divergent shot
+            unless --no-shared-checkpoints (reports are byte-identical
+            either way)
   record    record the grid's policy-free cells into a trace corpus:
             repro record [--spec FILE.json | --grid ...] [--scale ...]
             [--shots N] [--rounds-per-distance N] [--seed N]
             [--record-policy LABEL] --corpus DIR
   replay    replay policies against a recorded corpus without re-simulating:
             repro replay --corpus DIR [--policy L1,L2,...] [--decode]
-            [--closed-loop] [--verify-live] [--out FILE]
+            [--closed-loop [--no-shared-checkpoints]] [--verify-live]
+            [--out FILE]
             --closed-loop repairs divergences by re-simulating from the first
             divergent round (exact counterfactual metrics + divergence
-            profiles); with --verify-live every policy is checked bit-for-bit
-            against a fresh live simulation (exit 1 on any mismatch)
+            profiles); the policy set shares one forced prefix pass per
+            divergent shot unless --no-shared-checkpoints (reports are
+            byte-identical either way; the summary's resim column shows the
+            cell's forced passes `Nf` and served suffixes `Ns`); with
+            --verify-live every policy is checked bit-for-bit against a fresh
+            live simulation (exit 1 on any mismatch)
   corpus    inspect a corpus manifest: repro corpus DIR [--verify]
             (--verify re-reads every trace, checking CRCs and code identity)
   serve     run the speculation-evaluation daemon over a recorded corpus:
@@ -336,6 +345,7 @@ fn cmd_sweep(args: &[String]) -> Result<ExitCode, UsageError> {
     let mut corpus_dir: Option<PathBuf> = None;
     let mut record_policy: Option<PolicyKind> = None;
     let mut mode = ReplayMode::OpenLoop;
+    let mut shared_checkpoints = true;
     let mut iter = Args::new(args);
     while let Some(arg) = iter.next() {
         if flags.try_consume(arg, &mut iter)? {
@@ -349,6 +359,7 @@ fn cmd_sweep(args: &[String]) -> Result<ExitCode, UsageError> {
                 record_policy = Some(parse_policy_label(iter.value("--record-policy")?)?);
             }
             "--closed-loop" => mode = ReplayMode::ClosedLoop,
+            "--no-shared-checkpoints" => shared_checkpoints = false,
             other => {
                 return Err(UsageError::new(format!("unknown argument `{other}` for `sweep`")));
             }
@@ -360,10 +371,15 @@ fn cmd_sweep(args: &[String]) -> Result<ExitCode, UsageError> {
     if mode == ReplayMode::ClosedLoop && corpus_dir.is_none() {
         return Err(UsageError::new("--closed-loop requires --corpus"));
     }
+    if !shared_checkpoints && mode != ReplayMode::ClosedLoop {
+        return Err(UsageError::new("--no-shared-checkpoints requires --closed-loop"));
+    }
     let spec = flags.build()?;
     let report = match &corpus_dir {
-        Some(dir) => run_sweep_with_corpus(&spec, dir, record_policy, timing, mode)
-            .map_err(UsageError::new)?,
+        Some(dir) => {
+            run_sweep_with_corpus(&spec, dir, record_policy, timing, mode, shared_checkpoints)
+                .map_err(UsageError::new)?
+        }
         None => run_sweep(&spec, timing).map_err(UsageError::new)?,
     };
     let json = to_json(&report);
@@ -560,6 +576,7 @@ fn cmd_replay(args: &[String]) -> Result<ExitCode, UsageError> {
             }
             "--decode" => options.decode = true,
             "--closed-loop" => options.mode = ReplayMode::ClosedLoop,
+            "--no-shared-checkpoints" => options.shared_checkpoints = false,
             "--verify-live" => options.verify_live = true,
             "--out" => out = Some(PathBuf::from(iter.value("--out")?)),
             other => {
@@ -568,9 +585,13 @@ fn cmd_replay(args: &[String]) -> Result<ExitCode, UsageError> {
         }
     }
     let corpus_dir = corpus_dir.ok_or_else(|| UsageError::new("replay requires --corpus DIR"))?;
-    let report = replay_corpus(&corpus_dir, &options).map_err(UsageError::new)?;
+    if !options.shared_checkpoints && options.mode != ReplayMode::ClosedLoop {
+        return Err(UsageError::new("--no-shared-checkpoints requires --closed-loop"));
+    }
+    let (report, checkpoint_stats) =
+        replay_corpus_with_stats(&corpus_dir, &options).map_err(UsageError::new)?;
     let json = to_json(&report);
-    let summary = replay_summary(&report);
+    let summary = replay_summary(&report, &checkpoint_stats);
     match &out {
         Some(path) if path.as_os_str() == "-" => {
             // Keep stdout machine-readable, as `sweep --out -` does.
@@ -628,7 +649,7 @@ fn cmd_replay(args: &[String]) -> Result<ExitCode, UsageError> {
     Ok(ExitCode::SUCCESS)
 }
 
-fn replay_summary(report: &ReplayReport) -> String {
+fn replay_summary(report: &ReplayReport, checkpoint_stats: &[CellCheckpointStats]) -> String {
     let rows: Vec<Vec<String>> = report
         .results
         .iter()
@@ -643,9 +664,23 @@ fn replay_summary(report: &ReplayReport) -> String {
                 fmt_float(row.metrics.lrcs_per_round),
                 row.metrics.logical_error_rate.map_or("-".to_string(), fmt_float),
                 // The honest cost measure: divergent shots re-execute their
-                // full round count (forced prefix + live suffix).
+                // full round count (forced prefix + live suffix), annotated
+                // with the cell's amortized bill — forced prefix passes `Nf`
+                // vs candidate suffixes served `Ns` (shared checkpoints make
+                // one forced pass serve the whole policy set).
                 row.divergence_profile.as_ref().map_or("-".to_string(), |profile| {
-                    format!("{:.0}%", profile.simulated_fraction() * 100.0)
+                    let cell = checkpoint_stats.iter().find(|stats| stats.key == row.key);
+                    cell.map_or_else(
+                        || format!("{:.0}%", profile.simulated_fraction() * 100.0),
+                        |cell| {
+                            format!(
+                                "{:.0}% {}f/{}s",
+                                profile.simulated_fraction() * 100.0,
+                                cell.stats.forced_passes,
+                                cell.stats.suffixes,
+                            )
+                        },
+                    )
                 }),
                 row.live_match.map_or("-".to_string(), |ok| {
                     if ok {

@@ -178,6 +178,17 @@ pub struct ServerStats {
     pub cache_capacity: usize,
     /// Cells in the corpus manifest.
     pub corpus_cells: usize,
+    /// Forced prefix passes run by the shared-checkpoint batch path (one per
+    /// divergent shot, shared by every same-cell candidate in the batch).
+    /// Added after protocol v1 froze — additive response fields do not bump
+    /// [`PROTOCOL_VERSION`]; clients ignore unknown fields.
+    pub shared_passes: u64,
+    /// Candidate policy suffixes resumed from shared checkpoints (additive,
+    /// like [`ServerStats::shared_passes`]).
+    pub suffixes_served: u64,
+    /// Most simulator checkpoints held at once by any shared evaluation
+    /// (additive, like [`ServerStats::shared_passes`]).
+    pub peak_checkpoints: u64,
 }
 
 /// Manifest entry plus shard-header provenance for one cell.

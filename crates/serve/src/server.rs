@@ -16,7 +16,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use leakage_speculation::PolicyKind;
-use qec_experiments::replay::{evaluate_cell, evaluation_row, load_entry, REPLAY_SCHEMA_VERSION};
+use qec_decoder::UnionFindDecoder;
+use qec_experiments::replay::{
+    evaluate_cell, evaluate_cell_set, evaluation_row, load_entry, CheckpointStats,
+    REPLAY_SCHEMA_VERSION,
+};
 use qec_experiments::sweep::git_describe;
 use qec_experiments::ReplayMode;
 use qec_trace::{read_trace_header, Corpus, CorpusEntry};
@@ -56,6 +60,14 @@ struct ServerState {
     requests: AtomicU64,
     evals: AtomicU64,
     batch_evals: AtomicU64,
+    /// Shot-level forced prefix re-executions performed by the
+    /// shared-checkpoint batch path (one per divergent shot, however many
+    /// same-cell candidates the batch carried).
+    shared_passes: AtomicU64,
+    /// Candidate suffixes resumed from shared checkpoints.
+    suffixes_served: AtomicU64,
+    /// Most simulator checkpoints held at once by any shared evaluation.
+    peak_checkpoints: AtomicU64,
     shutdown: AtomicBool,
     /// Read-half clones of open connections, so shutdown can unblock handler
     /// threads parked in `read_line` (an idle client must not keep the daemon
@@ -112,6 +124,9 @@ impl Server {
                 requests: AtomicU64::new(0),
                 evals: AtomicU64::new(0),
                 batch_evals: AtomicU64::new(0),
+                shared_passes: AtomicU64::new(0),
+                suffixes_served: AtomicU64::new(0),
+                peak_checkpoints: AtomicU64::new(0),
                 shutdown: AtomicBool::new(false),
                 connections: Mutex::new(Vec::new()),
             },
@@ -241,6 +256,9 @@ fn handle_request(state: &ServerState, request: RequestKind) -> ResponseKind {
                 cached_cells: cache.cached_cells,
                 cache_capacity: cache.capacity,
                 corpus_cells: state.corpus.entries().len(),
+                shared_passes: state.shared_passes.load(Ordering::Relaxed),
+                suffixes_served: state.suffixes_served.load(Ordering::Relaxed),
+                peak_checkpoints: state.peak_checkpoints.load(Ordering::Relaxed),
             })
         }
         RequestKind::ListCells => ResponseKind::Cells(state.corpus.entries().to_vec()),
@@ -377,12 +395,63 @@ fn compute_eval(prepared: PreparedEval) -> Result<EvalResult, WireError> {
     Ok(EvalResult { cached: prepared.hit, result })
 }
 
+/// Runs a same-cell closed-loop candidate set through the shared-checkpoint
+/// path. One forced prefix pass per divergent shot serves every candidate;
+/// results are bit-identical to [`compute_eval`] per member (the exact-
+/// counterfactual contract), so batching never changes a served row. A
+/// cell-level failure is reported against every member (the batch is
+/// all-or-nothing anyway, and the failure — e.g. a stale corpus — belongs to
+/// the cell, not one candidate).
+fn compute_eval_group(
+    members: &[PreparedEval],
+) -> (Vec<Result<EvalResult, WireError>>, CheckpointStats) {
+    let first = &members[0];
+    let cell = &first.cached.cell;
+    let kinds: Vec<PolicyKind> = members.iter().map(|p| p.policy).collect();
+    // Closed-loop rows are exact counterfactuals, so every member decodes
+    // when its spec asks for it (mirrors `compute_eval`'s gating).
+    let decoders: Vec<Option<Arc<UnionFindDecoder>>> =
+        members.iter().map(|p| p.decode.then(|| p.cached.decoder())).collect();
+    let decoder_refs: Vec<Option<&UnionFindDecoder>> =
+        decoders.iter().map(std::option::Option::as_deref).collect();
+    match evaluate_cell_set(
+        cell,
+        &first.cached.factory,
+        &kinds,
+        &decoder_refs,
+        ReplayMode::ClosedLoop,
+        true,
+    ) {
+        Ok((replays, stats)) => {
+            let results = members
+                .iter()
+                .zip(replays)
+                .map(|(p, replay)| {
+                    Ok(EvalResult {
+                        cached: p.hit,
+                        result: evaluation_row(&p.key, cell, p.policy, &replay),
+                    })
+                })
+                .collect();
+            (results, stats)
+        }
+        Err(e) => {
+            let error = WireError::new(ErrorCode::CorruptCorpus, format!("{}: {e}", first.key));
+            (members.iter().map(|_| Err(error.clone())).collect(), CheckpointStats::default())
+        }
+    }
+}
+
 /// `batch-eval`: resolve every pairing sequentially (deterministic cache
-/// traffic), then fan the computations out on the persistent pool. The batch
-/// answer is all-or-nothing: an unresolvable pairing fails the whole request
-/// before anything is evaluated, and a compute-stage failure (e.g. a stale
-/// corpus under closed-loop repair) discards the sibling results; either way
-/// the error message names the offending index.
+/// traffic), group closed-loop pairings that target the same cell into one
+/// candidate set (served through the shared-checkpoint path — one forced
+/// prefix pass per divergent shot instead of one per candidate), then fan the
+/// solo evaluations and the groups out on the persistent pool. Results come
+/// back in request order and are byte-identical to ungrouped evaluation. The
+/// batch answer is all-or-nothing: an unresolvable pairing fails the whole
+/// request before anything is evaluated, and a compute-stage failure (e.g. a
+/// stale corpus under closed-loop repair) discards the sibling results;
+/// either way the error message names the offending index.
 fn batch_eval(state: &ServerState, evals: &[EvalSpec]) -> Result<Vec<EvalResult>, WireError> {
     if evals.is_empty() {
         return Err(WireError::new(ErrorCode::BadRequest, "batch-eval with no evals"));
@@ -398,12 +467,60 @@ fn batch_eval(state: &ServerState, evals: &[EvalSpec]) -> Result<Vec<EvalResult>
         .enumerate()
         .map(|(index, spec)| prepare_eval(state, spec).map_err(indexed(index)))
         .collect::<Result<_, _>>()?;
-    let jobs: Vec<_> = prepared
+    // Partition into same-cell closed-loop candidate sets and solo members.
+    // Only closed-loop pairings are groupable (`Some(key)`); open-loop
+    // pairings stay solo (`None`) even when they target the same cell.
+    // Singleton "sets" also evaluate as solos: the shared path would serve
+    // the same bytes, but sharing one candidate dedups nothing.
+    type EvalGroup = (Option<String>, Vec<(usize, PreparedEval)>);
+    let mut groups: Vec<EvalGroup> = Vec::new();
+    for (index, p) in prepared.into_iter().enumerate() {
+        let group_key = (p.mode == ReplayMode::ClosedLoop).then(|| p.key.clone());
+        match group_key
+            .as_ref()
+            .and_then(|key| groups.iter_mut().find(|(k, _)| k.as_ref() == Some(key)))
+        {
+            Some((_, members)) => members.push((index, p)),
+            None => groups.push((group_key, vec![(index, p)])),
+        }
+    }
+    type JobOut = (Vec<(usize, Result<EvalResult, WireError>)>, CheckpointStats);
+    let jobs: Vec<Box<dyn FnOnce() -> JobOut + Send>> = groups
         .into_iter()
-        .enumerate()
-        .map(|(index, p)| move || compute_eval(p).map_err(indexed(index)))
+        .map(|(_, members)| -> Box<dyn FnOnce() -> JobOut + Send> {
+            if members.len() == 1 {
+                Box::new(move || {
+                    let (index, p) = members.into_iter().next().expect("singleton group");
+                    let outcome = compute_eval(p).map_err(indexed(index));
+                    (vec![(index, outcome)], CheckpointStats::default())
+                })
+            } else {
+                Box::new(move || {
+                    let (indices, members): (Vec<usize>, Vec<PreparedEval>) =
+                        members.into_iter().unzip();
+                    let (outcomes, stats) = compute_eval_group(&members);
+                    let indexed_outcomes = indices
+                        .into_iter()
+                        .zip(outcomes)
+                        .map(|(index, outcome)| (index, outcome.map_err(indexed(index))))
+                        .collect();
+                    (indexed_outcomes, stats)
+                })
+            }
+        })
         .collect();
-    let outcomes = state.pool.execute_ordered(jobs);
+    let mut outcomes: Vec<Option<Result<EvalResult, WireError>>> =
+        (0..evals.len()).map(|_| None).collect();
+    for (group_outcomes, stats) in state.pool.execute_ordered(jobs) {
+        state.shared_passes.fetch_add(stats.forced_passes, Ordering::Relaxed);
+        state.suffixes_served.fetch_add(stats.suffixes, Ordering::Relaxed);
+        state.peak_checkpoints.fetch_max(stats.peak_checkpoints, Ordering::Relaxed);
+        for (index, outcome) in group_outcomes {
+            outcomes[index] = Some(outcome);
+        }
+    }
+    let outcomes: Vec<Result<EvalResult, WireError>> =
+        outcomes.into_iter().map(|outcome| outcome.expect("every index answered")).collect();
     // `evals` counts successfully computed pairings (matching the single-eval
     // path, which only counts successes); `batch_evals` counts batches that
     // were answered with a `batch` response.

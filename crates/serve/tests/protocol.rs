@@ -134,6 +134,9 @@ fn every_response_kind_round_trips() {
         cached_cells: 1,
         cache_capacity: 8,
         corpus_cells: 3,
+        shared_passes: 5,
+        suffixes_served: 17,
+        peak_checkpoints: 2,
     }));
     roundtrip_response(ResponseKind::Cells(vec![sample_entry()]));
     roundtrip_response(ResponseKind::CellStat(CellStat {
@@ -151,6 +154,31 @@ fn every_response_kind_round_trips() {
     roundtrip_response(ResponseKind::ShuttingDown);
     for code in ErrorCode::ALL {
         roundtrip_response(ResponseKind::Error(WireError::new(code, "something happened")));
+    }
+}
+
+#[test]
+fn checkpoint_counters_keep_their_frozen_wire_names() {
+    // The checkpoint counters were added after protocol v1 froze. Additive
+    // response fields do not bump the version — old clients ignore them —
+    // but once shipped their wire names are frozen like any other field.
+    let rendered = serde_json::to_string(&ServerStats {
+        requests: 10,
+        evals: 6,
+        batch_evals: 1,
+        cache_hits: 4,
+        cache_misses: 2,
+        cache_evictions: 1,
+        cached_cells: 1,
+        cache_capacity: 8,
+        corpus_cells: 3,
+        shared_passes: 5,
+        suffixes_served: 17,
+        peak_checkpoints: 2,
+    })
+    .unwrap();
+    for field in ["\"shared_passes\":5", "\"suffixes_served\":17", "\"peak_checkpoints\":2"] {
+        assert!(rendered.contains(field), "{rendered}");
     }
 }
 

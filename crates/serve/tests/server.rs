@@ -222,6 +222,59 @@ fn batch_eval_returns_results_in_request_order_and_is_all_or_nothing() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Same-cell closed-loop batch members are evaluated as ONE shared-checkpoint
+/// candidate set. That grouping must be invisible in the results — each row
+/// equals the solo eval of the same pairing — while the additive `stats`
+/// counters record that the shared path ran.
+#[test]
+fn grouped_closed_loop_batches_match_solo_evals_and_advance_counters() {
+    let dir = tmp_dir("batch-shared");
+    let keys = record_corpus(&dir);
+    let (addr, handle) = start_in_process(&dir, 2);
+    let mut client = Client::connect(&addr).unwrap();
+    let ResponseKind::Stats(before) = client.request(RequestKind::Stats).unwrap() else {
+        panic!("stats");
+    };
+    assert_eq!(before.shared_passes, 0, "no shared work before the batch");
+    assert_eq!(before.suffixes_served, 0);
+    // Three closed-loop members on one cell (grouped), one open-loop member
+    // on the other (stays solo), interleaved to exercise order restoration.
+    let evals: Vec<EvalSpec> = vec![
+        eval_spec(&keys[0], "gladiator+m", true, true),
+        eval_spec(&keys[1], "ideal", false, false),
+        eval_spec(&keys[0], "always-lrc", true, true),
+        eval_spec(&keys[0], "mlr-only", true, true),
+    ];
+    let ResponseKind::Batch(results) =
+        client.request(RequestKind::BatchEval { evals: evals.clone() }).unwrap()
+    else {
+        panic!("batch");
+    };
+    assert_eq!(results.len(), evals.len());
+    for (result, spec) in results.iter().zip(&evals) {
+        assert_eq!(result.result.key, spec.key, "results must follow request order");
+        assert_eq!(result.result.policy, spec.policy);
+        let ResponseKind::Eval(solo) = client.request(RequestKind::Eval(spec.clone())).unwrap()
+        else {
+            panic!("eval");
+        };
+        assert_eq!(solo.result, result.result, "{}: grouped row must equal solo row", spec.policy);
+    }
+    let ResponseKind::Stats(after) = client.request(RequestKind::Stats).unwrap() else {
+        panic!("stats");
+    };
+    // always-lrc diverges against an eraser+m recording, so the group forced
+    // at least one prefix pass and served one suffix per divergent member.
+    // The solo re-evals above run outside the batch path and add nothing.
+    assert!(after.shared_passes > 0, "grouped batch must run the shared path");
+    assert!(after.suffixes_served >= after.shared_passes);
+    assert!(after.peak_checkpoints >= 1);
+    assert_eq!(after.evals, before.evals + 8, "4 batch members + 4 solo evals");
+    shutdown(&addr);
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn corpus_requests_serve_manifest_stat_and_verify() {
     let dir = tmp_dir("corpus-reqs");

@@ -10,12 +10,34 @@ use qec_codes::{CheckId, DataQubitId};
 /// Data qubits keep their frame across rounds; ancilla (parity) qubits are measured and
 /// reset every round so only their *leak* flag persists — their within-round frame is
 /// local to the round executor.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct QubitFrames {
     data_x: Vec<bool>,
     data_z: Vec<bool>,
     data_leak: Vec<bool>,
     ancilla_leak: Vec<bool>,
+}
+
+// Hand-written so `clone_from` reuses the destination's allocations: checkpoint
+// restore in closed-loop replay copies frames into an existing simulator many
+// times per shot, and the derived impl would reallocate all four vectors on
+// every restore.
+impl Clone for QubitFrames {
+    fn clone(&self) -> Self {
+        QubitFrames {
+            data_x: self.data_x.clone(),
+            data_z: self.data_z.clone(),
+            data_leak: self.data_leak.clone(),
+            ancilla_leak: self.ancilla_leak.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.data_x.clone_from(&source.data_x);
+        self.data_z.clone_from(&source.data_z);
+        self.data_leak.clone_from(&source.data_leak);
+        self.ancilla_leak.clone_from(&source.ancilla_leak);
+    }
 }
 
 impl QubitFrames {
@@ -198,6 +220,22 @@ mod tests {
         assert!(!f.x_parity(&[0, 2]));
         assert!(f.z_parity(&[3]));
         assert!(!f.z_parity(&[1, 2]));
+    }
+
+    #[test]
+    fn clone_from_matches_clone_and_reuses_capacity() {
+        let mut src = QubitFrames::new(5, 3);
+        src.apply_data_pauli(1, Pauli::X);
+        src.apply_data_pauli(2, Pauli::Z);
+        src.set_data_leaked(4, true);
+        src.set_ancilla_leaked(0, true);
+
+        let mut dst = QubitFrames::new(5, 3);
+        let ptr_before = dst.data_x.as_ptr();
+        dst.clone_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(dst, src.clone());
+        assert_eq!(dst.data_x.as_ptr(), ptr_before, "clone_from must reuse the allocation");
     }
 
     #[test]

@@ -51,5 +51,5 @@ pub use noise::{NoiseParams, NoiseParamsBuilder};
 pub use pauli::Pauli;
 pub use policy::{GroundTruth, LeakagePolicy, LrcRequest, PolicyContext};
 pub use record::{RoundRecord, RunRecord};
-pub use simulator::Simulator;
+pub use simulator::{Simulator, SimulatorCheckpoint};
 pub use sink::{NullTraceSink, TraceSink};

@@ -28,6 +28,33 @@ pub struct Simulator {
     cnot_layers: usize,
 }
 
+/// A snapshot of every piece of [`Simulator`] state that varies within a run:
+/// frames, RNG stream position, previous-round measurements and the round
+/// counter. The immutable run configuration (code, noise, adjacency) is *not*
+/// captured — a checkpoint may only be restored into the simulator family it
+/// was taken from.
+///
+/// Compared to cloning the whole `Simulator`, a checkpoint is cheap to take
+/// and cheap to restore: no code/adjacency duplication, and
+/// [`Simulator::restore`] copies into the existing allocations instead of
+/// reallocating. This is what makes shared-checkpoint closed-loop replay
+/// (one forced prefix, N resumed suffixes) affordable per shot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulatorCheckpoint {
+    frames: QubitFrames,
+    rng: ChaCha8Rng,
+    prev_measurements: Vec<bool>,
+    round_index: usize,
+}
+
+impl SimulatorCheckpoint {
+    /// Round index the snapshot was taken at (= rounds already executed).
+    #[must_use]
+    pub fn round_index(&self) -> usize {
+        self.round_index
+    }
+}
+
 impl Simulator {
     /// Creates a simulator for `code` under `noise`, seeded deterministically.
     #[must_use]
@@ -130,6 +157,40 @@ impl Simulator {
         if leakage_sampling {
             self.seed_random_data_leakage(1);
         }
+    }
+
+    /// Snapshots all per-run mutable state (frames, RNG, previous measurements,
+    /// round counter) into a [`SimulatorCheckpoint`]. Restoring the checkpoint
+    /// with [`Simulator::restore`] puts the simulator bit-for-bit back where it
+    /// was — same frames, same RNG stream position — so any continuation
+    /// (e.g. [`Simulator::resume_with_policy`]) behaves exactly as if the
+    /// intervening rounds had never been executed.
+    #[must_use]
+    pub fn checkpoint(&self) -> SimulatorCheckpoint {
+        SimulatorCheckpoint {
+            frames: self.frames.clone(),
+            rng: self.rng.clone(),
+            prev_measurements: self.prev_measurements.clone(),
+            round_index: self.round_index,
+        }
+    }
+
+    /// Restores per-run state from a checkpoint taken on a simulator of the
+    /// same code, reusing this simulator's existing allocations.
+    ///
+    /// # Panics
+    /// Panics when the checkpoint's frame shapes disagree with this
+    /// simulator's code (it was taken from a different simulator family).
+    pub fn restore(&mut self, checkpoint: &SimulatorCheckpoint) {
+        assert_eq!(
+            (checkpoint.frames.num_data(), checkpoint.frames.num_ancilla()),
+            (self.code.num_data(), self.code.num_checks()),
+            "checkpoint must come from a simulator of the same code"
+        );
+        self.frames.clone_from(&checkpoint.frames);
+        self.rng.clone_from(&checkpoint.rng);
+        self.prev_measurements.clone_from(&checkpoint.prev_measurements);
+        self.round_index = checkpoint.round_index;
     }
 
     /// Executes a single QEC round, applying the requested LRCs first.
@@ -438,6 +499,62 @@ mod tests {
             let resumed = sim.resume_with_policy(&mut NeverLrc, history, rounds);
             assert_eq!(resumed, full, "split at round {split}");
         }
+    }
+
+    #[test]
+    fn checkpoint_restore_is_bit_identical_to_clone_and_to_a_full_run() {
+        let code = Code::rotated_surface(3);
+        let noise = NoiseParams::default();
+        let rounds = 20;
+        // Reference: one uninterrupted closed-loop run.
+        let mut reference = Simulator::new(&code, noise, 99);
+        reference.seed_random_data_leakage(1);
+        let full = reference.run_with_policy(&mut NeverLrc, rounds);
+
+        for split in [0usize, 1, 7, rounds] {
+            let mut sim = Simulator::new(&code, noise, 0);
+            sim.reseed_for_shot(99, 0, true);
+            let mut history = Vec::new();
+            for record in &full.rounds[..split] {
+                let request = LrcRequest {
+                    data: record.data_lrcs.clone(),
+                    ancilla: record.ancilla_lrcs.clone(),
+                };
+                history.push(sim.run_round(&request));
+            }
+            let checkpoint = sim.checkpoint();
+            assert_eq!(checkpoint.round_index(), split);
+            let cloned = sim.clone();
+
+            // Resuming straight through is the baseline.
+            let direct = sim.resume_with_policy(&mut NeverLrc, history.clone(), rounds);
+            assert_eq!(direct, full, "direct resume, split {split}");
+
+            // A cloned simulator resumes identically.
+            let mut via_clone = cloned;
+            let from_clone = via_clone.resume_with_policy(&mut NeverLrc, history.clone(), rounds);
+            assert_eq!(from_clone, full, "clone resume, split {split}");
+
+            // Restoring the checkpoint into the *used* simulator rewinds it
+            // completely: the re-resumed run must match bit for bit, and a
+            // second restore must work just as well (checkpoints are reusable).
+            for attempt in 0..2 {
+                sim.restore(&checkpoint);
+                assert_eq!(sim.rounds_executed(), split);
+                assert_eq!(sim.checkpoint(), checkpoint, "restore must round-trip");
+                let replayed = sim.resume_with_policy(&mut NeverLrc, history.clone(), rounds);
+                assert_eq!(replayed, full, "restored resume {attempt}, split {split}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "same code")]
+    fn restore_rejects_a_checkpoint_from_a_different_code() {
+        let small = Simulator::new(&Code::rotated_surface(3), NoiseParams::default(), 1);
+        let checkpoint = small.checkpoint();
+        let mut large = Simulator::new(&Code::rotated_surface(5), NoiseParams::default(), 1);
+        large.restore(&checkpoint);
     }
 
     #[test]

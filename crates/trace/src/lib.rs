@@ -46,7 +46,10 @@ pub use format::{
     code_fingerprint, ShotRecorder, ShotTrace, TraceHeader, TraceRound, TRACE_MAGIC,
     TRACE_SCHEMA_VERSION,
 };
-pub use replay::{ClosedLoopReplay, DivergenceProfile, ReplayContext, ShotReplay};
+pub use replay::{
+    CheckpointPlan, ClosedLoopReplay, DivergenceProfile, ReplayContext, SharedShotReplay,
+    ShotReplay,
+};
 pub use stream::{
     open_trace_file, read_trace_file, read_trace_header, write_trace_file, TraceReader, TraceWriter,
 };

@@ -31,7 +31,12 @@
 //! [`Simulator::reseed_for_shot`]: leaky_sim::Simulator::reseed_for_shot
 //! [`Simulator::resume_with_policy`]: leaky_sim::Simulator::resume_with_policy
 
-use leaky_sim::{GroundTruth, LeakagePolicy, LrcRequest, PolicyContext, RunRecord, Simulator};
+use std::collections::BTreeMap;
+
+use leaky_sim::{
+    GroundTruth, LeakagePolicy, LrcRequest, PolicyContext, RunRecord, Simulator,
+    SimulatorCheckpoint,
+};
 use qec_codes::{Code, DataAdjacency};
 use serde::{Deserialize, Serialize};
 
@@ -206,6 +211,97 @@ impl DivergenceProfile {
     }
 }
 
+/// Which rounds of the single shared forced pass need a simulator snapshot,
+/// computed from every candidate's first-divergence round: one checkpoint per
+/// **distinct** divergence round, refcounted by how many candidates resume
+/// from it. The checkpoint store is dropped-as-served, so memory stays
+/// O(distinct divergence rounds), never O(candidates).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointPlan {
+    /// divergence round → number of candidates resuming from that round.
+    rounds: BTreeMap<usize, usize>,
+}
+
+impl CheckpointPlan {
+    /// Builds the plan from each candidate's first-divergence round (`None` =
+    /// the candidate reproduces the recorded schedule and needs no checkpoint).
+    #[must_use]
+    pub fn new(divergences: &[Option<usize>]) -> Self {
+        let mut rounds = BTreeMap::new();
+        for round in divergences.iter().flatten() {
+            *rounds.entry(*round).or_insert(0usize) += 1;
+        }
+        CheckpointPlan { rounds }
+    }
+
+    /// Number of distinct divergence rounds — the number of snapshots the
+    /// shared pass takes, and the peak size of the checkpoint store.
+    #[must_use]
+    pub fn distinct_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// The deepest divergence round, i.e. how far the shared forced pass must
+    /// run. `None` when no candidate diverges (no forced pass at all).
+    #[must_use]
+    pub fn max_round(&self) -> Option<usize> {
+        self.rounds.keys().next_back().copied()
+    }
+
+    /// `true` when a snapshot must be taken at the start of `round`.
+    #[must_use]
+    pub fn needs(&self, round: usize) -> bool {
+        self.rounds.contains_key(&round)
+    }
+
+    /// Records that one candidate resuming from `round` has been served;
+    /// returns `true` when no candidate still needs that round's checkpoint
+    /// (the caller can drop it).
+    fn serve(&mut self, round: usize) -> bool {
+        let count = self.rounds.get_mut(&round).expect("served round must be in the plan");
+        *count -= 1;
+        if *count == 0 {
+            self.rounds.remove(&round);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// The outcome of closed-loop replaying one shot against a whole candidate set
+/// from shared checkpoints: per-candidate results plus the shot's sharing
+/// economics (one forced pass, N resumed suffixes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedShotReplay {
+    /// Per-candidate closed-loop outcomes, index-aligned with the `policies`
+    /// argument of [`ReplayContext::replay_shot_closed_loop_shared`]. Every
+    /// field of every entry is bit-identical to what
+    /// [`ReplayContext::replay_shot_closed_loop`] returns for that candidate
+    /// alone ([`ClosedLoopReplay::restored_rounds`] still reports the
+    /// candidate's state-reconstruction depth, even though the shared pass
+    /// amortized the actual execution cost across the set).
+    pub replays: Vec<ClosedLoopReplay>,
+    /// Rounds executed by the single shared forced pass (= the deepest
+    /// divergence round); `0` when no candidate diverged and no pass ran.
+    pub forced_rounds: usize,
+    /// Candidates resumed live from a shared checkpoint (= divergent
+    /// candidates).
+    pub suffixes: usize,
+    /// Checkpoints held at the store's high-water mark (= distinct divergence
+    /// rounds).
+    pub peak_checkpoints: usize,
+}
+
+impl SharedShotReplay {
+    /// `true` when at least one candidate diverged, so the shot paid one
+    /// forced re-execution of (part of) the recorded prefix.
+    #[must_use]
+    pub fn forced_pass(&self) -> bool {
+        self.suffixes > 0
+    }
+}
+
 /// Prebuilt per-trace replay state: the code, its adjacency, and the recording
 /// run's timing inputs. Build once per trace, replay many shots/policies.
 #[derive(Debug)]
@@ -327,41 +423,13 @@ impl ReplayContext {
         policy: &mut dyn LeakagePolicy,
         sim: &mut Simulator,
     ) -> Result<ClosedLoopReplay, TraceError> {
-        if sim.code().num_data() != self.header.num_data
-            || sim.code().num_checks() != self.header.num_checks
-            || *sim.noise() != self.header.noise
-        {
-            return Err(TraceError::corrupt(
-                "closed-loop simulator does not match the trace's code/noise \
-                 (build it with ReplayContext::make_simulator)",
-            ));
-        }
+        self.check_simulator(sim)?;
         let recorded = trace.to_run(&self.header.noise, self.header.cnot_layers);
         let total_rounds = recorded.rounds.len();
 
         // Open-loop phase: feed the policy the recorded history until its plan
         // leaves the recorded schedule.
-        let mut divergence: Option<(usize, LrcRequest)> = None;
-        for (round, record) in recorded.rounds.iter().enumerate() {
-            let ancilla_leaked = if round == 0 {
-                &trace.initial_ancilla_leak
-            } else {
-                &recorded.rounds[round - 1].ancilla_leak_after
-            };
-            let ctx = PolicyContext {
-                round,
-                code: &self.code,
-                adjacency: &self.adjacency,
-                history: &recorded.rounds[..round],
-                ground_truth: GroundTruth { data_leaked: &record.data_leak_before, ancilla_leaked },
-            };
-            let plan = policy.plan_lrcs(&ctx);
-            if plan.data != record.data_lrcs || plan.ancilla != record.ancilla_lrcs {
-                divergence = Some((round, plan));
-                break;
-            }
-        }
-        let Some((div_round, div_plan)) = divergence else {
+        let Some((div_round, div_plan)) = self.detect_divergence(trace, &recorded, policy) else {
             // The candidate reproduces the recorded schedule at every round, so
             // by induction its live run is the recorded execution itself.
             return Ok(ClosedLoopReplay {
@@ -378,29 +446,10 @@ impl ReplayContext {
         // a live candidate run would have (its prefix schedule IS the recorded
         // one), so frames, leak flags, measurement history and RNG position all
         // land exactly where the candidate's live run would stand.
-        sim.reseed_for_shot(self.header.seed, trace.shot, self.header.leakage_sampling);
-        if sim.frames().data_leaks() != trace.initial_data_leak.as_slice()
-            || sim.frames().ancilla_leaks() != trace.initial_ancilla_leak.as_slice()
-        {
-            return Err(TraceError::corrupt(format!(
-                "shot {}: reseeding does not reproduce the recorded initial leak flags — the \
-                 trace was not recorded under this build's seeding contract",
-                trace.shot
-            )));
-        }
+        self.reseed_checked(trace, sim)?;
         let mut history = Vec::with_capacity(total_rounds);
         for record in &recorded.rounds[..div_round] {
-            let request =
-                LrcRequest { data: record.data_lrcs.clone(), ancilla: record.ancilla_lrcs.clone() };
-            let executed = sim.run_round(&request);
-            if &executed != record {
-                return Err(TraceError::corrupt(format!(
-                    "shot {}: forced re-execution of round {} does not reproduce the recorded \
-                     round — the corpus predates a simulator behavior change; re-record it",
-                    trace.shot, record.round
-                )));
-            }
-            history.push(executed);
+            history.push(self.force_round(trace, record, sim)?);
         }
 
         // The divergence round executes the plan the policy already made (its
@@ -415,6 +464,206 @@ impl ReplayContext {
             resimulated_rounds,
             restored_rounds: div_round,
         })
+    }
+
+    /// Replays one recorded shot against a whole candidate **set** closed-loop
+    /// from shared checkpoints: instead of one forced prefix re-execution per
+    /// divergent candidate, the shot pays **one** forced pass to the deepest
+    /// divergence round, snapshotting simulator state
+    /// ([`Simulator::checkpoint`]) at each distinct divergence round the
+    /// [`CheckpointPlan`] demands, then resumes every divergent candidate live
+    /// from its shared checkpoint.
+    ///
+    /// Bit-identity argument: the forced pass consumes exactly the RNG stream
+    /// the per-candidate repair consumes (the recorded schedule is the only
+    /// schedule executed before any divergence round), so the snapshot taken
+    /// at the start of round *r* is bit-for-bit the state the per-candidate
+    /// path reaches by force-running rounds `0..r` — and
+    /// [`Simulator::restore`] reproduces it exactly for each candidate. Every
+    /// entry of [`SharedShotReplay::replays`] therefore equals what
+    /// [`ReplayContext::replay_shot_closed_loop`] returns for that candidate,
+    /// which is itself bit-identical to a from-scratch live run.
+    ///
+    /// Candidates are served in argument order, and each policy's lifecycle is
+    /// the caller's (reset before each shot), exactly as in the per-candidate
+    /// entry points.
+    ///
+    /// # Errors
+    /// Same failure modes as [`ReplayContext::replay_shot_closed_loop`]:
+    /// mismatched simulator, a seeding contract violation, or a forced round
+    /// that does not reproduce the trace.
+    pub fn replay_shot_closed_loop_shared(
+        &self,
+        trace: &ShotTrace,
+        policies: &mut [&mut dyn LeakagePolicy],
+        sim: &mut Simulator,
+    ) -> Result<SharedShotReplay, TraceError> {
+        self.check_simulator(sim)?;
+        let recorded = trace.to_run(&self.header.noise, self.header.cnot_layers);
+        let total_rounds = recorded.rounds.len();
+
+        // Open-loop detection for every candidate against the recorded
+        // observables (pure replay, no simulation).
+        let divergences: Vec<Option<(usize, LrcRequest)>> = policies
+            .iter_mut()
+            .map(|policy| self.detect_divergence(trace, &recorded, *policy))
+            .collect();
+        let mut plan = CheckpointPlan::new(
+            &divergences.iter().map(|d| d.as_ref().map(|(round, _)| *round)).collect::<Vec<_>>(),
+        );
+        let peak_checkpoints = plan.distinct_rounds();
+        let suffixes = divergences.iter().flatten().count();
+
+        let Some(max_round) = plan.max_round() else {
+            // Every candidate reproduces the recorded schedule: the whole set
+            // is served from the trace, no simulation at all.
+            let replays = divergences
+                .iter()
+                .map(|_| ClosedLoopReplay {
+                    run: recorded.clone(),
+                    divergence: None,
+                    resimulated_rounds: 0,
+                    restored_rounds: 0,
+                })
+                .collect();
+            return Ok(SharedShotReplay {
+                replays,
+                forced_rounds: 0,
+                suffixes: 0,
+                peak_checkpoints: 0,
+            });
+        };
+
+        // The one shared forced pass: re-execute the recorded schedule up to
+        // the deepest divergence round, snapshotting at the start of each
+        // round some candidate resumes from.
+        self.reseed_checked(trace, sim)?;
+        let mut store: BTreeMap<usize, SimulatorCheckpoint> = BTreeMap::new();
+        for (round, record) in recorded.rounds[..max_round].iter().enumerate() {
+            if plan.needs(round) {
+                store.insert(round, sim.checkpoint());
+            }
+            self.force_round(trace, record, sim)?;
+        }
+        store.insert(max_round, sim.checkpoint());
+
+        // Serve every candidate in argument order. Forced rounds reproduced
+        // the trace bit-for-bit (verified above), so each candidate's resume
+        // history is the recorded prefix itself.
+        let replays = policies
+            .iter_mut()
+            .zip(divergences)
+            .map(|(policy, divergence)| {
+                let Some((div_round, div_plan)) = divergence else {
+                    return ClosedLoopReplay {
+                        run: recorded.clone(),
+                        divergence: None,
+                        resimulated_rounds: 0,
+                        restored_rounds: 0,
+                    };
+                };
+                let checkpoint = store.get(&div_round).expect("planned checkpoint must exist");
+                sim.restore(checkpoint);
+                if plan.serve(div_round) {
+                    store.remove(&div_round);
+                }
+                let mut history = Vec::with_capacity(total_rounds);
+                history.extend_from_slice(&recorded.rounds[..div_round]);
+                history.push(sim.run_round(&div_plan));
+                let run = sim.resume_with_policy(*policy, history, total_rounds);
+                ClosedLoopReplay {
+                    run,
+                    divergence: Some(div_round),
+                    resimulated_rounds: total_rounds - div_round,
+                    restored_rounds: div_round,
+                }
+            })
+            .collect();
+        Ok(SharedShotReplay { replays, forced_rounds: max_round, suffixes, peak_checkpoints })
+    }
+
+    /// The closed-loop precondition: `sim` must be shaped and parameterized
+    /// exactly as the recording simulator, or the RNG stream cannot reproduce.
+    fn check_simulator(&self, sim: &Simulator) -> Result<(), TraceError> {
+        if sim.code().num_data() != self.header.num_data
+            || sim.code().num_checks() != self.header.num_checks
+            || *sim.noise() != self.header.noise
+        {
+            return Err(TraceError::corrupt(
+                "closed-loop simulator does not match the trace's code/noise \
+                 (build it with ReplayContext::make_simulator)",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Open-loop divergence detection: feeds `policy` the recorded history
+    /// round by round and returns the first round whose plan leaves the
+    /// recorded schedule, together with that plan (the policy's internal state
+    /// has already advanced past planning it). `None` = the candidate
+    /// reproduces the recorded schedule exactly.
+    fn detect_divergence(
+        &self,
+        trace: &ShotTrace,
+        recorded: &RunRecord,
+        policy: &mut dyn LeakagePolicy,
+    ) -> Option<(usize, LrcRequest)> {
+        for (round, record) in recorded.rounds.iter().enumerate() {
+            let ancilla_leaked = if round == 0 {
+                &trace.initial_ancilla_leak
+            } else {
+                &recorded.rounds[round - 1].ancilla_leak_after
+            };
+            let ctx = PolicyContext {
+                round,
+                code: &self.code,
+                adjacency: &self.adjacency,
+                history: &recorded.rounds[..round],
+                ground_truth: GroundTruth { data_leaked: &record.data_leak_before, ancilla_leaked },
+            };
+            let plan = policy.plan_lrcs(&ctx);
+            if plan.data != record.data_lrcs || plan.ancilla != record.ancilla_lrcs {
+                return Some((round, plan));
+            }
+        }
+        None
+    }
+
+    /// Reseeds `sim` through the recorded `seed + shot` contract and verifies
+    /// the recorded initial leak flags reproduce.
+    fn reseed_checked(&self, trace: &ShotTrace, sim: &mut Simulator) -> Result<(), TraceError> {
+        sim.reseed_for_shot(self.header.seed, trace.shot, self.header.leakage_sampling);
+        if sim.frames().data_leaks() != trace.initial_data_leak.as_slice()
+            || sim.frames().ancilla_leaks() != trace.initial_ancilla_leak.as_slice()
+        {
+            return Err(TraceError::corrupt(format!(
+                "shot {}: reseeding does not reproduce the recorded initial leak flags — the \
+                 trace was not recorded under this build's seeding contract",
+                trace.shot
+            )));
+        }
+        Ok(())
+    }
+
+    /// Force-executes one recorded round and verifies the simulator reproduces
+    /// it bit-for-bit.
+    fn force_round(
+        &self,
+        trace: &ShotTrace,
+        record: &leaky_sim::RoundRecord,
+        sim: &mut Simulator,
+    ) -> Result<leaky_sim::RoundRecord, TraceError> {
+        let request =
+            LrcRequest { data: record.data_lrcs.clone(), ancilla: record.ancilla_lrcs.clone() };
+        let executed = sim.run_round(&request);
+        if &executed != record {
+            return Err(TraceError::corrupt(format!(
+                "shot {}: forced re-execution of round {} does not reproduce the recorded \
+                 round — the corpus predates a simulator behavior change; re-record it",
+                trace.shot, record.round
+            )));
+        }
+        Ok(executed)
     }
 }
 
@@ -598,6 +847,123 @@ mod tests {
             .replay_shot_closed_loop(&trace, &mut DivergeAt { fire_round: 2 }, &mut sim)
             .unwrap_err();
         assert!(err.to_string().contains("seeding contract"), "{err}");
+    }
+
+    #[test]
+    fn shared_replay_matches_the_per_policy_path_for_every_kind() {
+        let code = Code::rotated_surface(3);
+        let (header, trace) = record(&code, PolicyKind::GladiatorM, 23, 12);
+        let ctx = ReplayContext::new(&code, &header).unwrap();
+        let mut sim = ctx.make_simulator();
+
+        // Per-policy oracle results, one fresh policy per kind.
+        let solo: Vec<ClosedLoopReplay> = PolicyKind::ALL
+            .iter()
+            .map(|&kind| {
+                let mut policy = build_policy(kind, &code, &GladiatorConfig::default());
+                ctx.replay_shot_closed_loop(&trace, policy.as_mut(), &mut sim).unwrap()
+            })
+            .collect();
+
+        // The whole set served from shared checkpoints in one call.
+        let mut candidates: Vec<_> = PolicyKind::ALL
+            .iter()
+            .map(|&kind| build_policy(kind, &code, &GladiatorConfig::default()))
+            .collect();
+        let mut refs: Vec<&mut dyn LeakagePolicy> =
+            candidates.iter_mut().map(|p| p.as_mut() as &mut dyn LeakagePolicy).collect();
+        let shared = ctx.replay_shot_closed_loop_shared(&trace, &mut refs, &mut sim).unwrap();
+
+        assert_eq!(shared.replays.len(), solo.len());
+        for ((replay, oracle), kind) in shared.replays.iter().zip(&solo).zip(PolicyKind::ALL) {
+            assert_eq!(replay, oracle, "{kind:?} must be bit-identical to the per-policy path");
+        }
+        // Sharing economics: one pass to the deepest divergence round, one
+        // suffix per divergent candidate, one checkpoint per distinct round.
+        let rounds: Vec<usize> = solo.iter().filter_map(|r| r.divergence).collect();
+        assert_eq!(shared.suffixes, rounds.len());
+        assert_eq!(shared.forced_rounds, rounds.iter().copied().max().unwrap_or(0));
+        let distinct: std::collections::BTreeSet<usize> = rounds.iter().copied().collect();
+        assert_eq!(shared.peak_checkpoints, distinct.len());
+        assert!(shared.forced_pass());
+    }
+
+    #[test]
+    fn shared_replay_of_exact_candidates_never_touches_the_simulator() {
+        let code = Code::rotated_surface(3);
+        let (header, trace) = record(&code, PolicyKind::NoLrc, 7, 8);
+        let ctx = ReplayContext::new(&code, &header).unwrap();
+        // A simulator with the wrong noise would be rejected only if the
+        // validation runs; use a valid one and assert the stats instead.
+        let mut sim = ctx.make_simulator();
+        let mut a = build_policy(PolicyKind::NoLrc, &code, &GladiatorConfig::default());
+        let mut b = build_policy(PolicyKind::NoLrc, &code, &GladiatorConfig::default());
+        let mut refs: Vec<&mut dyn LeakagePolicy> = vec![a.as_mut(), b.as_mut()];
+        let shared = ctx.replay_shot_closed_loop_shared(&trace, &mut refs, &mut sim).unwrap();
+        assert!(!shared.forced_pass());
+        assert_eq!(shared.forced_rounds, 0);
+        assert_eq!(shared.peak_checkpoints, 0);
+        assert!(shared.replays.iter().all(ClosedLoopReplay::is_exact));
+        assert_eq!(sim.rounds_executed(), 0, "no simulation for an all-exact set");
+    }
+
+    #[test]
+    fn shared_replay_dedups_checkpoints_by_divergence_round() {
+        let code = Code::rotated_surface(3);
+        let (header, trace) = record(&code, PolicyKind::NoLrc, 19, 10);
+        let ctx = ReplayContext::new(&code, &header).unwrap();
+        let mut sim = ctx.make_simulator();
+        // Four candidates, three distinct divergence rounds (3, 3, 6, 0) plus
+        // one exact candidate.
+        let mut p0 = DivergeAt { fire_round: 3 };
+        let mut p1 = DivergeAt { fire_round: 3 };
+        let mut p2 = DivergeAt { fire_round: 6 };
+        let mut p3 = DivergeAt { fire_round: 0 };
+        let mut exact = build_policy(PolicyKind::NoLrc, &code, &GladiatorConfig::default());
+        let mut refs: Vec<&mut dyn LeakagePolicy> =
+            vec![&mut p0, &mut p1, &mut p2, &mut p3, exact.as_mut()];
+        let shared = ctx.replay_shot_closed_loop_shared(&trace, &mut refs, &mut sim).unwrap();
+        assert_eq!(shared.suffixes, 4);
+        assert_eq!(shared.forced_rounds, 6);
+        assert_eq!(shared.peak_checkpoints, 3);
+        let divergences: Vec<Option<usize>> = shared.replays.iter().map(|r| r.divergence).collect();
+        assert_eq!(divergences, vec![Some(3), Some(3), Some(6), Some(0), None]);
+        // Same-round candidates must be bit-identical to their solo replays.
+        for (index, fire_round) in [(0usize, 3usize), (1, 3), (2, 6), (3, 0)] {
+            let solo = ctx
+                .replay_shot_closed_loop(&trace, &mut DivergeAt { fire_round }, &mut sim)
+                .unwrap();
+            assert_eq!(shared.replays[index], solo, "candidate {index}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_plan_counts_distinct_rounds_and_refcounts() {
+        let mut plan = CheckpointPlan::new(&[Some(3), None, Some(3), Some(7), None, Some(0)]);
+        assert_eq!(plan.distinct_rounds(), 3);
+        assert_eq!(plan.max_round(), Some(7));
+        assert!(plan.needs(3) && plan.needs(7) && plan.needs(0));
+        assert!(!plan.needs(1));
+        assert!(!plan.serve(3), "first of two round-3 candidates keeps the checkpoint");
+        assert!(plan.serve(3), "second frees it");
+        assert!(!plan.needs(3));
+        assert!(plan.serve(7));
+        assert!(plan.serve(0));
+        assert_eq!(plan.distinct_rounds(), 0);
+        assert_eq!(CheckpointPlan::new(&[None, None]).max_round(), None);
+    }
+
+    #[test]
+    fn shared_replay_propagates_corruption_errors() {
+        let code = Code::rotated_surface(3);
+        let (header, mut trace) = record(&code, PolicyKind::NoLrc, 31, 8);
+        trace.rounds[1].measurements[0] = !trace.rounds[1].measurements[0];
+        let ctx = ReplayContext::new(&code, &header).unwrap();
+        let mut sim = ctx.make_simulator();
+        let mut diverge = DivergeAt { fire_round: 3 };
+        let mut refs: Vec<&mut dyn LeakagePolicy> = vec![&mut diverge];
+        let err = ctx.replay_shot_closed_loop_shared(&trace, &mut refs, &mut sim).unwrap_err();
+        assert!(err.to_string().contains("does not reproduce"), "{err}");
     }
 
     #[test]

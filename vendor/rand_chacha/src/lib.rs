@@ -11,7 +11,7 @@ use rand::{split_mix_64_bytes, RngCore, SeedableRng};
 /// words: 4 constants, 8 key words, 2 counter words, 2 nonce words) with the
 /// key expanded from a 64-bit seed via splitmix64. Output words are served
 /// low-to-high from each 64-byte block.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChaCha8Rng {
     key: [u32; 8],
     counter: u64,
