@@ -71,6 +71,27 @@ fn bench_serve(c: &mut Criterion) {
     group.bench_function("eval_roundtrip_hot_cache", |b| {
         b.iter(|| client.send_raw(black_box(&eval_line)).expect("eval"));
     });
+    // Same round trip through the per-item batch path: one request carrying
+    // four pairings, answered as a `batch-items` list. Measures the amortized
+    // per-pairing cost of the batch framing plus the worker-pool dispatch.
+    let batch = Request {
+        id: Some(2),
+        request: RequestKind::BatchEval {
+            evals: (0..4)
+                .map(|_| EvalSpec {
+                    key: entry.key.clone(),
+                    policy: "gladiator+m".to_string(),
+                    mode: None,
+                    decode: None,
+                })
+                .collect(),
+            per_item: Some(true),
+        },
+    };
+    let batch_line = request_line(&batch);
+    group.bench_function("batch_eval_per_item_roundtrip_x4", |b| {
+        b.iter(|| client.send_raw(black_box(&batch_line)).expect("batch eval"));
+    });
     group.finish();
 
     match client.request(RequestKind::Shutdown).expect("shutdown") {

@@ -42,7 +42,7 @@ use leakage_speculation::{PolicyFactory, PolicyKind};
 use qec_codes::Code;
 use qec_decoder::{detection_events, logical_failure, MemoryBasis, UnionFindDecoder};
 use qec_trace::{
-    code_fingerprint, read_trace_file, Corpus, CorpusEntry, DivergenceProfile, ReplayContext,
+    code_fingerprint, open_trace_file, Corpus, CorpusEntry, DivergenceProfile, ReplayContext,
     ShotTrace, TraceHeader, TRACE_SCHEMA_VERSION,
 };
 
@@ -244,6 +244,13 @@ pub struct LoadedCell {
 /// Loads a corpus entry's trace file and rebuilds its code, cross-checking the
 /// structural fingerprint.
 ///
+/// The shard is opened with the **lazy** streaming reader
+/// ([`qec_trace::open_trace_file`]): the header is validated first, every
+/// identity check below runs against it at `O(header)` cost, and only then
+/// are the shot blocks decoded — once, shot-at-a-time, straight into the
+/// cell's shot vector. A manifest that does not describe the shard therefore
+/// aborts the load without paying for the payload at all.
+///
 /// # Errors
 /// Returns a message on I/O failure, corruption, an unknown code family, or a
 /// fingerprint mismatch.
@@ -252,21 +259,14 @@ pub fn load_entry(corpus: &Corpus, entry: &CorpusEntry) -> Result<LoadedCell, St
         .ok_or_else(|| format!("{}: unknown code family `{}`", entry.key, entry.family))?;
     let code = family.build(entry.distance);
     let path = corpus.trace_path(entry);
-    let (header, shots) = read_trace_file(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut reader = open_trace_file(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let header = reader.header().clone();
     if code_fingerprint(&code) != header.code_fingerprint {
         return Err(format!(
             "{}: manifest code {} does not match the trace's recorded code {}",
             entry.key,
             code.name(),
             header.code_name
-        ));
-    }
-    if shots.len() != header.shots {
-        return Err(format!(
-            "{}: trace holds {} shots, header says {}",
-            entry.key,
-            shots.len(),
-            header.shots
         ));
     }
     // Manifest metadata and trace header must agree on the execution identity;
@@ -285,6 +285,20 @@ pub fn load_entry(corpus: &Corpus, entry: &CorpusEntry) -> Result<LoadedCell, St
                 entry.key
             ));
         }
+    }
+    let mut shots = Vec::with_capacity(header.shots);
+    while let Some(shot) = reader.next_shot().map_err(|e| format!("{}: {e}", path.display()))? {
+        shots.push(shot);
+    }
+    // The reader already cross-checks the end block against the shots it
+    // actually handed out; this guards the header against both.
+    if shots.len() != header.shots {
+        return Err(format!(
+            "{}: trace holds {} shots, header says {}",
+            entry.key,
+            shots.len(),
+            header.shots
+        ));
     }
     Ok(LoadedCell { header, shots, code })
 }

@@ -10,6 +10,7 @@
 //!                [--verify-live]
 //! repro corpus   DIR [--verify]
 //! repro serve    --corpus DIR [--addr HOST:PORT] [--cache-cells N]
+//!                [--max-connections N] [--queue-limit N]
 //! repro query    --addr HOST:PORT ACTION [--key KEY] [--policy L1,L2]
 //!                [--closed-loop] [--decode]
 //! repro list
@@ -94,10 +95,17 @@ commands:
             (--verify re-reads every trace, checking CRCs and code identity)
   serve     run the speculation-evaluation daemon over a recorded corpus:
             repro serve --corpus DIR [--addr HOST:PORT] [--cache-cells N]
+            [--max-connections N] [--queue-limit N]
             binds --addr (default 127.0.0.1:0 = ephemeral; the bound address
             is printed on startup), holds an LRU cache of N cells (default 8)
             hot in memory, and answers the newline-delimited JSON protocol of
-            docs/SERVE_PROTOCOL.md until a shutdown request arrives
+            docs/SERVE_PROTOCOL.md until a shutdown request arrives; at most
+            --max-connections clients (default 32) are served concurrently
+            (extras get one `overloaded` error line) and at most --queue-limit
+            evaluations (default 256, batches weigh their length) are admitted
+            at once — over-limit requests are shed with `overloaded` instead
+            of stalling the daemon; edits to the corpus manifest.json are
+            picked up on the next request without dropping connections
   query     send one request to a running daemon and print the raw response:
             repro query --addr HOST:PORT ACTION [flags]
             actions: ping | version | stats | cells | shutdown
@@ -106,7 +114,9 @@ commands:
                      batch-eval [--key KEY ...] --policy L1,L2,...
                                 [--closed-loop] [--decode]
             batch-eval with no --key pairs every corpus cell with every
-            policy; stdout carries the server's response line verbatim
+            policy and asks for per-item results: each pairing succeeds or
+            fails on its own (exit 1 when any item failed); stdout carries
+            the server's response line verbatim
   list      print known experiments, policies and code families
   snapshot  run the pinned perf sweeps and write BENCH-format lines:
             repro snapshot [--out FILE] [--trace-out FILE] [--check BASELINE]
@@ -792,6 +802,19 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, UsageError> {
                     return Err(UsageError::new("--cache-cells must be at least 1"));
                 }
             }
+            "--max-connections" => {
+                config.max_connections =
+                    parse_number("--max-connections", iter.value("--max-connections")?)?;
+                if config.max_connections == 0 {
+                    return Err(UsageError::new("--max-connections must be at least 1"));
+                }
+            }
+            "--queue-limit" => {
+                config.queue_limit = parse_number("--queue-limit", iter.value("--queue-limit")?)?;
+                if config.queue_limit == 0 {
+                    return Err(UsageError::new("--queue-limit must be at least 1"));
+                }
+            }
             other => {
                 return Err(UsageError::new(format!("unknown argument `{other}` for `serve`")));
             }
@@ -814,11 +837,14 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, UsageError> {
         let mut stdout = std::io::stdout();
         let _ = writeln!(
             stdout,
-            "qec-serve listening on {} (corpus {}, {} cell(s), cache {} cell(s))",
+            "qec-serve listening on {} (corpus {}, {} cell(s), cache {} cell(s), \
+             {} connection(s), queue {})",
             server.local_addr(),
             corpus_dir.display(),
             server.corpus_cells(),
-            config.cache_cells
+            config.cache_cells,
+            config.max_connections,
+            config.queue_limit
         );
         let _ = stdout.flush();
     }
@@ -913,7 +939,7 @@ fn cmd_query(args: &[String]) -> Result<ExitCode, UsageError> {
             }
             // Keys (all cells when no --key) are resolved after connecting,
             // over the same connection the batch request goes out on.
-            RequestKind::BatchEval { evals: Vec::new() }
+            RequestKind::BatchEval { evals: Vec::new(), per_item: Some(true) }
         }
         other => {
             return Err(UsageError::new(format!("unknown query action `{other}`")));
@@ -944,7 +970,7 @@ fn cmd_query(args: &[String]) -> Result<ExitCode, UsageError> {
                 .iter()
                 .flat_map(|key| policies.iter().map(move |policy| eval_spec(key, policy)))
                 .collect();
-            RequestKind::BatchEval { evals }
+            RequestKind::BatchEval { evals, per_item: Some(true) }
         }
         other => other,
     };
@@ -964,6 +990,16 @@ fn cmd_query(args: &[String]) -> Result<ExitCode, UsageError> {
             ResponseKind::Error(error) => {
                 eprintln!("repro query: server error {error}");
                 Ok(ExitCode::FAILURE)
+            }
+            // Per-item batches succeed or fail pairing by pairing; the exit
+            // code reflects the whole batch so scripts need not parse JSON.
+            ResponseKind::BatchItems(items) => {
+                let failed = items.iter().filter(|item| item.as_result().is_err()).count();
+                if failed > 0 {
+                    eprintln!("repro query: {failed} of {} batch item(s) failed", items.len());
+                    return Ok(ExitCode::FAILURE);
+                }
+                Ok(ExitCode::SUCCESS)
             }
             _ => Ok(ExitCode::SUCCESS),
         },

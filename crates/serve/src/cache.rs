@@ -99,6 +99,24 @@ impl CellCache {
         }
     }
 
+    /// Creates an **empty** cache whose traffic counters start from
+    /// `baseline` instead of zero. A hot corpus reload swaps in a fresh cache
+    /// (the old snapshot's cells describe the old manifest), but the daemon's
+    /// `stats` counters are documented as totals-since-start — carrying the
+    /// old cache's counters forward keeps them monotone across swaps.
+    #[must_use]
+    pub fn with_baseline(capacity: usize, baseline: CacheStats) -> Self {
+        CellCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                entries: VecDeque::new(),
+                hits: baseline.hits,
+                misses: baseline.misses,
+                evictions: baseline.evictions,
+            }),
+        }
+    }
+
     /// Returns the resident cell for `entry`, loading (and possibly evicting)
     /// on a miss. The boolean is `true` on a hit — the request paid no corpus
     /// I/O.
@@ -214,6 +232,23 @@ mod tests {
         // `first` was evicted but the Arc keeps its shots alive.
         assert_eq!(first.cell.shots.len(), 2);
         assert_eq!(first.recorded, PolicyKind::EraserM);
+        let _ = std::fs::remove_dir_all(corpus.dir());
+    }
+
+    #[test]
+    fn a_baseline_cache_starts_empty_but_keeps_the_old_counters() {
+        let corpus = tiny_corpus("baseline", &[3]);
+        let entry = corpus.entries()[0].clone();
+        let old = CellCache::new(2);
+        let _ = old.get_or_load(&corpus, &entry).unwrap();
+        let _ = old.get_or_load(&corpus, &entry).unwrap();
+        let carried = CellCache::with_baseline(2, old.stats());
+        let stats = carried.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1), "counters carry across the swap");
+        assert_eq!(stats.cached_cells, 0, "no cells carry across the swap");
+        let (_, hit) = carried.get_or_load(&corpus, &entry).unwrap();
+        assert!(!hit, "the new cache reloads from the new corpus");
+        assert_eq!(carried.stats().misses, 2);
         let _ = std::fs::remove_dir_all(corpus.dir());
     }
 

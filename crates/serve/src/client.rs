@@ -9,7 +9,8 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::protocol::{
-    parse_response, request_line, Request, RequestKind, Response, ResponseKind, PROTOCOL_VERSION,
+    parse_response, request_line, BatchItem, EvalResult, EvalSpec, Request, RequestKind, Response,
+    ResponseKind, WireError, PROTOCOL_VERSION,
 };
 
 /// A connected protocol client.
@@ -75,5 +76,36 @@ impl Client {
     /// As [`Client::send`].
     pub fn request(&mut self, kind: RequestKind) -> Result<ResponseKind, String> {
         Ok(self.send(&Request { id: None, request: kind })?.response)
+    }
+
+    /// Typed per-item batch evaluation: one `Result` per requested pairing,
+    /// in request order — a failing pairing carries its own typed
+    /// [`WireError`] (unknown error codes from newer servers parse as
+    /// [`crate::ErrorCode::Other`], never as a parse failure) and leaves its
+    /// siblings intact.
+    ///
+    /// The request is sent with `per_item: true`. A server predating the
+    /// per-item protocol ignores the unknown field and answers the legacy
+    /// all-or-nothing shape; this client folds that answer into the same
+    /// return type (all `Ok`, or the whole call failing with the batch
+    /// error's display form), so callers are compatible in both directions.
+    ///
+    /// # Errors
+    /// Returns a message on transport failure, an unexpected response kind,
+    /// or a whole-request refusal (e.g. an empty batch, or an `overloaded`
+    /// shed — per the protocol, shed requests are refused as a whole and
+    /// nothing is evaluated).
+    pub fn batch_eval(
+        &mut self,
+        evals: Vec<EvalSpec>,
+    ) -> Result<Vec<Result<EvalResult, WireError>>, String> {
+        match self.request(RequestKind::BatchEval { evals, per_item: Some(true) })? {
+            ResponseKind::BatchItems(items) => {
+                Ok(items.into_iter().map(BatchItem::into_result).collect())
+            }
+            ResponseKind::Batch(results) => Ok(results.into_iter().map(Ok).collect()),
+            ResponseKind::Error(error) => Err(format!("batch-eval: {error}")),
+            other => Err(format!("unexpected batch-eval answer: {other:?}")),
+        }
     }
 }

@@ -11,18 +11,25 @@
 //! suppression needs at scale:
 //!
 //! * [`server`] — a daemon over `std::net::TcpListener` speaking a
-//!   newline-delimited JSON protocol. It holds an LRU-bounded in-memory cache
-//!   of corpus cells ([`cache`]) with their shared evaluation artifacts
-//!   (calibrated `PolicyFactory`, lazily built union-find decoder) and
-//!   answers `cell × policy → metrics` queries without reloading anything.
-//!   Batch queries fan out on a persistent `rayon::ThreadPool` reused across
-//!   requests, with results in request order.
+//!   newline-delimited JSON protocol, with a **bounded** connection model: an
+//!   acceptor thread feeding a fixed pool of connection workers (hard
+//!   connection limit), evaluation work fanned out on a persistent
+//!   `rayon::ThreadPool` behind a bounded admission queue (explicit
+//!   `overloaded` backpressure instead of stalling), and a hot-swappable
+//!   corpus snapshot (the daemon watches `manifest.json` and atomically
+//!   swaps the cell index without dropping connections). It holds an
+//!   LRU-bounded in-memory cache of corpus cells ([`cache`]) with their
+//!   shared evaluation artifacts (calibrated `PolicyFactory`, lazily built
+//!   union-find decoder) and answers `cell × policy → metrics` queries
+//!   without reloading anything, streaming shard bytes shot-at-a-time on a
+//!   cache miss.
 //! * [`protocol`] — the wire types: `ping`/`version`/`stats`,
-//!   `list-cells`/`stat-cell`/`verify-cell`, `eval`/`batch-eval`, `shutdown`,
-//!   plus typed error codes. The format is frozen by
-//!   `docs/SERVE_PROTOCOL.md`, in the same spirit as `docs/TRACE_FORMAT.md`
-//!   for `.qtr`.
-//! * [`client`] — the blocking client behind `repro query` and the e2e tests.
+//!   `list-cells`/`stat-cell`/`verify-cell`, `eval`/`batch-eval` (all-or-
+//!   nothing or per-item result-or-error entries), `shutdown`, plus typed
+//!   error codes. The format is frozen by `docs/SERVE_PROTOCOL.md`, in the
+//!   same spirit as `docs/TRACE_FORMAT.md` for `.qtr`.
+//! * [`client`] — the blocking client behind `repro query` and the e2e
+//!   tests, including the typed per-item [`Client::batch_eval`] API.
 //!
 //! Served evaluations go through the *same* entry points as `repro replay`
 //! (`qec_experiments::replay::{evaluate_cell, evaluation_row}`), so a served
@@ -46,8 +53,8 @@ pub mod server;
 pub use cache::{CacheStats, CachedCell, CellCache};
 pub use client::Client;
 pub use protocol::{
-    parse_request, parse_response, request_line, response_line, CellStat, ErrorCode, EvalResult,
-    EvalSpec, Request, RequestKind, Response, ResponseKind, ServerStats, VerifiedCell, VersionInfo,
-    WireError, PROTOCOL_VERSION,
+    parse_request, parse_response, request_line, response_line, BatchItem, CellStat, ErrorCode,
+    EvalResult, EvalSpec, Request, RequestKind, Response, ResponseKind, ServerStats, VerifiedCell,
+    VersionInfo, WireError, PROTOCOL_VERSION,
 };
 pub use server::{ServeConfig, Server};

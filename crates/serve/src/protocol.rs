@@ -72,6 +72,13 @@ pub enum RequestKind {
     BatchEval {
         /// The pairings to evaluate, in the order results are wanted.
         evals: Vec<EvalSpec>,
+        /// `Some(true)` requests the per-item answer shape (`batch-items`):
+        /// one result-**or**-typed-error entry per pairing, so one bad
+        /// pairing no longer poisons the batch. Absent or `false` keeps the
+        /// original all-or-nothing `batch` answer. Additive optional field —
+        /// servers predating it ignore it and answer all-or-nothing, which
+        /// clients must tolerate.
+        per_item: Option<bool>,
     },
     /// Finish open connections' in-flight requests and exit the accept loop.
     Shutdown,
@@ -130,6 +137,12 @@ pub enum ResponseKind {
     /// Answer to `batch-eval`: one result per requested pairing, in request
     /// order.
     Batch(Vec<EvalResult>),
+    /// Answer to `batch-eval` with `per_item: true`: one entry per requested
+    /// pairing, in request order, each either a result or a typed error —
+    /// sibling pairings are unaffected by a failing one. Additive response
+    /// kind (only ever sent when explicitly requested), so it does not bump
+    /// [`PROTOCOL_VERSION`].
+    BatchItems(Vec<BatchItem>),
     /// Answer to `shutdown`; the server exits after this line is written.
     ShuttingDown,
     /// Any failure: a stable machine-readable code plus a human-readable
@@ -189,6 +202,25 @@ pub struct ServerStats {
     /// Most simulator checkpoints held at once by any shared evaluation
     /// (additive, like [`ServerStats::shared_passes`]).
     pub peak_checkpoints: u64,
+    /// Connections currently being served (a gauge, not a total; additive
+    /// field like [`ServerStats::shared_passes`], as are all fields below).
+    pub active_connections: u64,
+    /// The daemon's hard connection limit (`--max-connections`).
+    pub max_connections: usize,
+    /// Most evaluation units (batch members count individually) in flight at
+    /// once since start — the queue-depth high-water mark.
+    pub queue_depth_hwm: u64,
+    /// The daemon's evaluation-queue capacity (`--queue-limit`).
+    pub queue_limit: usize,
+    /// Evaluation requests refused with an `overloaded` error because the
+    /// queue was full (the connection survives; nothing was evaluated).
+    pub shed_requests: u64,
+    /// Connections refused with an `overloaded` greeting because the
+    /// connection limit was reached.
+    pub shed_connections: u64,
+    /// Times the daemon swapped in a changed `manifest.json` (hot corpus
+    /// reloads). Cache counters carry across a swap.
+    pub corpus_reloads: u64,
 }
 
 /// Manifest entry plus shard-header provenance for one cell.
@@ -227,6 +259,78 @@ pub struct EvalResult {
     pub result: ReplayCellResult,
 }
 
+/// One entry of a `batch-items` answer: the pairing's result, or the typed
+/// error that kept *this pairing alone* from being answered. The wire shape
+/// mirrors the solo response kinds — `{"eval": {...}}` or `{"error": {...}}`
+/// — so a per-item entry parses with the same vocabulary as a whole response.
+// Entries are overwhelmingly `Eval` in practice, so boxing the large variant
+// would buy nothing but an extra allocation per served row.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchItem {
+    /// The pairing evaluated successfully.
+    Eval(EvalResult),
+    /// The pairing failed; siblings are unaffected.
+    Error(WireError),
+}
+
+impl BatchItem {
+    /// The entry as a `Result`, borrowing.
+    pub fn as_result(&self) -> Result<&EvalResult, &WireError> {
+        match self {
+            BatchItem::Eval(result) => Ok(result),
+            BatchItem::Error(error) => Err(error),
+        }
+    }
+
+    /// The entry as a `Result`, consuming.
+    pub fn into_result(self) -> Result<EvalResult, WireError> {
+        match self {
+            BatchItem::Eval(result) => Ok(result),
+            BatchItem::Error(error) => Err(error),
+        }
+    }
+}
+
+impl From<Result<EvalResult, WireError>> for BatchItem {
+    fn from(outcome: Result<EvalResult, WireError>) -> Self {
+        match outcome {
+            Ok(result) => BatchItem::Eval(result),
+            Err(error) => BatchItem::Error(error),
+        }
+    }
+}
+
+impl Serialize for BatchItem {
+    fn to_value(&self) -> Value {
+        match self {
+            BatchItem::Eval(result) => tagged("eval", result.to_value()),
+            BatchItem::Error(error) => tagged("error", error.to_value()),
+        }
+    }
+}
+
+impl Deserialize for BatchItem {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Object(entries) if entries.len() == 1 => {
+                let (tag, payload) = &entries[0];
+                let context = |e: de::Error| e.in_context(tag);
+                match tag.as_str() {
+                    "eval" => {
+                        Ok(BatchItem::Eval(EvalResult::from_value(payload).map_err(context)?))
+                    }
+                    "error" => {
+                        Ok(BatchItem::Error(WireError::from_value(payload).map_err(context)?))
+                    }
+                    other => Err(de::unknown_variant("batch item", other)),
+                }
+            }
+            other => Err(de::expected("batch item (single-entry object)", other)),
+        }
+    }
+}
+
 /// Machine-readable failure categories. The code set may grow (an additive,
 /// non-version-bumping change); existing codes never change meaning.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -241,6 +345,12 @@ pub enum ErrorCode {
     /// The cell's shard failed to load or verify (I/O error, CRC mismatch,
     /// manifest/shard disagreement, stale corpus).
     CorruptCorpus,
+    /// Load was shed: the daemon's bounded evaluation queue (or connection
+    /// limit) was full, and the request was refused **without** being
+    /// evaluated. Retry later; the error never reflects anything wrong with
+    /// the request itself. Added after protocol v1 froze — an additive code
+    /// per the versioning rules, so no version bump.
+    Overloaded,
     /// Anything else that failed server-side.
     Internal,
     /// A code this build does not know (from a newer server). Never sent by
@@ -251,11 +361,12 @@ pub enum ErrorCode {
 
 impl ErrorCode {
     /// Every code this build can emit, in documentation order.
-    pub const ALL: [ErrorCode; 5] = [
+    pub const ALL: [ErrorCode; 6] = [
         ErrorCode::BadRequest,
         ErrorCode::UnknownCell,
         ErrorCode::UnknownPolicy,
         ErrorCode::CorruptCorpus,
+        ErrorCode::Overloaded,
         ErrorCode::Internal,
     ];
 
@@ -267,6 +378,7 @@ impl ErrorCode {
             ErrorCode::UnknownCell => "unknown-cell",
             ErrorCode::UnknownPolicy => "unknown-policy",
             ErrorCode::CorruptCorpus => "corrupt-corpus",
+            ErrorCode::Overloaded => "overloaded",
             ErrorCode::Internal => "internal",
             ErrorCode::Other(label) => label,
         }
@@ -348,8 +460,12 @@ impl Serialize for RequestKind {
             RequestKind::StatCell { key } => tagged("stat-cell", key_payload(key)),
             RequestKind::VerifyCell { key } => tagged("verify-cell", key_payload(key)),
             RequestKind::Eval(spec) => tagged("eval", spec.to_value()),
-            RequestKind::BatchEval { evals } => {
-                tagged("batch-eval", Value::Object(vec![("evals".to_string(), evals.to_value())]))
+            RequestKind::BatchEval { evals, per_item } => {
+                let mut fields = vec![("evals".to_string(), evals.to_value())];
+                if let Some(per_item) = per_item {
+                    fields.push(("per_item".to_string(), Value::Bool(*per_item)));
+                }
+                tagged("batch-eval", Value::Object(fields))
             }
         }
     }
@@ -386,6 +502,7 @@ impl Deserialize for RequestKind {
                         let fields = de::as_object(payload, "batch-eval")?;
                         Ok(RequestKind::BatchEval {
                             evals: de::field(fields, "batch-eval", "evals")?,
+                            per_item: de::field(fields, "batch-eval", "per_item")?,
                         })
                     }
                     other => Err(de::unknown_variant("request", other)),
@@ -408,6 +525,7 @@ impl Serialize for ResponseKind {
             ResponseKind::Verified(verified) => tagged("verified", verified.to_value()),
             ResponseKind::Eval(result) => tagged("eval", result.to_value()),
             ResponseKind::Batch(results) => tagged("batch", results.to_value()),
+            ResponseKind::BatchItems(items) => tagged("batch-items", items.to_value()),
             ResponseKind::Error(error) => tagged("error", error.to_value()),
         }
     }
@@ -445,6 +563,9 @@ impl Deserialize for ResponseKind {
                     }
                     "batch" => Ok(ResponseKind::Batch(
                         Vec::<EvalResult>::from_value(payload).map_err(context)?,
+                    )),
+                    "batch-items" => Ok(ResponseKind::BatchItems(
+                        Vec::<BatchItem>::from_value(payload).map_err(context)?,
                     )),
                     "error" => {
                         Ok(ResponseKind::Error(WireError::from_value(payload).map_err(context)?))

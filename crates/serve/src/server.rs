@@ -1,19 +1,35 @@
-//! The daemon: a `TcpListener` accept loop, per-connection request handling,
-//! and the dispatch from protocol requests to corpus-backed evaluations.
+//! The daemon: an acceptor thread, a fixed pool of connection workers, and
+//! the dispatch from protocol requests to corpus-backed evaluations.
 //!
-//! Request handling is deliberately boring: one thread per connection (scoped,
-//! so shutdown joins them all), requests answered strictly in arrival order
-//! per connection, every failure mapped to a typed [`WireError`] response —
-//! malformed input never crashes the server or closes the connection. Batch
-//! evaluations fan out on a persistent [`rayon::ThreadPool`] that is reused
-//! across requests, with results returned in request order regardless of
-//! worker count.
+//! The connection model is bounded end to end. The thread calling
+//! [`Server::run`] accepts sockets and hands them to a **fixed** pool of
+//! connection-worker threads (one per admissible connection — threads are
+//! allocated once, at startup, never per connection); a connection beyond
+//! `max_connections` is answered with one typed `overloaded` error line and
+//! closed instead of growing the pool. On each live connection, requests are
+//! answered strictly in arrival order, every failure mapped to a typed
+//! [`WireError`] response — malformed input never crashes the server or
+//! closes the connection. Evaluation work (solo `eval`, `batch-eval` groups,
+//! `verify-cell` re-reads) runs on a persistent [`rayon::ThreadPool`] shared
+//! by all connections, behind a bounded admission queue: when the in-flight
+//! evaluation weight would exceed `queue_limit`, the request is refused with
+//! an `overloaded` error on its own (surviving) connection rather than
+//! stalling everyone — explicit backpressure instead of collapse.
+//!
+//! The served corpus is a hot-swappable snapshot: the daemon stamps
+//! `manifest.json` (mtime + length) between requests and, when the stamp
+//! moves and the parsed entry set actually differs, atomically swaps in a
+//! fresh `(corpus, cache)` pair. Every request resolves against exactly one
+//! snapshot `Arc`, so in-flight evaluations finish against the snapshot they
+//! started on — a reload never drops a connection and never yields a
+//! mixed-snapshot row.
 
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 use leakage_speculation::PolicyKind;
 use qec_decoder::UnionFindDecoder;
@@ -23,12 +39,13 @@ use qec_experiments::replay::{
 };
 use qec_experiments::sweep::git_describe;
 use qec_experiments::ReplayMode;
-use qec_trace::{read_trace_header, Corpus, CorpusEntry};
+use qec_trace::{manifest_stamp, read_trace_header, Corpus, CorpusEntry, ManifestStamp};
 
 use crate::cache::{CachedCell, CellCache};
 use crate::protocol::{
-    parse_request, response_line, CellStat, ErrorCode, EvalResult, EvalSpec, RequestKind, Response,
-    ResponseKind, ServerStats, VerifiedCell, VersionInfo, WireError, PROTOCOL_VERSION,
+    parse_request, response_line, BatchItem, CellStat, ErrorCode, EvalResult, EvalSpec,
+    RequestKind, Response, ResponseKind, ServerStats, VerifiedCell, VersionInfo, WireError,
+    PROTOCOL_VERSION,
 };
 
 /// Server construction options.
@@ -39,24 +56,109 @@ pub struct ServeConfig {
     pub addr: String,
     /// Maximum corpus cells resident in the cache.
     pub cache_cells: usize,
-    /// Worker threads of the persistent batch-evaluation pool. `0` means
+    /// Worker threads of the persistent evaluation pool. `0` means
     /// [`rayon::current_num_threads`] (so `RAYON_NUM_THREADS` governs it).
     pub pool_threads: usize,
+    /// Hard connection limit: the size of the fixed connection-worker pool.
+    /// A connection beyond it receives one typed `overloaded` error line and
+    /// is closed (established connections are unaffected).
+    pub max_connections: usize,
+    /// Evaluation-queue capacity, in evaluation units (a solo `eval` or
+    /// `verify-cell` weighs 1, a `batch-eval` weighs its member count). A
+    /// request whose weight would push the in-flight total past the limit is
+    /// refused with an `overloaded` error on its surviving connection.
+    pub queue_limit: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { addr: "127.0.0.1:0".to_string(), cache_cells: 8, pool_threads: 0 }
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            cache_cells: 8,
+            pool_threads: 0,
+            max_connections: 32,
+            queue_limit: 256,
+        }
     }
 }
 
-/// Shared server state: the corpus manifest, the cell cache, the persistent
-/// pool and the traffic counters behind the `stats` response.
-struct ServerState {
+/// One atomically-swappable view of the served corpus: the parsed manifest
+/// and the cell cache loaded from it. Requests clone the current snapshot
+/// `Arc` once and resolve everything against it, so a concurrent manifest
+/// swap can never mix two corpus generations inside one answer.
+struct CorpusSnapshot {
     corpus: Corpus,
     cache: CellCache,
+}
+
+/// Admitted-but-not-yet-served connections, handed from the acceptor to the
+/// connection workers. `close` drops whatever is still pending (shutdown
+/// refuses no one an in-flight answer, but queued sockets that never reached
+/// a worker are simply closed) and wakes every idle worker so the pool can
+/// join deterministically.
+struct ConnQueue {
+    inner: Mutex<ConnQueueState>,
+    ready: Condvar,
+}
+
+struct ConnQueueState {
+    pending: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl ConnQueue {
+    fn new() -> Self {
+        ConnQueue {
+            inner: Mutex::new(ConnQueueState { pending: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, stream: TcpStream) {
+        let mut inner = self.inner.lock().expect("connection queue poisoned");
+        if inner.closed {
+            return; // dropped: the daemon is shutting down
+        }
+        inner.pending.push_back(stream);
+        self.ready.notify_one();
+    }
+
+    fn pop(&self) -> Option<TcpStream> {
+        let mut inner = self.inner.lock().expect("connection queue poisoned");
+        loop {
+            if let Some(stream) = inner.pending.pop_front() {
+                return Some(stream);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("connection queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        let mut inner = self.inner.lock().expect("connection queue poisoned");
+        inner.closed = true;
+        inner.pending.clear();
+        self.ready.notify_all();
+    }
+}
+
+/// Shared server state: the corpus snapshot, the persistent pool, the
+/// admission gauges and the traffic counters behind the `stats` response.
+struct ServerState {
+    /// The current corpus snapshot; replaced wholesale on a hot reload.
+    snapshot: RwLock<Arc<CorpusSnapshot>>,
+    /// Last `manifest.json` stamp acted on. Also serializes reload checks:
+    /// `try_lock` keeps the stat-and-maybe-reopen to one thread at a time.
+    reload: Mutex<Option<ManifestStamp>>,
+    corpus_dir: PathBuf,
+    cache_cells: usize,
     pool: rayon::ThreadPool,
     addr: SocketAddr,
+    max_connections: usize,
+    queue_limit: usize,
+    conn_queue: ConnQueue,
     requests: AtomicU64,
     evals: AtomicU64,
     batch_evals: AtomicU64,
@@ -68,6 +170,16 @@ struct ServerState {
     suffixes_served: AtomicU64,
     /// Most simulator checkpoints held at once by any shared evaluation.
     peak_checkpoints: AtomicU64,
+    /// Connections admitted and not yet finished (the connection-limit gauge:
+    /// only the acceptor increments, so the limit is never exceeded).
+    active_connections: AtomicU64,
+    /// Evaluation units currently in flight (admission gauge for
+    /// `queue_limit`).
+    queue_depth: AtomicU64,
+    queue_depth_hwm: AtomicU64,
+    shed_requests: AtomicU64,
+    shed_connections: AtomicU64,
+    corpus_reloads: AtomicU64,
     shutdown: AtomicBool,
     /// Read-half clones of open connections, so shutdown can unblock handler
     /// threads parked in `read_line` (an idle client must not keep the daemon
@@ -86,7 +198,7 @@ impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Server")
             .field("addr", &self.state.addr)
-            .field("cells", &self.state.corpus.entries().len())
+            .field("cells", &self.corpus_cells())
             .finish()
     }
 }
@@ -114,19 +226,35 @@ impl Server {
         } else {
             rayon::ThreadPool::new(config.pool_threads)
         };
+        let stamp = manifest_stamp(corpus_dir);
+        let cache_cells = config.cache_cells;
         Ok(Server {
             listener,
             state: ServerState {
-                corpus,
-                cache: CellCache::new(config.cache_cells),
+                snapshot: RwLock::new(Arc::new(CorpusSnapshot {
+                    corpus,
+                    cache: CellCache::new(cache_cells),
+                })),
+                reload: Mutex::new(stamp),
+                corpus_dir: corpus_dir.to_path_buf(),
+                cache_cells,
                 pool,
                 addr,
+                max_connections: config.max_connections.max(1),
+                queue_limit: config.queue_limit.max(1),
+                conn_queue: ConnQueue::new(),
                 requests: AtomicU64::new(0),
                 evals: AtomicU64::new(0),
                 batch_evals: AtomicU64::new(0),
                 shared_passes: AtomicU64::new(0),
                 suffixes_served: AtomicU64::new(0),
                 peak_checkpoints: AtomicU64::new(0),
+                active_connections: AtomicU64::new(0),
+                queue_depth: AtomicU64::new(0),
+                queue_depth_hwm: AtomicU64::new(0),
+                shed_requests: AtomicU64::new(0),
+                shed_connections: AtomicU64::new(0),
+                corpus_reloads: AtomicU64::new(0),
                 shutdown: AtomicBool::new(false),
                 connections: Mutex::new(Vec::new()),
             },
@@ -139,19 +267,27 @@ impl Server {
         self.state.addr
     }
 
-    /// Number of cells in the served corpus manifest.
+    /// Number of cells in the served corpus manifest (the current snapshot).
     #[must_use]
     pub fn corpus_cells(&self) -> usize {
-        self.state.corpus.entries().len()
+        current_snapshot(&self.state).corpus.entries().len()
     }
 
     /// Accepts and serves connections until a `shutdown` request is handled,
-    /// then joins every connection thread and returns.
+    /// then drains the worker pool deterministically and returns: the
+    /// connection queue is closed (idle workers wake and exit, queued-but-
+    /// unserved sockets are dropped), open connections' read halves are shut
+    /// so parked handlers finish their in-flight response and see EOF, and
+    /// the scope joins every thread.
     pub fn run(self) {
-        let state = &self.state;
+        let Server { listener, state } = self;
+        let state = &state;
         let next_id = AtomicU64::new(0);
         std::thread::scope(|scope| {
-            for stream in self.listener.incoming() {
+            for _ in 0..state.max_connections {
+                scope.spawn(|| connection_worker(state, &next_id));
+            }
+            for stream in listener.incoming() {
                 if state.shutdown.load(Ordering::Acquire) {
                     break;
                 }
@@ -159,34 +295,66 @@ impl Server {
                 // Request/response lines are tiny; Nagle + delayed ACK would
                 // add ~40ms stalls per round trip on small writes.
                 let _ = stream.set_nodelay(true);
-                let id = next_id.fetch_add(1, Ordering::Relaxed);
-                if let Ok(clone) = stream.try_clone() {
-                    state
-                        .connections
-                        .lock()
-                        .expect("connection registry poisoned")
-                        .push((id, clone));
+                // Hard connection limit. Only this thread increments the
+                // gauge, so admitted connections never exceed the worker
+                // count and every admitted socket gets a worker promptly.
+                let admitted = state.active_connections.fetch_add(1, Ordering::AcqRel);
+                if admitted >= state.max_connections as u64 {
+                    state.active_connections.fetch_sub(1, Ordering::AcqRel);
+                    state.shed_connections.fetch_add(1, Ordering::Relaxed);
+                    shed_connection(state, stream);
+                    continue;
                 }
-                scope.spawn(move || {
-                    handle_connection(state, stream);
-                    state
-                        .connections
-                        .lock()
-                        .expect("connection registry poisoned")
-                        .retain(|(conn_id, _)| *conn_id != id);
-                });
+                state.conn_queue.push(stream);
             }
-            // Accept loop done: close the *read* side of every remaining
-            // connection so idle clients cannot keep handler threads (and the
-            // scope join) alive. Writes stay open, so a handler mid-request
-            // still delivers its in-flight response before seeing EOF — the
-            // protocol doc's "force-closed after their in-flight request".
+            // Shutdown: wake idle workers (and drop never-served sockets)...
+            state.conn_queue.close();
+            // ...then close the *read* side of every remaining connection so
+            // parked handlers cannot keep the join alive. Writes stay open,
+            // so a handler mid-request still delivers its in-flight response
+            // before seeing EOF — the protocol doc's "force-closed after
+            // their in-flight request".
             for (_, conn) in state.connections.lock().expect("connection registry poisoned").iter()
             {
                 let _ = conn.shutdown(std::net::Shutdown::Read);
             }
         });
     }
+}
+
+/// One connection-worker thread: serves admitted connections, one at a time,
+/// until the queue is closed. Registers each connection's read half so
+/// shutdown can unblock a parked `read_line`.
+fn connection_worker(state: &ServerState, next_id: &AtomicU64) {
+    while let Some(stream) = state.conn_queue.pop() {
+        let id = next_id.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            state.connections.lock().expect("connection registry poisoned").push((id, clone));
+        }
+        handle_connection(state, stream);
+        state
+            .connections
+            .lock()
+            .expect("connection registry poisoned")
+            .retain(|(conn_id, _)| *conn_id != id);
+        state.active_connections.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Answers an over-limit connection with a single typed `overloaded` error
+/// line (`id` null — there is no request to correlate with) and closes it.
+/// Established connections are unaffected; the client may reconnect later.
+fn shed_connection(state: &ServerState, mut stream: TcpStream) {
+    let error = WireError::new(
+        ErrorCode::Overloaded,
+        format!(
+            "connection limit reached ({} active); connection refused — retry later",
+            state.max_connections
+        ),
+    );
+    let response = Response { id: None, v: PROTOCOL_VERSION, response: ResponseKind::Error(error) };
+    let _ = writeln!(stream, "{}", response_line(&response));
+    let _ = stream.flush();
 }
 
 /// Serves one connection: reads LF-terminated request lines, answers each in
@@ -230,22 +398,124 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
     }
 }
 
+/// The current corpus snapshot. Cloning the `Arc` under the read lock is the
+/// whole synchronization story: whatever a request resolves after this call
+/// — manifest entries, cache cells, shard paths — comes from one generation.
+fn current_snapshot(state: &ServerState) -> Arc<CorpusSnapshot> {
+    Arc::clone(&state.snapshot.read().expect("snapshot lock poisoned"))
+}
+
+/// Checks `manifest.json` for changes and swaps in a fresh snapshot when the
+/// parsed entry set differs. Crash-safe against torn manifest writes: a
+/// manifest that fails to parse is skipped (the stamp is not advanced), so
+/// the next request simply retries; the old snapshot keeps serving either
+/// way. Content-identical rewrites advance the stamp without swapping, so
+/// cache residency (and the exactness of cache-counter tests) survives a
+/// `touch`.
+fn maybe_reload(state: &ServerState) {
+    // Another thread mid-check will pick up whatever we would have seen.
+    let Ok(mut last) = state.reload.try_lock() else { return };
+    let stamp = manifest_stamp(&state.corpus_dir);
+    if stamp == *last {
+        return;
+    }
+    let Ok(corpus) = Corpus::open_existing(&state.corpus_dir) else { return };
+    let baseline = {
+        let current = state.snapshot.read().expect("snapshot lock poisoned");
+        if current.corpus.entries() == corpus.entries() {
+            *last = stamp;
+            return;
+        }
+        current.cache.stats()
+    };
+    let fresh =
+        CorpusSnapshot { corpus, cache: CellCache::with_baseline(state.cache_cells, baseline) };
+    *state.snapshot.write().expect("snapshot lock poisoned") = Arc::new(fresh);
+    state.corpus_reloads.fetch_add(1, Ordering::Relaxed);
+    *last = stamp;
+}
+
+/// A held slot of the bounded evaluation queue; releases its weight on drop.
+struct QueueSlot<'s> {
+    state: &'s ServerState,
+    weight: u64,
+}
+
+impl Drop for QueueSlot<'_> {
+    fn drop(&mut self) {
+        self.state.queue_depth.fetch_sub(self.weight, Ordering::AcqRel);
+    }
+}
+
+/// Tries to admit `weight` evaluation units. Admission is strict — a request
+/// is admitted only when its **whole** weight fits under `queue_limit` — so
+/// whether a given request sheds is a deterministic function of what is in
+/// flight, never of how far over the limit it would land.
+fn try_enqueue(state: &ServerState, weight: u64) -> Option<QueueSlot<'_>> {
+    let limit = state.queue_limit as u64;
+    let mut depth = state.queue_depth.load(Ordering::Relaxed);
+    loop {
+        if depth + weight > limit {
+            return None;
+        }
+        match state.queue_depth.compare_exchange(
+            depth,
+            depth + weight,
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => break,
+            Err(actual) => depth = actual,
+        }
+    }
+    state.queue_depth_hwm.fetch_max(depth + weight, Ordering::Relaxed);
+    Some(QueueSlot { state, weight })
+}
+
+/// The typed refusal a shed request is answered with. Nothing was evaluated;
+/// the connection survives and the client may retry the identical request.
+fn overloaded(state: &ServerState, weight: u64) -> ResponseKind {
+    state.shed_requests.fetch_add(1, Ordering::Relaxed);
+    ResponseKind::Error(WireError::new(
+        ErrorCode::Overloaded,
+        format!(
+            "evaluation queue full (request weight {weight} does not fit under limit {}); \
+             nothing was evaluated — retry later",
+            state.queue_limit
+        ),
+    ))
+}
+
 /// Dispatches one parsed request. Never panics on user input: every failure
 /// becomes a typed error response.
 fn handle_request(state: &ServerState, request: RequestKind) -> ResponseKind {
+    // Corpus-free kinds first: pure liveness and identity, never shed, and
+    // deliberately untouched by reload checks.
     match request {
-        RequestKind::Ping => ResponseKind::Pong,
-        RequestKind::Shutdown => ResponseKind::ShuttingDown,
-        RequestKind::Version => ResponseKind::Version(VersionInfo {
-            server: format!("qec-serve {}", env!("CARGO_PKG_VERSION")),
-            git_describe: git_describe(),
-            protocol: PROTOCOL_VERSION,
-            trace_schema: qec_trace::TRACE_SCHEMA_VERSION,
-            manifest_schema: qec_trace::MANIFEST_SCHEMA_VERSION,
-            replay_schema: REPLAY_SCHEMA_VERSION,
-        }),
+        RequestKind::Ping => return ResponseKind::Pong,
+        RequestKind::Shutdown => return ResponseKind::ShuttingDown,
+        RequestKind::Version => {
+            return ResponseKind::Version(VersionInfo {
+                server: format!("qec-serve {}", env!("CARGO_PKG_VERSION")),
+                git_describe: git_describe(),
+                protocol: PROTOCOL_VERSION,
+                trace_schema: qec_trace::TRACE_SCHEMA_VERSION,
+                manifest_schema: qec_trace::MANIFEST_SCHEMA_VERSION,
+                replay_schema: REPLAY_SCHEMA_VERSION,
+            })
+        }
+        _ => {}
+    }
+    // Everything below reads the corpus: check for a hot manifest swap, then
+    // resolve the whole request against one snapshot generation.
+    maybe_reload(state);
+    let snapshot = current_snapshot(state);
+    match request {
+        RequestKind::Ping | RequestKind::Shutdown | RequestKind::Version => {
+            unreachable!("handled above")
+        }
         RequestKind::Stats => {
-            let cache = state.cache.stats();
+            let cache = snapshot.cache.stats();
             ResponseKind::Stats(ServerStats {
                 requests: state.requests.load(Ordering::Relaxed),
                 evals: state.evals.load(Ordering::Relaxed),
@@ -255,37 +525,69 @@ fn handle_request(state: &ServerState, request: RequestKind) -> ResponseKind {
                 cache_evictions: cache.evictions,
                 cached_cells: cache.cached_cells,
                 cache_capacity: cache.capacity,
-                corpus_cells: state.corpus.entries().len(),
+                corpus_cells: snapshot.corpus.entries().len(),
                 shared_passes: state.shared_passes.load(Ordering::Relaxed),
                 suffixes_served: state.suffixes_served.load(Ordering::Relaxed),
                 peak_checkpoints: state.peak_checkpoints.load(Ordering::Relaxed),
+                active_connections: state.active_connections.load(Ordering::Relaxed),
+                max_connections: state.max_connections,
+                queue_depth_hwm: state.queue_depth_hwm.load(Ordering::Relaxed),
+                queue_limit: state.queue_limit,
+                shed_requests: state.shed_requests.load(Ordering::Relaxed),
+                shed_connections: state.shed_connections.load(Ordering::Relaxed),
+                corpus_reloads: state.corpus_reloads.load(Ordering::Relaxed),
             })
         }
-        RequestKind::ListCells => ResponseKind::Cells(state.corpus.entries().to_vec()),
-        RequestKind::StatCell { key } => match stat_cell(state, &key) {
+        RequestKind::ListCells => ResponseKind::Cells(snapshot.corpus.entries().to_vec()),
+        RequestKind::StatCell { key } => match stat_cell(&snapshot, &key) {
             Ok(stat) => ResponseKind::CellStat(stat),
             Err(error) => ResponseKind::Error(error),
         },
-        RequestKind::VerifyCell { key } => match verify_cell(state, &key) {
-            Ok(verified) => ResponseKind::Verified(verified),
-            Err(error) => ResponseKind::Error(error),
-        },
-        RequestKind::Eval(spec) => match prepare_eval(state, &spec).map(compute_eval) {
-            Ok(Ok(result)) => {
-                state.evals.fetch_add(1, Ordering::Relaxed);
-                ResponseKind::Eval(result)
+        RequestKind::VerifyCell { key } => {
+            let Some(slot) = try_enqueue(state, 1) else { return overloaded(state, 1) };
+            let outcome = verify_cell(state, &snapshot, &key);
+            drop(slot);
+            match outcome {
+                Ok(verified) => ResponseKind::Verified(verified),
+                Err(error) => ResponseKind::Error(error),
             }
-            Ok(Err(error)) | Err(error) => ResponseKind::Error(error),
-        },
-        RequestKind::BatchEval { evals } => match batch_eval(state, &evals) {
-            Ok(results) => ResponseKind::Batch(results),
-            Err(error) => ResponseKind::Error(error),
-        },
+        }
+        RequestKind::Eval(spec) => {
+            let Some(slot) = try_enqueue(state, 1) else { return overloaded(state, 1) };
+            let outcome = match prepare_eval(&snapshot, &spec) {
+                Ok(prepared) => state
+                    .pool
+                    .execute_ordered(vec![move || compute_eval(prepared)])
+                    .pop()
+                    .expect("one job, one result"),
+                Err(error) => Err(error),
+            };
+            drop(slot);
+            match outcome {
+                Ok(result) => {
+                    state.evals.fetch_add(1, Ordering::Relaxed);
+                    ResponseKind::Eval(result)
+                }
+                Err(error) => ResponseKind::Error(error),
+            }
+        }
+        RequestKind::BatchEval { evals, per_item } => {
+            let weight = evals.len() as u64;
+            let Some(slot) = try_enqueue(state, weight) else {
+                return overloaded(state, weight);
+            };
+            let outcome = batch_eval(state, &snapshot, &evals, per_item.unwrap_or(false));
+            drop(slot);
+            match outcome {
+                Ok(response) => response,
+                Err(error) => ResponseKind::Error(error),
+            }
+        }
     }
 }
 
-fn lookup<'c>(state: &'c ServerState, key: &str) -> Result<&'c CorpusEntry, WireError> {
-    state.corpus.lookup(key).ok_or_else(|| {
+fn lookup<'c>(snapshot: &'c CorpusSnapshot, key: &str) -> Result<&'c CorpusEntry, WireError> {
+    snapshot.corpus.lookup(key).ok_or_else(|| {
         WireError::new(
             ErrorCode::UnknownCell,
             format!("no cell `{key}` in the served corpus (try list-cells)"),
@@ -295,9 +597,9 @@ fn lookup<'c>(state: &'c ServerState, key: &str) -> Result<&'c CorpusEntry, Wire
 
 /// `stat-cell`: manifest entry + shard provenance at `O(header)` cost — the
 /// shard's shot blocks are never read (`qec_trace::read_trace_header`).
-fn stat_cell(state: &ServerState, key: &str) -> Result<CellStat, WireError> {
-    let entry = lookup(state, key)?;
-    let path = state.corpus.trace_path(entry);
+fn stat_cell(snapshot: &CorpusSnapshot, key: &str) -> Result<CellStat, WireError> {
+    let entry = lookup(snapshot, key)?;
+    let path = snapshot.corpus.trace_path(entry);
     let corrupt =
         |e: String| WireError::new(ErrorCode::CorruptCorpus, format!("{}: {e}", path.display()));
     let file_bytes = std::fs::metadata(&path).map_err(|e| corrupt(e.to_string()))?.len();
@@ -312,11 +614,24 @@ fn stat_cell(state: &ServerState, key: &str) -> Result<CellStat, WireError> {
 
 /// `verify-cell`: a full CRC + identity re-read from disk, deliberately
 /// bypassing the cache (a cached cell proves nothing about today's bytes).
-fn verify_cell(state: &ServerState, key: &str) -> Result<VerifiedCell, WireError> {
-    let entry = lookup(state, key)?;
-    let cell = load_entry(&state.corpus, entry)
-        .map_err(|e| WireError::new(ErrorCode::CorruptCorpus, e))?;
-    Ok(VerifiedCell { key: key.to_string(), shots: cell.shots.len() })
+/// The re-read runs on the evaluation pool like any other heavy work.
+fn verify_cell(
+    state: &ServerState,
+    snapshot: &Arc<CorpusSnapshot>,
+    key: &str,
+) -> Result<VerifiedCell, WireError> {
+    let entry = lookup(snapshot, key)?.clone();
+    let snapshot = Arc::clone(snapshot);
+    let key = key.to_string();
+    state
+        .pool
+        .execute_ordered(vec![move || {
+            let cell = load_entry(&snapshot.corpus, &entry)
+                .map_err(|e| WireError::new(ErrorCode::CorruptCorpus, e))?;
+            Ok(VerifiedCell { key, shots: cell.shots.len() })
+        }])
+        .pop()
+        .expect("one job, one result")
 }
 
 /// One eval with its cell resolved and its labels parsed — everything owned,
@@ -330,11 +645,11 @@ struct PreparedEval {
     decode: bool,
 }
 
-/// Resolves an [`EvalSpec`] against the corpus and cache. Sequential (under
-/// the cache lock), so cache traffic is a deterministic function of the
-/// request stream.
-fn prepare_eval(state: &ServerState, spec: &EvalSpec) -> Result<PreparedEval, WireError> {
-    let entry = lookup(state, &spec.key)?;
+/// Resolves an [`EvalSpec`] against the snapshot's corpus and cache.
+/// Sequential (under the cache lock), so cache traffic is a deterministic
+/// function of the request stream.
+fn prepare_eval(snapshot: &CorpusSnapshot, spec: &EvalSpec) -> Result<PreparedEval, WireError> {
+    let entry = lookup(snapshot, &spec.key)?;
     let policy = PolicyKind::from_label(&spec.policy).ok_or_else(|| {
         WireError::new(
             ErrorCode::UnknownPolicy,
@@ -357,9 +672,9 @@ fn prepare_eval(state: &ServerState, spec: &EvalSpec) -> Result<PreparedEval, Wi
                 )
             })?,
     };
-    let (cached, hit) = state
+    let (cached, hit) = snapshot
         .cache
-        .get_or_load(&state.corpus, entry)
+        .get_or_load(&snapshot.corpus, entry)
         .map_err(|e| WireError::new(ErrorCode::CorruptCorpus, e))?;
     Ok(PreparedEval {
         key: spec.key.clone(),
@@ -399,9 +714,8 @@ fn compute_eval(prepared: PreparedEval) -> Result<EvalResult, WireError> {
 /// path. One forced prefix pass per divergent shot serves every candidate;
 /// results are bit-identical to [`compute_eval`] per member (the exact-
 /// counterfactual contract), so batching never changes a served row. A
-/// cell-level failure is reported against every member (the batch is
-/// all-or-nothing anyway, and the failure — e.g. a stale corpus — belongs to
-/// the cell, not one candidate).
+/// cell-level failure is reported against every member (the failure — e.g. a
+/// stale corpus — belongs to the cell, not one candidate).
 fn compute_eval_group(
     members: &[PreparedEval],
 ) -> (Vec<Result<EvalResult, WireError>>, CheckpointStats) {
@@ -447,12 +761,24 @@ fn compute_eval_group(
 /// candidate set (served through the shared-checkpoint path — one forced
 /// prefix pass per divergent shot instead of one per candidate), then fan the
 /// solo evaluations and the groups out on the persistent pool. Results come
-/// back in request order and are byte-identical to ungrouped evaluation. The
-/// batch answer is all-or-nothing: an unresolvable pairing fails the whole
-/// request before anything is evaluated, and a compute-stage failure (e.g. a
-/// stale corpus under closed-loop repair) discards the sibling results;
-/// either way the error message names the offending index.
-fn batch_eval(state: &ServerState, evals: &[EvalSpec]) -> Result<Vec<EvalResult>, WireError> {
+/// back in request order and are byte-identical to ungrouped evaluation.
+///
+/// Two answer shapes, chosen by the request's `per_item` flag:
+///
+/// * **legacy all-or-nothing** (absent/`false`): an unresolvable pairing
+///   fails the whole request before anything later is resolved or evaluated,
+///   and a compute-stage failure (e.g. a stale corpus under closed-loop
+///   repair) discards the sibling results; either way the error names the
+///   offending index.
+/// * **per-item** (`true`): every pairing is resolved and evaluated
+///   independently; the answer carries one result-or-typed-error entry per
+///   pairing, in request order — one bad pairing no longer poisons the batch.
+fn batch_eval(
+    state: &ServerState,
+    snapshot: &CorpusSnapshot,
+    evals: &[EvalSpec],
+    per_item: bool,
+) -> Result<ResponseKind, WireError> {
     if evals.is_empty() {
         return Err(WireError::new(ErrorCode::BadRequest, "batch-eval with no evals"));
     }
@@ -462,11 +788,20 @@ fn batch_eval(state: &ServerState, evals: &[EvalSpec]) -> Result<Vec<EvalResult>
             error
         }
     };
-    let prepared: Vec<PreparedEval> = evals
-        .iter()
-        .enumerate()
-        .map(|(index, spec)| prepare_eval(state, spec).map_err(indexed(index)))
-        .collect::<Result<_, _>>()?;
+    // Resolve sequentially. Legacy mode keeps the historical fail-fast: the
+    // first unresolvable pairing refuses the batch before anything after it
+    // is resolved (so its cache traffic is exactly the pre-per-item one).
+    let mut prepared: Vec<(usize, Result<PreparedEval, WireError>)> =
+        Vec::with_capacity(evals.len());
+    for (index, spec) in evals.iter().enumerate() {
+        let outcome = prepare_eval(snapshot, spec).map_err(indexed(index));
+        if let (false, Err(error)) = (per_item, &outcome) {
+            return Err(error.clone());
+        }
+        prepared.push((index, outcome));
+    }
+    let mut outcomes: Vec<Option<Result<EvalResult, WireError>>> =
+        (0..evals.len()).map(|_| None).collect();
     // Partition into same-cell closed-loop candidate sets and solo members.
     // Only closed-loop pairings are groupable (`Some(key)`); open-loop
     // pairings stay solo (`None`) even when they target the same cell.
@@ -474,7 +809,14 @@ fn batch_eval(state: &ServerState, evals: &[EvalSpec]) -> Result<Vec<EvalResult>
     // the same bytes, but sharing one candidate dedups nothing.
     type EvalGroup = (Option<String>, Vec<(usize, PreparedEval)>);
     let mut groups: Vec<EvalGroup> = Vec::new();
-    for (index, p) in prepared.into_iter().enumerate() {
+    for (index, outcome) in prepared {
+        let p = match outcome {
+            Ok(p) => p,
+            Err(error) => {
+                outcomes[index] = Some(Err(error));
+                continue;
+            }
+        };
         let group_key = (p.mode == ReplayMode::ClosedLoop).then(|| p.key.clone());
         match group_key
             .as_ref()
@@ -509,8 +851,6 @@ fn batch_eval(state: &ServerState, evals: &[EvalSpec]) -> Result<Vec<EvalResult>
             }
         })
         .collect();
-    let mut outcomes: Vec<Option<Result<EvalResult, WireError>>> =
-        (0..evals.len()).map(|_| None).collect();
     for (group_outcomes, stats) in state.pool.execute_ordered(jobs) {
         state.shared_passes.fetch_add(stats.forced_passes, Ordering::Relaxed);
         state.suffixes_served.fetch_add(stats.suffixes, Ordering::Relaxed);
@@ -523,10 +863,15 @@ fn batch_eval(state: &ServerState, evals: &[EvalSpec]) -> Result<Vec<EvalResult>
         outcomes.into_iter().map(|outcome| outcome.expect("every index answered")).collect();
     // `evals` counts successfully computed pairings (matching the single-eval
     // path, which only counts successes); `batch_evals` counts batches that
-    // were answered with a `batch` response.
+    // were answered with a `batch` or `batch-items` response.
     let successes = outcomes.iter().filter(|outcome| outcome.is_ok()).count();
     state.evals.fetch_add(successes as u64, Ordering::Relaxed);
-    let results = outcomes.into_iter().collect::<Result<Vec<EvalResult>, WireError>>()?;
-    state.batch_evals.fetch_add(1, Ordering::Relaxed);
-    Ok(results)
+    if per_item {
+        state.batch_evals.fetch_add(1, Ordering::Relaxed);
+        Ok(ResponseKind::BatchItems(outcomes.into_iter().map(BatchItem::from).collect()))
+    } else {
+        let results = outcomes.into_iter().collect::<Result<Vec<EvalResult>, WireError>>()?;
+        state.batch_evals.fetch_add(1, Ordering::Relaxed);
+        Ok(ResponseKind::Batch(results))
+    }
 }

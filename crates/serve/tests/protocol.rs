@@ -6,9 +6,9 @@
 use qec_experiments::metrics::AggregateMetrics;
 use qec_experiments::ReplayCellResult;
 use qec_serve::{
-    parse_request, parse_response, request_line, response_line, CellStat, ErrorCode, EvalResult,
-    EvalSpec, Request, RequestKind, Response, ResponseKind, ServerStats, VerifiedCell, VersionInfo,
-    WireError, PROTOCOL_VERSION,
+    parse_request, parse_response, request_line, response_line, BatchItem, CellStat, ErrorCode,
+    EvalResult, EvalSpec, Request, RequestKind, Response, ResponseKind, ServerStats, VerifiedCell,
+    VersionInfo, WireError, PROTOCOL_VERSION,
 };
 use qec_trace::{CorpusEntry, DivergenceProfile};
 
@@ -76,6 +76,30 @@ fn sample_eval_spec() -> EvalSpec {
     }
 }
 
+fn sample_stats() -> ServerStats {
+    ServerStats {
+        requests: 10,
+        evals: 6,
+        batch_evals: 1,
+        cache_hits: 4,
+        cache_misses: 2,
+        cache_evictions: 1,
+        cached_cells: 1,
+        cache_capacity: 8,
+        corpus_cells: 3,
+        shared_passes: 5,
+        suffixes_served: 17,
+        peak_checkpoints: 2,
+        active_connections: 3,
+        max_connections: 32,
+        queue_depth_hwm: 9,
+        queue_limit: 256,
+        shed_requests: 1,
+        shed_connections: 2,
+        corpus_reloads: 4,
+    }
+}
+
 #[track_caller]
 fn roundtrip_request(kind: RequestKind) {
     let request = Request { id: Some(42), request: kind };
@@ -109,6 +133,15 @@ fn every_request_kind_round_trips() {
                 decode: None,
             },
         ],
+        per_item: None,
+    });
+    roundtrip_request(RequestKind::BatchEval {
+        evals: vec![sample_eval_spec()],
+        per_item: Some(true),
+    });
+    roundtrip_request(RequestKind::BatchEval {
+        evals: vec![sample_eval_spec()],
+        per_item: Some(false),
     });
     roundtrip_request(RequestKind::Shutdown);
 }
@@ -124,20 +157,7 @@ fn every_response_kind_round_trips() {
         manifest_schema: 1,
         replay_schema: 2,
     }));
-    roundtrip_response(ResponseKind::Stats(ServerStats {
-        requests: 10,
-        evals: 6,
-        batch_evals: 1,
-        cache_hits: 4,
-        cache_misses: 2,
-        cache_evictions: 1,
-        cached_cells: 1,
-        cache_capacity: 8,
-        corpus_cells: 3,
-        shared_passes: 5,
-        suffixes_served: 17,
-        peak_checkpoints: 2,
-    }));
+    roundtrip_response(ResponseKind::Stats(sample_stats()));
     roundtrip_response(ResponseKind::Cells(vec![sample_entry()]));
     roundtrip_response(ResponseKind::CellStat(CellStat {
         entry: sample_entry(),
@@ -151,6 +171,11 @@ fn every_response_kind_round_trips() {
         EvalResult { cached: false, result: sample_row() },
         EvalResult { cached: true, result: sample_row() },
     ]));
+    roundtrip_response(ResponseKind::BatchItems(vec![
+        BatchItem::Eval(EvalResult { cached: false, result: sample_row() }),
+        BatchItem::Error(WireError::new(ErrorCode::UnknownCell, "no such cell `k2`")),
+        BatchItem::Eval(EvalResult { cached: true, result: sample_row() }),
+    ]));
     roundtrip_response(ResponseKind::ShuttingDown);
     for code in ErrorCode::ALL {
         roundtrip_response(ResponseKind::Error(WireError::new(code, "something happened")));
@@ -162,24 +187,76 @@ fn checkpoint_counters_keep_their_frozen_wire_names() {
     // The checkpoint counters were added after protocol v1 froze. Additive
     // response fields do not bump the version — old clients ignore them —
     // but once shipped their wire names are frozen like any other field.
-    let rendered = serde_json::to_string(&ServerStats {
-        requests: 10,
-        evals: 6,
-        batch_evals: 1,
-        cache_hits: 4,
-        cache_misses: 2,
-        cache_evictions: 1,
-        cached_cells: 1,
-        cache_capacity: 8,
-        corpus_cells: 3,
-        shared_passes: 5,
-        suffixes_served: 17,
-        peak_checkpoints: 2,
-    })
-    .unwrap();
+    let rendered = serde_json::to_string(&sample_stats()).unwrap();
     for field in ["\"shared_passes\":5", "\"suffixes_served\":17", "\"peak_checkpoints\":2"] {
         assert!(rendered.contains(field), "{rendered}");
     }
+}
+
+#[test]
+fn connection_and_backpressure_counters_keep_their_frozen_wire_names() {
+    // The bounded-connection-model counters are additive like the checkpoint
+    // counters above: no version bump, but frozen names once shipped.
+    let rendered = serde_json::to_string(&sample_stats()).unwrap();
+    for field in [
+        "\"active_connections\":3",
+        "\"max_connections\":32",
+        "\"queue_depth_hwm\":9",
+        "\"queue_limit\":256",
+        "\"shed_requests\":1",
+        "\"shed_connections\":2",
+        "\"corpus_reloads\":4",
+    ] {
+        assert!(rendered.contains(field), "{rendered}");
+    }
+}
+
+#[test]
+fn per_item_batches_have_the_documented_wire_shapes() {
+    // `per_item` is an additive request field: absent unless the client sets
+    // it, so a pre-per-item request line is byte-identical to what an old
+    // client sends (and an old server parsing a new client's line simply
+    // ignores the unknown field).
+    let spec =
+        EvalSpec { key: "k".to_string(), policy: "ideal".to_string(), mode: None, decode: None };
+    let legacy = serde_json::to_string(&RequestKind::BatchEval {
+        evals: vec![spec.clone()],
+        per_item: None,
+    })
+    .unwrap();
+    assert!(!legacy.contains("per_item"), "absent when unset: {legacy}");
+    let per_item =
+        serde_json::to_string(&RequestKind::BatchEval { evals: vec![spec], per_item: Some(true) })
+            .unwrap();
+    assert!(per_item.contains("\"per_item\":true"), "{per_item}");
+    // A server that predates `per_item` parses the field-bearing line fine
+    // only via unknown-field tolerance; what THIS build must guarantee is
+    // that a line WITHOUT the field parses as `per_item: None` (legacy
+    // all-or-nothing semantics).
+    let line = r#"{"id":1,"request":{"batch-eval":{"evals":[{"key":"k","policy":"ideal"}]}}}"#;
+    let parsed = parse_request(line).unwrap();
+    let RequestKind::BatchEval { per_item, .. } = parsed.request else { panic!("batch-eval") };
+    assert_eq!(per_item, None);
+    // Each `batch-items` entry is a single-key object: `eval` or `error`.
+    let items = ResponseKind::BatchItems(vec![
+        BatchItem::Eval(EvalResult { cached: true, result: sample_row() }),
+        BatchItem::Error(WireError::new(ErrorCode::UnknownPolicy, "nope")),
+    ]);
+    let rendered = serde_json::to_string(&items).unwrap();
+    assert!(rendered.starts_with("{\"batch-items\":[{\"eval\":"), "{rendered}");
+    assert!(rendered.contains("{\"error\":{\"code\":\"unknown-policy\""), "{rendered}");
+}
+
+#[test]
+fn batch_items_convert_cleanly_to_results() {
+    let ok = BatchItem::Eval(EvalResult { cached: false, result: sample_row() });
+    let err = BatchItem::Error(WireError::new(ErrorCode::UnknownCell, "gone"));
+    assert!(ok.as_result().is_ok());
+    assert!(err.as_result().is_err());
+    assert!(!ok.into_result().unwrap().cached);
+    assert_eq!(err.into_result().unwrap_err().code, ErrorCode::UnknownCell);
+    let from: BatchItem = Err::<EvalResult, _>(WireError::new(ErrorCode::Internal, "x")).into();
+    assert!(matches!(from, BatchItem::Error(_)));
 }
 
 #[test]
@@ -221,14 +298,23 @@ fn frozen_wire_tags_do_not_drift() {
         (RequestKind::StatCell { key: "k".to_string() }, "stat-cell"),
         (RequestKind::VerifyCell { key: "k".to_string() }, "verify-cell"),
         (RequestKind::Eval(sample_eval_spec()), "eval"),
-        (RequestKind::BatchEval { evals: vec![] }, "batch-eval"),
+        (RequestKind::BatchEval { evals: vec![], per_item: None }, "batch-eval"),
     ] {
         let rendered = serde_json::to_string(&kind).unwrap();
         assert!(rendered.starts_with(&format!("{{\"{tag}\":")), "{rendered}");
     }
+    let rendered = serde_json::to_string(&ResponseKind::BatchItems(vec![])).unwrap();
+    assert!(rendered.starts_with("{\"batch-items\":"), "{rendered}");
     assert_eq!(
         ErrorCode::ALL.map(|code| code.label().to_string()),
-        ["bad-request", "unknown-cell", "unknown-policy", "corrupt-corpus", "internal"]
+        [
+            "bad-request",
+            "unknown-cell",
+            "unknown-policy",
+            "corrupt-corpus",
+            "overloaded",
+            "internal"
+        ]
     );
 }
 

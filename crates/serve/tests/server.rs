@@ -3,16 +3,18 @@
 //! including the acceptance gate that a served `eval` is **byte-identical** to
 //! the `repro replay` report row for the same `cell × policy`.
 
-use std::io::{BufRead, BufReader};
+use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
 
 use leakage_speculation::PolicyKind;
 use qec_experiments::replay::record_into_corpus;
 use qec_experiments::scenario::{CodeFamily, Scenario};
 use qec_experiments::ReplayReport;
 use qec_serve::{
-    Client, ErrorCode, EvalSpec, RequestKind, ResponseKind, ServeConfig, Server, PROTOCOL_VERSION,
+    request_line, Client, ErrorCode, EvalSpec, Request, RequestKind, ResponseKind, ServeConfig,
+    Server, PROTOCOL_VERSION,
 };
 use qec_trace::Corpus;
 
@@ -55,6 +57,12 @@ fn record_corpus(dir: &Path) -> Vec<String> {
 fn start_in_process(dir: &Path, cache_cells: usize) -> (String, std::thread::JoinHandle<()>) {
     let config =
         ServeConfig { addr: "127.0.0.1:0".to_string(), cache_cells, ..ServeConfig::default() };
+    start_with_config(dir, config)
+}
+
+/// Like [`start_in_process`], but with full control over the connection and
+/// queue limits.
+fn start_with_config(dir: &Path, config: ServeConfig) -> (String, std::thread::JoinHandle<()>) {
     let server = Server::bind(dir, &config).unwrap();
     let addr = server.local_addr().to_string();
     let handle = std::thread::spawn(move || server.run());
@@ -64,6 +72,21 @@ fn start_in_process(dir: &Path, cache_cells: usize) -> (String, std::thread::Joi
 fn shutdown(addr: &str) {
     let mut client = Client::connect(addr).unwrap();
     assert_eq!(client.request(RequestKind::Shutdown).unwrap(), ResponseKind::ShuttingDown);
+}
+
+/// Shutdown against a connection-limited daemon: the attempt itself can be
+/// shed while just-closed connections drain, so retry until admitted.
+fn shutdown_with_retry(addr: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < deadline {
+        if let Ok(mut client) = Client::connect(addr) {
+            if client.request(RequestKind::Shutdown) == Ok(ResponseKind::ShuttingDown) {
+                return;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("could not shut the daemon down within 10s");
 }
 
 fn eval_spec(key: &str, policy: &str, closed_loop: bool, decode: bool) -> EvalSpec {
@@ -187,7 +210,7 @@ fn batch_eval_returns_results_in_request_order_and_is_all_or_nothing() {
     .map(|(key, policy)| eval_spec(key, policy, false, false))
     .collect();
     let ResponseKind::Batch(results) =
-        client.request(RequestKind::BatchEval { evals: evals.clone() }).unwrap()
+        client.request(RequestKind::BatchEval { evals: evals.clone(), per_item: None }).unwrap()
     else {
         panic!("batch");
     };
@@ -205,14 +228,15 @@ fn batch_eval_returns_results_in_request_order_and_is_all_or_nothing() {
     // One bad pairing fails the whole batch with its index in the message.
     let mut bad = evals.clone();
     bad[2].policy = "not-a-policy".to_string();
-    let ResponseKind::Error(error) = client.request(RequestKind::BatchEval { evals: bad }).unwrap()
+    let ResponseKind::Error(error) =
+        client.request(RequestKind::BatchEval { evals: bad, per_item: None }).unwrap()
     else {
         panic!("bad batch must error");
     };
     assert_eq!(error.code, ErrorCode::UnknownPolicy);
     assert!(error.message.contains("evals[2]"), "{error}");
     let ResponseKind::Error(error) =
-        client.request(RequestKind::BatchEval { evals: Vec::new() }).unwrap()
+        client.request(RequestKind::BatchEval { evals: Vec::new(), per_item: None }).unwrap()
     else {
         panic!("empty batch must error");
     };
@@ -246,7 +270,7 @@ fn grouped_closed_loop_batches_match_solo_evals_and_advance_counters() {
         eval_spec(&keys[0], "mlr-only", true, true),
     ];
     let ResponseKind::Batch(results) =
-        client.request(RequestKind::BatchEval { evals: evals.clone() }).unwrap()
+        client.request(RequestKind::BatchEval { evals: evals.clone(), per_item: None }).unwrap()
     else {
         panic!("batch");
     };
@@ -270,6 +294,352 @@ fn grouped_closed_loop_batches_match_solo_evals_and_advance_counters() {
     assert!(after.suffixes_served >= after.shared_passes);
     assert!(after.peak_checkpoints >= 1);
     assert_eq!(after.evals, before.evals + 8, "4 batch members + 4 solo evals");
+    shutdown(&addr);
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The served row's bytes, independent of the `cached` flag (which
+/// legitimately resets when a hot reload swaps the cache).
+fn eval_row_bytes(client: &mut Client, spec: &EvalSpec) -> String {
+    match client.request(RequestKind::Eval(spec.clone())).unwrap() {
+        ResponseKind::Eval(result) => serde_json::to_string(&result.result).unwrap(),
+        other => panic!("expected eval result, got {other:?}"),
+    }
+}
+
+#[test]
+fn per_item_batches_isolate_failures_and_preserve_order() {
+    let dir = tmp_dir("per-item");
+    let keys = record_corpus(&dir);
+    let (addr, handle) = start_in_process(&dir, 2);
+    let mut client = Client::connect(&addr).unwrap();
+    let evals = vec![
+        eval_spec(&keys[0], "ideal", false, false),
+        eval_spec(&keys[1], "not-a-policy", false, false),
+        eval_spec(&keys[1], "ideal", false, false),
+        eval_spec("no such cell", "ideal", false, false),
+    ];
+    let ResponseKind::BatchItems(items) = client
+        .request(RequestKind::BatchEval { evals: evals.clone(), per_item: Some(true) })
+        .unwrap()
+    else {
+        panic!("per-item batch must answer batch-items");
+    };
+    assert_eq!(items.len(), evals.len());
+    // Good pairings equal their solo evals (same bytes, same order)...
+    for index in [0usize, 2] {
+        let item = items[index].as_result().unwrap_or_else(|e| panic!("items[{index}]: {e}"));
+        let ResponseKind::Eval(solo) =
+            client.request(RequestKind::Eval(evals[index].clone())).unwrap()
+        else {
+            panic!("eval");
+        };
+        assert_eq!(item.result, solo.result, "items[{index}] must match the solo row");
+    }
+    // ...while bad pairings carry their own typed error naming their index,
+    // without poisoning their siblings.
+    let error = items[1].as_result().unwrap_err();
+    assert_eq!(error.code, ErrorCode::UnknownPolicy);
+    assert!(error.message.contains("evals[1]"), "{error}");
+    let error = items[3].as_result().unwrap_err();
+    assert_eq!(error.code, ErrorCode::UnknownCell);
+    assert!(error.message.contains("evals[3]"), "{error}");
+    // `per_item: false` keeps the legacy all-or-nothing contract.
+    let ResponseKind::Error(error) = client
+        .request(RequestKind::BatchEval { evals: evals.clone(), per_item: Some(false) })
+        .unwrap()
+    else {
+        panic!("legacy batch must fail as a whole");
+    };
+    assert_eq!(error.code, ErrorCode::UnknownPolicy);
+    // Empty batches are refused in either mode.
+    let ResponseKind::Error(error) =
+        client.request(RequestKind::BatchEval { evals: Vec::new(), per_item: Some(true) }).unwrap()
+    else {
+        panic!("empty per-item batch must error");
+    };
+    assert_eq!(error.code, ErrorCode::BadRequest);
+    // The typed client API folds the items into one Result per pairing.
+    let results = client.batch_eval(evals).unwrap();
+    assert_eq!(results.len(), 4);
+    assert!(results[0].is_ok() && results[2].is_ok(), "good pairings stay Ok");
+    assert_eq!(results[1].as_ref().unwrap_err().code, ErrorCode::UnknownPolicy);
+    assert_eq!(results[3].as_ref().unwrap_err().code, ErrorCode::UnknownCell);
+    // The `evals` counter counts successes only: 2 per-item + 2 solo + 2 typed.
+    let ResponseKind::Stats(stats) = client.request(RequestKind::Stats).unwrap() else {
+        panic!("stats");
+    };
+    assert_eq!(stats.evals, 6, "stats: {stats:?}");
+    shutdown(&addr);
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn over_limit_connections_get_one_overloaded_line_and_the_daemon_keeps_serving() {
+    let dir = tmp_dir("conn-limit");
+    record_corpus(&dir);
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        cache_cells: 2,
+        max_connections: 1,
+        ..ServeConfig::default()
+    };
+    let (addr, handle) = start_with_config(&dir, config);
+    let mut admitted = Client::connect(&addr).unwrap();
+    // The ping round trip proves this connection was admitted, so the next
+    // one is deterministically over the limit.
+    assert_eq!(admitted.request(RequestKind::Ping).unwrap(), ResponseKind::Pong);
+    let over = std::net::TcpStream::connect(addr.as_str()).unwrap();
+    let mut reader = BufReader::new(over);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let response = qec_serve::parse_response(line.trim()).expect("shed greeting must parse");
+    assert_eq!(response.id, None, "no request to correlate with");
+    let ResponseKind::Error(error) = response.response else {
+        panic!("over-limit connection must get a typed error, got {line}");
+    };
+    assert_eq!(error.code, ErrorCode::Overloaded);
+    assert!(error.message.contains("connection limit"), "{error}");
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).unwrap(), 0, "shed connection must be closed");
+    // The established connection never noticed.
+    assert_eq!(admitted.request(RequestKind::Ping).unwrap(), ResponseKind::Pong);
+    // Freeing the slot admits a later client — the retry-after-shed contract.
+    drop(admitted);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut retry = None;
+    while Instant::now() < deadline {
+        if let Ok(mut client) = Client::connect(&addr) {
+            if client.request(RequestKind::Ping) == Ok(ResponseKind::Pong) {
+                retry = Some(client);
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let mut retry = retry.expect("a freed slot must admit a new connection");
+    let ResponseKind::Stats(stats) = retry.request(RequestKind::Stats).unwrap() else {
+        panic!("stats");
+    };
+    assert!(stats.shed_connections >= 1, "stats: {stats:?}");
+    assert_eq!(stats.max_connections, 1);
+    assert_eq!(stats.active_connections, 1, "only this connection is active");
+    assert_eq!(retry.request(RequestKind::Shutdown).unwrap(), ResponseKind::ShuttingDown);
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn overweight_requests_are_shed_with_a_typed_error_and_the_connection_survives() {
+    let dir = tmp_dir("queue-shed");
+    let keys = record_corpus(&dir);
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        cache_cells: 2,
+        queue_limit: 1,
+        ..ServeConfig::default()
+    };
+    let (addr, handle) = start_with_config(&dir, config);
+    let mut client = Client::connect(&addr).unwrap();
+    // Weight 3 can never fit under limit 1: the shed is deterministic, not a
+    // race against other in-flight work.
+    let heavy = vec![
+        eval_spec(&keys[0], "ideal", false, false),
+        eval_spec(&keys[0], "eraser+m", false, false),
+        eval_spec(&keys[1], "ideal", false, false),
+    ];
+    let ResponseKind::Error(error) = client
+        .request(RequestKind::BatchEval { evals: heavy.clone(), per_item: Some(true) })
+        .unwrap()
+    else {
+        panic!("overweight batch must be shed");
+    };
+    assert_eq!(error.code, ErrorCode::Overloaded);
+    assert!(error.message.contains("queue full"), "{error}");
+    // Nothing was evaluated and the connection survived: a weight-1 request
+    // on the very same connection succeeds.
+    let ResponseKind::Eval(_) = client.request(RequestKind::Eval(heavy[0].clone())).unwrap() else {
+        panic!("post-shed eval on the same connection must succeed");
+    };
+    // The typed client surfaces a shed as a whole-request failure.
+    let message = client.batch_eval(heavy).unwrap_err();
+    assert!(message.contains("overloaded"), "{message}");
+    let ResponseKind::Stats(stats) = client.request(RequestKind::Stats).unwrap() else {
+        panic!("stats");
+    };
+    assert_eq!(stats.shed_requests, 2, "stats: {stats:?}");
+    assert_eq!(stats.queue_limit, 1);
+    assert_eq!(stats.queue_depth_hwm, 1, "only the solo eval was ever admitted");
+    assert_eq!(stats.evals, 1);
+    shutdown(&addr);
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Runs `lines` over one connection and returns the raw response lines,
+/// retrying from scratch when the connection-limited daemon sheds the
+/// attempt (the shed greeting carries the `overloaded` code).
+fn send_lines_with_retry(addr: &str, lines: &[String]) -> Vec<String> {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    'attempt: while Instant::now() < deadline {
+        let Ok(mut client) = Client::connect(addr) else {
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        };
+        let mut responses = Vec::with_capacity(lines.len());
+        for line in lines {
+            match client.send_raw(line) {
+                Ok(response) if response.contains("\"overloaded\"") => {
+                    std::thread::sleep(Duration::from_millis(5));
+                    continue 'attempt;
+                }
+                Ok(response) => responses.push(response),
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(5));
+                    continue 'attempt;
+                }
+            }
+        }
+        return responses;
+    }
+    panic!("no admitted connection within 30s");
+}
+
+#[test]
+fn concurrent_clients_get_byte_identical_rows_under_a_tiny_connection_limit() {
+    let dir = tmp_dir("concurrent");
+    let keys = record_corpus(&dir);
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        cache_cells: 2,
+        max_connections: 2,
+        ..ServeConfig::default()
+    };
+    let (addr, handle) = start_with_config(&dir, config);
+    // Warm both cells first so every measured response is a cache hit — the
+    // `cached` flag would otherwise depend on which client arrives first.
+    {
+        let mut warm = Client::connect(&addr).unwrap();
+        let warmed = warm
+            .batch_eval(vec![
+                eval_spec(&keys[0], "ideal", false, false),
+                eval_spec(&keys[1], "ideal", false, false),
+            ])
+            .unwrap();
+        assert!(warmed.iter().all(Result::is_ok));
+    }
+    let lines: Vec<String> = [
+        eval_spec(&keys[0], "ideal", false, false),
+        eval_spec(&keys[0], "gladiator+m", true, true),
+        eval_spec(&keys[1], "ideal", false, false),
+        eval_spec(&keys[1], "eraser+m", true, true),
+    ]
+    .into_iter()
+    .map(|spec| request_line(&Request { id: Some(7), request: RequestKind::Eval(spec) }))
+    .collect();
+    // Single-client reference bytes...
+    let baseline = send_lines_with_retry(&addr, &lines);
+    // ...must be exactly what every one of 8 concurrent clients receives,
+    // even though only 2 connections are ever served at once.
+    std::thread::scope(|scope| {
+        let threads: Vec<_> =
+            (0..8).map(|_| scope.spawn(|| send_lines_with_retry(&addr, &lines))).collect();
+        for thread in threads {
+            assert_eq!(
+                thread.join().unwrap(),
+                baseline,
+                "concurrent responses must be byte-identical to the single-client run"
+            );
+        }
+    });
+    shutdown_with_retry(&addr);
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hot_manifest_reload_swaps_cells_without_torn_rows_or_dropped_connections() {
+    let dir = tmp_dir("hot-reload");
+    let keys = record_corpus(&dir);
+    let (addr, handle) = start_in_process(&dir, 4);
+    let mut client = Client::connect(&addr).unwrap();
+    let specs = [
+        eval_spec(&keys[0], "ideal", false, false),
+        eval_spec(&keys[1], "gladiator+m", false, false),
+    ];
+    let baselines =
+        [eval_row_bytes(&mut client, &specs[0]), eval_row_bytes(&mut client, &specs[1])];
+    // A torn manifest write must neither take the daemon down nor swap in
+    // garbage: the old snapshot keeps serving, and the check retries later.
+    let manifest = dir.join("manifest.json");
+    let good = std::fs::read(&manifest).unwrap();
+    std::fs::write(&manifest, &good[..good.len() / 2]).unwrap();
+    let ResponseKind::Cells(cells) = client.request(RequestKind::ListCells).unwrap() else {
+        panic!("cells");
+    };
+    assert_eq!(cells.len(), 2, "a torn manifest must not change the served snapshot");
+    assert_eq!(eval_row_bytes(&mut client, &specs[0]), baselines[0]);
+    std::fs::write(&manifest, &good).unwrap();
+    // Hammer both cells from concurrent clients while the corpus grows
+    // underneath the daemon: no served row may ever differ from its baseline
+    // (one snapshot generation per request — never torn, never mixed).
+    let mut new_key = String::new();
+    std::thread::scope(|scope| {
+        for worker in 0..4usize {
+            let addr = &addr;
+            let specs = &specs;
+            let baselines = &baselines;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for iteration in 0..40usize {
+                    let which = (worker + iteration) % 2;
+                    assert_eq!(
+                        eval_row_bytes(&mut client, &specs[which]),
+                        baselines[which],
+                        "rows must stay byte-identical across the manifest swap"
+                    );
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        let mut corpus = Corpus::open_existing(&dir).unwrap();
+        let scenario = Scenario {
+            code: CodeFamily::Surface,
+            distance: 7,
+            rounds: 4,
+            p: 1e-3,
+            leakage_ratio: 0.1,
+            policy: PolicyKind::EraserM,
+            shots: 3,
+            seed: 11,
+            decode: false,
+        };
+        let entry =
+            record_into_corpus(&mut corpus, &scenario, PolicyKind::EraserM, "server test").unwrap();
+        corpus.save().unwrap();
+        new_key = entry.key;
+    });
+    // The next request observes the swap — without this connection ever
+    // having been dropped.
+    let ResponseKind::Cells(cells) = client.request(RequestKind::ListCells).unwrap() else {
+        panic!("cells");
+    };
+    assert_eq!(cells.len(), 3, "the swapped snapshot serves the grown manifest");
+    let ResponseKind::Eval(fresh) =
+        client.request(RequestKind::Eval(eval_spec(&new_key, "ideal", false, false))).unwrap()
+    else {
+        panic!("the new cell must be servable after the swap");
+    };
+    assert_eq!(fresh.result.key, new_key);
+    // Old cells serve the same bytes from the new snapshot.
+    assert_eq!(eval_row_bytes(&mut client, &specs[0]), baselines[0]);
+    let ResponseKind::Stats(stats) = client.request(RequestKind::Stats).unwrap() else {
+        panic!("stats");
+    };
+    assert!(stats.corpus_reloads >= 1, "stats: {stats:?}");
+    assert_eq!(stats.corpus_cells, 3);
     shutdown(&addr);
     handle.join().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
@@ -485,11 +855,57 @@ fn served_evals_are_byte_identical_to_repro_replay_rows() {
 }
 
 #[test]
+fn shutdown_under_load_delivers_in_flight_responses_and_exits_zero() {
+    let dir = tmp_dir("shutdown-load");
+    let keys = record_corpus(&dir);
+    let (mut child, addr) = spawn_daemon(dir.to_str().unwrap());
+    // Put a heavy batch in flight: sent, being computed, not yet read back.
+    let evals: Vec<EvalSpec> = keys
+        .iter()
+        .flat_map(|key| {
+            ["ideal", "gladiator+m", "eraser+m"].map(|policy| eval_spec(key, policy, true, true))
+        })
+        .collect();
+    let batch = evals.len();
+    let request =
+        Request { id: Some(99), request: RequestKind::BatchEval { evals, per_item: Some(true) } };
+    let mut loaded = std::net::TcpStream::connect(addr.as_str()).unwrap();
+    writeln!(loaded, "{}", request_line(&request)).unwrap();
+    loaded.flush().unwrap();
+    // Give the parked connection worker a beat to pull the line off the
+    // socket, then shut the daemon down underneath the computation.
+    std::thread::sleep(Duration::from_millis(100));
+    let mut controller = Client::connect(&addr).unwrap();
+    assert_eq!(controller.request(RequestKind::Shutdown).unwrap(), ResponseKind::ShuttingDown);
+    // The drain contract: the in-flight batch still gets its complete,
+    // parsable response before the process exits — never a torn line.
+    let mut reader = BufReader::new(loaded);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let response = qec_serve::parse_response(line.trim())
+        .unwrap_or_else(|e| panic!("in-flight response must be complete: {e}: {line}"));
+    assert_eq!(response.id, Some(99));
+    let ResponseKind::BatchItems(items) = response.response else {
+        panic!("expected batch-items, got {line}");
+    };
+    assert_eq!(items.len(), batch);
+    assert!(items.iter().all(|item| item.as_result().is_ok()), "{line}");
+    // ...and then EOF, not more data.
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).unwrap(), 0);
+    let status = child.wait().expect("daemon exit");
+    assert_eq!(status.code(), Some(0), "daemon must exit 0 under load");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn serve_and_query_reject_bad_usage() {
     for args in [
         &["serve"][..],         // missing --corpus
         &["serve", "--corpus"], // missing value
         &["serve", "--corpus", "dir", "--cache-cells", "0"],
+        &["serve", "--corpus", "dir", "--max-connections", "0"],
+        &["serve", "--corpus", "dir", "--queue-limit", "0"],
         &["serve", "--corpus", "dir", "--frobnicate"],
         &["query"], // missing --addr
         &["query", "--addr", "127.0.0.1:1", "frobnicate"],

@@ -62,6 +62,29 @@ pub struct CorpusManifest {
     pub entries: Vec<CorpusEntry>,
 }
 
+/// Cheap change-detection identity of a corpus manifest file: modification
+/// time plus byte length. Long-running readers (the `qec-serve` daemon) stat
+/// the manifest between requests and reopen the corpus only when the stamp
+/// moves — a `stat` per check instead of a parse. The length rides along
+/// because filesystem mtime granularity can swallow a rewrite that lands
+/// within the same tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ManifestStamp {
+    /// Modification time of `manifest.json` (`None` on filesystems that
+    /// cannot report one).
+    pub mtime: Option<std::time::SystemTime>,
+    /// Byte length of `manifest.json`.
+    pub len: u64,
+}
+
+/// Stats the manifest of the corpus at `dir`. Returns `None` while no
+/// manifest exists (an empty or not-yet-saved corpus).
+#[must_use]
+pub fn manifest_stamp(dir: &Path) -> Option<ManifestStamp> {
+    let meta = std::fs::metadata(dir.join(MANIFEST_FILE)).ok()?;
+    Some(ManifestStamp { mtime: meta.modified().ok(), len: meta.len() })
+}
+
 /// A corpus directory opened for reading and/or recording.
 #[derive(Debug)]
 pub struct Corpus {
@@ -228,6 +251,25 @@ mod tests {
         assert_eq!(reopened.lookup("cell-a").unwrap().shots, 99);
         assert!(reopened.lookup("cell-c").is_none());
         assert_eq!(reopened.entries(), corpus.entries());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_stamp_tracks_saves_and_absence() {
+        let dir = std::env::temp_dir().join(format!("qtr-corpus-stamp-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(manifest_stamp(&dir), None, "no manifest, no stamp");
+        let mut corpus = Corpus::open(&dir).unwrap();
+        corpus.insert(entry("cell-a"));
+        corpus.save().unwrap();
+        let first = manifest_stamp(&dir).expect("saved manifest has a stamp");
+        assert_eq!(manifest_stamp(&dir), Some(first), "stat is stable between saves");
+        // A grown manifest moves the stamp even if mtime granularity is
+        // coarse: the byte length changes.
+        corpus.insert(entry("cell-b"));
+        corpus.save().unwrap();
+        let second = manifest_stamp(&dir).expect("stamp after second save");
+        assert_ne!(first, second, "a rewritten manifest must move the stamp");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -41,7 +41,9 @@ pub mod replay;
 pub mod stream;
 pub mod wire;
 
-pub use corpus::{Corpus, CorpusEntry, CorpusManifest, MANIFEST_SCHEMA_VERSION};
+pub use corpus::{
+    manifest_stamp, Corpus, CorpusEntry, CorpusManifest, ManifestStamp, MANIFEST_SCHEMA_VERSION,
+};
 pub use format::{
     code_fingerprint, ShotRecorder, ShotTrace, TraceHeader, TraceRound, TRACE_MAGIC,
     TRACE_SCHEMA_VERSION,
