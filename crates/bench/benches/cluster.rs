@@ -1,0 +1,128 @@
+//! Benchmarks of the cluster routing layer: a split per-item `batch-eval`
+//! (both replicas owning items, exercising fan-out + reassembly) through the
+//! router versus the identical batch against a monolithic daemon over the
+//! unsharded corpus — the routing tax a deployment pays for sharding once
+//! every cache is hot. A solo routed `eval` prices the raw pass-through path
+//! (one extra socket hop, zero re-serialization).
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use leakage_speculation::PolicyKind;
+use qec_cluster::{shard_corpus, Router, RouterConfig, ShardOptions};
+use qec_experiments::replay::record_into_corpus;
+use qec_experiments::scenario::{CodeFamily, Scenario};
+use qec_serve::{
+    request_line, Client, EvalSpec, Request, RequestKind, ResponseKind, ServeConfig, Server,
+};
+use qec_trace::cluster::{ClusterMap, CLUSTER_FILE};
+use qec_trace::Corpus;
+
+fn bench_cluster(c: &mut Criterion) {
+    let root = std::env::temp_dir().join(format!("qec-cluster-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let corpus_dir = root.join("corpus");
+    let mut corpus = Corpus::open(&corpus_dir).expect("open bench corpus");
+    let mut keys = Vec::new();
+    for p in [1e-3, 2e-3, 3e-3, 4e-3] {
+        let scenario = Scenario {
+            code: CodeFamily::Surface,
+            distance: 3,
+            rounds: 9,
+            p,
+            leakage_ratio: 0.1,
+            policy: PolicyKind::EraserM,
+            shots: 8,
+            seed: 11,
+            decode: false,
+        };
+        let entry =
+            record_into_corpus(&mut corpus, &scenario, PolicyKind::EraserM, "cluster bench")
+                .expect("record bench cell");
+        keys.push(entry.key.clone());
+    }
+    corpus.save().expect("save bench corpus");
+
+    let out_dir = root.join("sharded");
+    let map = shard_corpus(&corpus_dir, &out_dir, 2, &ShardOptions::default())
+        .expect("shard bench corpus");
+    let owner = |key: &str| ClusterMap::assign(Corpus::cell_hash(key), 2);
+    let key_a = keys.iter().find(|key| owner(key) == 0).expect("replica 0 owns a cell").clone();
+    let key_b = keys.iter().find(|key| owner(key) == 1).expect("replica 1 owns a cell").clone();
+
+    let mut daemons = Vec::new();
+    let mut overrides = Vec::new();
+    for replica in &map.replicas {
+        let server = Server::bind(&out_dir.join(&replica.dir), &ServeConfig::default())
+            .expect("bind replica daemon");
+        overrides.push((replica.index, server.local_addr().to_string()));
+        let addr = server.local_addr();
+        daemons.push((addr, std::thread::spawn(move || server.run())));
+    }
+    let mono = Server::bind(&corpus_dir, &ServeConfig::default()).expect("bind monolithic daemon");
+    let mono_addr = mono.local_addr();
+    daemons.push((mono_addr, std::thread::spawn(move || mono.run())));
+
+    let router = Router::bind(&out_dir.join(CLUSTER_FILE), &overrides, &RouterConfig::default())
+        .expect("bind bench router");
+    let router_addr = router.local_addr();
+    let router_thread = std::thread::spawn(move || router.run());
+
+    let spec = |key: &str| EvalSpec {
+        key: key.to_string(),
+        policy: "gladiator+m".to_string(),
+        mode: None,
+        decode: None,
+    };
+    let split_batch = Request {
+        id: Some(1),
+        request: RequestKind::BatchEval {
+            evals: vec![spec(&key_a), spec(&key_b), spec(&key_a), spec(&key_b)],
+            per_item: Some(true),
+        },
+    };
+    let batch_line = request_line(&split_batch);
+    let solo_line =
+        request_line(&Request { id: Some(2), request: RequestKind::Eval(spec(&key_a)) });
+
+    let mut routed = Client::connect(router_addr).expect("connect routed client");
+    let mut direct = Client::connect(mono_addr).expect("connect monolithic client");
+    // Warm every cache (both replicas and the monolithic daemon).
+    let _ = routed.send_raw(&batch_line).expect("warmup routed");
+    let _ = direct.send_raw(&batch_line).expect("warmup monolithic");
+
+    let mut group = c.benchmark_group("cluster");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    // The headline pair: identical split batch, routed vs monolithic.
+    group.bench_function("routed_batch_eval_roundtrip_x4", |b| {
+        b.iter(|| routed.send_raw(black_box(&batch_line)).expect("routed batch"));
+    });
+    group.bench_function("monolithic_batch_eval_roundtrip_x4", |b| {
+        b.iter(|| direct.send_raw(black_box(&batch_line)).expect("monolithic batch"));
+    });
+    // The raw pass-through path: one extra hop over a pooled connection.
+    group.bench_function("routed_eval_roundtrip_hot_cache", |b| {
+        b.iter(|| routed.send_raw(black_box(&solo_line)).expect("routed eval"));
+    });
+    group.finish();
+
+    match routed.request(RequestKind::Shutdown).expect("router shutdown") {
+        ResponseKind::ShuttingDown => {}
+        other => panic!("unexpected shutdown answer: {other:?}"),
+    }
+    router_thread.join().expect("router thread");
+    for (addr, thread) in daemons {
+        let mut client = Client::connect(addr).expect("connect for shutdown");
+        match client.request(RequestKind::Shutdown).expect("daemon shutdown") {
+            ResponseKind::ShuttingDown => {}
+            other => panic!("unexpected shutdown answer: {other:?}"),
+        }
+        thread.join().expect("daemon thread");
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+criterion_group!(benches, bench_cluster);
+criterion_main!(benches);

@@ -9,13 +9,17 @@
 //! repro replay   --corpus DIR [--policy L1,L2] [--decode] [--closed-loop]
 //!                [--verify-live]
 //! repro corpus   DIR [--verify]
+//! repro corpus shard SRC --out DIR --replicas N [--replica-addr HOST:PORT ...]
 //! repro serve    --corpus DIR [--addr HOST:PORT] [--cache-cells N]
 //!                [--max-connections N] [--queue-limit N]
+//! repro route    --cluster FILE [--addr HOST:PORT] [--replica-addr I=HOST:PORT ...]
+//!                [--timeout-ms N] [--retries N] [--max-connections N]
 //! repro query    --addr HOST:PORT ACTION [--key KEY] [--policy L1,L2]
-//!                [--closed-loop] [--decode]
+//!                [--closed-loop] [--decode] [--timeout-ms N] [--retries N]
 //! repro list
-//! repro snapshot [--out FILE] [--trace-out FILE] [--check BASELINE]
-//!                [--check-trace BASELINE] [--tolerance FRACTION]
+//! repro snapshot [--out FILE] [--trace-out FILE] [--cluster-out FILE]
+//!                [--check BASELINE] [--check-trace BASELINE]
+//!                [--check-cluster BASELINE] [--tolerance FRACTION]
 //! repro version | repro --version
 //! ```
 //!
@@ -30,6 +34,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use leakage_speculation::PolicyKind;
+use qec_cluster::{cluster_snapshot, shard_corpus, Router, RouterConfig, ShardOptions};
 use qec_experiments::replay::{
     cell_key, load_entry, record_into_corpus, replay_corpus_with_stats, trace_snapshot,
     CellCheckpointStats, ReplayMode, ReplayOptions, ReplayReport, REPLAY_SCHEMA_VERSION,
@@ -43,9 +48,10 @@ use qec_experiments::sweep::{
     git_describe, run_sweep, run_sweep_with_corpus, snapshot, snapshot_spec, SweepReport,
     SweepSpec, SWEEP_SCHEMA_VERSION,
 };
+use qec_serve::client::ClientConfig;
 use qec_serve::{
-    parse_response, request_line, Client, EvalSpec, Request, RequestKind, ResponseKind,
-    ServeConfig, Server, PROTOCOL_VERSION,
+    parse_response, request_line, Client, ErrorCode, EvalSpec, Request, RequestKind, Response,
+    ResponseKind, ServeConfig, Server, PROTOCOL_VERSION,
 };
 use qec_trace::Corpus;
 
@@ -93,6 +99,14 @@ commands:
             live simulation (exit 1 on any mismatch)
   corpus    inspect a corpus manifest: repro corpus DIR [--verify]
             (--verify re-reads every trace, checking CRCs and code identity)
+            or shard one for cluster serving:
+            repro corpus shard SRC --out DIR --replicas N
+            [--replica-addr HOST:PORT ...]
+            partitions SRC by the policy-free cell hash into N sub-corpora
+            (DIR/replica-<i>, each servable by an unmodified `repro serve`)
+            plus a DIR/cluster.json shard map recording the assignment and
+            optional replica addresses (one --replica-addr per replica, in
+            index order; see docs/CLUSTER.md)
   serve     run the speculation-evaluation daemon over a recorded corpus:
             repro serve --corpus DIR [--addr HOST:PORT] [--cache-cells N]
             [--max-connections N] [--queue-limit N]
@@ -106,6 +120,19 @@ commands:
             at once — over-limit requests are shed with `overloaded` instead
             of stalling the daemon; edits to the corpus manifest.json are
             picked up on the next request without dropping connections
+  route     run the cluster router over replica daemons:
+            repro route --cluster FILE [--addr HOST:PORT]
+            [--replica-addr INDEX=HOST:PORT ...] [--timeout-ms N]
+            [--retries N] [--max-connections N]
+            speaks the daemon's exact protocol on --addr (default 127.0.0.1:0;
+            the bound address is printed on startup), resolving each cell
+            request to its owning replica from the FILE shard map and fanning
+            split batches out concurrently; responses are byte-identical to a
+            monolithic daemon serving the unsharded corpus; every replica call
+            is bounded by --timeout-ms (default 5000, 0 = no deadline) with
+            --retries reconnect attempts (default 1), after which that replica's
+            answers are typed `unavailable` errors — never a hang, never a torn
+            batch; --replica-addr overrides the shard map's recorded addresses
   query     send one request to a running daemon and print the raw response:
             repro query --addr HOST:PORT ACTION [flags]
             actions: ping | version | stats | cells | shutdown
@@ -116,12 +143,18 @@ commands:
             batch-eval with no --key pairs every corpus cell with every
             policy and asks for per-item results: each pairing succeeds or
             fails on its own (exit 1 when any item failed); stdout carries
-            the server's response line verbatim
+            the server's response line verbatim; --timeout-ms N bounds the
+            connect and every read/write (default 10000, 0 = block forever);
+            --retries N (default 0) re-sends a request the server shed with
+            a typed `overloaded` error, after a short growing backoff
   list      print known experiments, policies and code families
   snapshot  run the pinned perf sweeps and write BENCH-format lines:
-            repro snapshot [--out FILE] [--trace-out FILE] [--check BASELINE]
-            [--check-trace BASELINE] [--tolerance FRACTION]
-            (default tolerance 0.25 = +25%)
+            repro snapshot [--out FILE] [--trace-out FILE] [--cluster-out FILE]
+            [--check BASELINE] [--check-trace BASELINE]
+            [--check-cluster BASELINE] [--tolerance FRACTION]
+            (default tolerance 0.25 = +25%; the cluster snapshot round-trips
+            a split batch-eval through a 2-replica router next to the same
+            batch against a monolithic daemon)
   version   print version, git provenance and schema versions (also --version)
 
 exit status: 0 ok; 1 gate failure (snapshot --check*, replay --verify-live,
@@ -152,6 +185,7 @@ fn main() -> ExitCode {
         Some("replay") => cmd_replay(&args[1..]),
         Some("corpus") => cmd_corpus(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("route") => cmd_route(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("list") => cmd_list(&args[1..]),
         Some("snapshot") => cmd_snapshot(&args[1..]),
@@ -728,6 +762,11 @@ fn replay_summary(report: &ReplayReport, checkpoint_stats: &[CellCheckpointStats
 // ---------------------------------------------------------------------------------
 
 fn cmd_corpus(args: &[String]) -> Result<ExitCode, UsageError> {
+    // `corpus shard` is a sub-subcommand; a corpus directory literally named
+    // `shard` is still reachable as `./shard`.
+    if args.first().map(String::as_str) == Some("shard") {
+        return cmd_corpus_shard(&args[1..]);
+    }
     let mut dir: Option<PathBuf> = None;
     let mut verify = false;
     let mut iter = Args::new(args);
@@ -781,6 +820,154 @@ fn cmd_corpus(args: &[String]) -> Result<ExitCode, UsageError> {
         return Ok(ExitCode::FAILURE);
     }
     emit("corpus verify OK: every trace decoded with valid CRCs and matching code identity");
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------------------
+// repro corpus shard
+// ---------------------------------------------------------------------------------
+
+fn cmd_corpus_shard(args: &[String]) -> Result<ExitCode, UsageError> {
+    let mut source: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut replicas: Option<usize> = None;
+    let mut addrs: Vec<String> = Vec::new();
+    let mut iter = Args::new(args);
+    while let Some(arg) = iter.next() {
+        match arg {
+            "--out" => out = Some(PathBuf::from(iter.value("--out")?)),
+            "--replicas" => {
+                replicas = Some(parse_number("--replicas", iter.value("--replicas")?)?);
+            }
+            "--replica-addr" => addrs.push(iter.value("--replica-addr")?.to_string()),
+            flag if flag.starts_with('-') => {
+                return Err(UsageError::new(format!("unknown flag `{flag}` for `corpus shard`")));
+            }
+            path if source.is_none() => source = Some(PathBuf::from(path)),
+            extra => {
+                return Err(UsageError::new(format!(
+                    "unexpected argument `{extra}` for `corpus shard`"
+                )));
+            }
+        }
+    }
+    let source =
+        source.ok_or_else(|| UsageError::new("corpus shard requires a source directory"))?;
+    let out = out.ok_or_else(|| UsageError::new("corpus shard requires --out DIR"))?;
+    let replicas = replicas.ok_or_else(|| UsageError::new("corpus shard requires --replicas N"))?;
+    if replicas == 0 {
+        return Err(UsageError::new("--replicas must be at least 1"));
+    }
+    if !addrs.is_empty() && addrs.len() != replicas {
+        return Err(UsageError::new(format!(
+            "--replica-addr given {} time(s) for {replicas} replica(s) — pass one per \
+             replica in index order, or none",
+            addrs.len()
+        )));
+    }
+    let options = ShardOptions {
+        addrs,
+        created_by: format!("repro corpus shard {}", env!("CARGO_PKG_VERSION")),
+        git_describe: git_describe(),
+    };
+    // Shard failures are runtime errors (exit 1): the flags were fine.
+    let map = match shard_corpus(&source, &out, replicas, &options) {
+        Ok(map) => map,
+        Err(message) => {
+            eprintln!("repro corpus shard: {message}");
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    emit(&format!(
+        "sharded {} ({} cell(s)) across {} replica(s) under {}",
+        source.display(),
+        map.cells(),
+        map.replicas.len(),
+        out.display()
+    ));
+    let rows: Vec<Vec<String>> = map
+        .replicas
+        .iter()
+        .map(|replica| {
+            vec![
+                replica.index.to_string(),
+                replica.dir.clone(),
+                replica.cells.to_string(),
+                if replica.addr.is_empty() { "-".to_string() } else { replica.addr.clone() },
+            ]
+        })
+        .collect();
+    emit(&text_table(&["replica", "dir", "cells", "addr"], &rows));
+    emit(&format!("shard map: {}", out.join(qec_trace::cluster::CLUSTER_FILE).display()));
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------------------
+// repro route
+// ---------------------------------------------------------------------------------
+
+fn cmd_route(args: &[String]) -> Result<ExitCode, UsageError> {
+    let mut cluster: Option<PathBuf> = None;
+    let mut overrides: Vec<(usize, String)> = Vec::new();
+    let mut config = RouterConfig::default();
+    let mut iter = Args::new(args);
+    while let Some(arg) = iter.next() {
+        match arg {
+            "--cluster" => cluster = Some(PathBuf::from(iter.value("--cluster")?)),
+            "--addr" => config.addr = iter.value("--addr")?.to_string(),
+            "--replica-addr" => {
+                let value = iter.value("--replica-addr")?;
+                let (index, addr) = value.split_once('=').ok_or_else(|| {
+                    UsageError::new(format!("--replica-addr `{value}`: expected INDEX=HOST:PORT"))
+                })?;
+                overrides.push((parse_number("--replica-addr", index)?, addr.to_string()));
+            }
+            "--timeout-ms" => {
+                let ms: u64 = parse_number("--timeout-ms", iter.value("--timeout-ms")?)?;
+                config.replica_timeout = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+            }
+            "--retries" => {
+                config.replica_retries = parse_number("--retries", iter.value("--retries")?)?;
+            }
+            "--max-connections" => {
+                config.max_connections =
+                    parse_number("--max-connections", iter.value("--max-connections")?)?;
+                if config.max_connections == 0 {
+                    return Err(UsageError::new("--max-connections must be at least 1"));
+                }
+            }
+            other => {
+                return Err(UsageError::new(format!("unknown argument `{other}` for `route`")));
+            }
+        }
+    }
+    let cluster = cluster.ok_or_else(|| UsageError::new("route requires --cluster FILE"))?;
+    let router = match Router::bind(&cluster, &overrides, &config) {
+        Ok(router) => router,
+        Err(message) => {
+            eprintln!("repro route: {message}");
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    // Same announce-line contract as `repro serve`: scripts parse the bound
+    // (possibly ephemeral) address from the first line.
+    {
+        use std::io::Write as _;
+        let mut stdout = std::io::stdout();
+        let _ = writeln!(
+            stdout,
+            "qec-cluster routing on {} (cluster {}, {} replica(s), {} cell(s), \
+             {} connection(s))",
+            router.local_addr(),
+            cluster.display(),
+            router.replica_count(),
+            router.cluster_cells(),
+            config.max_connections
+        );
+        let _ = stdout.flush();
+    }
+    router.run();
+    emit("qec-cluster: clean shutdown");
     Ok(ExitCode::SUCCESS)
 }
 
@@ -864,11 +1051,20 @@ fn cmd_query(args: &[String]) -> Result<ExitCode, UsageError> {
     let mut policies: Vec<String> = Vec::new();
     let mut mode: Option<String> = None;
     let mut decode = false;
+    // Deadlines default on: `query` talks to a daemon it does not control,
+    // so a hung or partitioned server must yield a typed failure, not a
+    // wedged invocation.
+    let mut timeout_ms: u64 = 10_000;
+    let mut retries: u32 = 0;
     let mut iter = Args::new(args);
     while let Some(arg) = iter.next() {
         match arg {
             "--addr" => addr = Some(iter.value("--addr")?.to_string()),
             "--key" => keys.push(iter.value("--key")?.to_string()),
+            "--timeout-ms" => {
+                timeout_ms = parse_number("--timeout-ms", iter.value("--timeout-ms")?)?;
+            }
+            "--retries" => retries = parse_number("--retries", iter.value("--retries")?)?,
             "--policy" => {
                 for label in iter.value("--policy")?.split(',') {
                     // Validated client-side for a friendly exit-2; the server
@@ -945,7 +1141,11 @@ fn cmd_query(args: &[String]) -> Result<ExitCode, UsageError> {
             return Err(UsageError::new(format!("unknown query action `{other}`")));
         }
     };
-    let mut client = match Client::connect(&addr) {
+    let client_config = ClientConfig {
+        connect_timeout: (timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms)),
+        io_timeout: (timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms)),
+    };
+    let mut client = match Client::connect_with(addr.as_str(), client_config) {
         Ok(client) => client,
         Err(message) => {
             eprintln!("repro query: {message}");
@@ -974,12 +1174,34 @@ fn cmd_query(args: &[String]) -> Result<ExitCode, UsageError> {
         }
         other => other,
     };
-    let line = match client.send_raw(&request_line(&Request { id: None, request })) {
-        Ok(line) => line,
-        Err(message) => {
-            eprintln!("repro query: {message}");
-            return Ok(ExitCode::FAILURE);
+    let out_line = request_line(&Request { id: None, request });
+    // `--retries N`: an `overloaded` shed is the server's explicit "retry
+    // later" (nothing was evaluated), so it is the one error worth re-sending
+    // after a short growing backoff. Every request is a read-only query, so a
+    // re-send can never double-apply anything. Anything else — transport
+    // failures included — fails fast with the server's (or OS's) message.
+    let mut attempt = 0u32;
+    let line = loop {
+        match client.send_raw(&out_line) {
+            Ok(line) => {
+                let shed = matches!(
+                    parse_response(&line),
+                    Ok(Response {
+                        response: ResponseKind::Error(ref error),
+                        ..
+                    }) if error.code == ErrorCode::Overloaded
+                );
+                if !(shed && attempt < retries) {
+                    break line;
+                }
+            }
+            Err(message) => {
+                eprintln!("repro query: {message}");
+                return Ok(ExitCode::FAILURE);
+            }
         }
+        attempt += 1;
+        std::thread::sleep(std::time::Duration::from_millis(50 << (attempt - 1).min(4)));
     };
     // stdout carries the server's response bytes verbatim (machine-readable,
     // byte-comparable across runs); status classification goes by the parsed
@@ -1104,16 +1326,22 @@ fn snapshot_gate(
 fn cmd_snapshot(args: &[String]) -> Result<ExitCode, UsageError> {
     let mut out = PathBuf::from("BENCH_sweep.json");
     let mut trace_out = PathBuf::from("BENCH_trace.json");
+    let mut cluster_out = PathBuf::from("BENCH_cluster.json");
     let mut check: Option<PathBuf> = None;
     let mut check_trace: Option<PathBuf> = None;
+    let mut check_cluster: Option<PathBuf> = None;
     let mut tolerance = 0.25f64;
     let mut iter = Args::new(args);
     while let Some(arg) = iter.next() {
         match arg {
             "--out" => out = PathBuf::from(iter.value("--out")?),
             "--trace-out" => trace_out = PathBuf::from(iter.value("--trace-out")?),
+            "--cluster-out" => cluster_out = PathBuf::from(iter.value("--cluster-out")?),
             "--check" => check = Some(PathBuf::from(iter.value("--check")?)),
             "--check-trace" => check_trace = Some(PathBuf::from(iter.value("--check-trace")?)),
+            "--check-cluster" => {
+                check_cluster = Some(PathBuf::from(iter.value("--check-cluster")?));
+            }
             "--tolerance" => {
                 tolerance = parse_number("--tolerance", iter.value("--tolerance")?)?;
             }
@@ -1134,7 +1362,14 @@ fn cmd_snapshot(args: &[String]) -> Result<ExitCode, UsageError> {
         qec_experiments::sweep::SNAPSHOT_SAMPLES
     ));
     let trace_ok = snapshot_gate(&trace_snapshot(), &trace_out, check_trace.as_ref(), tolerance)?;
-    if sweep_ok && trace_ok {
+    emit(&format!(
+        "running pinned cluster snapshot (2-replica routed vs monolithic batch-eval) x {} \
+         samples ...",
+        qec_experiments::sweep::SNAPSHOT_SAMPLES
+    ));
+    let cluster_ok =
+        snapshot_gate(&cluster_snapshot(), &cluster_out, check_cluster.as_ref(), tolerance)?;
+    if sweep_ok && trace_ok && cluster_ok {
         Ok(ExitCode::SUCCESS)
     } else {
         Ok(ExitCode::FAILURE)

@@ -1,0 +1,795 @@
+//! The router daemon: one `qec-serve`-protocol endpoint over N replica
+//! daemons.
+//!
+//! The router speaks the **same frozen NDJSON protocol** as the daemon
+//! (`docs/SERVE_PROTOCOL.md`) — a client cannot tell the difference except by
+//! the `version` response's server string and the additive router counters in
+//! `stats`. Internally it resolves every cell-addressed request to its owning
+//! replica by the shard-map assignment rule (`cell_hash(key) % replicas` —
+//! the same pure function [`shard_corpus`](crate::shard_corpus) partitioned
+//! by, so routing needs no per-key table lookup), and keeps one pooled,
+//! deadline-bounded [`Client`] connection per replica.
+//!
+//! Byte-identity is the design invariant, inherited from the daemon's own
+//! "served row ≡ replay row" contract:
+//!
+//! * **solo requests** (`eval`, `stat-cell`, `verify-cell`, and whole
+//!   `batch-eval`s owned by one replica) are passed through **raw**: the
+//!   router forwards the canonical request line carrying the client's own
+//!   correlation id and returns the replica's response line verbatim — the
+//!   routed bytes ARE the daemon's bytes;
+//! * **split batches** fan per-owner sub-batches out concurrently on the
+//!   vendored-rayon pool and reassemble `batch-items` entries in original
+//!   request order, rewriting each per-item error's `evals[j]:` index prefix
+//!   back to the original index. Entries round-trip through the vendored
+//!   serde stack, whose f64 formatting is shortest-round-trip and whose
+//!   objects preserve field order, so a reassembled row is byte-identical to
+//!   the monolithic daemon's row for the same pairing;
+//! * `list-cells` merges per-replica listings back into **source-manifest
+//!   order** (the shard map records every assignment in that order), which
+//!   is byte-identical to the unsharded daemon's listing;
+//! * `stats` aggregates per-replica counters (sums, and maxes for the
+//!   high-water marks) and adds the router's own additive counters.
+//!
+//! Replica failure is never a hang and never a torn batch: every replica call
+//! runs under connect/read/write deadlines with bounded reconnect-retry, and
+//! a replica that stays unreachable yields typed `unavailable` errors — per
+//! item for split batches (sibling replicas' items are unaffected), as the
+//! whole response for solo requests.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use qec_serve::client::{Client, ClientConfig};
+use qec_serve::protocol::{
+    parse_request, parse_response, request_line, response_line, BatchItem, ErrorCode, EvalSpec,
+    Request, RequestKind, Response, ResponseKind, ServerStats, VersionInfo, WireError,
+    PROTOCOL_VERSION,
+};
+use qec_trace::cluster::ClusterMap;
+use qec_trace::{Corpus, CorpusEntry};
+
+/// Router construction options.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Address to bind, `host:port`. Port `0` picks an ephemeral port — read
+    /// it back from [`Router::local_addr`].
+    pub addr: String,
+    /// Hard connection limit, as the daemon's: a connection beyond it gets
+    /// one typed `overloaded` error line and is closed.
+    pub max_connections: usize,
+    /// Per-call deadline for every replica connect/read/write (`None` blocks
+    /// forever — not recommended; a hung replica would hang its requests).
+    pub replica_timeout: Option<Duration>,
+    /// Reconnect-retry attempts per replica call beyond the first (bounded;
+    /// an exhausted budget yields a typed `unavailable` error).
+    pub replica_retries: u32,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: 32,
+            replica_timeout: Some(Duration::from_millis(5000)),
+            replica_retries: 1,
+        }
+    }
+}
+
+/// One replica's routing endpoint: its address, one pooled connection, and
+/// its health. Calls on one replica serialize on the slot lock (the protocol
+/// is strictly request→response per connection); cross-replica fan-out is
+/// where the concurrency lives.
+struct ReplicaSlot {
+    index: usize,
+    addr: String,
+    client: Mutex<Option<Client>>,
+    /// Whether the last call succeeded (the `replicas_up` gauge).
+    up: AtomicBool,
+    /// Calls that exhausted their retry budget (summed into
+    /// `replica_errors`).
+    errors: AtomicU64,
+    timeout: Option<Duration>,
+    retries: u32,
+}
+
+impl ReplicaSlot {
+    /// Sends one raw line to the replica and returns its raw response line,
+    /// reusing the pooled connection when possible and reconnecting (with
+    /// bounded backoff-retry) when the transport fails. Retrying a protocol
+    /// request is safe: every request is a read-only query against the
+    /// replica's corpus.
+    fn call_raw(&self, line: &str) -> Result<String, String> {
+        let mut guard = self.client.lock().expect("replica slot poisoned");
+        let config = ClientConfig { connect_timeout: self.timeout, io_timeout: self.timeout };
+        let mut last_err = String::new();
+        for attempt in 0..=self.retries {
+            if attempt > 0 {
+                // Bounded exponential backoff; a refused connect returns
+                // instantly, so this is the whole cost of a down replica.
+                let backoff = Duration::from_millis(50 << (attempt - 1).min(4));
+                std::thread::sleep(backoff);
+            }
+            let mut client = match guard.take() {
+                Some(client) => client,
+                None => match Client::connect_with(&self.addr, config) {
+                    Ok(client) => client,
+                    Err(message) => {
+                        last_err = message;
+                        continue;
+                    }
+                },
+            };
+            match client.send_raw(line) {
+                Ok(response) => {
+                    *guard = Some(client);
+                    self.up.store(true, Ordering::Relaxed);
+                    return Ok(response);
+                }
+                // The connection is unusable after any transport failure
+                // (a late line would desynchronize pairing): drop it and
+                // reconnect on the next attempt.
+                Err(message) => last_err = message,
+            }
+        }
+        self.up.store(false, Ordering::Relaxed);
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        Err(format!("replica {} ({}): {last_err}", self.index, self.addr))
+    }
+
+    /// Sends a typed request and parses the typed response (the non-raw path
+    /// behind `stats` aggregation and `list-cells` merging).
+    fn call(&self, kind: RequestKind) -> Result<ResponseKind, String> {
+        let line = self.call_raw(&request_line(&Request { id: None, request: kind }))?;
+        let response = parse_response(&line)
+            .map_err(|e| format!("replica {} ({}): {e}", self.index, self.addr))?;
+        if response.v != PROTOCOL_VERSION {
+            return Err(format!(
+                "replica {} ({}) speaks protocol v{}, this router v{PROTOCOL_VERSION}",
+                self.index, self.addr, response.v
+            ));
+        }
+        Ok(response.response)
+    }
+}
+
+/// Admitted-but-not-yet-served connections (same bounded hand-off as the
+/// daemon's).
+struct ConnQueue {
+    inner: Mutex<ConnQueueState>,
+    ready: Condvar,
+}
+
+struct ConnQueueState {
+    pending: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl ConnQueue {
+    fn new() -> Self {
+        ConnQueue {
+            inner: Mutex::new(ConnQueueState { pending: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, stream: TcpStream) {
+        let mut inner = self.inner.lock().expect("connection queue poisoned");
+        if inner.closed {
+            return;
+        }
+        inner.pending.push_back(stream);
+        self.ready.notify_one();
+    }
+
+    fn pop(&self) -> Option<TcpStream> {
+        let mut inner = self.inner.lock().expect("connection queue poisoned");
+        loop {
+            if let Some(stream) = inner.pending.pop_front() {
+                return Some(stream);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("connection queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        let mut inner = self.inner.lock().expect("connection queue poisoned");
+        inner.closed = true;
+        inner.pending.clear();
+        self.ready.notify_all();
+    }
+}
+
+/// Shared router state.
+struct RouterState {
+    map: ClusterMap,
+    replicas: Vec<Arc<ReplicaSlot>>,
+    pool: rayon::ThreadPool,
+    addr: SocketAddr,
+    max_connections: usize,
+    conn_queue: ConnQueue,
+    requests: AtomicU64,
+    routed_requests: AtomicU64,
+    fanout_hwm: AtomicU64,
+    active_connections: AtomicU64,
+    shed_connections: AtomicU64,
+    shutdown: AtomicBool,
+    connections: Mutex<Vec<(u64, TcpStream)>>,
+}
+
+/// A bound, not-yet-running router. [`Router::run`] blocks until a `shutdown`
+/// request arrives. Shutting the router down does **not** shut its replicas
+/// down — they are independent daemons; stop them with their own `shutdown`.
+pub struct Router {
+    listener: TcpListener,
+    state: RouterState,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("addr", &self.state.addr)
+            .field("replicas", &self.state.replicas.len())
+            .field("cells", &self.state.map.cells())
+            .finish()
+    }
+}
+
+impl Router {
+    /// Loads and validates the shard map at `cluster_path`, applies
+    /// `addr_overrides` (`(replica index, host:port)` pairs, overriding the
+    /// addresses recorded in the map) and binds the listen socket. Replicas
+    /// are **not** probed at bind: a replica may come up later or die mid-run;
+    /// health is tracked per call.
+    ///
+    /// # Errors
+    /// Returns a message when the map is missing/invalid, an override names a
+    /// replica the map does not have, any replica is left without an address,
+    /// or the address cannot be bound.
+    pub fn bind(
+        cluster_path: &Path,
+        addr_overrides: &[(usize, String)],
+        config: &RouterConfig,
+    ) -> Result<Router, String> {
+        let mut map = ClusterMap::load(cluster_path).map_err(|e| e.to_string())?;
+        for (index, addr) in addr_overrides {
+            let n = map.replicas.len();
+            let replica = map
+                .replicas
+                .get_mut(*index)
+                .ok_or_else(|| format!("--replica-addr {index}: no such replica (0..{n})"))?;
+            replica.addr.clone_from(addr);
+        }
+        if let Some(missing) = map.replicas.iter().find(|replica| replica.addr.is_empty()) {
+            return Err(format!(
+                "replica {} has no address — record one in {} or pass --replica-addr {}=HOST:PORT",
+                missing.index,
+                cluster_path.display(),
+                missing.index
+            ));
+        }
+        let listener =
+            TcpListener::bind(&config.addr).map_err(|e| format!("bind {}: {e}", config.addr))?;
+        let addr = listener.local_addr().map_err(|e| e.to_string())?;
+        let replicas: Vec<Arc<ReplicaSlot>> = map
+            .replicas
+            .iter()
+            .map(|replica| {
+                Arc::new(ReplicaSlot {
+                    index: replica.index,
+                    addr: replica.addr.clone(),
+                    client: Mutex::new(None),
+                    up: AtomicBool::new(true),
+                    errors: AtomicU64::new(0),
+                    timeout: config.replica_timeout,
+                    retries: config.replica_retries,
+                })
+            })
+            .collect();
+        // One pool worker per replica: a request can fan out to every replica
+        // at once, and per-replica calls serialize on the slot anyway.
+        let pool = rayon::ThreadPool::new(replicas.len().max(1));
+        Ok(Router {
+            listener,
+            state: RouterState {
+                map,
+                replicas,
+                pool,
+                addr,
+                max_connections: config.max_connections.max(1),
+                conn_queue: ConnQueue::new(),
+                requests: AtomicU64::new(0),
+                routed_requests: AtomicU64::new(0),
+                fanout_hwm: AtomicU64::new(0),
+                active_connections: AtomicU64::new(0),
+                shed_connections: AtomicU64::new(0),
+                shutdown: AtomicBool::new(false),
+                connections: Mutex::new(Vec::new()),
+            },
+        })
+    }
+
+    /// The bound address (resolves an ephemeral port request).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Replicas in the shard map.
+    #[must_use]
+    pub fn replica_count(&self) -> usize {
+        self.state.replicas.len()
+    }
+
+    /// Total cells across the shard map.
+    #[must_use]
+    pub fn cluster_cells(&self) -> usize {
+        self.state.map.cells()
+    }
+
+    /// Accepts and routes connections until a `shutdown` request is handled
+    /// (the daemon's bounded accept/worker model, minus the evaluation queue —
+    /// the router does no evaluation of its own).
+    pub fn run(self) {
+        let Router { listener, state } = self;
+        let state = &state;
+        let next_id = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..state.max_connections {
+                scope.spawn(|| connection_worker(state, &next_id));
+            }
+            for stream in listener.incoming() {
+                if state.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let _ = stream.set_nodelay(true);
+                let admitted = state.active_connections.fetch_add(1, Ordering::AcqRel);
+                if admitted >= state.max_connections as u64 {
+                    state.active_connections.fetch_sub(1, Ordering::AcqRel);
+                    state.shed_connections.fetch_add(1, Ordering::Relaxed);
+                    shed_connection(state, stream);
+                    continue;
+                }
+                state.conn_queue.push(stream);
+            }
+            state.conn_queue.close();
+            for (_, conn) in state.connections.lock().expect("connection registry poisoned").iter()
+            {
+                let _ = conn.shutdown(std::net::Shutdown::Read);
+            }
+        });
+    }
+}
+
+fn connection_worker(state: &RouterState, next_id: &AtomicU64) {
+    while let Some(stream) = state.conn_queue.pop() {
+        let id = next_id.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            state.connections.lock().expect("connection registry poisoned").push((id, clone));
+        }
+        handle_connection(state, stream);
+        state
+            .connections
+            .lock()
+            .expect("connection registry poisoned")
+            .retain(|(conn_id, _)| *conn_id != id);
+        state.active_connections.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Same refusal bytes as the daemon's connection shed.
+fn shed_connection(state: &RouterState, mut stream: TcpStream) {
+    let error = WireError::new(
+        ErrorCode::Overloaded,
+        format!(
+            "connection limit reached ({} active); connection refused — retry later",
+            state.max_connections
+        ),
+    );
+    let response = Response { id: None, v: PROTOCOL_VERSION, response: ResponseKind::Error(error) };
+    let _ = writeln!(stream, "{}", response_line(&response));
+    let _ = stream.flush();
+}
+
+/// Serves one client connection: reads LF-terminated request lines, answers
+/// each in order. Raw pass-through answers are written verbatim; everything
+/// else is serialized by the router from typed values.
+fn handle_connection(state: &RouterState, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else { return };
+    let reader = BufReader::new(read_half);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        let answer = match parse_request(&line) {
+            Ok(request) => route_request(state, request.id, request.request),
+            Err(error) => local_line(None, ResponseKind::Error(error)),
+        };
+        let stop = answer.stop;
+        if writeln!(writer, "{}", answer.line).is_err() {
+            break;
+        }
+        let _ = writer.flush();
+        if stop {
+            state.shutdown.store(true, Ordering::Release);
+            let mut poke = state.addr;
+            if poke.ip().is_unspecified() {
+                poke.set_ip(match poke {
+                    std::net::SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+                    std::net::SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+                });
+            }
+            let _ = TcpStream::connect(poke);
+            break;
+        }
+    }
+}
+
+/// One answered request: the exact wire line to write, and whether it was a
+/// shutdown (which stops the router after the line is delivered).
+struct Answer {
+    line: String,
+    stop: bool,
+}
+
+/// A line the router serializes itself (local answers and reassembled
+/// fan-outs).
+fn local_line(id: Option<u64>, response: ResponseKind) -> Answer {
+    let stop = matches!(response, ResponseKind::ShuttingDown);
+    Answer { line: response_line(&Response { id, v: PROTOCOL_VERSION, response }), stop }
+}
+
+/// Routes one parsed request. Never hangs on a dead replica: every replica
+/// call is deadline-bounded, and exhaustion yields a typed `unavailable`.
+fn route_request(state: &RouterState, id: Option<u64>, request: RequestKind) -> Answer {
+    match request {
+        // Local kinds: liveness and identity belong to the router itself.
+        RequestKind::Ping => local_line(id, ResponseKind::Pong),
+        RequestKind::Shutdown => local_line(id, ResponseKind::ShuttingDown),
+        RequestKind::Version => local_line(
+            id,
+            ResponseKind::Version(VersionInfo {
+                server: format!("qec-cluster {}", env!("CARGO_PKG_VERSION")),
+                git_describe: qec_experiments::sweep::git_describe(),
+                protocol: PROTOCOL_VERSION,
+                trace_schema: qec_trace::TRACE_SCHEMA_VERSION,
+                manifest_schema: qec_trace::MANIFEST_SCHEMA_VERSION,
+                replay_schema: qec_experiments::replay::REPLAY_SCHEMA_VERSION,
+            }),
+        ),
+        RequestKind::Stats => local_line(id, aggregate_stats(state)),
+        RequestKind::ListCells => local_line(id, merge_list_cells(state)),
+        // Cell-addressed solo requests: raw pass-through to the owner.
+        RequestKind::StatCell { ref key } | RequestKind::VerifyCell { ref key } => {
+            let key = key.clone();
+            route_solo(state, id, request, &key)
+        }
+        RequestKind::Eval(ref spec) => {
+            let key = spec.key.clone();
+            route_solo(state, id, request, &key)
+        }
+        RequestKind::BatchEval { evals, per_item } => route_batch(state, id, evals, per_item),
+    }
+}
+
+/// The owning replica of a cell key: the shard-map assignment rule applied
+/// directly. Keys outside the corpus route to their *would-be* owner, which
+/// answers `unknown-cell` with exactly the monolithic daemon's bytes.
+fn owner_of<'a>(state: &'a RouterState, key: &str) -> &'a Arc<ReplicaSlot> {
+    let index = ClusterMap::assign(Corpus::cell_hash(key), state.replicas.len());
+    &state.replicas[index]
+}
+
+fn note_fanout(state: &RouterState, replicas_touched: u64) {
+    state.routed_requests.fetch_add(1, Ordering::Relaxed);
+    state.fanout_hwm.fetch_max(replicas_touched, Ordering::Relaxed);
+}
+
+/// The typed refusal for an unreachable replica. `context` names the request
+/// so batch items can carry their index prefix.
+fn unavailable(message: String) -> WireError {
+    WireError::new(ErrorCode::Unavailable, format!("{message} — unreachable after bounded retry"))
+}
+
+/// Routes a single-cell request raw: the replica sees the client's own
+/// correlation id and its response line is returned verbatim, so routed
+/// bytes are daemon bytes by construction.
+fn route_solo(state: &RouterState, id: Option<u64>, request: RequestKind, key: &str) -> Answer {
+    note_fanout(state, 1);
+    let owner = owner_of(state, key);
+    let line = request_line(&Request { id, request });
+    match owner.call_raw(&line) {
+        Ok(raw) => Answer { line: raw, stop: false },
+        Err(message) => local_line(id, ResponseKind::Error(unavailable(message))),
+    }
+}
+
+/// Aggregated `stats`: sums (and maxes, for the high-water marks) across the
+/// replicas that answered, plus the router's own counters. A replica that
+/// cannot be reached is simply absent from the aggregate — visible as
+/// `replicas_up < N` and a bumped `replica_errors`, never an error response.
+fn aggregate_stats(state: &RouterState) -> ResponseKind {
+    note_fanout(state, state.replicas.len() as u64);
+    let jobs: Vec<_> = state
+        .replicas
+        .iter()
+        .map(|slot| {
+            let slot = Arc::clone(slot);
+            move || slot.call(RequestKind::Stats)
+        })
+        .collect();
+    let mut total = ServerStats {
+        requests: 0,
+        evals: 0,
+        batch_evals: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+        cache_evictions: 0,
+        cached_cells: 0,
+        cache_capacity: 0,
+        corpus_cells: 0,
+        shared_passes: 0,
+        suffixes_served: 0,
+        peak_checkpoints: 0,
+        active_connections: 0,
+        max_connections: 0,
+        queue_depth_hwm: 0,
+        queue_limit: 0,
+        shed_requests: 0,
+        shed_connections: 0,
+        corpus_reloads: 0,
+        routed_requests: 0,
+        fanout_hwm: 0,
+        replica_errors: 0,
+        replicas_up: 0,
+    };
+    for outcome in state.pool.execute_ordered(jobs) {
+        let Ok(ResponseKind::Stats(stats)) = outcome else { continue };
+        total.requests += stats.requests;
+        total.evals += stats.evals;
+        total.batch_evals += stats.batch_evals;
+        total.cache_hits += stats.cache_hits;
+        total.cache_misses += stats.cache_misses;
+        total.cache_evictions += stats.cache_evictions;
+        total.cached_cells += stats.cached_cells;
+        total.cache_capacity += stats.cache_capacity;
+        total.corpus_cells += stats.corpus_cells;
+        total.shared_passes += stats.shared_passes;
+        total.suffixes_served += stats.suffixes_served;
+        total.peak_checkpoints = total.peak_checkpoints.max(stats.peak_checkpoints);
+        total.active_connections += stats.active_connections;
+        total.max_connections += stats.max_connections;
+        total.queue_depth_hwm = total.queue_depth_hwm.max(stats.queue_depth_hwm);
+        total.queue_limit += stats.queue_limit;
+        total.shed_requests += stats.shed_requests;
+        total.shed_connections += stats.shed_connections;
+        total.corpus_reloads += stats.corpus_reloads;
+    }
+    total.routed_requests = state.routed_requests.load(Ordering::Relaxed);
+    total.fanout_hwm = state.fanout_hwm.load(Ordering::Relaxed);
+    total.replica_errors =
+        state.replicas.iter().map(|slot| slot.errors.load(Ordering::Relaxed)).sum();
+    total.replicas_up =
+        state.replicas.iter().filter(|slot| slot.up.load(Ordering::Relaxed)).count() as u64;
+    ResponseKind::Stats(total)
+}
+
+/// Merged `list-cells`: every replica's listing, reassembled into
+/// source-manifest order via the shard map's assignment list — byte-identical
+/// to the unsharded daemon's listing. A complete listing needs every replica,
+/// so any unreachable one fails the whole request with a typed `unavailable`.
+fn merge_list_cells(state: &RouterState) -> ResponseKind {
+    note_fanout(state, state.replicas.len() as u64);
+    let jobs: Vec<_> = state
+        .replicas
+        .iter()
+        .map(|slot| {
+            let slot = Arc::clone(slot);
+            move || slot.call(RequestKind::ListCells)
+        })
+        .collect();
+    let mut by_key: Vec<(String, CorpusEntry)> = Vec::with_capacity(state.map.cells());
+    for outcome in state.pool.execute_ordered(jobs) {
+        match outcome {
+            Ok(ResponseKind::Cells(cells)) => {
+                by_key.extend(cells.into_iter().map(|entry| (entry.key.clone(), entry)));
+            }
+            Ok(ResponseKind::Error(error)) => return ResponseKind::Error(error),
+            Ok(other) => {
+                return ResponseKind::Error(WireError::new(
+                    ErrorCode::Internal,
+                    format!("unexpected list-cells answer from a replica: {other:?}"),
+                ))
+            }
+            Err(message) => return ResponseKind::Error(unavailable(message)),
+        }
+    }
+    let mut merged = Vec::with_capacity(state.map.assignments.len());
+    for assignment in &state.map.assignments {
+        match by_key.iter().position(|(key, _)| key == &assignment.key) {
+            Some(at) => merged.push(by_key.swap_remove(at).1),
+            None => {
+                // The replica's live corpus no longer lists a mapped cell
+                // (hot-reloaded behind the shard map): a partial listing would
+                // silently misrepresent the cluster, so fail typed instead.
+                return ResponseKind::Error(WireError::new(
+                    ErrorCode::CorruptCorpus,
+                    format!(
+                        "cell `{}` is in the shard map but not in replica {}'s corpus — \
+                         the shard map is stale; re-shard the corpus",
+                        assignment.key, assignment.replica
+                    ),
+                ));
+            }
+        }
+    }
+    // Cells the replicas serve beyond the map are ignored: the router's view
+    // of the cluster IS the shard map.
+    ResponseKind::Cells(merged)
+}
+
+/// Routes `batch-eval`. Single-owner batches (including empty ones, which
+/// replica 0 refuses with the daemon's own `bad-request` bytes) pass through
+/// raw. Split batches fan out per-owner sub-batches concurrently — always
+/// per-item toward the replicas, reassembled into whichever answer shape the
+/// client asked for.
+fn route_batch(
+    state: &RouterState,
+    id: Option<u64>,
+    evals: Vec<EvalSpec>,
+    per_item: Option<bool>,
+) -> Answer {
+    let owners: Vec<usize> = evals
+        .iter()
+        .map(|spec| ClusterMap::assign(Corpus::cell_hash(&spec.key), state.replicas.len()))
+        .collect();
+    let mut distinct: Vec<usize> = Vec::new();
+    for &owner in &owners {
+        if !distinct.contains(&owner) {
+            distinct.push(owner);
+        }
+    }
+    if distinct.len() <= 1 {
+        // One owner (or an empty batch): the whole request passes through raw
+        // with the client's own id and `per_item` flag — byte-identical to
+        // the daemon by construction, including refusal shapes.
+        note_fanout(state, 1);
+        let owner = &state.replicas[distinct.first().copied().unwrap_or(0)];
+        let line =
+            request_line(&Request { id, request: RequestKind::BatchEval { evals, per_item } });
+        return match owner.call_raw(&line) {
+            Ok(raw) => Answer { line: raw, stop: false },
+            Err(message) => local_line(id, ResponseKind::Error(unavailable(message))),
+        };
+    }
+    note_fanout(state, distinct.len() as u64);
+    // Per-owner sub-batches, original order preserved within each owner.
+    distinct.sort_unstable();
+    let sub_batches: Vec<(usize, Vec<usize>)> = distinct
+        .iter()
+        .map(|&owner| {
+            let indices: Vec<usize> = (0..evals.len()).filter(|&i| owners[i] == owner).collect();
+            (owner, indices)
+        })
+        .collect();
+    let jobs: Vec<_> = sub_batches
+        .iter()
+        .map(|(owner, indices)| {
+            let slot = Arc::clone(&state.replicas[*owner]);
+            let sub_evals: Vec<EvalSpec> = indices.iter().map(|&i| evals[i].clone()).collect();
+            let expected = indices.len();
+            move || -> Result<Vec<BatchItem>, WireError> {
+                let line = request_line(&Request {
+                    id: None,
+                    request: RequestKind::BatchEval { evals: sub_evals, per_item: Some(true) },
+                });
+                let raw = slot.call_raw(&line).map_err(unavailable)?;
+                let response = parse_response(&raw).map_err(|e| {
+                    WireError::new(
+                        ErrorCode::Internal,
+                        format!("replica {}: unparsable response: {e}", slot.index),
+                    )
+                })?;
+                match response.response {
+                    ResponseKind::BatchItems(items) if items.len() == expected => Ok(items),
+                    // A whole-sub-batch refusal (e.g. an `overloaded` shed):
+                    // propagate the typed error to this owner's items.
+                    ResponseKind::Error(error) => Err(error),
+                    other => Err(WireError::new(
+                        ErrorCode::Internal,
+                        format!("replica {}: unexpected batch-eval answer: {other:?}", slot.index),
+                    )),
+                }
+            }
+        })
+        .collect();
+    let sub_outcomes = state.pool.execute_ordered(jobs);
+    // Reassemble in original request order, rewriting per-item error index
+    // prefixes from sub-batch positions to original positions.
+    let mut items: Vec<Option<BatchItem>> = (0..evals.len()).map(|_| None).collect();
+    let mut whole_errors: Vec<WireError> = Vec::new();
+    for ((_, indices), outcome) in sub_batches.iter().zip(sub_outcomes) {
+        match outcome {
+            Ok(sub_items) => {
+                for (sub_index, (item, &orig)) in sub_items.into_iter().zip(indices).enumerate() {
+                    let item = match item {
+                        BatchItem::Error(mut error) => {
+                            error.message = reindex_message(&error.message, sub_index, orig);
+                            BatchItem::Error(error)
+                        }
+                        ok => ok,
+                    };
+                    items[orig] = Some(item);
+                }
+            }
+            Err(error) => {
+                for &orig in indices {
+                    let mut item_error = error.clone();
+                    item_error.message = format!("evals[{orig}]: {}", item_error.message);
+                    items[orig] = Some(BatchItem::Error(item_error));
+                }
+                whole_errors.push(error);
+            }
+        }
+    }
+    let items: Vec<BatchItem> =
+        items.into_iter().map(|item| item.expect("every index answered")).collect();
+    if per_item == Some(true) {
+        return local_line(id, ResponseKind::BatchItems(items));
+    }
+    // Legacy all-or-nothing reassembly: a whole-sub-batch refusal (shed or
+    // unreachable replica) refuses the whole batch, as the daemon's admission
+    // would; otherwise the first failing item (in request order) carries its
+    // indexed error, matching the daemon's fail-fast/collect semantics.
+    if let Some(error) = whole_errors.into_iter().next() {
+        return local_line(id, ResponseKind::Error(error));
+    }
+    let mut results = Vec::with_capacity(items.len());
+    for item in items {
+        match item.into_result() {
+            Ok(result) => results.push(result),
+            Err(error) => return local_line(id, ResponseKind::Error(error)),
+        }
+    }
+    local_line(id, ResponseKind::Batch(results))
+}
+
+/// Rewrites a per-item error message's `evals[j]: ` prefix (the daemon indexes
+/// errors by position in the batch it saw — the sub-batch) to the item's
+/// original index, so split-batch errors are byte-identical to the monolithic
+/// daemon's. Messages without the prefix (none are produced today) pass
+/// through unchanged.
+fn reindex_message(message: &str, sub_index: usize, original_index: usize) -> String {
+    let prefix = format!("evals[{sub_index}]: ");
+    match message.strip_prefix(&prefix) {
+        Some(rest) => format!("evals[{original_index}]: {rest}"),
+        None => message.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reindex_rewrites_only_the_matching_prefix() {
+        assert_eq!(reindex_message("evals[0]: no such cell", 0, 7), "evals[7]: no such cell");
+        assert_eq!(reindex_message("evals[2]: boom", 2, 2), "evals[2]: boom");
+        // A mismatched or absent prefix is left alone.
+        assert_eq!(reindex_message("evals[1]: boom", 0, 7), "evals[1]: boom");
+        assert_eq!(reindex_message("no prefix here", 0, 7), "no prefix here");
+    }
+}

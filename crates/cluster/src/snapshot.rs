@@ -1,0 +1,163 @@
+//! The pinned cluster benchmark behind `repro snapshot --cluster-out` and the
+//! CI perf gate's `BENCH_cluster_baseline.json`.
+//!
+//! One self-contained scene: a tiny recorded corpus, sharded across two
+//! in-process replica daemons, fronted by a router — then a split per-item
+//! `batch-eval` (both replicas owning items, so the fan-out/reassembly path
+//! is what's timed) round-tripped through the router with hot caches, next to
+//! the same batch against a monolithic daemon serving the unsharded corpus.
+//! The pair prices the routing tax: `routed / monolithic` is the overhead a
+//! deployment pays for sharding once the corpus is resident.
+
+use std::time::Instant;
+
+use leakage_speculation::PolicyKind;
+use qec_experiments::replay::record_into_corpus;
+use qec_experiments::report::BenchLine;
+use qec_experiments::scenario::{CodeFamily, Scenario};
+use qec_experiments::sweep::SNAPSHOT_SAMPLES;
+use qec_serve::client::{Client, ClientConfig};
+use qec_serve::{request_line, EvalSpec, Request, RequestKind, ResponseKind, ServeConfig, Server};
+use qec_trace::cluster::ClusterMap;
+use qec_trace::Corpus;
+
+/// The pinned snapshot scenario family: the serve-bench cell at a handful of
+/// error rates, recorded until both replicas of a 2-way shard own at least
+/// one cell. Changing this invalidates `crates/bench/BENCH_cluster_baseline.json`.
+fn snapshot_scenarios() -> Vec<Scenario> {
+    [1e-3, 2e-3, 3e-3, 4e-3]
+        .iter()
+        .map(|&p| Scenario {
+            code: CodeFamily::Surface,
+            distance: 3,
+            rounds: 9,
+            p,
+            leakage_ratio: 0.1,
+            policy: PolicyKind::EraserM,
+            shots: 8,
+            seed: 11,
+            decode: false,
+        })
+        .collect()
+}
+
+/// Runs the pinned cluster benchmark [`SNAPSHOT_SAMPLES`] times and reports
+/// wall-times as [`BenchLine`]s:
+///
+/// * `cluster/routed_batch_eval_roundtrip` — a split per-item `batch-eval`
+///   (one cell per replica × 2 policies) through the router, hot caches;
+/// * `cluster/monolithic_batch_eval_roundtrip` — the identical batch against
+///   one daemon serving the unsharded corpus, the routing-tax denominator.
+///
+/// Panics on any environment failure (it drives temp dirs, sockets and
+/// threads it fully owns) — a panic is a broken build, not a regression.
+#[must_use]
+pub fn cluster_snapshot() -> Vec<BenchLine> {
+    let root = std::env::temp_dir().join(format!("qec-cluster-snapshot-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let corpus_dir = root.join("corpus");
+    let mut corpus = Corpus::open(&corpus_dir).expect("open snapshot corpus");
+    let mut keys = Vec::new();
+    for scenario in snapshot_scenarios() {
+        let entry = record_into_corpus(&mut corpus, &scenario, scenario.policy, "cluster snapshot")
+            .expect("record snapshot cell");
+        keys.push(entry.key.clone());
+    }
+    corpus.save().expect("save snapshot corpus");
+
+    // Shard 2-ways; the scenario family is pinned so both replicas own cells
+    // (asserted here, so a hash change cannot silently un-split the batch).
+    let out_dir = root.join("sharded");
+    let map = crate::shard_corpus(&corpus_dir, &out_dir, 2, &crate::ShardOptions::default())
+        .expect("shard snapshot corpus");
+    let owner = |key: &str| ClusterMap::assign(Corpus::cell_hash(key), 2);
+    let key_a = keys.iter().find(|key| owner(key) == 0).expect("replica 0 owns a cell");
+    let key_b = keys.iter().find(|key| owner(key) == 1).expect("replica 1 owns a cell");
+
+    // Two replica daemons + the monolithic comparison daemon, all in-process.
+    let mut daemons = Vec::new();
+    let mut overrides = Vec::new();
+    for replica in &map.replicas {
+        let server = Server::bind(&out_dir.join(&replica.dir), &ServeConfig::default())
+            .expect("bind replica daemon");
+        overrides.push((replica.index, server.local_addr().to_string()));
+        daemons.push((server.local_addr(), std::thread::spawn(move || server.run())));
+    }
+    let mono = Server::bind(&corpus_dir, &ServeConfig::default()).expect("bind monolithic daemon");
+    let mono_addr = mono.local_addr();
+    daemons.push((mono_addr, std::thread::spawn(move || mono.run())));
+
+    let router = crate::Router::bind(
+        &out_dir.join(qec_trace::cluster::CLUSTER_FILE),
+        &overrides,
+        &crate::RouterConfig::default(),
+    )
+    .expect("bind snapshot router");
+    let router_addr = router.local_addr();
+    let router_thread = std::thread::spawn(move || router.run());
+
+    // The split batch: both replicas own items, two policies per cell.
+    let batch = Request {
+        id: Some(1),
+        request: RequestKind::BatchEval {
+            evals: [key_a, key_b]
+                .iter()
+                .flat_map(|key| {
+                    ["gladiator+m", "eraser+m"].iter().map(move |policy| EvalSpec {
+                        key: (*key).clone(),
+                        policy: (*policy).to_string(),
+                        mode: None,
+                        decode: None,
+                    })
+                })
+                .collect(),
+            per_item: Some(true),
+        },
+    };
+    let batch_line = request_line(&batch);
+
+    let time_roundtrips = |addr: std::net::SocketAddr, benchmark: &str| -> BenchLine {
+        let mut client = Client::connect(addr).expect("connect snapshot client");
+        // One untimed warmup settles both replica caches (and the monolithic
+        // daemon's), so every timed sample is the hot-cache path.
+        let _ = client.send_raw(&batch_line).expect("warmup batch");
+        let samples: Vec<u64> = (0..SNAPSHOT_SAMPLES)
+            .map(|_| {
+                let start = Instant::now();
+                let _ = client.send_raw(&batch_line).expect("timed batch");
+                start.elapsed().as_nanos() as u64
+            })
+            .collect();
+        BenchLine {
+            benchmark: benchmark.to_string(),
+            samples: SNAPSHOT_SAMPLES,
+            mean_ns: samples.iter().sum::<u64>() / SNAPSHOT_SAMPLES as u64,
+            min_ns: samples.iter().copied().min().unwrap_or(0),
+            max_ns: samples.iter().copied().max().unwrap_or(0),
+        }
+    };
+    let routed = time_roundtrips(router_addr, "cluster/routed_batch_eval_roundtrip");
+    let monolithic = time_roundtrips(mono_addr, "cluster/monolithic_batch_eval_roundtrip");
+
+    // Orderly teardown: router first (it holds replica connections), then
+    // every daemon.
+    let shutdown = |addr: std::net::SocketAddr| {
+        let mut client = Client::connect_with(
+            addr,
+            ClientConfig::with_timeout(std::time::Duration::from_secs(10)),
+        )
+        .expect("connect for shutdown");
+        match client.request(RequestKind::Shutdown).expect("shutdown request") {
+            ResponseKind::ShuttingDown => {}
+            other => panic!("unexpected shutdown answer: {other:?}"),
+        }
+    };
+    shutdown(router_addr);
+    router_thread.join().expect("router thread");
+    for (addr, thread) in daemons {
+        shutdown(addr);
+        thread.join().expect("daemon thread");
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    vec![routed, monolithic]
+}

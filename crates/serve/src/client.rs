@@ -7,11 +7,39 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use crate::protocol::{
     parse_response, request_line, BatchItem, EvalResult, EvalSpec, Request, RequestKind, Response,
     ResponseKind, WireError, PROTOCOL_VERSION,
 };
+
+/// Connection deadlines. The zero-value default (`None` everywhere) blocks
+/// forever, exactly as [`Client::connect`] always has — tests and local
+/// tooling that own both ends keep that behavior; anything talking to a
+/// daemon it does not control (`repro query`, the `qec-cluster` router)
+/// should set both, so a hung or partitioned peer yields a typed error
+/// instead of a wedged process.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Deadline for establishing the TCP connection.
+    pub connect_timeout: Option<Duration>,
+    /// Deadline for each blocking read **and** each blocking write on the
+    /// established connection (applied as both `SO_RCVTIMEO` and
+    /// `SO_SNDTIMEO`). An expired deadline surfaces as an I/O error from
+    /// [`Client::send_raw`]; the connection is unusable afterwards (a late
+    /// response line would desynchronize the request/response pairing), so
+    /// callers reconnect.
+    pub io_timeout: Option<Duration>,
+}
+
+impl ClientConfig {
+    /// Both deadlines set to `timeout`.
+    #[must_use]
+    pub fn with_timeout(timeout: Duration) -> Self {
+        ClientConfig { connect_timeout: Some(timeout), io_timeout: Some(timeout) }
+    }
+}
 
 /// A connected protocol client.
 #[derive(Debug)]
@@ -21,14 +49,49 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to a running daemon.
+    /// Connects to a running daemon with no deadlines (blocks indefinitely on
+    /// an unresponsive peer). Shorthand for [`Client::connect_with`] and the
+    /// default [`ClientConfig`].
     ///
     /// # Errors
     /// Returns a message when the connection cannot be established.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, String> {
-        let writer = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        Client::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects to a running daemon under the deadlines in `config`.
+    ///
+    /// With a `connect_timeout`, `addr` is resolved first (DNS resolution has
+    /// no portable deadline) and each resolved address is tried in turn under
+    /// the deadline; without one, the OS default connect behavior applies.
+    ///
+    /// # Errors
+    /// Returns a message when resolution fails, no resolved address accepts
+    /// the connection within the deadline, or socket setup fails.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> Result<Client, String> {
+        let writer = match config.connect_timeout {
+            None => TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?,
+            Some(timeout) => {
+                let addrs: Vec<_> =
+                    addr.to_socket_addrs().map_err(|e| format!("connect: {e}"))?.collect();
+                let mut last_err = "connect: address resolved to nothing".to_string();
+                let mut connected = None;
+                for resolved in addrs {
+                    match TcpStream::connect_timeout(&resolved, timeout) {
+                        Ok(stream) => {
+                            connected = Some(stream);
+                            break;
+                        }
+                        Err(e) => last_err = format!("connect {resolved}: {e}"),
+                    }
+                }
+                connected.ok_or(last_err)?
+            }
+        };
         // One-line requests must leave immediately, not sit in Nagle's buffer.
         let _ = writer.set_nodelay(true);
+        writer.set_read_timeout(config.io_timeout).map_err(|e| format!("connect: {e}"))?;
+        writer.set_write_timeout(config.io_timeout).map_err(|e| format!("connect: {e}"))?;
         let read_half = writer.try_clone().map_err(|e| format!("connect: {e}"))?;
         Ok(Client { reader: BufReader::new(read_half), writer })
     }

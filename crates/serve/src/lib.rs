@@ -35,12 +35,13 @@
 //! (`qec_experiments::replay::{evaluate_cell, evaluation_row}`), so a served
 //! `eval` row is byte-identical to the CLI's replay-report row for the same
 //! `corpus × cell × policy × mode × decode` — the e2e tests in
-//! `crates/serve/tests/server.rs` pin exactly that, and the CI `serve-smoke`
+//! `crates/cluster/tests/server.rs` pin exactly that, and the CI `serve-smoke`
 //! job additionally pins responses across `RAYON_NUM_THREADS=1` vs `4`.
 //!
-//! The `repro` binary (moved here from `qec-experiments` so the CLI can host
-//! the `serve`/`query` subcommands without a dependency cycle) remains the
-//! workspace's single command-line entry point.
+//! The `repro` binary (moved on to `qec-cluster` so the CLI can host the
+//! `corpus shard`/`route` subcommands without a dependency cycle) remains the
+//! workspace's single command-line entry point; this crate keeps the daemon
+//! library the router and the CLI both build on.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -221,6 +221,23 @@ pub struct ServerStats {
     /// Times the daemon swapped in a changed `manifest.json` (hot corpus
     /// reloads). Cache counters carry across a swap.
     pub corpus_reloads: u64,
+    /// Requests this process answered by routing to replica daemons. Always
+    /// `0` on a plain daemon; the `qec-cluster` router counts every request it
+    /// resolves against its shard map here (additive field, as all router
+    /// counters below — clients ignore unknown fields, so no version bump).
+    pub routed_requests: u64,
+    /// Most replicas any single routed request fanned out to at once — `1`
+    /// for solo requests, up to the replica count for a `batch-eval` spanning
+    /// every shard. Always `0` on a plain daemon.
+    pub fanout_hwm: u64,
+    /// Replica calls that failed (connect/transport failure or timeout) and
+    /// were answered with typed `unavailable` errors after bounded retry.
+    /// Always `0` on a plain daemon.
+    pub replica_errors: u64,
+    /// Replicas the router currently considers reachable (a gauge: replica
+    /// count minus those whose last call failed). On a plain daemon this is
+    /// `0` — a daemon is not its own replica.
+    pub replicas_up: u64,
 }
 
 /// Manifest entry plus shard-header provenance for one cell.
@@ -351,6 +368,12 @@ pub enum ErrorCode {
     /// the request itself. Added after protocol v1 froze — an additive code
     /// per the versioning rules, so no version bump.
     Overloaded,
+    /// The cell's owning replica daemon could not be reached (connect or
+    /// transport failure, or no answer within the router's per-replica
+    /// timeout) after bounded retry. Only the `qec-cluster` router emits this;
+    /// the request itself was valid and may succeed once the replica returns.
+    /// Added after protocol v1 froze — an additive code, so no version bump.
+    Unavailable,
     /// Anything else that failed server-side.
     Internal,
     /// A code this build does not know (from a newer server). Never sent by
@@ -361,12 +384,13 @@ pub enum ErrorCode {
 
 impl ErrorCode {
     /// Every code this build can emit, in documentation order.
-    pub const ALL: [ErrorCode; 6] = [
+    pub const ALL: [ErrorCode; 7] = [
         ErrorCode::BadRequest,
         ErrorCode::UnknownCell,
         ErrorCode::UnknownPolicy,
         ErrorCode::CorruptCorpus,
         ErrorCode::Overloaded,
+        ErrorCode::Unavailable,
         ErrorCode::Internal,
     ];
 
@@ -379,6 +403,7 @@ impl ErrorCode {
             ErrorCode::UnknownPolicy => "unknown-policy",
             ErrorCode::CorruptCorpus => "corrupt-corpus",
             ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Unavailable => "unavailable",
             ErrorCode::Internal => "internal",
             ErrorCode::Other(label) => label,
         }

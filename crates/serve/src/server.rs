@@ -536,6 +536,12 @@ fn handle_request(state: &ServerState, request: RequestKind) -> ResponseKind {
                 shed_requests: state.shed_requests.load(Ordering::Relaxed),
                 shed_connections: state.shed_connections.load(Ordering::Relaxed),
                 corpus_reloads: state.corpus_reloads.load(Ordering::Relaxed),
+                // Router counters: a plain daemon routes nothing and is not a
+                // replica of itself; only the qec-cluster router fills these.
+                routed_requests: 0,
+                fanout_hwm: 0,
+                replica_errors: 0,
+                replicas_up: 0,
             })
         }
         RequestKind::ListCells => ResponseKind::Cells(snapshot.corpus.entries().to_vec()),

@@ -97,6 +97,10 @@ fn sample_stats() -> ServerStats {
         shed_requests: 1,
         shed_connections: 2,
         corpus_reloads: 4,
+        routed_requests: 11,
+        fanout_hwm: 2,
+        replica_errors: 1,
+        replicas_up: 2,
     }
 }
 
@@ -212,6 +216,30 @@ fn connection_and_backpressure_counters_keep_their_frozen_wire_names() {
 }
 
 #[test]
+fn router_counters_keep_their_frozen_wire_names() {
+    // The qec-cluster router counters are additive like every stats field
+    // since v1 froze: no version bump, but frozen names once shipped. A plain
+    // daemon reports them as zeros; the router fills them.
+    let rendered = serde_json::to_string(&sample_stats()).unwrap();
+    for field in
+        ["\"routed_requests\":11", "\"fanout_hwm\":2", "\"replica_errors\":1", "\"replicas_up\":2"]
+    {
+        assert!(rendered.contains(field), "{rendered}");
+    }
+}
+
+#[test]
+fn unavailable_error_code_has_the_documented_label() {
+    // `unavailable` is the router's typed replica-failure code: additive, so
+    // pre-cluster clients parse it as `Other` and treat it as opaque failure.
+    assert_eq!(ErrorCode::Unavailable.label(), "unavailable");
+    assert_eq!(ErrorCode::from_label("unavailable"), Some(ErrorCode::Unavailable));
+    let rendered =
+        serde_json::to_string(&WireError::new(ErrorCode::Unavailable, "replica 1 down")).unwrap();
+    assert_eq!(rendered, r#"{"code":"unavailable","message":"replica 1 down"}"#);
+}
+
+#[test]
 fn per_item_batches_have_the_documented_wire_shapes() {
     // `per_item` is an additive request field: absent unless the client sets
     // it, so a pre-per-item request line is byte-identical to what an old
@@ -313,6 +341,7 @@ fn frozen_wire_tags_do_not_drift() {
             "unknown-policy",
             "corrupt-corpus",
             "overloaded",
+            "unavailable",
             "internal"
         ]
     );

@@ -35,12 +35,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cluster;
 pub mod corpus;
 pub mod format;
 pub mod replay;
 pub mod stream;
 pub mod wire;
 
+pub use cluster::{CellAssignment, ClusterMap, ReplicaShard, CLUSTER_FILE, CLUSTER_SCHEMA_VERSION};
 pub use corpus::{
     manifest_stamp, Corpus, CorpusEntry, CorpusManifest, ManifestStamp, MANIFEST_SCHEMA_VERSION,
 };

@@ -13,6 +13,9 @@
 //! * [`experiments`] — metrics, the Monte-Carlo harness and per-figure/table runners.
 //! * [`serve`] — the long-running speculation-evaluation daemon and its wire
 //!   protocol (see `docs/SERVE_PROTOCOL.md`).
+//! * [`cluster`] — sharded corpus serving: the shard-map registry and the
+//!   router daemon fanning queries out over replica daemons (see
+//!   `docs/CLUSTER.md`).
 //!
 //! # Quickstart
 //!
@@ -33,6 +36,7 @@
 pub use gladiator as model;
 pub use leakage_speculation as policies;
 pub use leaky_sim as sim;
+pub use qec_cluster as cluster;
 pub use qec_codes as codes;
 pub use qec_decoder as decoder;
 pub use qec_experiments as experiments;
