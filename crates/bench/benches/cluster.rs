@@ -36,6 +36,7 @@ fn bench_cluster(c: &mut Criterion) {
             shots: 8,
             seed: 11,
             decode: false,
+            decoder: None,
         };
         let entry =
             record_into_corpus(&mut corpus, &scenario, PolicyKind::EraserM, "cluster bench")
@@ -74,6 +75,7 @@ fn bench_cluster(c: &mut Criterion) {
         policy: "gladiator+m".to_string(),
         mode: None,
         decode: None,
+        decoder: None,
     };
     let split_batch = Request {
         id: Some(1),

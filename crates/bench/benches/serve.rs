@@ -31,6 +31,7 @@ fn bench_serve(c: &mut Criterion) {
         shots: 8,
         seed: 11,
         decode: false,
+        decoder: None,
     };
     let entry = record_into_corpus(&mut corpus, &scenario, PolicyKind::EraserM, "serve bench")
         .expect("record bench cell");
@@ -48,6 +49,7 @@ fn bench_serve(c: &mut Criterion) {
             policy: "gladiator+m".to_string(),
             mode: None,
             decode: None,
+            decoder: None,
         }),
     };
     let eval_line = request_line(&eval);
@@ -83,6 +85,7 @@ fn bench_serve(c: &mut Criterion) {
                     policy: "gladiator+m".to_string(),
                     mode: None,
                     decode: None,
+                    decoder: None,
                 })
                 .collect(),
             per_item: Some(true),

@@ -35,6 +35,7 @@ use std::process::ExitCode;
 
 use leakage_speculation::PolicyKind;
 use qec_cluster::{cluster_snapshot, shard_corpus, Router, RouterConfig, ShardOptions};
+use qec_decoder::DecoderKind;
 use qec_experiments::replay::{
     cell_key, load_entry, record_into_corpus, replay_corpus_with_stats, trace_snapshot,
     CellCheckpointStats, ReplayMode, ReplayOptions, ReplayReport, REPLAY_SCHEMA_VERSION,
@@ -69,11 +70,14 @@ commands:
   sweep     run a declarative scenario grid and write one JSON report:
             repro sweep [--spec FILE.json | --grid KEY=V[,V...] ...]
             [--scale smoke|quick|paper] [--shots N] [--rounds-per-distance N]
-            [--seed N] [--no-decode] [--no-timing] [--out FILE]
-            [--corpus DIR [--record-policy LABEL] [--closed-loop
+            [--seed N] [--no-decode] [--decoder uf,lookup] [--no-timing]
+            [--out FILE] [--corpus DIR [--record-policy LABEL] [--closed-loop
             [--no-shared-checkpoints]]]
             grid keys: d=3,5,7  p=1e-3,2e-3  lr=0.1  policy=eraser+m,...
-            code=surface|color|hgp|bpc
+            code=surface|color|hgp|bpc  decoder=uf,lookup
+            a decoder axis replays every cell once per listed backend and
+            labels each report row with its decoder (lookup is exact at d=3
+            only; an unsupported pairing is a usage error)
             with --corpus, each policy-free cell is simulated once (recorded
             into DIR as a .qtr trace) and every grid policy is replayed;
             --closed-loop re-simulates each shot from its first schedule
@@ -87,8 +91,11 @@ commands:
             [--record-policy LABEL] --corpus DIR
   replay    replay policies against a recorded corpus without re-simulating:
             repro replay --corpus DIR [--policy L1,L2,...] [--decode]
-            [--closed-loop [--no-shared-checkpoints]] [--verify-live]
-            [--out FILE]
+            [--decoder uf,lookup] [--closed-loop [--no-shared-checkpoints]]
+            [--verify-live] [--out FILE]
+            --decoder replays each cell once per listed backend (implies
+            --decode) and adds a decoder column to the summary and a
+            `decoder` field to each report row
             --closed-loop repairs divergences by re-simulating from the first
             divergent round (exact counterfactual metrics + divergence
             profiles); the policy set shares one forced prefix pass per
@@ -138,8 +145,12 @@ commands:
             actions: ping | version | stats | cells | shutdown
                      stat --key KEY | verify --key KEY
                      eval --key KEY --policy LABEL [--closed-loop] [--decode]
+                          [--decoder uf|lookup]
                      batch-eval [--key KEY ...] --policy L1,L2,...
-                                [--closed-loop] [--decode]
+                                [--closed-loop] [--decode] [--decoder uf|lookup]
+            --decoder selects the serving backend (implies --decode; the
+            daemon answers a typed bad-request for a backend that cannot
+            serve the cell)
             batch-eval with no --key pairs every corpus cell with every
             policy and asks for per-item results: each pairing succeeds or
             fails on its own (exit 1 when any item failed); stdout carries
@@ -373,6 +384,15 @@ impl SpecFlags {
     }
 }
 
+fn parse_decoder_label(label: &str) -> Result<DecoderKind, UsageError> {
+    DecoderKind::from_label(label.trim()).ok_or_else(|| {
+        UsageError::new(format!(
+            "unknown decoder `{label}`; known: {}",
+            DecoderKind::known_labels()
+        ))
+    })
+}
+
 fn parse_policy_label(label: &str) -> Result<PolicyKind, UsageError> {
     PolicyKind::from_label(label.trim()).ok_or_else(|| {
         UsageError::new(format!(
@@ -390,6 +410,7 @@ fn cmd_sweep(args: &[String]) -> Result<ExitCode, UsageError> {
     let mut record_policy: Option<PolicyKind> = None;
     let mut mode = ReplayMode::OpenLoop;
     let mut shared_checkpoints = true;
+    let mut decoders: Vec<DecoderKind> = Vec::new();
     let mut iter = Args::new(args);
     while let Some(arg) = iter.next() {
         if flags.try_consume(arg, &mut iter)? {
@@ -404,6 +425,11 @@ fn cmd_sweep(args: &[String]) -> Result<ExitCode, UsageError> {
             }
             "--closed-loop" => mode = ReplayMode::ClosedLoop,
             "--no-shared-checkpoints" => shared_checkpoints = false,
+            "--decoder" => {
+                for label in iter.value("--decoder")?.split(',') {
+                    decoders.push(parse_decoder_label(label)?);
+                }
+            }
             other => {
                 return Err(UsageError::new(format!("unknown argument `{other}` for `sweep`")));
             }
@@ -418,7 +444,13 @@ fn cmd_sweep(args: &[String]) -> Result<ExitCode, UsageError> {
     if !shared_checkpoints && mode != ReplayMode::ClosedLoop {
         return Err(UsageError::new("--no-shared-checkpoints requires --closed-loop"));
     }
-    let spec = flags.build()?;
+    let mut spec = flags.build()?;
+    if !decoders.is_empty() {
+        spec.decoders = Some(decoders);
+    }
+    // Decoder/family mismatches surface here, at expansion time, as typed
+    // usage errors (exit 2) rather than mid-sweep failures.
+    spec.expand().map_err(UsageError::new)?;
     let report = match &corpus_dir {
         Some(dir) => {
             run_sweep_with_corpus(&spec, dir, record_policy, timing, mode, shared_checkpoints)
@@ -501,9 +533,13 @@ fn apply_grid(spec: &mut SweepSpec, grid: &[(String, String)]) -> Result<(), Usa
                     ))
                 })?;
             }
+            "decoder" => {
+                spec.decoders =
+                    Some(list.split(',').map(parse_decoder_label).collect::<Result<_, _>>()?);
+            }
             other => {
                 return Err(UsageError::new(format!(
-                    "unknown grid key `{other}` (d, p, lr, policy, code)"
+                    "unknown grid key `{other}` (d, p, lr, policy, code, decoder)"
                 )));
             }
         }
@@ -619,6 +655,11 @@ fn cmd_replay(args: &[String]) -> Result<ExitCode, UsageError> {
                 }
             }
             "--decode" => options.decode = true,
+            "--decoder" => {
+                for label in iter.value("--decoder")?.split(',') {
+                    options.decoders.push(parse_decoder_label(label)?);
+                }
+            }
             "--closed-loop" => options.mode = ReplayMode::ClosedLoop,
             "--no-shared-checkpoints" => options.shared_checkpoints = false,
             "--verify-live" => options.verify_live = true,
@@ -631,6 +672,10 @@ fn cmd_replay(args: &[String]) -> Result<ExitCode, UsageError> {
     let corpus_dir = corpus_dir.ok_or_else(|| UsageError::new("replay requires --corpus DIR"))?;
     if !options.shared_checkpoints && options.mode != ReplayMode::ClosedLoop {
         return Err(UsageError::new("--no-shared-checkpoints requires --closed-loop"));
+    }
+    // Selecting a decoder is asking for decoded metrics.
+    if !options.decoders.is_empty() {
+        options.decode = true;
     }
     let (report, checkpoint_stats) =
         replay_corpus_with_stats(&corpus_dir, &options).map_err(UsageError::new)?;
@@ -694,11 +739,14 @@ fn cmd_replay(args: &[String]) -> Result<ExitCode, UsageError> {
 }
 
 fn replay_summary(report: &ReplayReport, checkpoint_stats: &[CellCheckpointStats]) -> String {
+    // The decoder column appears only when some row carries a selected
+    // backend, so legacy (no `--decoder`) summaries are unchanged.
+    let with_decoder = report.results.iter().any(|row| row.decoder.is_some());
     let rows: Vec<Vec<String>> = report
         .results
         .iter()
         .map(|row| {
-            vec![
+            let mut columns = vec![
                 row.code.clone(),
                 row.recorded_policy.clone(),
                 row.policy.clone(),
@@ -733,28 +781,29 @@ fn replay_summary(report: &ReplayReport, checkpoint_stats: &[CellCheckpointStats
                         "MISMATCH".to_string()
                     }
                 }),
-            ]
+            ];
+            if with_decoder {
+                columns.insert(3, row.decoder.clone().unwrap_or_else(|| "uf".to_string()));
+            }
+            columns
         })
         .collect();
-    format!(
-        "replay mode: {}\n{}",
-        report.replay_mode,
-        text_table(
-            &[
-                "code",
-                "recorded",
-                "policy",
-                "exact",
-                "FN",
-                "FP",
-                "LRC/round",
-                "LER",
-                "resim",
-                "live"
-            ],
-            &rows,
-        )
-    )
+    let mut headers = vec![
+        "code",
+        "recorded",
+        "policy",
+        "exact",
+        "FN",
+        "FP",
+        "LRC/round",
+        "LER",
+        "resim",
+        "live",
+    ];
+    if with_decoder {
+        headers.insert(3, "decoder");
+    }
+    format!("replay mode: {}\n{}", report.replay_mode, text_table(&headers, &rows))
 }
 
 // ---------------------------------------------------------------------------------
@@ -1051,6 +1100,7 @@ fn cmd_query(args: &[String]) -> Result<ExitCode, UsageError> {
     let mut policies: Vec<String> = Vec::new();
     let mut mode: Option<String> = None;
     let mut decode = false;
+    let mut decoder: Option<String> = None;
     // Deadlines default on: `query` talks to a daemon it does not control,
     // so a hung or partitioned server must yield a typed failure, not a
     // wedged invocation.
@@ -1075,6 +1125,12 @@ fn cmd_query(args: &[String]) -> Result<ExitCode, UsageError> {
             }
             "--closed-loop" => mode = Some(ReplayMode::ClosedLoop.label().to_string()),
             "--decode" => decode = true,
+            "--decoder" => {
+                // Validated client-side for a friendly exit-2; the server
+                // re-validates and answers bad-request for raw clients.
+                let label = parse_decoder_label(iter.value("--decoder")?)?;
+                decoder = Some(label.label().to_string());
+            }
             flag if flag.starts_with('-') => {
                 return Err(UsageError::new(format!("unknown flag `{flag}` for `query`")));
             }
@@ -1103,12 +1159,20 @@ fn cmd_query(args: &[String]) -> Result<ExitCode, UsageError> {
         if decode {
             return Err(UsageError::new(format!("query {action} does not take --decode")));
         }
+        if decoder.is_some() {
+            return Err(UsageError::new(format!("query {action} does not take --decoder")));
+        }
+    }
+    // Selecting a decoder is asking for decoded metrics (mirrors `replay`).
+    if decoder.is_some() {
+        decode = true;
     }
     let eval_spec = |key: &str, policy: &str| EvalSpec {
         key: key.to_string(),
         policy: policy.to_string(),
         mode: mode.clone(),
         decode: decode.then_some(true),
+        decoder: decoder.clone(),
     };
     let one_key = || -> Result<&String, UsageError> {
         match keys.as_slice() {

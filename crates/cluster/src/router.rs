@@ -42,7 +42,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Duration;
 
 use qec_serve::client::{Client, ClientConfig};
@@ -106,7 +106,7 @@ impl ReplicaSlot {
     /// request is safe: every request is a read-only query against the
     /// replica's corpus.
     fn call_raw(&self, line: &str) -> Result<String, String> {
-        let mut guard = self.client.lock().expect("replica slot poisoned");
+        let mut guard = self.client.lock().unwrap_or_else(PoisonError::into_inner);
         let config = ClientConfig { connect_timeout: self.timeout, io_timeout: self.timeout };
         let mut last_err = String::new();
         for attempt in 0..=self.retries {
@@ -180,7 +180,7 @@ impl ConnQueue {
     }
 
     fn push(&self, stream: TcpStream) {
-        let mut inner = self.inner.lock().expect("connection queue poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         if inner.closed {
             return;
         }
@@ -189,7 +189,7 @@ impl ConnQueue {
     }
 
     fn pop(&self) -> Option<TcpStream> {
-        let mut inner = self.inner.lock().expect("connection queue poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(stream) = inner.pending.pop_front() {
                 return Some(stream);
@@ -197,12 +197,12 @@ impl ConnQueue {
             if inner.closed {
                 return None;
             }
-            inner = self.ready.wait(inner).expect("connection queue poisoned");
+            inner = self.ready.wait(inner).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     fn close(&self) {
-        let mut inner = self.inner.lock().expect("connection queue poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.closed = true;
         inner.pending.clear();
         self.ready.notify_all();
@@ -363,7 +363,7 @@ impl Router {
                 state.conn_queue.push(stream);
             }
             state.conn_queue.close();
-            for (_, conn) in state.connections.lock().expect("connection registry poisoned").iter()
+            for (_, conn) in state.connections.lock().unwrap_or_else(PoisonError::into_inner).iter()
             {
                 let _ = conn.shutdown(std::net::Shutdown::Read);
             }
@@ -375,13 +375,13 @@ fn connection_worker(state: &RouterState, next_id: &AtomicU64) {
     while let Some(stream) = state.conn_queue.pop() {
         let id = next_id.fetch_add(1, Ordering::Relaxed);
         if let Ok(clone) = stream.try_clone() {
-            state.connections.lock().expect("connection registry poisoned").push((id, clone));
+            state.connections.lock().unwrap_or_else(PoisonError::into_inner).push((id, clone));
         }
         handle_connection(state, stream);
         state
             .connections
             .lock()
-            .expect("connection registry poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .retain(|(conn_id, _)| *conn_id != id);
         state.active_connections.fetch_sub(1, Ordering::AcqRel);
     }
@@ -414,15 +414,42 @@ fn handle_connection(state: &RouterState, stream: TcpStream) {
             continue;
         }
         state.requests.fetch_add(1, Ordering::Relaxed);
-        let answer = match parse_request(&line) {
-            Ok(request) => route_request(state, request.id, request.request),
-            Err(error) => local_line(None, ResponseKind::Error(error)),
+        // Panic containment, mirroring the daemon: a panic while routing one
+        // request answers with a typed `internal` error and closes this
+        // connection only — the worker and every other connection keep
+        // serving (poisoned guards recover via `PoisonError::into_inner`).
+        let (answer, panicked) = match parse_request(&line) {
+            Ok(request) => {
+                let id = request.id;
+                let kind = request.request;
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    route_request(state, id, kind)
+                })) {
+                    Ok(answer) => (answer, false),
+                    Err(payload) => {
+                        let message = payload
+                            .downcast_ref::<&str>()
+                            .map(ToString::to_string)
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_string());
+                        let error = WireError::new(
+                            ErrorCode::Internal,
+                            format!("request panicked router-side: {message}; connection closed"),
+                        );
+                        (local_line(id, ResponseKind::Error(error)), true)
+                    }
+                }
+            }
+            Err(error) => (local_line(None, ResponseKind::Error(error)), false),
         };
         let stop = answer.stop;
         if writeln!(writer, "{}", answer.line).is_err() {
             break;
         }
         let _ = writer.flush();
+        if panicked {
+            break;
+        }
         if stop {
             state.shutdown.store(true, Ordering::Release);
             let mut poke = state.addr;

@@ -37,6 +37,7 @@ fn snapshot_scenarios() -> Vec<Scenario> {
             shots: 8,
             seed: 11,
             decode: false,
+            decoder: None,
         })
         .collect()
 }
@@ -108,6 +109,7 @@ pub fn cluster_snapshot() -> Vec<BenchLine> {
                         policy: (*policy).to_string(),
                         mode: None,
                         decode: None,
+                        decoder: None,
                     })
                 })
                 .collect(),

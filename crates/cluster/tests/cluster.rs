@@ -46,6 +46,7 @@ fn record_split_corpus(dir: &Path) -> Vec<String> {
             shots: 3,
             seed: 11,
             decode: false,
+            decoder: None,
         };
         let entry = record_into_corpus(&mut corpus, &scenario, PolicyKind::EraserM, "cluster test")
             .unwrap();
@@ -123,7 +124,13 @@ impl Cluster {
 }
 
 fn eval_spec(key: &str, policy: &str) -> EvalSpec {
-    EvalSpec { key: key.to_string(), policy: policy.to_string(), mode: None, decode: None }
+    EvalSpec {
+        key: key.to_string(),
+        policy: policy.to_string(),
+        mode: None,
+        decode: None,
+        decoder: None,
+    }
 }
 
 /// Sends the same raw request lines to the router and the monolithic daemon,
@@ -192,6 +199,48 @@ fn routed_split_batches_are_byte_identical_to_monolithic() {
     lines.push(request_line(&Request {
         id: Some(8),
         request: RequestKind::BatchEval { evals: Vec::new(), per_item: Some(true) },
+    }));
+    assert_byte_identical(&cluster, &lines);
+    cluster.shutdown();
+}
+
+/// Decoder-selecting requests route exactly like legacy ones: the additive
+/// `decoder` field survives the router's split-batch re-serialization, and
+/// every routed response — cross-decoder rows, legacy no-decoder rows, and
+/// typed `bad-request` answers for unknown selectors — is byte-identical to
+/// the monolithic daemon's.
+#[test]
+fn routed_cross_decoder_batches_are_byte_identical_to_monolithic() {
+    let cluster = start_cluster("decoder", &RouterConfig::default());
+    let with_decoder = |key: &str, policy: &str, decoder: &str| EvalSpec {
+        decode: Some(true),
+        decoder: Some(decoder.to_string()),
+        ..eval_spec(key, policy)
+    };
+    // Mixed selectors across both replicas in one batch, plus legacy members
+    // with no decoder field.
+    let evals: Vec<EvalSpec> = cluster
+        .keys
+        .iter()
+        .flat_map(|key| ["uf", "lookup"].iter().map(move |d| with_decoder(key, "eraser+m", d)))
+        .chain(cluster.keys.iter().map(|key| eval_spec(key, "ideal")))
+        .collect();
+    let mut lines = Vec::new();
+    for per_item in [Some(true), Some(false)] {
+        lines.push(request_line(&Request {
+            id: Some(9),
+            request: RequestKind::BatchEval { evals: evals.clone(), per_item },
+        }));
+    }
+    // Solo evals: a selected backend and an unknown label (typed bad-request
+    // bytes), one per replica.
+    lines.push(request_line(&Request {
+        id: Some(10),
+        request: RequestKind::Eval(with_decoder(cluster.key_owned_by(0), "eraser+m", "lookup")),
+    }));
+    lines.push(request_line(&Request {
+        id: Some(11),
+        request: RequestKind::Eval(with_decoder(cluster.key_owned_by(1), "eraser+m", "mwpm")),
     }));
     assert_byte_identical(&cluster, &lines);
     cluster.shutdown();

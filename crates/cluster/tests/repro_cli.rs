@@ -200,6 +200,25 @@ fn trace_subcommands_reject_bad_usage() {
     assert_usage_error(&["corpus", "a", "b"]);
     assert_usage_error(&["sweep", "--record-policy", "ideal"]); // requires --corpus
     assert_usage_error(&["snapshot", "--check-trace"]); // missing value
+
+    // Decoder selection: unknown labels and unsupported pairings exit 2.
+    assert_usage_error(&["sweep", "--decoder", "mwpm"]); // unknown decoder
+    assert_usage_error(&["sweep", "--grid", "decoder=mwpm"]); // unknown, via grid
+    assert_usage_error(&["sweep", "--grid", "d=5", "decoder=lookup"]); // lookup is d=3 only
+    assert_usage_error(&["replay", "--corpus", "dir", "--decoder", "bogus"]);
+    assert_usage_error(&["query", "--addr", "x", "eval", "--decoder", "mwpm"]);
+    assert_usage_error(&["query", "--addr", "x", "ping", "--decoder", "uf"]); // eval-only flag
+}
+
+/// The unknown-decoder usage error names the known labels, so the exit-2 is
+/// actionable without opening the docs.
+#[test]
+fn unknown_decoder_errors_name_the_known_labels() {
+    let output = run(&["replay", "--corpus", "dir", "--decoder", "bogus"]);
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = stderr_of(&output);
+    assert!(stderr.contains("unknown decoder `bogus`"), "{stderr}");
+    assert!(stderr.contains("uf, lookup"), "{stderr}");
 }
 
 fn record_args(corpus: &str) -> Vec<&str> {
@@ -271,6 +290,48 @@ fn record_replay_corpus_flow_verifies_against_the_live_engine() {
     std::fs::write(&shard, &bytes).unwrap();
     let output = run(&["corpus", corpus, "--verify"]);
     assert_eq!(output.status.code(), Some(1), "corrupt trace must fail the verify gate");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The cross-decoder session from the README, end to end: one recording
+/// replayed under both backends, every row live-verified bit-for-bit
+/// (`--decoder` implies `--decode`), rows labeled decoder-major, and the
+/// summary growing a decoder column.
+#[test]
+fn cross_decoder_replay_verifies_both_backends_and_labels_rows() {
+    let dir = tmp_dir("xdec");
+    let corpus = dir.to_str().unwrap();
+    let output = run(&record_args(corpus));
+    assert_eq!(output.status.code(), Some(0), "stderr: {}", stderr_of(&output));
+
+    let out = dir.join("replay.json");
+    let output = run(&[
+        "replay",
+        "--corpus",
+        corpus,
+        "--policy",
+        "eraser+m,gladiator+m",
+        "--decoder",
+        "uf,lookup",
+        "--closed-loop",
+        "--verify-live",
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert_eq!(output.status.code(), Some(0), "stderr: {}", stderr_of(&output));
+    let stdout = String::from_utf8_lossy(&output.stdout).into_owned();
+    assert!(stdout.contains("decoder"), "summary must grow a decoder column: {stdout}");
+    assert!(stdout.contains("lookup"), "{stdout}");
+
+    let report: qec_experiments::ReplayReport =
+        serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    assert_eq!(report.results.len(), 4, "2 policies x 2 decoders");
+    let decoders: Vec<_> = report.results.iter().map(|r| r.decoder.as_deref()).collect();
+    assert_eq!(decoders, [Some("uf"), Some("uf"), Some("lookup"), Some("lookup")]);
+    for row in &report.results {
+        assert_eq!(row.live_match, Some(true), "{} {:?}", row.policy, row.decoder);
+        assert!(row.metrics.logical_error_rate.is_some());
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -43,6 +43,7 @@ fn record_corpus(dir: &Path) -> Vec<String> {
             shots: 3,
             seed: 11,
             decode: false,
+            decoder: None,
         };
         let entry =
             record_into_corpus(&mut corpus, &scenario, PolicyKind::EraserM, "server test").unwrap();
@@ -95,6 +96,7 @@ fn eval_spec(key: &str, policy: &str, closed_loop: bool, decode: bool) -> EvalSp
         policy: policy.to_string(),
         mode: closed_loop.then(|| "closed-loop".to_string()),
         decode: decode.then_some(true),
+        decoder: None,
     }
 }
 
@@ -149,6 +151,7 @@ fn malformed_requests_get_typed_errors_and_never_kill_the_connection() {
             policy: "ideal".to_string(),
             mode: Some("sideways".to_string()),
             decode: None,
+            decoder: None,
         }))
         .unwrap()
     else {
@@ -615,6 +618,7 @@ fn hot_manifest_reload_swaps_cells_without_torn_rows_or_dropped_connections() {
             shots: 3,
             seed: 11,
             decode: false,
+            decoder: None,
         };
         let entry =
             record_into_corpus(&mut corpus, &scenario, PolicyKind::EraserM, "server test").unwrap();

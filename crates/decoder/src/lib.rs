@@ -5,8 +5,12 @@
 //! matching decoder on Stim detector graphs; this crate provides the equivalent
 //! substrate built from scratch:
 //!
+//! * [`DecoderBackend`] — the backend seam every consumer decodes through, with
+//!   [`DecoderKind`] as the serializable selector (`uf`, `lookup`),
 //! * [`UnionFindDecoder`] — the weighted-growth union–find decoder of Delfosse &
 //!   Nickerson, operating on the [`qec_codes::MatchingGraph`] space–time graph,
+//! * [`LookupDecoder`] — an exact maximum-likelihood lookup table for d=3
+//!   surface/color codes, enumerated offline over every error pattern,
 //! * [`syndrome`] — helpers that turn a simulated [`leaky_sim::RunRecord`] into
 //!   detection events (including the final perfect measurement layer) and evaluate
 //!   whether the decoded correction leaves a logical error.
@@ -31,9 +35,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backend;
 pub mod cluster;
 pub mod decoder;
+pub mod lookup;
 pub mod syndrome;
 
+pub use backend::{DecoderBackend, DecoderKind};
 pub use decoder::{Correction, UnionFindDecoder};
+pub use lookup::LookupDecoder;
 pub use syndrome::{detection_events, logical_failure, MemoryBasis};

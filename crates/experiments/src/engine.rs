@@ -33,7 +33,7 @@ use rayon::prelude::*;
 use leakage_speculation::{PolicyFactory, PolicyKind};
 use leaky_sim::{LeakagePolicy, RunRecord, Simulator};
 use qec_codes::{CheckBasis, Code, MatchingGraph};
-use qec_decoder::{detection_events, logical_failure, MemoryBasis, UnionFindDecoder};
+use qec_decoder::{logical_failure, DecoderBackend, DecoderKind, MemoryBasis, UnionFindDecoder};
 
 use crate::harness::{ExperimentSpec, PolicyExperimentResult};
 use crate::metrics::{AggregateMetrics, RunMetrics};
@@ -48,7 +48,7 @@ use crate::metrics::{AggregateMetrics, RunMetrics};
 pub struct BatchEngine {
     spec: ExperimentSpec,
     factory: Arc<PolicyFactory>,
-    decoder: Option<Arc<UnionFindDecoder>>,
+    decoder: Option<Arc<dyn DecoderBackend>>,
 }
 
 /// Per-worker-thread simulation state: one simulator and one policy instance,
@@ -66,12 +66,31 @@ pub fn build_decoder(code: &Code, rounds: usize) -> Arc<UnionFindDecoder> {
     Arc::new(UnionFindDecoder::new(graph))
 }
 
+/// Builds the selected decoder backend for `rounds` noisy rounds plus the
+/// final perfect measurement layer. `None` selects union-find, the legacy
+/// default of every path that predates backend selection.
+///
+/// # Errors
+/// Returns the backend's validation error (unknown-family / d≠3 for the
+/// lookup table, unmatchable code for union-find) instead of panicking.
+pub fn build_backend(
+    kind: Option<DecoderKind>,
+    code: &Code,
+    rounds: usize,
+) -> Result<Arc<dyn DecoderBackend>, String> {
+    match kind {
+        None => Ok(build_decoder(code, rounds)),
+        Some(kind) => kind.build(code, rounds + 1),
+    }
+}
+
 impl BatchEngine {
     /// Builds the engine, eagerly constructing the decoder (when `spec.decode`)
     /// and the policy factory's shared artifacts for `spec.policy`.
     #[must_use]
     pub fn new(code: &Code, spec: &ExperimentSpec) -> Self {
-        let decoder = spec.decode.then(|| build_decoder(code, spec.rounds));
+        let decoder =
+            spec.decode.then(|| -> Arc<dyn DecoderBackend> { build_decoder(code, spec.rounds) });
         let factory = Arc::new(PolicyFactory::new(code, &spec.gladiator));
         Self::with_shared(spec, factory, decoder)
     }
@@ -83,7 +102,7 @@ impl BatchEngine {
     pub fn with_shared(
         spec: &ExperimentSpec,
         factory: Arc<PolicyFactory>,
-        decoder: Option<Arc<UnionFindDecoder>>,
+        decoder: Option<Arc<dyn DecoderBackend>>,
     ) -> Self {
         assert_eq!(
             factory.config(),
@@ -93,9 +112,9 @@ impl BatchEngine {
         assert_eq!(decoder.is_some(), spec.decode, "decoder presence must match spec.decode");
         if let Some(decoder) = &decoder {
             assert_eq!(
-                decoder.graph().rounds(),
+                decoder.layers(),
                 spec.rounds + 1,
-                "shared decoder graph must cover spec.rounds + 1 measurement layers"
+                "shared decoder must cover spec.rounds + 1 measurement layers"
             );
         }
         // Force the shared artifacts now so the parallel phase starts hot and the
@@ -122,9 +141,9 @@ impl BatchEngine {
         &self.factory
     }
 
-    /// The prebuilt decoder, when decoding was requested.
+    /// The prebuilt decoder backend, when decoding was requested.
     #[must_use]
-    pub fn decoder(&self) -> Option<&UnionFindDecoder> {
+    pub fn decoder(&self) -> Option<&dyn DecoderBackend> {
         self.decoder.as_deref()
     }
 
@@ -162,8 +181,7 @@ impl BatchEngine {
         let run = self.simulate_into(ctx, shot);
         let mut metrics = RunMetrics::score(&run, self.spec.noise.lrc_time_ns);
         if let Some(decoder) = &self.decoder {
-            let events = detection_events(&run, decoder.graph());
-            let correction = decoder.decode(&events);
+            let correction = decoder.decode_run(&run);
             metrics.logical_error =
                 Some(logical_failure(self.code(), &run, &correction, MemoryBasis::Z));
         }
@@ -277,7 +295,8 @@ pub fn run_policy_set(
     policies: &[PolicyKind],
 ) -> Vec<PolicyExperimentResult> {
     let factory = Arc::new(PolicyFactory::new(code, &base.gladiator));
-    let decoder = base.decode.then(|| build_decoder(code, base.rounds));
+    let decoder =
+        base.decode.then(|| -> Arc<dyn DecoderBackend> { build_decoder(code, base.rounds) });
     policies
         .iter()
         .map(|&kind| {

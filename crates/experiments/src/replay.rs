@@ -40,13 +40,13 @@ use serde::{Deserialize, Serialize};
 use gladiator::GladiatorConfig;
 use leakage_speculation::{PolicyFactory, PolicyKind};
 use qec_codes::Code;
-use qec_decoder::{detection_events, logical_failure, MemoryBasis, UnionFindDecoder};
+use qec_decoder::{logical_failure, DecoderBackend, DecoderKind, MemoryBasis};
 use qec_trace::{
     code_fingerprint, open_trace_file, Corpus, CorpusEntry, DivergenceProfile, ReplayContext,
     ShotTrace, TraceHeader, TRACE_SCHEMA_VERSION,
 };
 
-use crate::engine::{build_decoder, BatchEngine};
+use crate::engine::{build_backend, BatchEngine};
 use crate::harness::ExperimentSpec;
 use crate::metrics::{AggregateMetrics, RunMetrics};
 use crate::report::BenchLine;
@@ -329,7 +329,7 @@ pub fn replay_cell(
     cell: &LoadedCell,
     factory: &Arc<PolicyFactory>,
     policy: PolicyKind,
-    decoder: Option<&UnionFindDecoder>,
+    decoder: Option<&dyn DecoderBackend>,
 ) -> Result<CellReplay, String> {
     let ctx = ReplayContext::new(&cell.code, &cell.header).map_err(|e| e.to_string())?;
     let per_shot: Vec<(RunMetrics, bool)> = (0..cell.shots.len())
@@ -347,8 +347,7 @@ pub fn replay_cell(
                     cell.header.cnot_layers,
                 );
                 if let Some(decoder) = decoder {
-                    let events = detection_events(&replay.run, decoder.graph());
-                    let correction = decoder.decode(&events);
+                    let correction = decoder.decode_run(&replay.run);
                     metrics.logical_error =
                         Some(logical_failure(&cell.code, &replay.run, &correction, MemoryBasis::Z));
                 }
@@ -376,7 +375,7 @@ pub fn replay_cell_closed_loop(
     cell: &LoadedCell,
     factory: &Arc<PolicyFactory>,
     policy: PolicyKind,
-    decoder: Option<&UnionFindDecoder>,
+    decoder: Option<&dyn DecoderBackend>,
 ) -> Result<CellReplay, String> {
     /// Per-shot outcome: scored metrics, divergence round, re-simulated
     /// (suffix) rounds, restored (forced-prefix) rounds.
@@ -396,8 +395,7 @@ pub fn replay_cell_closed_loop(
                 // same counting loops, same f64 accumulation order.
                 let mut metrics = RunMetrics::score(&replay.run, cell.header.noise.lrc_time_ns);
                 if let Some(decoder) = decoder {
-                    let events = detection_events(&replay.run, decoder.graph());
-                    let correction = decoder.decode(&events);
+                    let correction = decoder.decode_run(&replay.run);
                     metrics.logical_error =
                         Some(logical_failure(&cell.code, &replay.run, &correction, MemoryBasis::Z));
                 }
@@ -483,7 +481,7 @@ pub fn replay_cell_closed_loop_shared(
     cell: &LoadedCell,
     factory: &Arc<PolicyFactory>,
     policies: &[PolicyKind],
-    decoders: &[Option<&UnionFindDecoder>],
+    decoders: &[Option<&dyn DecoderBackend>],
 ) -> Result<(Vec<CellReplay>, CheckpointStats), String> {
     if policies.len() != decoders.len() {
         return Err(format!(
@@ -525,8 +523,7 @@ pub fn replay_cell_closed_loop_shared(
                         let mut metrics =
                             RunMetrics::score(&replay.run, cell.header.noise.lrc_time_ns);
                         if let Some(decoder) = decoder {
-                            let events = detection_events(&replay.run, decoder.graph());
-                            let correction = decoder.decode(&events);
+                            let correction = decoder.decode_run(&replay.run);
                             metrics.logical_error = Some(logical_failure(
                                 &cell.code,
                                 &replay.run,
@@ -591,7 +588,7 @@ pub fn evaluate_cell_set(
     cell: &LoadedCell,
     factory: &Arc<PolicyFactory>,
     policies: &[PolicyKind],
-    decoders: &[Option<&UnionFindDecoder>],
+    decoders: &[Option<&dyn DecoderBackend>],
     mode: ReplayMode,
     shared_checkpoints: bool,
 ) -> Result<(Vec<CellReplay>, CheckpointStats), String> {
@@ -638,7 +635,7 @@ pub fn evaluate_cell(
     cell: &LoadedCell,
     factory: &Arc<PolicyFactory>,
     policy: PolicyKind,
-    decoder: Option<&UnionFindDecoder>,
+    decoder: Option<&dyn DecoderBackend>,
     mode: ReplayMode,
 ) -> Result<CellReplay, String> {
     match mode {
@@ -653,12 +650,15 @@ pub fn evaluate_cell(
 /// Builds the report row for one evaluated pairing. Shared by
 /// [`replay_corpus`] and the daemon so the two serializations of the same
 /// evaluation cannot drift apart (`live_match` starts as `None`; verification
-/// paths fill it in afterwards).
+/// paths fill it in afterwards). `decoder` is the explicitly selected backend,
+/// or `None` for the unlabeled legacy default (union-find) — rows without a
+/// selection keep their pre-backend bytes.
 #[must_use]
 pub fn evaluation_row(
     key: &str,
     cell: &LoadedCell,
     policy: PolicyKind,
+    decoder: Option<DecoderKind>,
     replay: &CellReplay,
 ) -> ReplayCellResult {
     ReplayCellResult {
@@ -666,6 +666,7 @@ pub fn evaluation_row(
         code: cell.code.name().to_string(),
         recorded_policy: cell.header.policy.clone(),
         policy: policy.label().to_string(),
+        decoder: decoder.map(|kind| kind.label().to_string()),
         shots: cell.header.shots,
         rounds: cell.header.rounds,
         exact: cell.header.policy == policy.label(),
@@ -676,8 +677,9 @@ pub fn evaluation_row(
     }
 }
 
-/// One row of a [`ReplayReport`]: one `(cell, policy)` pairing.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// One row of a [`ReplayReport`]: one `(cell, policy)` pairing — or, when a
+/// decoder axis is in play, one `(cell, decoder, policy)` pairing.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReplayCellResult {
     /// The corpus cell key.
     pub key: String,
@@ -687,6 +689,11 @@ pub struct ReplayCellResult {
     pub recorded_policy: String,
     /// Policy whose speculation was replayed.
     pub policy: String,
+    /// Explicitly selected decoder backend label (`uf`, `lookup`), or `None`
+    /// when the row used the legacy default (union-find). Omitted from the
+    /// serialized row when `None`, so reports without a decoder axis stay
+    /// byte-identical to pre-backend reports.
+    pub decoder: Option<String>,
     /// Shots replayed.
     pub shots: usize,
     /// Rounds per shot.
@@ -703,6 +710,52 @@ pub struct ReplayCellResult {
     pub divergence_profile: Option<DivergenceProfile>,
     /// Aggregated replay metrics.
     pub metrics: AggregateMetrics,
+}
+
+// Hand-written (not derived) so the optional `decoder` field is *omitted*
+// when `None` rather than serialized as `null`: rows without a decoder
+// selection must stay byte-identical to pre-backend reports. Every other
+// field keeps the derive's behavior (`live_match`/`divergence_profile`
+// serialize as `null` when absent, exactly as before).
+impl Serialize for ReplayCellResult {
+    fn to_value(&self) -> serde::Value {
+        let mut composer = serde::ser::StructComposer::new();
+        composer.field("key", &self.key);
+        composer.field("code", &self.code);
+        composer.field("recorded_policy", &self.recorded_policy);
+        composer.field("policy", &self.policy);
+        if let Some(decoder) = &self.decoder {
+            composer.field("decoder", decoder);
+        }
+        composer.field("shots", &self.shots);
+        composer.field("rounds", &self.rounds);
+        composer.field("exact", &self.exact);
+        composer.field("divergent_shots", &self.divergent_shots);
+        composer.field("live_match", &self.live_match);
+        composer.field("divergence_profile", &self.divergence_profile);
+        composer.field("metrics", &self.metrics);
+        composer.end()
+    }
+}
+
+impl Deserialize for ReplayCellResult {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::de::Error> {
+        let fields = serde::de::as_object(value, "ReplayCellResult")?;
+        Ok(ReplayCellResult {
+            key: serde::de::field(fields, "ReplayCellResult", "key")?,
+            code: serde::de::field(fields, "ReplayCellResult", "code")?,
+            recorded_policy: serde::de::field(fields, "ReplayCellResult", "recorded_policy")?,
+            policy: serde::de::field(fields, "ReplayCellResult", "policy")?,
+            decoder: serde::de::field(fields, "ReplayCellResult", "decoder")?,
+            shots: serde::de::field(fields, "ReplayCellResult", "shots")?,
+            rounds: serde::de::field(fields, "ReplayCellResult", "rounds")?,
+            exact: serde::de::field(fields, "ReplayCellResult", "exact")?,
+            divergent_shots: serde::de::field(fields, "ReplayCellResult", "divergent_shots")?,
+            live_match: serde::de::field(fields, "ReplayCellResult", "live_match")?,
+            divergence_profile: serde::de::field(fields, "ReplayCellResult", "divergence_profile")?,
+            metrics: serde::de::field(fields, "ReplayCellResult", "metrics")?,
+        })
+    }
 }
 
 /// A self-describing replay run over a whole corpus.
@@ -733,6 +786,13 @@ pub struct ReplayOptions {
     /// decode exact (recording-policy) pairings; closed-loop mode decodes the
     /// exact counterfactual run of **every** pairing.
     pub decode: bool,
+    /// Decoder backends to evaluate every `(cell, policy)` pairing under;
+    /// empty ⇒ the single unlabeled legacy slot (union-find, rows without a
+    /// `decoder` field — byte-identical to pre-backend reports). With N
+    /// backends every cell emits N×policies rows, decoder-major, each row
+    /// labeled with its backend. Every selected backend must support every
+    /// corpus cell (validated up front, per cell, before any replay work).
+    pub decoders: Vec<DecoderKind>,
     /// Re-simulate pairings live and record whether the replayed metrics match
     /// bit-for-bit: exact pairings in open-loop mode, every pairing in
     /// closed-loop mode (the exact-counterfactual gate).
@@ -751,6 +811,7 @@ impl Default for ReplayOptions {
         ReplayOptions {
             policies: Vec::new(),
             decode: false,
+            decoders: Vec::new(),
             verify_live: false,
             mode: ReplayMode::default(),
             shared_checkpoints: true,
@@ -786,46 +847,77 @@ pub fn replay_corpus_with_stats(
         ));
     }
     let closed_loop = options.mode == ReplayMode::ClosedLoop;
+    // The decoder axis: empty ⇒ the single unlabeled legacy slot (union-find).
+    // Duplicate selections collapse, preserving first-mention order.
+    let kinds: Vec<Option<DecoderKind>> = if options.decoders.is_empty() {
+        vec![None]
+    } else {
+        let mut kinds = Vec::new();
+        for &kind in &options.decoders {
+            if !kinds.contains(&Some(kind)) {
+                kinds.push(Some(kind));
+            }
+        }
+        kinds
+    };
     let mut results = Vec::new();
     let mut cell_stats = Vec::new();
     for entry in corpus.entries() {
         let cell = load_entry(&corpus, entry)?;
+        // Every selected backend must be able to serve every cell — checked
+        // up front so a mismatch (e.g. the lookup table against d>3) is a
+        // typed, actionable error before any replay work, never a panic or a
+        // silently wrong LER.
+        for kind in kinds.iter().flatten() {
+            kind.supports(cell.code.family(), cell.code.distance()).map_err(|e| {
+                format!("{}: decoder `{}` cannot serve this cell: {e}", entry.key, kind.label())
+            })?;
+        }
         let recorded = PolicyKind::from_label(&cell.header.policy).ok_or_else(|| {
             format!("{}: unknown recorded policy `{}`", entry.key, cell.header.policy)
         })?;
         let policies: Vec<PolicyKind> =
             if options.policies.is_empty() { vec![recorded] } else { options.policies.clone() };
         let factory = Arc::new(PolicyFactory::new(&cell.code, &calibration_for(&cell.header)));
-        // Open-loop decoding is only meaningful for exact (recording-policy)
-        // pairings; closed-loop runs are exact counterfactuals, so the decoder
-        // serves every pairing. Skip the matching-graph build when unused.
-        let decoder = (options.decode && (closed_loop || policies.contains(&recorded)))
-            .then(|| build_decoder(&cell.code, cell.header.rounds));
-        let decoders: Vec<Option<&UnionFindDecoder>> =
-            policies.iter().map(|_| decoder.as_deref()).collect();
-        let (replays, stats) = evaluate_cell_set(
-            &cell,
-            &factory,
-            &policies,
-            &decoders,
-            options.mode,
-            options.shared_checkpoints,
-        )
-        .map_err(|e| format!("{}: {e}", entry.key))?;
-        cell_stats.push(CellCheckpointStats { key: entry.key.clone(), stats });
-        for (policy, replay) in policies.into_iter().zip(replays) {
-            let exact = policy == recorded;
-            let mut row = evaluation_row(&entry.key, &cell, policy, &replay);
-            // Closed-loop metrics claim bit-for-bit equality with a live run
-            // for every candidate, so live verification covers every pairing;
-            // open-loop only makes that claim for the recording policy.
-            row.live_match = (options.verify_live && (closed_loop || exact)).then(|| {
-                let spec = spec_from_header(&cell.header, policy, options.decode);
-                let live = BatchEngine::new(&cell.code, &spec).run();
-                live.metrics == replay.metrics
-            });
-            results.push(row);
+        let mut stats = CheckpointStats::default();
+        for &kind in &kinds {
+            // Open-loop decoding is only meaningful for exact (recording-policy)
+            // pairings; closed-loop runs are exact counterfactuals, so the decoder
+            // serves every pairing. Skip the decoder build when unused.
+            let decoder = (options.decode && (closed_loop || policies.contains(&recorded)))
+                .then(|| build_backend(kind, &cell.code, cell.header.rounds))
+                .transpose()
+                .map_err(|e| format!("{}: {e}", entry.key))?;
+            let decoders: Vec<Option<&dyn DecoderBackend>> =
+                policies.iter().map(|_| decoder.as_deref()).collect();
+            let (replays, kind_stats) = evaluate_cell_set(
+                &cell,
+                &factory,
+                &policies,
+                &decoders,
+                options.mode,
+                options.shared_checkpoints,
+            )
+            .map_err(|e| format!("{}: {e}", entry.key))?;
+            stats.absorb(&kind_stats);
+            for (&policy, replay) in policies.iter().zip(replays) {
+                let exact = policy == recorded;
+                let mut row = evaluation_row(&entry.key, &cell, policy, kind, &replay);
+                // Closed-loop metrics claim bit-for-bit equality with a live run
+                // for every candidate, so live verification covers every pairing;
+                // open-loop only makes that claim for the recording policy. The
+                // live engine decodes with the *same* backend as the replay.
+                row.live_match = (options.verify_live && (closed_loop || exact)).then(|| {
+                    let spec = spec_from_header(&cell.header, policy, options.decode);
+                    let live =
+                        BatchEngine::with_shared(&spec, Arc::clone(&factory), decoder.clone())
+                            .run();
+                    live.metrics == replay.metrics
+                });
+                results.push(row);
+            }
         }
+        cell_stats.push(CellCheckpointStats { key: entry.key.clone(), stats });
     }
     let report = ReplayReport {
         schema_version: REPLAY_SCHEMA_VERSION,
@@ -854,6 +946,7 @@ pub fn trace_snapshot_scenario() -> Scenario {
         shots: 16,
         seed: 11,
         decode: false,
+        decoder: None,
     }
 }
 
@@ -927,6 +1020,10 @@ pub fn trace_snapshot_multi_cell() -> (LoadedCell, Arc<PolicyFactory>) {
 /// costs `replay` (open-loop) or at most `closed-loop-cross` (exact), not
 /// `resim`.
 ///
+/// `trace/replay-lookup/<id>` prices the lookup-table decode hot path:
+/// recording-policy replay of the pinned scenario shrunk to d=3, decoded by
+/// the exact table backend ([`DecoderKind::Lookup`]) on every shot.
+///
 /// Two lines price the shared-checkpoint path:
 /// `trace/closed-loop-cross-shared/<id>` re-runs the cross-policy repair
 /// through [`evaluate_cell_set`] with sharing on (a single candidate, so it
@@ -960,12 +1057,27 @@ pub fn trace_snapshot() -> Vec<BenchLine> {
     let factory = Arc::new(PolicyFactory::new(&code, &calibration_for(&header)));
     let (multi_cell, multi_factory) = trace_snapshot_multi_cell();
     let multi_scenario = trace_snapshot_multi_scenario();
-    let no_decoders: Vec<Option<&UnionFindDecoder>> = vec![None; MULTI_SNAPSHOT_POLICIES.len()];
+    let no_decoders: Vec<Option<&dyn DecoderBackend>> = vec![None; MULTI_SNAPSHOT_POLICIES.len()];
+    // The lookup-table hot path is priced on the pinned scenario shrunk to
+    // d=3 (the only distance the table serves): recording-policy replay with
+    // the exact decoder, so the line covers the detection-event fold plus the
+    // table hit for every shot.
+    let lookup_scenario = Scenario { distance: 3, ..scenario };
+    let (lookup_header, lookup_traces) = record_cell(&lookup_scenario, policy, "repro snapshot");
+    let lookup_code = lookup_scenario.build_code();
+    let lookup_backend = DecoderKind::Lookup
+        .build(&lookup_code, lookup_scenario.rounds + 1)
+        .expect("the d=3 surface snapshot cell supports the lookup table");
+    let lookup_factory =
+        Arc::new(PolicyFactory::new(&lookup_code, &calibration_for(&lookup_header)));
+    let lookup_cell = LoadedCell { header: lookup_header, shots: lookup_traces, code: lookup_code };
     // Warm every path once before timing.
     let _ = engine.run();
     let _ = replay_cell(&cell, &factory, policy, None).expect("replay warmup");
     let _ =
         replay_cell_closed_loop(&cell, &factory, cross_policy, None).expect("closed-loop warmup");
+    let _ = replay_cell(&lookup_cell, &lookup_factory, policy, Some(&*lookup_backend))
+        .expect("lookup warmup");
     let _ = evaluate_cell_set(
         &multi_cell,
         &multi_factory,
@@ -1062,6 +1174,13 @@ pub fn trace_snapshot() -> Vec<BenchLine> {
                     true,
                 )
                 .expect("closed-loop cross shared");
+            })),
+        ),
+        named(
+            format!("trace/replay-lookup/{}", lookup_scenario.id()),
+            sample(Box::new(|| {
+                let _ = replay_cell(&lookup_cell, &lookup_factory, policy, Some(&*lookup_backend))
+                    .expect("lookup replay");
             })),
         ),
         named(

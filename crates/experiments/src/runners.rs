@@ -186,6 +186,7 @@ fn ler_sweep(
                 shots: scale.shots,
                 seed: scale.seed,
                 decode: true,
+                decoder: None,
             });
         }
     }

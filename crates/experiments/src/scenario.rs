@@ -8,14 +8,26 @@
 //! grid flags, and [`crate::sweep::run_scenarios`] executes batches of them on
 //! the [`crate::engine::BatchEngine`] with shared artifacts.
 
-use serde::{Deserialize, Serialize};
+use serde::{de, ser, Deserialize, Serialize, Value};
 
 use gladiator::GladiatorConfig;
 use leakage_speculation::PolicyKind;
 use leaky_sim::NoiseParams;
 use qec_codes::Code;
+use qec_decoder::DecoderKind;
 
 use crate::harness::ExperimentSpec;
+
+/// Parses a decoder selector from its wire label, rejecting unknown labels
+/// with an error that names the known ones.
+pub(crate) fn decoder_from_value(value: &Value) -> Result<DecoderKind, de::Error> {
+    match value {
+        Value::Str(label) => DecoderKind::from_label(label).ok_or_else(|| {
+            de::expected(&format!("decoder label ({})", DecoderKind::known_labels()), value)
+        }),
+        other => Err(de::expected("decoder label string", other)),
+    }
+}
 
 /// The code families the workspace can construct, keyed for sweep grids.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -75,6 +87,18 @@ impl CodeFamily {
         }
     }
 
+    /// The [`qec_codes::CodeFamily`] this grid family constructs, used for
+    /// decoder-backend compatibility checks.
+    #[must_use]
+    pub fn qec_family(self) -> qec_codes::CodeFamily {
+        match self {
+            CodeFamily::Surface => qec_codes::CodeFamily::RotatedSurface,
+            CodeFamily::Color => qec_codes::CodeFamily::Color666,
+            CodeFamily::Hgp => qec_codes::CodeFamily::Hgp,
+            CodeFamily::Bpc => qec_codes::CodeFamily::Bpc,
+        }
+    }
+
     /// Builds the concrete code instance of this family at `size`.
     ///
     /// # Panics
@@ -96,7 +120,7 @@ impl CodeFamily {
 /// `distance` is the family's size parameter (see [`CodeFamily`]). The derived
 /// [`ExperimentSpec`] always uses leakage sampling and a GLADIATOR calibration
 /// derived from `(p, leakage_ratio)`, matching the paper runners.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Scenario {
     /// Code family of the cell.
     pub code: CodeFamily,
@@ -116,6 +140,55 @@ pub struct Scenario {
     pub seed: u64,
     /// Whether to decode each shot and report a logical error rate.
     pub decode: bool,
+    /// Decoder backend for the decoded LER. `None` is the legacy union-find
+    /// default; the field is omitted from serialized scenarios when `None`,
+    /// so reports without a decoder axis keep their pre-backend bytes (the
+    /// additive-field rule — the schema version does not bump).
+    pub decoder: Option<DecoderKind>,
+}
+
+// Hand-written (not derived) so the optional `decoder` field is *omitted*
+// when `None` rather than serialized as `null`: scenarios without a decoder
+// axis must stay byte-identical to pre-backend reports.
+impl Serialize for Scenario {
+    fn to_value(&self) -> Value {
+        let mut composer = ser::StructComposer::new();
+        composer.field("code", &self.code);
+        composer.field("distance", &self.distance);
+        composer.field("rounds", &self.rounds);
+        composer.field("p", &self.p);
+        composer.field("leakage_ratio", &self.leakage_ratio);
+        composer.field("policy", &self.policy);
+        composer.field("shots", &self.shots);
+        composer.field("seed", &self.seed);
+        composer.field("decode", &self.decode);
+        if let Some(kind) = self.decoder {
+            composer.field("decoder", &kind.label());
+        }
+        composer.end()
+    }
+}
+
+impl Deserialize for Scenario {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        let fields = de::as_object(value, "Scenario")?;
+        let decoder = match de::field::<Option<Value>>(fields, "Scenario", "decoder")? {
+            None => None,
+            Some(value) => Some(decoder_from_value(&value)?),
+        };
+        Ok(Scenario {
+            code: de::field(fields, "Scenario", "code")?,
+            distance: de::field(fields, "Scenario", "distance")?,
+            rounds: de::field(fields, "Scenario", "rounds")?,
+            p: de::field(fields, "Scenario", "p")?,
+            leakage_ratio: de::field(fields, "Scenario", "leakage_ratio")?,
+            policy: de::field(fields, "Scenario", "policy")?,
+            shots: de::field(fields, "Scenario", "shots")?,
+            seed: de::field(fields, "Scenario", "seed")?,
+            decode: de::field(fields, "Scenario", "decode")?,
+            decoder,
+        })
+    }
 }
 
 impl Scenario {
@@ -147,16 +220,23 @@ impl Scenario {
     }
 
     /// A short stable identifier, used as the benchmark name in perf snapshots.
+    /// Scenarios on the legacy (absent) decoder keep their pre-backend ids;
+    /// an explicit backend is suffixed with `@label`.
     #[must_use]
     pub fn id(&self) -> String {
-        format!(
+        let mut id = format!(
             "{}_d{}_p{:e}_lr{:e}/{}",
             self.code.label(),
             self.distance,
             self.p,
             self.leakage_ratio,
             self.policy.label()
-        )
+        );
+        if let Some(kind) = self.decoder {
+            id.push('@');
+            id.push_str(kind.label());
+        }
+        id
     }
 
     /// Checks every field for consistency (size constraint, probabilities,
@@ -178,6 +258,10 @@ impl Scenario {
         if self.rounds == 0 {
             return Err("rounds must be positive".to_string());
         }
+        if let Some(kind) = self.decoder {
+            kind.supports(self.code.qec_family(), self.distance)
+                .map_err(|e| format!("decoder `{}` cannot serve this cell: {e}", kind.label()))?;
+        }
         Ok(())
     }
 }
@@ -197,6 +281,7 @@ mod tests {
             shots: 4,
             seed: 7,
             decode: true,
+            decoder: None,
         }
     }
 
@@ -248,6 +333,46 @@ mod tests {
     #[test]
     fn scenario_ids_encode_the_cell_coordinates() {
         assert_eq!(sample().id(), "surface_d3_p1e-3_lr1e-1/gladiator+m");
+        let explicit = Scenario { decoder: Some(DecoderKind::Lookup), ..sample() };
+        assert_eq!(explicit.id(), "surface_d3_p1e-3_lr1e-1/gladiator+m@lookup");
+    }
+
+    #[test]
+    fn decoder_field_is_omitted_when_absent_and_round_trips_when_present() {
+        // Legacy scenarios must keep their exact pre-backend bytes.
+        let json = serde_json::to_string(&sample()).unwrap();
+        assert!(!json.contains("decoder"), "unexpected decoder field: {json}");
+        assert_eq!(serde_json::from_str::<Scenario>(&json).unwrap(), sample());
+        // An explicit backend serializes as its wire label and round-trips.
+        let explicit = Scenario { decoder: Some(DecoderKind::Lookup), ..sample() };
+        let json = serde_json::to_string(&explicit).unwrap();
+        assert!(json.ends_with(r#""decode":true,"decoder":"lookup"}"#), "{json}");
+        assert_eq!(serde_json::from_str::<Scenario>(&json).unwrap(), explicit);
+        // Unknown decoder labels are typed deserialization errors.
+        let bad = json.replace("lookup", "mwpm");
+        let err = serde_json::from_str::<Scenario>(&bad).unwrap_err();
+        assert!(err.to_string().contains("uf, lookup"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_decoder_family_mismatches() {
+        // lookup: only surface/color at exactly d=3.
+        assert!(Scenario { decoder: Some(DecoderKind::Lookup), ..sample() }.validate().is_ok());
+        let d5 = Scenario { distance: 5, decoder: Some(DecoderKind::Lookup), ..sample() };
+        let err = d5.validate().unwrap_err();
+        assert!(err.contains("lookup") && err.contains("distance 3"), "{err}");
+        let hgp = Scenario {
+            code: CodeFamily::Hgp,
+            distance: 2,
+            decoder: Some(DecoderKind::Lookup),
+            ..sample()
+        };
+        assert!(hgp.validate().is_err());
+        // explicit uf: needs a matchable (surface) code.
+        let color_uf =
+            Scenario { code: CodeFamily::Color, decoder: Some(DecoderKind::UnionFind), ..sample() };
+        let err = color_uf.validate().unwrap_err();
+        assert!(err.contains("matchable"), "{err}");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! * one [`PolicyFactory`] per `(family, distance)`, re-calibrated (not
 //!   rebuilt) when the error-rate axis moves — the pattern extractor, site
 //!   classes and colouring survive every calibration change,
-//! * one union-find decoder per `(family, distance, rounds)`,
+//! * one decoder backend per `(family, distance, rounds, decoder kind)`,
 //! * one [`BatchEngine`] per cell, wired onto the shared artifacts via
 //!   [`BatchEngine::with_shared`].
 //!
@@ -28,16 +28,17 @@ use std::process::Command;
 use std::sync::Arc;
 use std::time::Instant;
 
-use serde::{Deserialize, Serialize};
+use serde::{de, ser, Deserialize, Serialize, Value};
 
 use leakage_speculation::{PolicyFactory, PolicyKind};
+use qec_decoder::{DecoderBackend, DecoderKind};
 
-use crate::engine::{build_decoder, BatchEngine};
+use crate::engine::{build_backend, BatchEngine};
 use crate::metrics::AggregateMetrics;
 use crate::replay::ReplayMode;
 use crate::report::BenchLine;
 use crate::runners::Scale;
-use crate::scenario::{CodeFamily, Scenario};
+use crate::scenario::{decoder_from_value, CodeFamily, Scenario};
 
 /// Version of the sweep-report JSON schema; bump when the shape changes.
 /// (v2: added the `recorded_policy` provenance field for corpus-backed sweeps.
@@ -58,7 +59,7 @@ pub const SNAPSHOT_SAMPLES: usize = 10;
 /// numeric axes are additionally sorted, so permuting them leaves the
 /// expansion unchanged. Policies keep their listed order (paper figures order
 /// them deliberately).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepSpec {
     /// Code family every cell runs on.
     pub code: CodeFamily,
@@ -78,6 +79,60 @@ pub struct SweepSpec {
     pub seed: u64,
     /// Whether to decode every shot and report per-cell logical error rates.
     pub decode: bool,
+    /// Optional decoder-backend axis: each grid cell is evaluated once per
+    /// listed backend (one extra innermost axis, just outside policies), so a
+    /// single corpus yields cross-decoder LER rows in one report. `None` is
+    /// the legacy single-backend sweep on union-find; the field is omitted
+    /// from serialized specs when `None` (additive — the sweep schema version
+    /// does not bump, like the serve protocol's additive-field rule).
+    pub decoders: Option<Vec<DecoderKind>>,
+}
+
+// Hand-written so the optional `decoders` axis is omitted (not `null`) when
+// absent: legacy sweep reports must keep their exact pre-backend bytes.
+impl Serialize for SweepSpec {
+    fn to_value(&self) -> Value {
+        let mut composer = ser::StructComposer::new();
+        composer.field("code", &self.code);
+        composer.field("distances", &self.distances);
+        composer.field("error_rates", &self.error_rates);
+        composer.field("leakage_ratios", &self.leakage_ratios);
+        composer.field("policies", &self.policies);
+        composer.field("shots", &self.shots);
+        composer.field("rounds_per_distance", &self.rounds_per_distance);
+        composer.field("seed", &self.seed);
+        composer.field("decode", &self.decode);
+        if let Some(decoders) = &self.decoders {
+            let labels: Vec<String> =
+                decoders.iter().map(|kind| kind.label().to_string()).collect();
+            composer.field("decoders", &labels);
+        }
+        composer.end()
+    }
+}
+
+impl Deserialize for SweepSpec {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        let fields = de::as_object(value, "SweepSpec")?;
+        let decoders = match de::field::<Option<Vec<Value>>>(fields, "SweepSpec", "decoders")? {
+            None => None,
+            Some(values) => {
+                Some(values.iter().map(decoder_from_value).collect::<Result<Vec<_>, _>>()?)
+            }
+        };
+        Ok(SweepSpec {
+            code: de::field(fields, "SweepSpec", "code")?,
+            distances: de::field(fields, "SweepSpec", "distances")?,
+            error_rates: de::field(fields, "SweepSpec", "error_rates")?,
+            leakage_ratios: de::field(fields, "SweepSpec", "leakage_ratios")?,
+            policies: de::field(fields, "SweepSpec", "policies")?,
+            shots: de::field(fields, "SweepSpec", "shots")?,
+            rounds_per_distance: de::field(fields, "SweepSpec", "rounds_per_distance")?,
+            seed: de::field(fields, "SweepSpec", "seed")?,
+            decode: de::field(fields, "SweepSpec", "decode")?,
+            decoders,
+        })
+    }
 }
 
 impl SweepSpec {
@@ -95,15 +150,37 @@ impl SweepSpec {
             rounds_per_distance: ((10.0 * scale.rounds_factor).round() as usize).max(1),
             seed: scale.seed,
             decode: true,
+            decoders: None,
         }
     }
 
     /// Number of grid cells the spec expands to (after axis deduplication).
     #[must_use]
     pub fn cell_count(&self) -> usize {
+        let backends = self.decoder_axis().map_or(0, |axis| axis.len());
         self.clone()
             .normalized_axes()
-            .map_or(0, |(d, p, lr, pol)| d.len() * p.len() * lr.len() * pol.len())
+            .map_or(0, |(d, p, lr, pol)| d.len() * p.len() * lr.len() * pol.len() * backends)
+    }
+
+    /// The expansion's decoder axis: the deduplicated listed backends, or the
+    /// single legacy `None` (union-find) slot when no axis was requested.
+    fn decoder_axis(&self) -> Result<Vec<Option<DecoderKind>>, String> {
+        match &self.decoders {
+            None => Ok(vec![None]),
+            Some(kinds) => {
+                let mut axis: Vec<Option<DecoderKind>> = Vec::new();
+                for &kind in kinds {
+                    if !axis.contains(&Some(kind)) {
+                        axis.push(Some(kind));
+                    }
+                }
+                if axis.is_empty() {
+                    return Err("sweep axis `decoders` is empty".to_string());
+                }
+                Ok(axis)
+            }
+        }
     }
 
     /// Sorted, deduplicated axes; errors on empty or non-finite axes.
@@ -153,26 +230,36 @@ impl SweepSpec {
     /// expanded scenario fails [`Scenario::validate`].
     pub fn expand(&self) -> Result<Vec<Scenario>, String> {
         let spec = self.clone();
+        let decoder_axis = self.decoder_axis()?;
         let (distances, error_rates, leakage_ratios, policies) = spec.normalized_axes()?;
         let mut scenarios = Vec::new();
         for &distance in &distances {
             let rounds = (self.rounds_per_distance * distance).max(2);
             for &p in &error_rates {
                 for &leakage_ratio in &leakage_ratios {
-                    for &policy in &policies {
-                        let scenario = Scenario {
-                            code: self.code,
-                            distance,
-                            rounds,
-                            p,
-                            leakage_ratio,
-                            policy,
-                            shots: self.shots,
-                            seed: self.seed,
-                            decode: self.decode,
-                        };
-                        scenario.validate().map_err(|e| format!("cell {}: {e}", scenario.id()))?;
-                        scenarios.push(scenario);
+                    // The decoder axis sits just outside policies, so a
+                    // corpus-backed sweep still sees each policy-free cell as
+                    // one consecutive scenario group (decoders, like
+                    // policies, are excluded from the cell key).
+                    for &decoder in &decoder_axis {
+                        for &policy in &policies {
+                            let scenario = Scenario {
+                                code: self.code,
+                                distance,
+                                rounds,
+                                p,
+                                leakage_ratio,
+                                policy,
+                                shots: self.shots,
+                                seed: self.seed,
+                                decode: self.decode,
+                                decoder,
+                            };
+                            scenario
+                                .validate()
+                                .map_err(|e| format!("cell {}: {e}", scenario.id()))?;
+                            scenarios.push(scenario);
+                        }
                     }
                 }
             }
@@ -316,7 +403,8 @@ pub fn run_sweep_with_corpus(
     // the factory is *recalibrated* (code-derived structures survive) when the
     // error-rate axis moves, and decoders are reused per round count.
     let mut shared: Option<(CodeFamily, usize, Arc<PolicyFactory>)> = None;
-    let mut decoders: BTreeMap<usize, Arc<qec_decoder::UnionFindDecoder>> = BTreeMap::new();
+    let mut decoders: BTreeMap<(usize, Option<DecoderKind>), Arc<dyn DecoderBackend>> =
+        BTreeMap::new();
     let mut start = 0usize;
     while start < scenarios.len() {
         // Policies are the innermost expansion axis, so one recorded cell
@@ -373,24 +461,32 @@ pub fn run_sweep_with_corpus(
         shared = Some((group_key.0, group_key.1, Arc::clone(&factory)));
         let group = &scenarios[start..end];
         let group_start = Instant::now();
-        let shot_decoders: Vec<Option<Arc<qec_decoder::UnionFindDecoder>>> = group
-            .iter()
-            .map(|scenario| {
-                let exact = scenario.policy.label() == cell.header.policy;
-                // Open-loop decoding is only meaningful for the recording
-                // policy; closed-loop cells are exact counterfactuals, so
-                // every policy decodes when the scenario asks for it.
-                let want_decode = scenario.decode && (closed_loop || exact);
-                want_decode.then(|| {
-                    Arc::clone(
-                        decoders
-                            .entry(scenario.rounds)
-                            .or_insert_with(|| build_decoder(&cell.code, scenario.rounds)),
-                    )
-                })
-            })
-            .collect();
-        let decoder_refs: Vec<Option<&qec_decoder::UnionFindDecoder>> =
+        let mut shot_decoders: Vec<Option<Arc<dyn DecoderBackend>>> =
+            Vec::with_capacity(group.len());
+        for scenario in group {
+            let exact = scenario.policy.label() == cell.header.policy;
+            // Open-loop decoding is only meaningful for the recording
+            // policy; closed-loop cells are exact counterfactuals, so
+            // every policy decodes when the scenario asks for it.
+            let want_decode = scenario.decode && (closed_loop || exact);
+            let decoder = if want_decode {
+                let slot = (scenario.rounds, scenario.decoder);
+                let backend = match decoders.get(&slot) {
+                    Some(backend) => Arc::clone(backend),
+                    None => {
+                        let built = build_backend(scenario.decoder, &cell.code, scenario.rounds)
+                            .map_err(|e| format!("cell {key}: {e}"))?;
+                        decoders.insert(slot, Arc::clone(&built));
+                        built
+                    }
+                };
+                Some(backend)
+            } else {
+                None
+            };
+            shot_decoders.push(decoder);
+        }
+        let decoder_refs: Vec<Option<&dyn DecoderBackend>> =
             shot_decoders.iter().map(std::option::Option::as_deref).collect();
         let kinds: Vec<PolicyKind> = group.iter().map(|s| s.policy).collect();
         let (replays, _stats) =
@@ -454,11 +550,10 @@ pub fn run_scenarios(scenarios: &[Scenario], timing: bool) -> Vec<SweepCell> {
             };
             factory = Some(Arc::clone(&shared_factory));
             let decoder = spec.decode.then(|| {
-                Arc::clone(
-                    decoders
-                        .entry(spec.rounds)
-                        .or_insert_with(|| build_decoder(&code, spec.rounds)),
-                )
+                Arc::clone(decoders.entry((spec.rounds, scenario.decoder)).or_insert_with(|| {
+                    build_backend(scenario.decoder, &code, spec.rounds)
+                        .expect("expansion validates decoder/code compatibility")
+                }))
             });
             let engine = BatchEngine::with_shared(&spec, shared_factory, decoder);
             let cell_start = Instant::now();
@@ -492,6 +587,7 @@ pub fn snapshot_spec() -> SweepSpec {
         rounds_per_distance: 10,
         seed: 11,
         decode: true,
+        decoders: None,
     }
 }
 
@@ -559,6 +655,7 @@ mod tests {
             rounds_per_distance: 1,
             seed: 5,
             decode: false,
+            decoders: None,
         }
     }
 
@@ -608,6 +705,77 @@ mod tests {
         assert!(SweepSpec { distances: vec![4], ..tiny_spec() }.expand().is_err());
         assert!(SweepSpec { shots: 0, ..tiny_spec() }.expand().is_err());
         assert_eq!(SweepSpec { distances: vec![], ..tiny_spec() }.cell_count(), 0);
+    }
+
+    #[test]
+    fn decoder_axis_expands_outside_policies_and_validates_cells() {
+        let spec = SweepSpec {
+            policies: vec![PolicyKind::EraserM, PolicyKind::GladiatorM],
+            decoders: Some(vec![DecoderKind::UnionFind, DecoderKind::Lookup]),
+            decode: true,
+            ..tiny_spec()
+        };
+        let scenarios = spec.expand().unwrap();
+        assert_eq!(scenarios.len(), 4);
+        assert_eq!(spec.cell_count(), 4);
+        // Decoder-major over the policy list, so corpus grouping stays intact.
+        assert_eq!(scenarios[0].decoder, Some(DecoderKind::UnionFind));
+        assert_eq!(scenarios[1].decoder, Some(DecoderKind::UnionFind));
+        assert_eq!(scenarios[2].decoder, Some(DecoderKind::Lookup));
+        assert_eq!(scenarios[0].policy, PolicyKind::EraserM);
+        assert_eq!(scenarios[1].policy, PolicyKind::GladiatorM);
+        // Duplicates collapse; an explicitly empty axis is an error.
+        let duplicated = SweepSpec {
+            decoders: Some(vec![DecoderKind::Lookup, DecoderKind::Lookup]),
+            ..tiny_spec()
+        };
+        assert_eq!(duplicated.expand().unwrap().len(), 1);
+        assert!(SweepSpec { decoders: Some(vec![]), ..tiny_spec() }.expand().is_err());
+        // The lookup table only exists at d=3: expansion is where the
+        // decoder/family mismatch must surface, as a typed error.
+        let d5 = SweepSpec {
+            distances: vec![5],
+            decoders: Some(vec![DecoderKind::Lookup]),
+            ..tiny_spec()
+        };
+        let err = d5.expand().unwrap_err();
+        assert!(err.contains("lookup") && err.contains("distance 3"), "{err}");
+    }
+
+    #[test]
+    fn spec_serde_omits_the_absent_decoder_axis() {
+        let legacy = tiny_spec();
+        let json = serde_json::to_string(&legacy).unwrap();
+        assert!(!json.contains("decoders"), "{json}");
+        assert_eq!(serde_json::from_str::<SweepSpec>(&json).unwrap(), legacy);
+        let multi = SweepSpec {
+            decoders: Some(vec![DecoderKind::UnionFind, DecoderKind::Lookup]),
+            ..tiny_spec()
+        };
+        let json = serde_json::to_string(&multi).unwrap();
+        assert!(json.ends_with(r#""decoders":["uf","lookup"]}"#), "{json}");
+        assert_eq!(serde_json::from_str::<SweepSpec>(&json).unwrap(), multi);
+        let err = serde_json::from_str::<SweepSpec>(&json.replace("lookup", "bp")).unwrap_err();
+        assert!(err.to_string().contains("uf, lookup"), "{err}");
+    }
+
+    #[test]
+    fn live_sweep_runs_the_decoder_axis() {
+        let spec = SweepSpec {
+            decode: true,
+            decoders: Some(vec![DecoderKind::UnionFind, DecoderKind::Lookup]),
+            ..tiny_spec()
+        };
+        let report = run_sweep(&spec, false).unwrap();
+        assert_eq!(report.cells.len(), 2);
+        for cell in &report.cells {
+            assert!(cell.metrics.logical_error_rate.is_some(), "{:?}", cell.scenario);
+        }
+        // Identical runs, decoded by an exact table vs union-find: the exact
+        // table can only do better or equal on the same shots.
+        let uf = report.cells[0].metrics.logical_error_rate.unwrap();
+        let lookup = report.cells[1].metrics.logical_error_rate.unwrap();
+        assert!(lookup <= uf, "lookup LER {lookup} > union-find LER {uf}");
     }
 
     #[test]

@@ -16,6 +16,7 @@ use std::time::Instant;
 
 use leakage_speculation::{PolicyFactory, PolicyKind};
 use proptest::prelude::*;
+use qec_decoder::DecoderBackend;
 use qec_experiments::engine::build_decoder;
 use qec_experiments::replay::{
     calibration_for, evaluate_cell_set, record_cell, record_into_corpus, replay_cell_closed_loop,
@@ -45,6 +46,7 @@ fn cell_scenario(
         shots: 3,
         seed,
         decode: true,
+        decoder: None,
     }
 }
 
@@ -65,7 +67,8 @@ fn assert_exact_counterfactual(
 ) -> CellReplay {
     let factory = Arc::new(PolicyFactory::new(&cell.code, &calibration_for(&cell.header)));
     let decoder = decode.then(|| build_decoder(&cell.code, cell.header.rounds));
-    let replay = replay_cell_closed_loop(cell, &factory, candidate, decoder.as_deref()).unwrap();
+    let decoder_ref = decoder.as_deref().map(|d| d as &dyn DecoderBackend);
+    let replay = replay_cell_closed_loop(cell, &factory, candidate, decoder_ref).unwrap();
     let spec = spec_from_header(&cell.header, candidate, decode);
     let live = BatchEngine::new(&cell.code, &spec).run();
     assert_eq!(
@@ -232,6 +235,7 @@ fn closed_loop_corpus_sweep_matches_a_fully_simulated_sweep_for_every_policy() {
         rounds_per_distance: 2,
         seed: 13,
         decode: true,
+        decoders: None,
     };
     let report =
         run_sweep_with_corpus(&spec, &dir, None, false, ReplayMode::ClosedLoop, true).unwrap();
@@ -273,6 +277,7 @@ fn closed_loop_replay_corpus_live_verifies_every_policy() {
     let options = ReplayOptions {
         policies: vec![PolicyKind::GladiatorM, PolicyKind::AlwaysLrc, PolicyKind::MlrOnly],
         decode: true,
+        decoders: Vec::new(),
         verify_live: true,
         mode: ReplayMode::ClosedLoop,
         shared_checkpoints: true,
@@ -320,7 +325,8 @@ fn shared_checkpoint_evaluation_matches_per_policy_and_live_for_all_11_policies(
     let cell = record_loaded(&scenario);
     let factory = Arc::new(PolicyFactory::new(&cell.code, &calibration_for(&cell.header)));
     let decoder = build_decoder(&cell.code, cell.header.rounds);
-    let decoders = vec![Some(&*decoder); PolicyKind::ALL.len()];
+    let decoders: Vec<Option<&dyn DecoderBackend>> =
+        vec![Some(&*decoder as &dyn DecoderBackend); PolicyKind::ALL.len()];
     let (shared, stats) = evaluate_cell_set(
         &cell,
         &factory,
@@ -333,7 +339,7 @@ fn shared_checkpoint_evaluation_matches_per_policy_and_live_for_all_11_policies(
     assert_eq!(shared.len(), PolicyKind::ALL.len());
     for (candidate, replay) in PolicyKind::ALL.into_iter().zip(&shared) {
         let per_policy =
-            replay_cell_closed_loop(&cell, &factory, candidate, Some(&decoder)).unwrap();
+            replay_cell_closed_loop(&cell, &factory, candidate, Some(&*decoder)).unwrap();
         assert_eq!(replay, &per_policy, "{candidate:?}: shared must equal per-policy replay");
         let live = assert_exact_counterfactual(&cell, candidate, true);
         assert_eq!(replay.metrics, live.metrics, "{candidate:?}: shared must equal live");
@@ -406,6 +412,7 @@ fn corpus_replay_reports_are_byte_identical_with_and_without_sharing() {
             PolicyKind::MlrOnly,
         ],
         decode: true,
+        decoders: Vec::new(),
         verify_live: false,
         mode: ReplayMode::ClosedLoop,
         shared_checkpoints: true,
@@ -442,6 +449,7 @@ fn closed_loop_multi_policy_evaluation_beats_full_resimulation() {
         shots: 16,
         seed: 11,
         decode: false,
+        decoder: None,
     };
     let cell = record_loaded(&scenario);
     let factory = Arc::new(PolicyFactory::new(&cell.code, &calibration_for(&cell.header)));

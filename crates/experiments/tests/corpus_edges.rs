@@ -20,6 +20,7 @@ fn scenario() -> Scenario {
         shots: 2,
         seed: 19,
         decode: false,
+        decoder: None,
     }
 }
 

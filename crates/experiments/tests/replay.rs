@@ -30,6 +30,7 @@ fn scenario(policy: PolicyKind) -> Scenario {
         shots: 4,
         seed: 29,
         decode: true,
+        decoder: None,
     }
 }
 
@@ -56,7 +57,7 @@ fn replayed_metrics_match_the_live_engine_bit_for_bit_for_every_policy_kind() {
         let cell = LoadedCell { header, shots, code: code.clone() };
         let factory = Arc::new(PolicyFactory::new(&code, &calibration_for(&cell.header)));
         let decoder = build_decoder(&code, scenario.rounds);
-        let replay = replay_cell(&cell, &factory, kind, Some(&decoder)).unwrap();
+        let replay = replay_cell(&cell, &factory, kind, Some(&*decoder)).unwrap();
 
         assert_eq!(replay.divergent_shots, 0, "{kind:?} must replay its own schedule exactly");
         assert_eq!(replay.metrics, live.metrics, "{kind:?} replayed metrics must be bit-for-bit");
@@ -84,7 +85,7 @@ fn corpus_round_trip_preserves_bit_for_bit_replay() {
     let cell = load_entry(&reopened, reopened.lookup(&entry.key).unwrap()).unwrap();
     let factory = Arc::new(PolicyFactory::new(&cell.code, &calibration_for(&cell.header)));
     let decoder = build_decoder(&cell.code, scenario.rounds);
-    let replay = replay_cell(&cell, &factory, PolicyKind::GladiatorM, Some(&decoder)).unwrap();
+    let replay = replay_cell(&cell, &factory, PolicyKind::GladiatorM, Some(&*decoder)).unwrap();
 
     let live = BatchEngine::new(&cell.code, &scenario.to_spec()).run();
     assert_eq!(replay.metrics, live.metrics);
@@ -114,6 +115,7 @@ fn replay_corpus_verifies_live_and_scores_cross_policy_speculation() {
     let options = ReplayOptions {
         policies: vec![PolicyKind::EraserM, PolicyKind::GladiatorM, PolicyKind::AlwaysLrc],
         decode: true,
+        decoders: Vec::new(),
         verify_live: true,
         mode: ReplayMode::OpenLoop,
         shared_checkpoints: true,
@@ -150,6 +152,7 @@ fn corpus_sweep_spec() -> SweepSpec {
         rounds_per_distance: 2,
         seed: 13,
         decode: true,
+        decoders: None,
     }
 }
 
@@ -300,4 +303,68 @@ fn replaying_a_nonexistent_corpus_is_an_error() {
     let dir = tmp_dir("missing"); // created by nobody
     let err = replay_corpus(&dir, &ReplayOptions::default()).unwrap_err();
     assert!(err.contains("not a corpus"), "{err}");
+}
+
+/// The cross-decoder oracle: a corpus replayed once per backend produces,
+/// for **every** policy kind under closed-loop repair, rows bit-identical to
+/// a from-scratch live simulation decoding with that same backend
+/// (`verify_live` re-runs the live engine per pairing and compares metrics
+/// bit for bit). Decoder-invariant metrics agree across backends, and the
+/// exact d=3 lookup decoder is never worse than union-find on the recorded
+/// pairing.
+#[test]
+fn cross_decoder_closed_loop_rows_match_from_scratch_live_runs_for_every_policy() {
+    use qec_decoder::DecoderKind;
+    use qec_experiments::replay::replay_corpus_with_stats;
+
+    let dir = tmp_dir("oracle");
+    let mut corpus = Corpus::open(&dir).unwrap();
+    let scenario = scenario(PolicyKind::EraserM);
+    record_into_corpus(&mut corpus, &scenario, PolicyKind::EraserM, "replay test").unwrap();
+    corpus.save().unwrap();
+
+    let options = ReplayOptions {
+        policies: PolicyKind::ALL.to_vec(),
+        decode: true,
+        decoders: vec![DecoderKind::UnionFind, DecoderKind::Lookup],
+        verify_live: true,
+        mode: ReplayMode::ClosedLoop,
+        shared_checkpoints: true,
+    };
+    let (report, _) = replay_corpus_with_stats(&dir, &options).unwrap();
+    assert_eq!(report.results.len(), 2 * PolicyKind::ALL.len(), "decoder-major × policies");
+
+    for row in &report.results {
+        assert_eq!(
+            row.live_match,
+            Some(true),
+            "{} with {:?} must match its live run bit for bit",
+            row.policy,
+            row.decoder
+        );
+        assert!(row.metrics.logical_error_rate.is_some(), "{} must decode", row.policy);
+    }
+
+    let (uf, lookup) = report.results.split_at(PolicyKind::ALL.len());
+    for (u, l) in uf.iter().zip(lookup) {
+        assert_eq!(u.policy, l.policy, "decoder-major row order");
+        assert_eq!(u.decoder.as_deref(), Some("uf"));
+        assert_eq!(l.decoder.as_deref(), Some("lookup"));
+        // Everything upstream of decoding is a property of the replayed
+        // execution: identical whichever backend scores it.
+        assert_eq!(u.metrics.false_negatives, l.metrics.false_negatives, "{}", u.policy);
+        assert_eq!(u.metrics.false_positives, l.metrics.false_positives, "{}", u.policy);
+        assert_eq!(u.metrics.dlp_series, l.metrics.dlp_series, "{}", u.policy);
+        assert_eq!(u.divergent_shots, l.divergent_shots, "{}", u.policy);
+        // The lookup table is the exact maximum-likelihood decoder at d=3:
+        // it can only match or beat union-find (deterministic fixed seed).
+        assert!(
+            l.metrics.logical_error_rate <= u.metrics.logical_error_rate,
+            "{}: lookup LER {:?} must not exceed union-find LER {:?}",
+            u.policy,
+            l.metrics.logical_error_rate,
+            u.metrics.logical_error_rate
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -20,6 +20,7 @@ fn small_spec() -> SweepSpec {
         rounds_per_distance: 1,
         seed: 9,
         decode: true,
+        decoders: None,
     }
 }
 
@@ -61,6 +62,7 @@ fn single_cell_sweep_equals_run_policy_experiment_bit_for_bit() {
         shots: 5,
         seed: 31,
         decode: true,
+        decoder: None,
     };
     let cells = run_scenarios(&[scenario], false);
     assert_eq!(cells.len(), 1);
@@ -114,6 +116,7 @@ fn ler_runner_rows_survive_the_scenario_rebase() {
             shots: scale.shots,
             seed: scale.seed,
             decode: true,
+            decoder: None,
         }
         .to_spec(),
     );

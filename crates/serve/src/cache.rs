@@ -6,15 +6,17 @@
 //! A [`CachedCell`] therefore bundles everything one cell's evaluations need:
 //! the loaded trace ([`LoadedCell`]), the calibrated [`PolicyFactory`] (every
 //! policy built from it shares the offline GLADIATOR model, pattern extractor
-//! and coloring), and a lazily built union-find decoder. Cells are keyed by
-//! the manifest's policy-free cell key and evicted least-recently-used.
+//! and coloring), and lazily built decoder backends — one slot per
+//! [`DecoderKind`] plus the unlabeled legacy default (union-find). Cells are
+//! keyed by the manifest's policy-free cell key and evicted
+//! least-recently-used.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 use leakage_speculation::{PolicyFactory, PolicyKind};
-use qec_decoder::UnionFindDecoder;
-use qec_experiments::engine::build_decoder;
+use qec_decoder::{DecoderBackend, DecoderKind};
+use qec_experiments::engine::build_backend;
 use qec_experiments::replay::{calibration_for, load_entry};
 use qec_experiments::LoadedCell;
 use qec_trace::{Corpus, CorpusEntry};
@@ -31,18 +33,52 @@ pub struct CachedCell {
     pub factory: Arc<PolicyFactory>,
     /// The policy that recorded the trace.
     pub recorded: PolicyKind,
-    decoder: OnceLock<Arc<UnionFindDecoder>>,
+    /// The unlabeled legacy slot (union-find) requests without a `decoder`
+    /// field decode through.
+    decoder: OnceLock<Arc<dyn DecoderBackend>>,
+    /// One lazily filled slot per explicitly selectable [`DecoderKind`],
+    /// index-aligned with [`DecoderKind::ALL`].
+    backends: [OnceLock<Arc<dyn DecoderBackend>>; DecoderKind::ALL.len()],
 }
 
 impl CachedCell {
-    /// The cell's union-find decoder, built on first use (decoding is
-    /// optional per request, and the matching-graph build is not free) and
-    /// shared by every later decode of the cell.
+    /// The cell's legacy default decoder (union-find), built on first use
+    /// (decoding is optional per request, and the matching-graph build is not
+    /// free) and shared by every later decode of the cell.
+    ///
+    /// # Panics
+    /// Panics when the cell's code is not matchable — the pre-backend
+    /// behavior of decoding such a cell, preserved for legacy requests.
     #[must_use]
-    pub fn decoder(&self) -> Arc<UnionFindDecoder> {
-        Arc::clone(
-            self.decoder.get_or_init(|| build_decoder(&self.cell.code, self.cell.header.rounds)),
-        )
+    pub fn decoder(&self) -> Arc<dyn DecoderBackend> {
+        Arc::clone(self.decoder.get_or_init(|| {
+            build_backend(None, &self.cell.code, self.cell.header.rounds)
+                .expect("the legacy union-find build does not validate")
+        }))
+    }
+
+    /// The cell's decoder backend for `kind` — the legacy default slot when
+    /// `None` — built on first use and shared by every later decode of the
+    /// cell under that selection.
+    ///
+    /// # Errors
+    /// Returns the backend's validation message when `kind` cannot serve this
+    /// cell's code/distance (e.g. the lookup table against d>3); the caller
+    /// maps it to a typed `bad-request`.
+    pub fn backend(&self, kind: Option<DecoderKind>) -> Result<Arc<dyn DecoderBackend>, String> {
+        let Some(kind) = kind else { return Ok(self.decoder()) };
+        let slot = &self.backends[DecoderKind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .expect("DecoderKind::ALL holds every kind")];
+        if let Some(backend) = slot.get() {
+            return Ok(Arc::clone(backend));
+        }
+        // Validate *before* filling the slot: a failed build must stay
+        // reportable on every retry, and OnceLock has no fallible init.
+        let backend = build_backend(Some(kind), &self.cell.code, self.cell.header.rounds)
+            .map_err(|e| format!("{}: {e}", self.key))?;
+        Ok(Arc::clone(slot.get_or_init(|| backend)))
     }
 }
 
@@ -129,7 +165,11 @@ impl CellCache {
         corpus: &Corpus,
         entry: &CorpusEntry,
     ) -> Result<(Arc<CachedCell>, bool), String> {
-        let mut inner = self.inner.lock().expect("cell cache poisoned");
+        // Recover (rather than cascade) from a poisoned lock: the cache's
+        // invariants are a consistent LRU queue plus monotone counters, both
+        // upheld at every await-free step, so the state a panicking thread
+        // left behind is safe to keep serving.
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(position) = inner.entries.iter().position(|(key, _)| *key == entry.key) {
             let resident = inner.entries.remove(position).expect("position is in range");
             let cell = Arc::clone(&resident.1);
@@ -148,6 +188,7 @@ impl CellCache {
             factory,
             recorded,
             decoder: OnceLock::new(),
+            backends: std::array::from_fn(|_| OnceLock::new()),
         });
         inner.misses += 1;
         while inner.entries.len() >= self.capacity {
@@ -161,7 +202,7 @@ impl CellCache {
     /// Current occupancy and traffic counters.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("cell cache poisoned");
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         CacheStats {
             hits: inner.hits,
             misses: inner.misses,
@@ -194,6 +235,7 @@ mod tests {
                 shots: 2,
                 seed: 5,
                 decode: false,
+                decoder: None,
             };
             record_into_corpus(&mut corpus, &scenario, PolicyKind::EraserM, "cache test").unwrap();
         }
@@ -261,6 +303,32 @@ mod tests {
         let a = cell.decoder();
         let b = cell.decoder();
         assert!(Arc::ptr_eq(&a, &b));
+        let _ = std::fs::remove_dir_all(corpus.dir());
+    }
+
+    #[test]
+    fn backend_slots_are_per_kind_shared_and_validated() {
+        let corpus = tiny_corpus("backend", &[3, 5]);
+        let entries: Vec<CorpusEntry> = corpus.entries().to_vec();
+        let cache = CellCache::new(2);
+        let (d3, _) = cache.get_or_load(&corpus, &entries[0]).unwrap();
+        // The unlabeled slot and the explicit `uf` slot are distinct builds...
+        let legacy = d3.backend(None).unwrap();
+        assert!(Arc::ptr_eq(&legacy, &d3.backend(None).unwrap()));
+        let uf = d3.backend(Some(DecoderKind::UnionFind)).unwrap();
+        assert_eq!(uf.label(), "uf");
+        // ...while repeated selections of one kind share one backend.
+        let lookup = d3.backend(Some(DecoderKind::Lookup)).unwrap();
+        assert_eq!(lookup.label(), "lookup");
+        assert!(Arc::ptr_eq(&lookup, &d3.backend(Some(DecoderKind::Lookup)).unwrap()));
+        // A backend that cannot serve the cell is a typed error naming the
+        // cell, and stays an error on retry (the slot never fills).
+        let (d5, _) = cache.get_or_load(&corpus, &entries[1]).unwrap();
+        for _ in 0..2 {
+            let err = d5.backend(Some(DecoderKind::Lookup)).unwrap_err();
+            assert!(err.contains(&d5.key), "error names the cell: {err}");
+            assert!(err.contains("distance 3"), "error is actionable: {err}");
+        }
         let _ = std::fs::remove_dir_all(corpus.dir());
     }
 }

@@ -85,7 +85,7 @@ pub enum RequestKind {
 }
 
 /// One `cell × policy` evaluation request.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EvalSpec {
     /// The corpus cell key (as listed by `list-cells`).
     pub key: String,
@@ -98,6 +98,49 @@ pub struct EvalSpec {
     /// `repro replay`, open-loop decoding only applies to recording-policy
     /// pairings; closed-loop decodes every pairing.
     pub decode: Option<bool>,
+    /// Decoder backend label (`"uf"` or `"lookup"`; default when absent:
+    /// union-find, the legacy behavior — responses to decoder-free requests
+    /// are byte-identical to servers predating this field). Unknown labels
+    /// and backends that cannot serve the cell's code/distance are answered
+    /// with typed `bad-request` errors, never `internal` and never a closed
+    /// connection. Additive optional field — no protocol version bump.
+    pub decoder: Option<String>,
+}
+
+// Hand-written (not derived) so absent optional fields are *omitted* rather
+// than serialized as `null`: an `EvalSpec` without a `decoder` (or without
+// `mode`/`decode`) renders exactly like one from a client predating the
+// field, so old servers accept new clients' decoder-free requests unchanged.
+impl Serialize for EvalSpec {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("key".to_string(), Value::Str(self.key.clone())),
+            ("policy".to_string(), Value::Str(self.policy.clone())),
+        ];
+        if let Some(mode) = &self.mode {
+            fields.push(("mode".to_string(), Value::Str(mode.clone())));
+        }
+        if let Some(decode) = self.decode {
+            fields.push(("decode".to_string(), Value::Bool(decode)));
+        }
+        if let Some(decoder) = &self.decoder {
+            fields.push(("decoder".to_string(), Value::Str(decoder.clone())));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for EvalSpec {
+    fn from_value(value: &Value) -> Result<Self, de::Error> {
+        let fields = de::as_object(value, "EvalSpec")?;
+        Ok(EvalSpec {
+            key: de::field(fields, "EvalSpec", "key")?,
+            policy: de::field(fields, "EvalSpec", "policy")?,
+            mode: de::field(fields, "EvalSpec", "mode")?,
+            decode: de::field(fields, "EvalSpec", "decode")?,
+            decoder: de::field(fields, "EvalSpec", "decoder")?,
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------------
@@ -668,6 +711,7 @@ mod tests {
                 policy: "gladiator+m".to_string(),
                 mode: Some("closed-loop".to_string()),
                 decode: Some(true),
+                decoder: None,
             }),
         };
         let line = request_line(&request);
@@ -686,6 +730,26 @@ mod tests {
         let RequestKind::Eval(spec) = parsed.request else { panic!("not an eval") };
         assert_eq!(spec.mode, None);
         assert_eq!(spec.decode, None);
+        assert_eq!(spec.decoder, None);
+    }
+
+    #[test]
+    fn decoder_field_is_additive_and_omitted_when_absent() {
+        // A decoder-free spec renders without the field at all — bytes a
+        // pre-decoder server accepts unchanged.
+        let bare = EvalSpec {
+            key: "k".to_string(),
+            policy: "ideal".to_string(),
+            mode: None,
+            decode: None,
+            decoder: None,
+        };
+        assert_eq!(serde_json::to_string(&bare).unwrap(), r#"{"key":"k","policy":"ideal"}"#);
+        // With a selection the field appears last and round-trips.
+        let selected = EvalSpec { decoder: Some("lookup".to_string()), ..bare };
+        let json = serde_json::to_string(&selected).unwrap();
+        assert_eq!(json, r#"{"key":"k","policy":"ideal","decoder":"lookup"}"#);
+        assert_eq!(serde_json::from_str::<EvalSpec>(&json).unwrap(), selected);
     }
 
     #[test]

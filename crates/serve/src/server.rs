@@ -29,10 +29,10 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 
 use leakage_speculation::PolicyKind;
-use qec_decoder::UnionFindDecoder;
+use qec_decoder::{DecoderBackend, DecoderKind};
 use qec_experiments::replay::{
     evaluate_cell, evaluate_cell_set, evaluation_row, load_entry, CheckpointStats,
     REPLAY_SCHEMA_VERSION,
@@ -115,7 +115,7 @@ impl ConnQueue {
     }
 
     fn push(&self, stream: TcpStream) {
-        let mut inner = self.inner.lock().expect("connection queue poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         if inner.closed {
             return; // dropped: the daemon is shutting down
         }
@@ -124,7 +124,7 @@ impl ConnQueue {
     }
 
     fn pop(&self) -> Option<TcpStream> {
-        let mut inner = self.inner.lock().expect("connection queue poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(stream) = inner.pending.pop_front() {
                 return Some(stream);
@@ -132,12 +132,12 @@ impl ConnQueue {
             if inner.closed {
                 return None;
             }
-            inner = self.ready.wait(inner).expect("connection queue poisoned");
+            inner = self.ready.wait(inner).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     fn close(&self) {
-        let mut inner = self.inner.lock().expect("connection queue poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.closed = true;
         inner.pending.clear();
         self.ready.notify_all();
@@ -314,7 +314,7 @@ impl Server {
             // so a handler mid-request still delivers its in-flight response
             // before seeing EOF — the protocol doc's "force-closed after
             // their in-flight request".
-            for (_, conn) in state.connections.lock().expect("connection registry poisoned").iter()
+            for (_, conn) in state.connections.lock().unwrap_or_else(PoisonError::into_inner).iter()
             {
                 let _ = conn.shutdown(std::net::Shutdown::Read);
             }
@@ -329,13 +329,13 @@ fn connection_worker(state: &ServerState, next_id: &AtomicU64) {
     while let Some(stream) = state.conn_queue.pop() {
         let id = next_id.fetch_add(1, Ordering::Relaxed);
         if let Ok(clone) = stream.try_clone() {
-            state.connections.lock().expect("connection registry poisoned").push((id, clone));
+            state.connections.lock().unwrap_or_else(PoisonError::into_inner).push((id, clone));
         }
         handle_connection(state, stream);
         state
             .connections
             .lock()
-            .expect("connection registry poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .retain(|(conn_id, _)| *conn_id != id);
         state.active_connections.fetch_sub(1, Ordering::AcqRel);
     }
@@ -370,9 +370,16 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
             continue;
         }
         state.requests.fetch_add(1, Ordering::Relaxed);
-        let (id, outcome) = match parse_request(&line) {
-            Ok(request) => (request.id, handle_request(state, request.request)),
-            Err(error) => (None, ResponseKind::Error(error)),
+        let (id, contained) = match parse_request(&line) {
+            Ok(request) => (request.id, contain_panic(|| handle_request(state, request.request))),
+            Err(error) => (None, Ok(ResponseKind::Error(error))),
+        };
+        // A contained panic answers with a typed `internal` error and then
+        // closes *this* connection only — the worker thread survives to serve
+        // the next socket, and every other connection is untouched.
+        let (outcome, panicked) = match contained {
+            Ok(outcome) => (outcome, false),
+            Err(error) => (ResponseKind::Error(error), true),
         };
         let stop = matches!(outcome, ResponseKind::ShuttingDown);
         let response = Response { id, v: PROTOCOL_VERSION, response: outcome };
@@ -380,6 +387,9 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
             break;
         }
         let _ = writer.flush();
+        if panicked {
+            break;
+        }
         if stop {
             state.shutdown.store(true, Ordering::Release);
             // Unblock the accept loop so it observes the flag. A wildcard
@@ -398,11 +408,36 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
     }
 }
 
+/// Runs one request dispatch with panic containment: a panic anywhere in the
+/// dispatch path is caught and mapped to a typed `internal` [`WireError`]
+/// instead of unwinding through the connection worker. The caller answers
+/// with that error and closes the offending connection; the worker thread —
+/// and every other connection — keeps serving. Locks the panicking dispatch
+/// held are recovered by the `PoisonError::into_inner` guards at every lock
+/// site, so one poisoned request cannot cascade into poisoned-lock panics on
+/// later requests.
+fn contain_panic(dispatch: impl FnOnce() -> ResponseKind) -> Result<ResponseKind, WireError> {
+    // AssertUnwindSafe: the shared state behind the closure is lock-guarded,
+    // and every guard recovers from poisoning, so observing post-panic state
+    // is sound.
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(dispatch)).map_err(|payload| {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(ToString::to_string)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        WireError::new(
+            ErrorCode::Internal,
+            format!("request panicked server-side: {message}; connection closed"),
+        )
+    })
+}
+
 /// The current corpus snapshot. Cloning the `Arc` under the read lock is the
 /// whole synchronization story: whatever a request resolves after this call
 /// — manifest entries, cache cells, shard paths — comes from one generation.
 fn current_snapshot(state: &ServerState) -> Arc<CorpusSnapshot> {
-    Arc::clone(&state.snapshot.read().expect("snapshot lock poisoned"))
+    Arc::clone(&state.snapshot.read().unwrap_or_else(PoisonError::into_inner))
 }
 
 /// Checks `manifest.json` for changes and swaps in a fresh snapshot when the
@@ -421,7 +456,7 @@ fn maybe_reload(state: &ServerState) {
     }
     let Ok(corpus) = Corpus::open_existing(&state.corpus_dir) else { return };
     let baseline = {
-        let current = state.snapshot.read().expect("snapshot lock poisoned");
+        let current = state.snapshot.read().unwrap_or_else(PoisonError::into_inner);
         if current.corpus.entries() == corpus.entries() {
             *last = stamp;
             return;
@@ -430,7 +465,7 @@ fn maybe_reload(state: &ServerState) {
     };
     let fresh =
         CorpusSnapshot { corpus, cache: CellCache::with_baseline(state.cache_cells, baseline) };
-    *state.snapshot.write().expect("snapshot lock poisoned") = Arc::new(fresh);
+    *state.snapshot.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(fresh);
     state.corpus_reloads.fetch_add(1, Ordering::Relaxed);
     *last = stamp;
 }
@@ -649,6 +684,9 @@ struct PreparedEval {
     policy: PolicyKind,
     mode: ReplayMode,
     decode: bool,
+    /// Backend selected by the request's optional `decoder` field; `None` is
+    /// the legacy union-find slot (byte-identical to pre-field behavior).
+    decoder: Option<DecoderKind>,
 }
 
 /// Resolves an [`EvalSpec`] against the snapshot's corpus and cache.
@@ -678,10 +716,30 @@ fn prepare_eval(snapshot: &CorpusSnapshot, spec: &EvalSpec) -> Result<PreparedEv
                 )
             })?,
     };
+    let decoder = match spec.decoder.as_deref() {
+        None => None,
+        Some(label) => Some(DecoderKind::from_label(label).ok_or_else(|| {
+            WireError::new(
+                ErrorCode::BadRequest,
+                format!("unknown decoder `{label}`; known: {}", DecoderKind::known_labels()),
+            )
+        })?),
+    };
     let (cached, hit) = snapshot
         .cache
         .get_or_load(&snapshot.corpus, entry)
         .map_err(|e| WireError::new(ErrorCode::CorruptCorpus, e))?;
+    // A decoder/cell mismatch (e.g. the lookup decoder on a d=5 cell) is a
+    // request error, caught here at prepare time so it is typed `bad-request`
+    // — never `internal`, and never a disconnect.
+    if let Some(kind) = decoder {
+        kind.supports(cached.cell.code.family(), cached.cell.code.distance()).map_err(|e| {
+            WireError::new(
+                ErrorCode::BadRequest,
+                format!("{}: decoder `{}` cannot serve this cell: {e}", spec.key, kind.label()),
+            )
+        })?;
+    }
     Ok(PreparedEval {
         key: spec.key.clone(),
         cached,
@@ -689,6 +747,7 @@ fn prepare_eval(snapshot: &CorpusSnapshot, spec: &EvalSpec) -> Result<PreparedEv
         policy,
         mode,
         decode: spec.decode.unwrap_or(false),
+        decoder,
     })
 }
 
@@ -703,7 +762,9 @@ fn compute_eval(prepared: PreparedEval) -> Result<EvalResult, WireError> {
     let decoder = (prepared.decode
         && (prepared.mode == ReplayMode::ClosedLoop
             || prepared.policy == prepared.cached.recorded))
-        .then(|| prepared.cached.decoder());
+        .then(|| prepared.cached.backend(prepared.decoder))
+        .transpose()
+        .map_err(|e| WireError::new(ErrorCode::BadRequest, e))?;
     let replay = evaluate_cell(
         cell,
         &prepared.cached.factory,
@@ -712,7 +773,7 @@ fn compute_eval(prepared: PreparedEval) -> Result<EvalResult, WireError> {
         prepared.mode,
     )
     .map_err(|e| WireError::new(ErrorCode::CorruptCorpus, format!("{}: {e}", prepared.key)))?;
-    let result = evaluation_row(&prepared.key, cell, prepared.policy, &replay);
+    let result = evaluation_row(&prepared.key, cell, prepared.policy, prepared.decoder, &replay);
     Ok(EvalResult { cached: prepared.hit, result })
 }
 
@@ -730,9 +791,24 @@ fn compute_eval_group(
     let kinds: Vec<PolicyKind> = members.iter().map(|p| p.policy).collect();
     // Closed-loop rows are exact counterfactuals, so every member decodes
     // when its spec asks for it (mirrors `compute_eval`'s gating).
-    let decoders: Vec<Option<Arc<UnionFindDecoder>>> =
-        members.iter().map(|p| p.decode.then(|| p.cached.decoder())).collect();
-    let decoder_refs: Vec<Option<&UnionFindDecoder>> =
+    let decoders: Vec<Option<Arc<dyn DecoderBackend>>> = match members
+        .iter()
+        .map(|p| p.decode.then(|| p.cached.backend(p.decoder)).transpose())
+        .collect::<Result<_, _>>()
+    {
+        Ok(decoders) => decoders,
+        // Unreachable in practice: `prepare_eval` validated every selector
+        // against this cell. Kept typed so a future backend kind that can
+        // fail to build still answers instead of panicking.
+        Err(e) => {
+            let error = WireError::new(ErrorCode::BadRequest, e);
+            return (
+                members.iter().map(|_| Err(error.clone())).collect(),
+                CheckpointStats::default(),
+            );
+        }
+    };
+    let decoder_refs: Vec<Option<&dyn DecoderBackend>> =
         decoders.iter().map(std::option::Option::as_deref).collect();
     match evaluate_cell_set(
         cell,
@@ -749,7 +825,7 @@ fn compute_eval_group(
                 .map(|(p, replay)| {
                     Ok(EvalResult {
                         cached: p.hit,
-                        result: evaluation_row(&p.key, cell, p.policy, &replay),
+                        result: evaluation_row(&p.key, cell, p.policy, p.decoder, &replay),
                     })
                 })
                 .collect();
@@ -879,5 +955,198 @@ fn batch_eval(
         let results = outcomes.into_iter().collect::<Result<Vec<EvalResult>, WireError>>()?;
         state.batch_evals.fetch_add(1, Ordering::Relaxed);
         Ok(ResponseKind::Batch(results))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use leakage_speculation::PolicyFactory;
+    use qec_experiments::engine::build_backend;
+    use qec_experiments::replay::{calibration_for, record_into_corpus};
+    use qec_experiments::{CodeFamily, Scenario};
+
+    use crate::client::Client;
+    use crate::protocol::{request_line, Request};
+
+    fn record_corpus(dir: &Path) -> (String, String) {
+        let mut corpus = Corpus::open(dir).unwrap();
+        let mut keys = Vec::new();
+        for distance in [3, 5] {
+            let scenario = Scenario {
+                code: CodeFamily::Surface,
+                distance,
+                rounds: 4,
+                p: 1e-3,
+                leakage_ratio: 0.1,
+                policy: PolicyKind::EraserM,
+                shots: 3,
+                seed: 11,
+                decode: false,
+                decoder: None,
+            };
+            let entry =
+                record_into_corpus(&mut corpus, &scenario, PolicyKind::EraserM, "serve test")
+                    .unwrap();
+            keys.push(entry.key);
+        }
+        corpus.save().unwrap();
+        let d5 = keys.pop().unwrap();
+        (keys.pop().unwrap(), d5)
+    }
+
+    /// The poisoned-request regression, end to end: a lock poisoned by a
+    /// panicking thread does not stop the daemon from serving, decoder
+    /// selector failures are typed `bad-request` (never `internal`, never a
+    /// disconnect), and a served cross-decoder row is exactly the row the
+    /// replay entry points produce.
+    #[test]
+    fn a_poisoned_lock_leaves_the_daemon_serving_and_decoder_errors_are_typed() {
+        let dir = std::env::temp_dir().join(format!("qec-serve-poison-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (d3, d5) = record_corpus(&dir);
+        let server = Server::bind(&dir, &ServeConfig::default()).unwrap();
+        let addr = server.local_addr();
+
+        // Poison the snapshot lock exactly as a mid-request panic would: a
+        // thread dies while holding the write guard.
+        {
+            let prior = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            let lock = &server.state.snapshot;
+            let _ = std::thread::scope(|scope| {
+                scope
+                    .spawn(|| {
+                        let _guard = lock.write().unwrap_or_else(PoisonError::into_inner);
+                        panic!("poison the snapshot lock");
+                    })
+                    .join()
+            });
+            std::panic::set_hook(prior);
+            assert!(server.state.snapshot.is_poisoned(), "the panic must poison the lock");
+        }
+
+        let handle = std::thread::spawn(move || server.run());
+        let mut client = Client::connect(addr).unwrap();
+        let spec = |key: &str, decoder: Option<&str>| EvalSpec {
+            key: key.to_string(),
+            policy: "eraser+m".to_string(),
+            mode: None,
+            decode: Some(true),
+            decoder: decoder.map(str::to_string),
+        };
+
+        // The daemon still serves: snapshot reads recover the poisoned guard.
+        let ResponseKind::Eval(baseline) =
+            client.request(RequestKind::Eval(spec(&d3, None))).unwrap()
+        else {
+            panic!("eval must succeed on a daemon with a poisoned snapshot lock")
+        };
+
+        // Unknown decoder label: typed `bad-request` naming the known labels,
+        // answered on a connection that keeps serving.
+        let ResponseKind::Error(error) =
+            client.request(RequestKind::Eval(spec(&d3, Some("mwpm")))).unwrap()
+        else {
+            panic!("an unknown decoder must answer with a typed error")
+        };
+        assert_eq!(error.code, ErrorCode::BadRequest);
+        assert!(error.message.contains("uf, lookup"), "{}", error.message);
+
+        // Decoder/cell mismatch: typed `bad-request` at prepare time.
+        let ResponseKind::Error(error) =
+            client.request(RequestKind::Eval(spec(&d5, Some("lookup")))).unwrap()
+        else {
+            panic!("an unsupported decoder/cell pairing must answer with a typed error")
+        };
+        assert_eq!(error.code, ErrorCode::BadRequest);
+        assert!(error.message.contains("distance 3"), "{}", error.message);
+
+        // The same connection — both errors above left it serving — now
+        // serves the selected backend, bit-identical to the replay row.
+        let ResponseKind::Eval(served) =
+            client.request(RequestKind::Eval(spec(&d3, Some("lookup")))).unwrap()
+        else {
+            panic!("a supported decoder selection must evaluate")
+        };
+        assert_eq!(served.result.decoder.as_deref(), Some("lookup"));
+        let corpus = Corpus::open_existing(&dir).unwrap();
+        let cell = load_entry(&corpus, corpus.lookup(&d3).unwrap()).unwrap();
+        let factory = Arc::new(PolicyFactory::new(&cell.code, &calibration_for(&cell.header)));
+        let backend =
+            build_backend(Some(DecoderKind::Lookup), &cell.code, cell.header.rounds).unwrap();
+        let replay = evaluate_cell(
+            &cell,
+            &factory,
+            PolicyKind::EraserM,
+            Some(&*backend),
+            ReplayMode::OpenLoop,
+        )
+        .unwrap();
+        let row =
+            evaluation_row(&d3, &cell, PolicyKind::EraserM, Some(DecoderKind::Lookup), &replay);
+        assert_eq!(served.result, row, "served row must equal the replay entry points' row");
+
+        // No `decoder` in the request: the answer carries no `decoder` field
+        // (byte-compatible with pre-field clients), and selecting `uf`
+        // explicitly scores the identical metrics.
+        let no_decoder_line =
+            request_line(&Request { id: None, request: RequestKind::Eval(spec(&d3, None)) });
+        let raw = client.send_raw(&no_decoder_line).unwrap();
+        assert!(!raw.contains("\"decoder\""), "legacy rows must omit the decoder field: {raw}");
+        let ResponseKind::Eval(uf) =
+            client.request(RequestKind::Eval(spec(&d3, Some("uf")))).unwrap()
+        else {
+            panic!("uf selection must evaluate")
+        };
+        assert_eq!(uf.result.decoder.as_deref(), Some("uf"));
+        assert_eq!(uf.result.metrics, baseline.result.metrics);
+
+        let _ = client.request(RequestKind::Shutdown);
+        handle.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn contain_panic_passes_a_clean_dispatch_through() {
+        let outcome = contain_panic(|| ResponseKind::Pong);
+        assert_eq!(outcome, Ok(ResponseKind::Pong));
+    }
+
+    #[test]
+    fn contain_panic_maps_a_panicking_dispatch_to_a_typed_internal_error() {
+        let prior = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep the test log clean
+        let str_panic = contain_panic(|| panic!("decoder exploded"));
+        let string_panic = contain_panic(|| panic!("shot {}", 7));
+        std::panic::set_hook(prior);
+        let error = str_panic.unwrap_err();
+        assert_eq!(error.code, ErrorCode::Internal);
+        assert!(error.message.contains("decoder exploded"), "{}", error.message);
+        assert!(error.message.contains("connection closed"), "{}", error.message);
+        let error = string_panic.unwrap_err();
+        assert_eq!(error.code, ErrorCode::Internal);
+        assert!(error.message.contains("shot 7"), "{}", error.message);
+    }
+
+    /// A thread that panics while holding the connection-queue lock poisons
+    /// it; the queue must keep operating (recovered guards), not cascade the
+    /// panic into every later `lock()`.
+    #[test]
+    fn conn_queue_survives_a_poisoned_lock() {
+        let queue = Arc::new(ConnQueue::new());
+        let poisoner = Arc::clone(&queue);
+        let prior = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.inner.lock().unwrap();
+            panic!("poison the queue");
+        })
+        .join();
+        std::panic::set_hook(prior);
+        assert!(queue.inner.is_poisoned(), "the panic above must have poisoned the lock");
+        queue.close(); // recovers the guard; would panic under `.expect(...)`
+        assert!(queue.pop().is_none(), "a closed queue reports end-of-connections");
     }
 }

@@ -57,6 +57,7 @@ fn sample_row() -> ReplayCellResult {
         code: "surface-d3".to_string(),
         recorded_policy: "eraser+m".to_string(),
         policy: "gladiator+m".to_string(),
+        decoder: None,
         shots: 4,
         rounds: 9,
         exact: false,
@@ -73,6 +74,7 @@ fn sample_eval_spec() -> EvalSpec {
         policy: "gladiator+m".to_string(),
         mode: Some("closed-loop".to_string()),
         decode: Some(true),
+        decoder: None,
     }
 }
 
@@ -135,6 +137,7 @@ fn every_request_kind_round_trips() {
                 policy: "ideal".to_string(),
                 mode: None,
                 decode: None,
+                decoder: Some("lookup".to_string()),
             },
         ],
         per_item: None,
@@ -245,8 +248,13 @@ fn per_item_batches_have_the_documented_wire_shapes() {
     // it, so a pre-per-item request line is byte-identical to what an old
     // client sends (and an old server parsing a new client's line simply
     // ignores the unknown field).
-    let spec =
-        EvalSpec { key: "k".to_string(), policy: "ideal".to_string(), mode: None, decode: None };
+    let spec = EvalSpec {
+        key: "k".to_string(),
+        policy: "ideal".to_string(),
+        mode: None,
+        decode: None,
+        decoder: None,
+    };
     let legacy = serde_json::to_string(&RequestKind::BatchEval {
         evals: vec![spec.clone()],
         per_item: None,
