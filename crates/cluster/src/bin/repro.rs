@@ -5,6 +5,7 @@
 //! repro run      [--scale smoke|quick|paper] [--out DIR] [EXPERIMENT ...]
 //! repro sweep    [--spec FILE | --grid KEY=V,V ...] [options] [--out FILE]
 //!                [--corpus DIR [--record-policy LABEL] [--closed-loop]]
+//!                [--adaptive --target-ci R --checkpoint DIR | --resume DIR]
 //! repro record   [--spec FILE | --grid KEY=V,V ...] [options] --corpus DIR
 //! repro replay   --corpus DIR [--policy L1,L2] [--decode] [--closed-loop]
 //!                [--verify-live]
@@ -36,9 +37,14 @@ use std::process::ExitCode;
 use leakage_speculation::PolicyKind;
 use qec_cluster::{cluster_snapshot, shard_corpus, Router, RouterConfig, ShardOptions};
 use qec_decoder::DecoderKind;
+use qec_experiments::adaptive::{
+    adaptive_snapshot, resume_adaptive, run_adaptive, AdaptiveOutcome, AdaptiveSpec,
+    ADAPTIVE_SCHEMA_VERSION,
+};
 use qec_experiments::replay::{
-    cell_key, load_entry, record_into_corpus, replay_corpus_with_stats, trace_snapshot,
-    CellCheckpointStats, ReplayMode, ReplayOptions, ReplayReport, REPLAY_SCHEMA_VERSION,
+    cell_key, extend_into_corpus, load_entry, record_into_corpus, replay_corpus_with_stats,
+    trace_snapshot, CellCheckpointStats, ExtendDisposition, ReplayMode, ReplayOptions,
+    ReplayReport, REPLAY_SCHEMA_VERSION,
 };
 use qec_experiments::report::{
     bench_lines_to_string, compare_bench_lines, fmt_float, parse_bench_lines, text_table, to_json,
@@ -73,6 +79,11 @@ commands:
             [--seed N] [--no-decode] [--decoder uf,lookup] [--no-timing]
             [--out FILE] [--corpus DIR [--record-policy LABEL] [--closed-loop
             [--no-shared-checkpoints]]]
+            [--adaptive --target-ci R --checkpoint DIR [--confidence C]
+            [--initial-batch N] [--max-shots N] [--stop-after-rounds N]]
+            or resume a checkpointed adaptive sweep:
+            repro sweep --resume DIR [--stop-after-rounds N] [--out FILE]
+            [--corpus DIR [--record-policy LABEL]]
             grid keys: d=3,5,7  p=1e-3,2e-3  lr=0.1  policy=eraser+m,...
             code=surface|color|hgp|bpc  decoder=uf,lookup
             a decoder axis replays every cell once per listed backend and
@@ -85,6 +96,19 @@ commands:
             policy group shares one forced prefix pass per divergent shot
             unless --no-shared-checkpoints (reports are byte-identical
             either way)
+            --adaptive allocates shots per cell in deterministic rounds until
+            the Wilson interval on the cell's failure rate reaches --target-ci
+            relative half-width at --confidence (default 0.95), or the cell
+            hits the shot ceiling (--max-shots overrides the spec's shots);
+            batches start at --initial-batch (default 64) and double per
+            round; the tally is checkpointed to --checkpoint DIR at every
+            round boundary (kill -9 safe), --stop-after-rounds N pauses there
+            (exit 0), and --resume continues a checkpointed run — the final
+            report is byte-identical to the uninterrupted run's wherever it
+            was stopped; with --corpus each finished cell is recorded into
+            DIR under --record-policy (default: the spec's first policy),
+            appending only the new shots when a shorter recording of the
+            cell already exists (see docs/ADAPTIVE.md)
   record    record the grid's policy-free cells into a trace corpus:
             repro record [--spec FILE.json | --grid ...] [--scale ...]
             [--shots N] [--rounds-per-distance N] [--seed N]
@@ -411,9 +435,19 @@ fn cmd_sweep(args: &[String]) -> Result<ExitCode, UsageError> {
     let mut mode = ReplayMode::OpenLoop;
     let mut shared_checkpoints = true;
     let mut decoders: Vec<DecoderKind> = Vec::new();
+    let mut adaptive = false;
+    let mut target_ci: Option<f64> = None;
+    let mut confidence = 0.95f64;
+    let mut initial_batch = 64usize;
+    let mut max_shots: Option<usize> = None;
+    let mut checkpoint_dir: Option<PathBuf> = None;
+    let mut stop_after_rounds: Option<u64> = None;
+    let mut resume_dir: Option<PathBuf> = None;
+    let mut spec_flags_used = false;
     let mut iter = Args::new(args);
     while let Some(arg) = iter.next() {
         if flags.try_consume(arg, &mut iter)? {
+            spec_flags_used = true;
             continue;
         }
         match arg {
@@ -430,6 +464,25 @@ fn cmd_sweep(args: &[String]) -> Result<ExitCode, UsageError> {
                     decoders.push(parse_decoder_label(label)?);
                 }
             }
+            "--adaptive" => adaptive = true,
+            "--target-ci" => {
+                target_ci = Some(parse_number("--target-ci", iter.value("--target-ci")?)?);
+            }
+            "--confidence" => {
+                confidence = parse_number("--confidence", iter.value("--confidence")?)?;
+            }
+            "--initial-batch" => {
+                initial_batch = parse_number("--initial-batch", iter.value("--initial-batch")?)?;
+            }
+            "--max-shots" => {
+                max_shots = Some(parse_number("--max-shots", iter.value("--max-shots")?)?);
+            }
+            "--checkpoint" => checkpoint_dir = Some(PathBuf::from(iter.value("--checkpoint")?)),
+            "--stop-after-rounds" => {
+                stop_after_rounds =
+                    Some(parse_number("--stop-after-rounds", iter.value("--stop-after-rounds")?)?);
+            }
+            "--resume" => resume_dir = Some(PathBuf::from(iter.value("--resume")?)),
             other => {
                 return Err(UsageError::new(format!("unknown argument `{other}` for `sweep`")));
             }
@@ -437,6 +490,57 @@ fn cmd_sweep(args: &[String]) -> Result<ExitCode, UsageError> {
     }
     if record_policy.is_some() && corpus_dir.is_none() {
         return Err(UsageError::new("--record-policy requires --corpus"));
+    }
+    if let Some(dir) = resume_dir {
+        // Resume takes its whole spec from the checkpoint: flags that would
+        // redefine the run contradict the byte-identity contract.
+        if spec_flags_used || adaptive || !decoders.is_empty() || mode == ReplayMode::ClosedLoop {
+            return Err(UsageError::new(
+                "--resume takes the spec from the checkpoint; it only accepts \
+                 --stop-after-rounds, --out, --corpus and --record-policy",
+            ));
+        }
+        if target_ci.is_some() || max_shots.is_some() || checkpoint_dir.is_some() {
+            return Err(UsageError::new(
+                "--resume reads --target-ci/--max-shots/--checkpoint from the checkpoint \
+                 directory; do not pass them",
+            ));
+        }
+        let outcome = resume_adaptive(&dir, stop_after_rounds).map_err(UsageError::new)?;
+        return finish_adaptive(outcome, &dir, out, corpus_dir, record_policy);
+    }
+    if adaptive {
+        if mode == ReplayMode::ClosedLoop || !shared_checkpoints {
+            return Err(UsageError::new("--adaptive runs live; it cannot combine --closed-loop"));
+        }
+        let checkpoint = checkpoint_dir
+            .ok_or_else(|| UsageError::new("--adaptive requires --checkpoint DIR"))?;
+        let target = target_ci
+            .ok_or_else(|| UsageError::new("--adaptive requires --target-ci R (e.g. 0.1)"))?;
+        let mut spec = flags.build()?;
+        if !decoders.is_empty() {
+            spec.decoders = Some(decoders);
+        }
+        if let Some(ceiling) = max_shots {
+            spec.shots = ceiling;
+        }
+        spec.adaptive =
+            Some(AdaptiveSpec { target_rel_halfwidth: target, confidence, initial_batch });
+        // Adaptive/decoder/family violations surface here as typed usage
+        // errors (exit 2) rather than mid-sweep failures.
+        spec.expand().map_err(UsageError::new)?;
+        let outcome =
+            run_adaptive(&spec, &checkpoint, stop_after_rounds).map_err(UsageError::new)?;
+        return finish_adaptive(outcome, &checkpoint, out, corpus_dir, record_policy);
+    }
+    if target_ci.is_some()
+        || max_shots.is_some()
+        || checkpoint_dir.is_some()
+        || stop_after_rounds.is_some()
+    {
+        return Err(UsageError::new(
+            "--target-ci/--max-shots/--checkpoint/--stop-after-rounds require --adaptive",
+        ));
     }
     if mode == ReplayMode::ClosedLoop && corpus_dir.is_none() {
         return Err(UsageError::new("--closed-loop requires --corpus"));
@@ -477,6 +581,93 @@ fn cmd_sweep(args: &[String]) -> Result<ExitCode, UsageError> {
     } else {
         emit(&sweep_summary(&report));
         emit(&format!("(saved {} cells to {})", report.cells.len(), out.display()));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Lands an adaptive sweep outcome: `None` is a pause at a round boundary
+/// (checkpointed, exit 0 with a resume hint); `Some` persists the report
+/// exactly like the fixed-shot path, optionally records the finished cells
+/// into a corpus (appending only new shots to cells already recorded), and
+/// prints the allocation provenance that deliberately lives outside the
+/// report bytes.
+fn finish_adaptive(
+    outcome: Option<AdaptiveOutcome>,
+    checkpoint: &std::path::Path,
+    out: Option<PathBuf>,
+    corpus_dir: Option<PathBuf>,
+    record_policy: Option<PolicyKind>,
+) -> Result<ExitCode, UsageError> {
+    let Some(outcome) = outcome else {
+        emit(&format!(
+            "adaptive sweep paused at a round boundary (state checkpointed); continue with \
+             `repro sweep --resume {}`",
+            checkpoint.display()
+        ));
+        return Ok(ExitCode::SUCCESS);
+    };
+    if let Some(dir) = &corpus_dir {
+        let recording = record_policy
+            .or_else(|| outcome.report.cells.first().map(|cell| cell.scenario.policy))
+            .ok_or_else(|| UsageError::new("adaptive sweep expanded to no cells"))?;
+        let mut corpus = Corpus::open(dir).map_err(|e| UsageError::new(e.to_string()))?;
+        let generator = format!("repro sweep {}", env!("CARGO_PKG_VERSION"));
+        // Ascending shot order maximizes append reuse: a cell's shorter
+        // recording is grown before a longer allocation of the same cell
+        // asks for it.
+        let mut scenarios: Vec<_> = outcome.report.cells.iter().map(|c| c.scenario).collect();
+        scenarios.sort_by_key(|s| s.shots);
+        let mut seen: Vec<String> = Vec::new();
+        let (mut recorded, mut extended, mut appended, mut cached) =
+            (0usize, 0usize, 0usize, 0usize);
+        for scenario in &scenarios {
+            let key = cell_key(scenario);
+            if seen.contains(&key) {
+                continue; // several policies share one policy-free cell
+            }
+            seen.push(key);
+            let (_, disposition) = extend_into_corpus(&mut corpus, scenario, recording, &generator)
+                .map_err(UsageError::new)?;
+            match disposition {
+                ExtendDisposition::Cached => cached += 1,
+                ExtendDisposition::Extended { appended: shots } => {
+                    extended += 1;
+                    appended += shots;
+                }
+                ExtendDisposition::Recorded => recorded += 1,
+            }
+        }
+        corpus.save().map_err(|e| UsageError::new(e.to_string()))?;
+        emit(&format!(
+            "corpus {}: {recorded} cells recorded, {extended} extended (+{appended} shots), \
+             {cached} already current",
+            dir.display()
+        ));
+    }
+    let json = to_json(&outcome.report);
+    let out = out.unwrap_or_else(|| PathBuf::from("repro-results/sweep.json"));
+    let to_stdout = out.as_os_str() == "-";
+    if !to_stdout {
+        if let Some(parent) = out.parent().filter(|p| !p.as_os_str().is_empty()) {
+            fs::create_dir_all(parent).expect("create output directory");
+        }
+        fs::write(&out, json.as_bytes()).expect("write sweep report");
+    }
+    // Allocation provenance goes to the console (stderr when stdout carries
+    // the report), never into the report bytes — an adaptive run at its
+    // ceiling must stay byte-identical to the legacy fixed-shot report.
+    let provenance = format!(
+        "adaptive: {} rounds, {} shots allocated ({} cells converged, {} at ceiling)",
+        outcome.rounds, outcome.shots_allocated, outcome.converged, outcome.ceilinged
+    );
+    if to_stdout {
+        eprint!("{}", sweep_summary(&outcome.report));
+        eprintln!("{provenance}");
+        emit(&json);
+    } else {
+        emit(&sweep_summary(&outcome.report));
+        emit(&provenance);
+        emit(&format!("(saved {} cells to {})", outcome.report.cells.len(), out.display()));
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -1316,6 +1507,7 @@ fn cmd_version(args: &[String]) -> Result<ExitCode, UsageError> {
     }
     println!("repro {} ({})", env!("CARGO_PKG_VERSION"), git_describe());
     println!("sweep report schema:    {SWEEP_SCHEMA_VERSION}");
+    println!("adaptive checkpoint:    {ADAPTIVE_SCHEMA_VERSION}");
     println!("replay report schema:   {REPLAY_SCHEMA_VERSION}");
     println!("trace (.qtr) schema:    {}", qec_trace::TRACE_SCHEMA_VERSION);
     println!("corpus manifest schema: {}", qec_trace::MANIFEST_SCHEMA_VERSION);
@@ -1420,7 +1612,15 @@ fn cmd_snapshot(args: &[String]) -> Result<ExitCode, UsageError> {
         spec.cell_count(),
         qec_experiments::sweep::SNAPSHOT_SAMPLES
     ));
-    let sweep_ok = snapshot_gate(&snapshot(), &out, check.as_ref(), tolerance)?;
+    let mut sweep_lines = snapshot();
+    emit(&format!(
+        "running pinned adaptive pause/resume snapshot x {} samples ...",
+        qec_experiments::sweep::SNAPSHOT_SAMPLES
+    ));
+    // The adaptive pause/resume line rides in the sweep baseline file, so the
+    // one `--check` gate covers checkpoint + resume overhead too.
+    sweep_lines.extend(adaptive_snapshot());
+    let sweep_ok = snapshot_gate(&sweep_lines, &out, check.as_ref(), tolerance)?;
     emit(&format!(
         "running pinned trace snapshot (record/encode/decode/replay/resim) x {} samples ...",
         qec_experiments::sweep::SNAPSHOT_SAMPLES

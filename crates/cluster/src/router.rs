@@ -582,6 +582,8 @@ fn aggregate_stats(state: &RouterState) -> ResponseKind {
         fanout_hwm: 0,
         replica_errors: 0,
         replicas_up: 0,
+        adaptive_rounds: 0,
+        shots_allocated: 0,
     };
     for outcome in state.pool.execute_ordered(jobs) {
         let Ok(ResponseKind::Stats(stats)) = outcome else { continue };
@@ -604,6 +606,10 @@ fn aggregate_stats(state: &RouterState) -> ResponseKind {
         total.shed_requests += stats.shed_requests;
         total.shed_connections += stats.shed_connections;
         total.corpus_reloads += stats.corpus_reloads;
+        // Each replica's corpus carries its own shard of an adaptively grown
+        // sweep; the cluster-wide totals are plain sums.
+        total.adaptive_rounds += stats.adaptive_rounds;
+        total.shots_allocated += stats.shots_allocated;
     }
     total.routed_requests = state.routed_requests.load(Ordering::Relaxed);
     total.fanout_hwm = state.fanout_hwm.load(Ordering::Relaxed);
@@ -810,6 +816,129 @@ fn reindex_message(message: &str, sub_index: usize, original_index: usize) -> St
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The router-side half of the poisoned-lock regression (PR 9 pinned the
+    /// daemon's `server.rs` recovery only): a panic that dies holding live
+    /// router locks — the connection registry and a replica slot's client
+    /// lock, the two mutexes on the routing path — must not stop the router
+    /// from admitting connections, routing evals through the poisoned slot,
+    /// aggregating stats, or shutting down cleanly.
+    #[test]
+    fn a_poisoned_router_lock_keeps_the_router_routing() {
+        use leakage_speculation::PolicyKind;
+        use qec_experiments::replay::record_into_corpus;
+        use qec_experiments::scenario::{CodeFamily, Scenario};
+        use qec_serve::{EvalSpec, RequestKind, ResponseKind, ServeConfig, Server};
+        use qec_trace::cluster::CLUSTER_FILE;
+        use qec_trace::Corpus;
+
+        use crate::shard::{shard_corpus, ShardOptions};
+
+        let base = std::env::temp_dir().join(format!("qec-router-poison-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let corpus_dir = base.join("corpus");
+        let mut corpus = Corpus::open(&corpus_dir).unwrap();
+        let mut keys = Vec::new();
+        for p in [1e-3, 2e-3, 3e-3, 4e-3] {
+            let scenario = Scenario {
+                code: CodeFamily::Surface,
+                distance: 3,
+                rounds: 4,
+                p,
+                leakage_ratio: 0.1,
+                policy: PolicyKind::EraserM,
+                shots: 3,
+                seed: 11,
+                decode: false,
+                decoder: None,
+            };
+            let entry =
+                record_into_corpus(&mut corpus, &scenario, PolicyKind::EraserM, "poison test")
+                    .unwrap();
+            keys.push(entry.key);
+        }
+        corpus.save().unwrap();
+        let out_dir = base.join("sharded");
+        let map = shard_corpus(&corpus_dir, &out_dir, 2, &ShardOptions::default()).unwrap();
+        let replicas: Vec<(String, std::thread::JoinHandle<()>)> = map
+            .replicas
+            .iter()
+            .map(|replica| {
+                let server =
+                    Server::bind(&out_dir.join(&replica.dir), &ServeConfig::default()).unwrap();
+                let addr = server.local_addr().to_string();
+                (addr, std::thread::spawn(move || server.run()))
+            })
+            .collect();
+        let overrides: Vec<(usize, String)> =
+            replicas.iter().enumerate().map(|(index, (addr, _))| (index, addr.clone())).collect();
+        let router =
+            Router::bind(&out_dir.join(CLUSTER_FILE), &overrides, &RouterConfig::default())
+                .unwrap();
+        let router_addr = router.local_addr().to_string();
+
+        // Poison the live locks exactly as a mid-request panic would: a
+        // thread dies while holding both guards.
+        {
+            let prior = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            let _ = std::thread::scope(|scope| {
+                scope
+                    .spawn(|| {
+                        let _connections =
+                            router.state.connections.lock().unwrap_or_else(PoisonError::into_inner);
+                        let _slot = router.state.replicas[0]
+                            .client
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner);
+                        panic!("poison the router locks");
+                    })
+                    .join()
+            });
+            std::panic::set_hook(prior);
+            assert!(router.state.connections.is_poisoned(), "connection registry must poison");
+            assert!(router.state.replicas[0].client.is_poisoned(), "replica slot must poison");
+        }
+
+        let handle = std::thread::spawn(move || router.run());
+        let mut client = Client::connect(&router_addr).unwrap();
+        // A solo eval owned by the replica behind the poisoned client lock:
+        // the slot guard recovers and the call goes through.
+        let poisoned_owner = keys
+            .iter()
+            .find(|key| ClusterMap::assign(Corpus::cell_hash(key), 2) == 0)
+            .expect("the pinned p-grid provably splits 2 ways")
+            .clone();
+        let spec = EvalSpec {
+            key: poisoned_owner,
+            policy: "eraser+m".to_string(),
+            mode: None,
+            decode: None,
+            decoder: None,
+        };
+        let ResponseKind::Eval(_) = client.request(RequestKind::Eval(spec)).unwrap() else {
+            panic!("eval must route through a poisoned replica slot")
+        };
+        // Aggregated stats fan out to every replica (slot 0's lock recovers
+        // again) and count the routed traffic.
+        let ResponseKind::Stats(stats) = client.request(RequestKind::Stats).unwrap() else {
+            panic!("stats must aggregate on a router with poisoned locks")
+        };
+        assert_eq!(stats.replicas_up, 2, "both replicas must stay reachable");
+        assert!(stats.routed_requests >= 1, "the eval was routed: {stats:?}");
+        // Clean shutdown walks the poisoned connection registry.
+        assert_eq!(client.request(RequestKind::Shutdown).unwrap(), ResponseKind::ShuttingDown);
+        handle.join().unwrap();
+        for (addr, replica_handle) in replicas {
+            let mut replica_client = Client::connect(&addr).unwrap();
+            assert_eq!(
+                replica_client.request(RequestKind::Shutdown).unwrap(),
+                ResponseKind::ShuttingDown
+            );
+            replica_handle.join().unwrap();
+        }
+        let _ = std::fs::remove_dir_all(&base);
+    }
 
     #[test]
     fn reindex_rewrites_only_the_matching_prefix() {

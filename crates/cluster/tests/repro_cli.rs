@@ -487,3 +487,131 @@ fn replay_to_stdout_keeps_stdout_pure_json_even_with_verify_live() {
     assert!(stderr_of(&output).contains("verify-live OK"), "status line must go to stderr");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+// ---------------------------------------------------------------------------------
+// adaptive sweeps: flag discipline + binary-level pause/resume oracle
+// ---------------------------------------------------------------------------------
+
+#[test]
+fn adaptive_flags_reject_bad_usage() {
+    assert_usage_error(&["sweep", "--adaptive"]); // requires --checkpoint
+    assert_usage_error(&["sweep", "--adaptive", "--checkpoint", "d"]); // requires --target-ci
+    assert_usage_error(&["sweep", "--target-ci", "0.1"]); // requires --adaptive
+    assert_usage_error(&["sweep", "--max-shots", "100"]); // requires --adaptive
+    assert_usage_error(&["sweep", "--checkpoint", "d"]); // requires --adaptive
+    assert_usage_error(&["sweep", "--stop-after-rounds", "1"]); // requires --adaptive
+    assert_usage_error(&["sweep", "--adaptive", "--target-ci", "nope", "--checkpoint", "d"]);
+    // --adaptive runs live: closed-loop replay cannot combine with it.
+    assert_usage_error(&[
+        "sweep",
+        "--adaptive",
+        "--target-ci",
+        "0.1",
+        "--checkpoint",
+        "d",
+        "--corpus",
+        "c",
+        "--closed-loop",
+    ]);
+    // --resume takes its whole spec from the checkpoint.
+    assert_usage_error(&["sweep", "--resume", "d", "--grid", "d=3"]);
+    assert_usage_error(&["sweep", "--resume", "d", "--adaptive"]);
+    assert_usage_error(&["sweep", "--resume", "d", "--target-ci", "0.1"]);
+    assert_usage_error(&["sweep", "--resume", "d", "--shots", "5"]);
+    // Resuming a directory that holds no checkpoint is an error, not a
+    // silent fresh start.
+    assert_usage_error(&["sweep", "--resume", "/nonexistent-checkpoint-dir"]);
+}
+
+#[test]
+fn paused_and_resumed_adaptive_sweep_reproduces_the_uninterrupted_bytes() {
+    let base_out = tmp_path("adaptive-base.json");
+    let base_ckpt = tmp_dir("adaptive-base-ckpt");
+    let adaptive_args = |ckpt: &str, out: &str, extra: &[&str]| -> Vec<String> {
+        let mut args: Vec<String> = [
+            "sweep",
+            "--grid",
+            "d=3",
+            "p=1e-3",
+            "policy=eraser+m",
+            "--shots",
+            "12",
+            "--seed",
+            "23",
+            "--no-decode",
+            "--adaptive",
+            "--target-ci",
+            "1e-9",
+            "--initial-batch",
+            "2",
+            "--checkpoint",
+            ckpt,
+            "--out",
+            out,
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        args.extend(extra.iter().map(ToString::to_string));
+        args
+    };
+    fn as_strs(v: &[String]) -> Vec<&str> {
+        v.iter().map(String::as_str).collect()
+    }
+
+    // The uninterrupted baseline. An unreachable target rides the two-shot
+    // initial batch through several doubling rounds to the 12-shot ceiling.
+    let args = adaptive_args(base_ckpt.to_str().unwrap(), base_out.to_str().unwrap(), &[]);
+    let output = run(&as_strs(&args));
+    assert_eq!(output.status.code(), Some(0), "stderr: {}", stderr_of(&output));
+    let console = String::from_utf8_lossy(&output.stdout).into_owned();
+    assert!(console.contains("at ceiling"), "provenance line must reach the console: {console}");
+    let baseline = std::fs::read(&base_out).unwrap();
+
+    // Pause after one round (exit 0, no report yet), then resume one round
+    // at a time until the run completes: the report must be byte-identical.
+    let out = tmp_path("adaptive-resumed.json");
+    let ckpt = tmp_dir("adaptive-ckpt");
+    let args =
+        adaptive_args(ckpt.to_str().unwrap(), out.to_str().unwrap(), &["--stop-after-rounds", "1"]);
+    let output = run(&as_strs(&args));
+    assert_eq!(output.status.code(), Some(0), "stderr: {}", stderr_of(&output));
+    assert!(
+        String::from_utf8_lossy(&output.stdout).contains("paused"),
+        "stdout: {}",
+        String::from_utf8_lossy(&output.stdout)
+    );
+    assert!(!out.exists(), "a paused run must not write a report");
+
+    let mut sessions = 0;
+    while !out.exists() {
+        sessions += 1;
+        assert!(sessions < 32, "resume loop did not converge");
+        let output = run(&[
+            "sweep",
+            "--resume",
+            ckpt.to_str().unwrap(),
+            "--stop-after-rounds",
+            "1",
+            "--out",
+            out.to_str().unwrap(),
+        ]);
+        assert_eq!(output.status.code(), Some(0), "stderr: {}", stderr_of(&output));
+    }
+    assert!(sessions >= 2, "the run must have spanned several sessions, got {sessions}");
+    assert_eq!(
+        std::fs::read(&out).unwrap(),
+        baseline,
+        "resumed report must be byte-identical to the uninterrupted run"
+    );
+
+    // A second fresh run into the used checkpoint directory is refused.
+    let args = adaptive_args(ckpt.to_str().unwrap(), out.to_str().unwrap(), &[]);
+    let output = run(&as_strs(&args));
+    assert_eq!(output.status.code(), Some(2), "stderr: {}", stderr_of(&output));
+
+    let _ = std::fs::remove_file(&base_out);
+    let _ = std::fs::remove_file(&out);
+    let _ = std::fs::remove_dir_all(&base_ckpt);
+    let _ = std::fs::remove_dir_all(&ckpt);
+}

@@ -196,6 +196,57 @@ fn repeated_evals_hit_the_cache_and_say_so() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The `stats` surface reports adaptive-sweep progress when a checkpoint is
+/// colocated with the served corpus: zeros without one, and the exact
+/// rounds/shots totals of the checkpointed run once `state.qad` appears —
+/// read fresh per request, no reload or restart required.
+#[test]
+fn stats_report_adaptive_progress_from_a_colocated_checkpoint() {
+    use qec_experiments::adaptive::{run_adaptive, AdaptiveSpec};
+    use qec_experiments::sweep::SweepSpec;
+
+    let dir = tmp_dir("adaptive-stats");
+    record_corpus(&dir);
+    let (addr, handle) = start_in_process(&dir, 2);
+    let mut client = Client::connect(&addr).unwrap();
+    let stats = |client: &mut Client| match client.request(RequestKind::Stats).unwrap() {
+        ResponseKind::Stats(stats) => stats,
+        other => panic!("expected stats, got {other:?}"),
+    };
+    let before = stats(&mut client);
+    assert_eq!((before.adaptive_rounds, before.shots_allocated), (0, 0));
+
+    // An adaptive sweep checkpoints into the corpus directory (the file sets
+    // are disjoint); the running daemon picks the progress up on the next
+    // `stats` request.
+    let spec = SweepSpec {
+        code: CodeFamily::Surface,
+        distances: vec![3],
+        error_rates: vec![1e-3],
+        leakage_ratios: vec![0.1],
+        policies: vec![PolicyKind::EraserM],
+        shots: 8,
+        rounds_per_distance: 4,
+        seed: 11,
+        decode: false,
+        decoders: None,
+        adaptive: Some(AdaptiveSpec {
+            target_rel_halfwidth: 1e-9,
+            confidence: 0.95,
+            initial_batch: 2,
+        }),
+    };
+    let outcome = run_adaptive(&spec, &dir, None).unwrap().unwrap();
+    let after = stats(&mut client);
+    assert_eq!(after.adaptive_rounds, outcome.rounds);
+    assert_eq!(after.shots_allocated, outcome.shots_allocated);
+    assert_eq!(after.shots_allocated, 8, "the 1e-9 target drives the cell to its ceiling");
+
+    shutdown(&addr);
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn batch_eval_returns_results_in_request_order_and_is_all_or_nothing() {
     let dir = tmp_dir("batch");

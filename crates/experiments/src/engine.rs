@@ -191,10 +191,7 @@ impl BatchEngine {
     /// Runs all shots in parallel and aggregates the metrics.
     #[must_use]
     pub fn run(&self) -> PolicyExperimentResult {
-        let runs: Vec<RunMetrics> = (0..self.spec.shots as u64)
-            .into_par_iter()
-            .map_init(|| self.context(), |ctx, shot| self.score(ctx, shot))
-            .collect();
+        let runs = self.score_range(0, self.spec.shots as u64);
         PolicyExperimentResult {
             policy: self.spec.policy.label().to_string(),
             code: self.code().name().to_string(),
@@ -202,6 +199,23 @@ impl BatchEngine {
             rounds: self.spec.rounds,
             metrics: AggregateMetrics::from_runs(&runs),
         }
+    }
+
+    /// Scores the shots `start..end` (bounded by the spec's shot count) in
+    /// parallel, returned in shot order — the chunked building block behind
+    /// adaptive shot allocation. Exactly like
+    /// [`BatchEngine::trace_records_range`], chunking cannot change a single
+    /// bit: shot `i` is a pure function of `seed + i`, whatever range it
+    /// lands in, so concatenating the results of consecutive ranges equals
+    /// one big range and [`BatchEngine::run`] is itself implemented as
+    /// `score_range(0, shots)`.
+    #[must_use]
+    pub fn score_range(&self, start: u64, end: u64) -> Vec<RunMetrics> {
+        let end = end.min(self.spec.shots as u64);
+        (start..end)
+            .into_par_iter()
+            .map_init(|| self.context(), |ctx, shot| self.score(ctx, shot))
+            .collect()
     }
 
     /// Runs all shots in parallel, mapping each raw [`RunRecord`] through
@@ -347,6 +361,19 @@ mod tests {
         let parallel = engine.run_records();
         let sequential: Vec<RunRecord> = (0..8u64).map(|s| engine.shot_record(s)).collect();
         assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn score_range_chunks_concatenate_to_the_full_run() {
+        let code = Code::rotated_surface(3);
+        let spec = ExperimentSpec::quick(PolicyKind::EraserM).with_shots(9).with_rounds(6);
+        let engine = BatchEngine::new(&code, &spec);
+        let whole = engine.score_range(0, 9);
+        assert_eq!(whole.len(), 9);
+        let mut chunked = engine.score_range(0, 4);
+        chunked.extend(engine.score_range(4, 7));
+        chunked.extend(engine.score_range(7, 99)); // end clamps to spec.shots
+        assert_eq!(chunked, whole);
     }
 
     #[test]

@@ -59,6 +59,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adaptive;
 pub mod engine;
 pub mod harness;
 pub mod metrics;
@@ -68,9 +69,13 @@ pub mod runners;
 pub mod scenario;
 pub mod sweep;
 
+pub use adaptive::{
+    read_checkpoint_state, resume_adaptive, run_adaptive, AdaptiveOutcome, AdaptiveSpec,
+    CheckpointState, StopReason,
+};
 pub use engine::BatchEngine;
 pub use harness::{run_policy_experiment, ExperimentSpec, PolicyExperimentResult};
-pub use metrics::{AggregateMetrics, RunMetrics};
+pub use metrics::{AggregateMetrics, MetricsAccumulator, RunMetrics};
 pub use replay::{
     evaluate_cell, evaluate_cell_set, evaluation_row, replay_cell_closed_loop_shared,
     replay_corpus, replay_corpus_with_stats, CellCheckpointStats, CellReplay, CheckpointStats,

@@ -182,43 +182,18 @@ pub struct AggregateMetrics {
 
 impl AggregateMetrics {
     /// Aggregates a set of per-shot metrics.
+    ///
+    /// Implemented as a fold over a [`MetricsAccumulator`], so aggregating a
+    /// complete run vector and pushing the same runs incrementally (in shot
+    /// order, across any batch boundaries) execute the *same* sequence of
+    /// f64 additions and produce bit-identical aggregates.
     #[must_use]
     pub fn from_runs(runs: &[RunMetrics]) -> Self {
-        if runs.is_empty() {
-            return AggregateMetrics::default();
-        }
-        let shots = runs.len();
-        let n = shots as f64;
-        let mean = |f: &dyn Fn(&RunMetrics) -> f64| runs.iter().map(f).sum::<f64>() / n;
-        let max_rounds = runs.iter().map(|r| r.dlp_series.len()).max().unwrap_or(0);
-        let mut dlp_series = vec![0.0; max_rounds];
+        let mut acc = MetricsAccumulator::new();
         for run in runs {
-            for (i, &v) in run.dlp_series.iter().enumerate() {
-                dlp_series[i] += v / n;
-            }
+            acc.push(run);
         }
-        let decoded: Vec<bool> = runs.iter().filter_map(|r| r.logical_error).collect();
-        let logical_error_rate = if decoded.is_empty() {
-            None
-        } else {
-            Some(decoded.iter().filter(|&&e| e).count() as f64 / decoded.len() as f64)
-        };
-        let rounds_mean = mean(&|r: &RunMetrics| r.rounds as f64).max(1.0);
-        AggregateMetrics {
-            shots,
-            false_positives: mean(&|r| r.false_positives as f64),
-            false_negatives: mean(&|r| r.false_negatives as f64),
-            data_lrcs: mean(&|r| r.data_lrcs as f64),
-            ancilla_lrcs: mean(&|r| r.ancilla_lrcs as f64),
-            lrcs_per_round: mean(&|r| r.data_lrcs as f64) / rounds_mean,
-            average_dlp: mean(&|r| r.average_dlp),
-            final_dlp: mean(&|r| r.final_dlp),
-            dlp_series,
-            inaccuracy_per_round: mean(&RunMetrics::inaccuracy_per_round),
-            total_time_ns: mean(&|r| r.total_time_ns),
-            lrc_time_ns: mean(&|r| r.lrc_time_ns),
-            logical_error_rate,
-        }
+        acc.finalize()
     }
 
     /// Normalized QEC cycle time in ns (total time divided by rounds), using the mean
@@ -229,6 +204,132 @@ impl AggregateMetrics {
             return 0.0;
         }
         self.total_time_ns / self.dlp_series.len() as f64
+    }
+}
+
+/// Incremental, checkpointable aggregation state for [`RunMetrics`].
+///
+/// Runs are pushed **in shot order**; the accumulator keeps plain left-fold
+/// partial sums (never running means), so its state after shot `k` is a pure
+/// function of shots `0..=k` — independent of how the stream was batched.
+/// Persisting every field bit-exactly (the adaptive sweep checkpoint stores
+/// each f64 via its raw IEEE-754 bits) and restoring it mid-stream therefore
+/// continues the *same* addition sequence, and [`MetricsAccumulator::finalize`]
+/// yields aggregates byte-identical to an uninterrupted
+/// [`AggregateMetrics::from_runs`] over the whole stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsAccumulator {
+    /// Shots pushed so far.
+    pub shots: usize,
+    /// Sum of per-shot false positives.
+    pub false_positives: f64,
+    /// Sum of per-shot false negatives.
+    pub false_negatives: f64,
+    /// Sum of per-shot data LRC counts.
+    pub data_lrcs: f64,
+    /// Sum of per-shot parity LRC counts.
+    pub ancilla_lrcs: f64,
+    /// Sum of per-shot round counts.
+    pub rounds: f64,
+    /// Sum of per-shot average DLP.
+    pub average_dlp: f64,
+    /// Sum of per-shot final-round DLP.
+    pub final_dlp: f64,
+    /// Per-round DLP sums (index = round; grown to the longest series seen).
+    pub dlp_series: Vec<f64>,
+    /// Sum of per-shot speculation inaccuracy per round.
+    pub inaccuracy_per_round: f64,
+    /// Sum of per-shot total times (ns).
+    pub total_time_ns: f64,
+    /// Sum of per-shot LRC-attributable times (ns).
+    pub lrc_time_ns: f64,
+    /// Shots that carried a decode verdict.
+    pub decoded: usize,
+    /// Decoded shots that ended in a logical error.
+    pub errors: usize,
+    /// Shots whose final-round DLP was non-zero (the Bernoulli proxy for
+    /// cells swept without a decoder).
+    pub dlp_events: usize,
+}
+
+impl MetricsAccumulator {
+    /// A fresh, empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsAccumulator::default()
+    }
+
+    /// Folds one run into the partial sums. Callers must push runs in shot
+    /// order to keep the f64 addition sequence canonical.
+    pub fn push(&mut self, run: &RunMetrics) {
+        self.shots += 1;
+        self.false_positives += run.false_positives as f64;
+        self.false_negatives += run.false_negatives as f64;
+        self.data_lrcs += run.data_lrcs as f64;
+        self.ancilla_lrcs += run.ancilla_lrcs as f64;
+        self.rounds += run.rounds as f64;
+        self.average_dlp += run.average_dlp;
+        self.final_dlp += run.final_dlp;
+        if self.dlp_series.len() < run.dlp_series.len() {
+            self.dlp_series.resize(run.dlp_series.len(), 0.0);
+        }
+        for (i, &v) in run.dlp_series.iter().enumerate() {
+            self.dlp_series[i] += v;
+        }
+        self.inaccuracy_per_round += run.inaccuracy_per_round();
+        self.total_time_ns += run.total_time_ns;
+        self.lrc_time_ns += run.lrc_time_ns;
+        if let Some(error) = run.logical_error {
+            self.decoded += 1;
+            if error {
+                self.errors += 1;
+            }
+        }
+        if run.final_dlp > 0.0 {
+            self.dlp_events += 1;
+        }
+    }
+
+    /// The `(failures, trials)` Bernoulli tally driving adaptive stopping:
+    /// decoded logical errors over decoded shots when decoding ran, otherwise
+    /// shots that ended with a non-zero final DLP over all shots (the
+    /// leakage-population proxy for cells swept without a decoder).
+    #[must_use]
+    pub fn bernoulli_tally(&self) -> (u64, u64) {
+        if self.decoded > 0 {
+            (self.errors as u64, self.decoded as u64)
+        } else {
+            (self.dlp_events as u64, self.shots as u64)
+        }
+    }
+
+    /// Divides the partial sums into the final [`AggregateMetrics`]. Every
+    /// mean is a single `sum / n` at the end, so the result depends only on
+    /// the accumulated state, not on when (or how often) it is finalized.
+    #[must_use]
+    pub fn finalize(&self) -> AggregateMetrics {
+        if self.shots == 0 {
+            return AggregateMetrics::default();
+        }
+        let n = self.shots as f64;
+        let rounds_mean = (self.rounds / n).max(1.0);
+        let logical_error_rate =
+            (self.decoded > 0).then(|| self.errors as f64 / self.decoded as f64);
+        AggregateMetrics {
+            shots: self.shots,
+            false_positives: self.false_positives / n,
+            false_negatives: self.false_negatives / n,
+            data_lrcs: self.data_lrcs / n,
+            ancilla_lrcs: self.ancilla_lrcs / n,
+            lrcs_per_round: self.data_lrcs / n / rounds_mean,
+            average_dlp: self.average_dlp / n,
+            final_dlp: self.final_dlp / n,
+            dlp_series: self.dlp_series.iter().map(|&sum| sum / n).collect(),
+            inaccuracy_per_round: self.inaccuracy_per_round / n,
+            total_time_ns: self.total_time_ns / n,
+            lrc_time_ns: self.lrc_time_ns / n,
+            logical_error_rate,
+        }
     }
 }
 
@@ -313,6 +414,42 @@ mod tests {
         let agg = AggregateMetrics::from_runs(&[]);
         assert_eq!(agg.shots, 0);
         assert!(agg.dlp_series.is_empty());
+    }
+
+    #[test]
+    fn incremental_accumulation_is_bit_identical_across_batch_boundaries() {
+        let code = Code::rotated_surface(3);
+        let runs: Vec<RunMetrics> = (0..7)
+            .map(|seed| {
+                let mut sim = Simulator::new(&code, NoiseParams::default(), seed);
+                let run = sim.run_with_policy(&mut NeverLrc, 8);
+                RunMetrics::score(&run, 100.0)
+            })
+            .collect();
+        let whole = AggregateMetrics::from_runs(&runs);
+        // Any batching of the same shot-ordered stream must finalize to the
+        // exact same bytes (this is the adaptive resume oracle's foundation).
+        for split in [1usize, 2, 3, 6] {
+            let mut acc = MetricsAccumulator::new();
+            for run in &runs[..split] {
+                acc.push(run);
+            }
+            // A mid-stream finalize must not perturb later pushes.
+            let _ = acc.finalize();
+            for run in &runs[split..] {
+                acc.push(run);
+            }
+            let batched = acc.finalize();
+            assert_eq!(batched, whole, "split at {split}");
+            assert_eq!(
+                serde_json::to_string(&batched).unwrap(),
+                serde_json::to_string(&whole).unwrap(),
+                "split at {split}"
+            );
+        }
+        let mut acc = MetricsAccumulator::new();
+        runs.iter().for_each(|r| acc.push(r));
+        assert_eq!(acc.bernoulli_tally().1, 7, "undecoded runs tally over all shots");
     }
 
     #[test]

@@ -230,6 +230,113 @@ pub fn record_into_corpus(
     Ok(entry)
 }
 
+/// Records a cell into `corpus` like [`record_into_corpus`], but **appends to
+/// an existing shorter recording of the same cell** when one is present
+/// instead of re-simulating from shot zero. A reusable recording matches the
+/// scenario on every policy-free identity field *except* the shot count
+/// (which keys embed, so growing a cell re-keys it): family, distance,
+/// rounds, `p`, `lr`, seed — plus the recording policy, which drives the
+/// closed-loop execution. Under the `seed + shot` contract the appended
+/// blocks are exactly what a from-scratch recording would have produced, and
+/// [`qec_trace::extend_trace_file`] re-verifies every identity field against
+/// the on-disk header before touching a byte.
+///
+/// This is what makes adaptive sweeps compose with replay: each time a cell's
+/// allocation grows past its recorded shot count, only the new shots are
+/// simulated. An exact-shot-count recording under the same policy is returned
+/// as-is (recording is deterministic, so re-recording it would produce the
+/// same bytes). The caller persists the manifest with [`Corpus::save`].
+///
+/// # Errors
+/// Returns a message on I/O failure or a corrupt existing recording.
+pub fn extend_into_corpus(
+    corpus: &mut Corpus,
+    scenario: &Scenario,
+    record_policy: PolicyKind,
+    generator: &str,
+) -> Result<(CorpusEntry, ExtendDisposition), String> {
+    let key = cell_key(scenario);
+    let reusable = |entry: &CorpusEntry| {
+        entry.family == scenario.code.label()
+            && entry.distance == scenario.distance
+            && entry.rounds == scenario.rounds
+            && entry.p == scenario.p
+            && entry.leakage_ratio == scenario.leakage_ratio
+            && entry.seed == scenario.seed
+            && entry.policy == record_policy.label()
+    };
+    if let Some(existing) = corpus.lookup(&key) {
+        if reusable(existing) {
+            return Ok((existing.clone(), ExtendDisposition::Cached));
+        }
+        // Same key, different recording policy: a fresh recording replaces it.
+        let entry = record_into_corpus(corpus, scenario, record_policy, generator)?;
+        return Ok((entry, ExtendDisposition::Recorded));
+    }
+    // The longest strictly-shorter recording of the same cell, if any.
+    let prefix = corpus
+        .entries()
+        .iter()
+        .filter(|entry| reusable(entry) && entry.shots < scenario.shots)
+        .max_by_key(|entry| entry.shots)
+        .cloned();
+    let Some(prefix) = prefix else {
+        let entry = record_into_corpus(corpus, scenario, record_policy, generator)?;
+        return Ok((entry, ExtendDisposition::Recorded));
+    };
+    let (engine, header) = recording_engine(scenario, record_policy, generator);
+    let mut new_shots = Vec::with_capacity(scenario.shots - prefix.shots);
+    let mut shot = prefix.shots as u64;
+    while shot < header.shots as u64 {
+        let chunk_end = (shot + RECORD_CHUNK_SHOTS).min(header.shots as u64);
+        new_shots.extend(engine.trace_records_range(shot, chunk_end));
+        shot = chunk_end;
+    }
+    let old_path = corpus.trace_path(&prefix);
+    qec_trace::extend_trace_file(&old_path, &header, &new_shots)
+        .map_err(|e| format!("extending {}: {e}", prefix.key))?;
+    let hash = Corpus::cell_hash(&key);
+    let rel_path = Corpus::shard_rel_path(hash);
+    let new_path = corpus.dir().join(&rel_path);
+    if let Some(parent) = new_path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", new_path.display()))?;
+    }
+    std::fs::rename(&old_path, &new_path)
+        .map_err(|e| format!("re-keying {} -> {}: {e}", old_path.display(), new_path.display()))?;
+    corpus.remove(&prefix.key);
+    let entry = CorpusEntry {
+        key,
+        hash: format!("{hash:016x}"),
+        file: rel_path,
+        code: header.code_name.clone(),
+        family: scenario.code.label().to_string(),
+        distance: scenario.distance,
+        rounds: scenario.rounds,
+        p: scenario.p,
+        leakage_ratio: scenario.leakage_ratio,
+        shots: scenario.shots,
+        seed: scenario.seed,
+        policy: record_policy.label().to_string(),
+        trace_schema: header.schema_version,
+    };
+    corpus.insert(entry.clone());
+    Ok((entry, ExtendDisposition::Extended { appended: new_shots.len() }))
+}
+
+/// How [`extend_into_corpus`] satisfied a recording request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtendDisposition {
+    /// An exact recording of the cell already existed; nothing was simulated.
+    Cached,
+    /// A shorter recording of the cell was grown in place.
+    Extended {
+        /// Shots appended to the existing recording.
+        appended: usize,
+    },
+    /// No reusable recording existed; the cell was recorded from scratch.
+    Recorded,
+}
+
 /// One corpus cell loaded into memory, ready for repeated replay.
 #[derive(Debug)]
 pub struct LoadedCell {

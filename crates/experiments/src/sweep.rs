@@ -43,8 +43,10 @@ use crate::scenario::{decoder_from_value, CodeFamily, Scenario};
 /// Version of the sweep-report JSON schema; bump when the shape changes.
 /// (v2: added the `recorded_policy` provenance field for corpus-backed sweeps.
 /// v3: added the `replay_mode` provenance field and per-cell closed-loop
-/// divergence profiles.)
-pub const SWEEP_SCHEMA_VERSION: u32 = 3;
+/// divergence profiles. v4: specs gained the optional `adaptive` block —
+/// confidence-targeted shot allocation via [`crate::adaptive`]; per-cell
+/// `scenario.shots` now reports the shots actually allocated.)
+pub const SWEEP_SCHEMA_VERSION: u32 = 4;
 
 /// How often [`snapshot`] re-runs every cell to get min/mean/max timings.
 /// The regression gate compares minima, so more samples mean a tighter,
@@ -86,6 +88,13 @@ pub struct SweepSpec {
     /// from serialized specs when `None` (additive — the sweep schema version
     /// does not bump, like the serve protocol's additive-field rule).
     pub decoders: Option<Vec<DecoderKind>>,
+    /// Optional adaptive shot allocation: when present, `shots` becomes a
+    /// per-cell **ceiling** and each cell sequentially allocates deterministic
+    /// shot batches until its Wilson confidence interval reaches the block's
+    /// target relative half-width (see [`crate::adaptive`]). Omitted from
+    /// serialized specs when `None`, so legacy fixed-shot specs and reports
+    /// keep their exact bytes (additive, like `decoders`).
+    pub adaptive: Option<crate::adaptive::AdaptiveSpec>,
 }
 
 // Hand-written so the optional `decoders` axis is omitted (not `null`) when
@@ -106,6 +115,9 @@ impl Serialize for SweepSpec {
             let labels: Vec<String> =
                 decoders.iter().map(|kind| kind.label().to_string()).collect();
             composer.field("decoders", &labels);
+        }
+        if let Some(adaptive) = &self.adaptive {
+            composer.field("adaptive", adaptive);
         }
         composer.end()
     }
@@ -131,6 +143,7 @@ impl Deserialize for SweepSpec {
             seed: de::field(fields, "SweepSpec", "seed")?,
             decode: de::field(fields, "SweepSpec", "decode")?,
             decoders,
+            adaptive: de::field(fields, "SweepSpec", "adaptive")?,
         })
     }
 }
@@ -151,6 +164,7 @@ impl SweepSpec {
             seed: scale.seed,
             decode: true,
             decoders: None,
+            adaptive: None,
         }
     }
 
@@ -230,6 +244,9 @@ impl SweepSpec {
     /// expanded scenario fails [`Scenario::validate`].
     pub fn expand(&self) -> Result<Vec<Scenario>, String> {
         let spec = self.clone();
+        if let Some(adaptive) = &self.adaptive {
+            adaptive.validate()?;
+        }
         let decoder_axis = self.decoder_axis()?;
         let (distances, error_rates, leakage_ratios, policies) = spec.normalized_axes()?;
         let mut scenarios = Vec::new();
@@ -588,6 +605,7 @@ pub fn snapshot_spec() -> SweepSpec {
         seed: 11,
         decode: true,
         decoders: None,
+        adaptive: None,
     }
 }
 
@@ -656,6 +674,7 @@ mod tests {
             seed: 5,
             decode: false,
             decoders: None,
+            adaptive: None,
         }
     }
 

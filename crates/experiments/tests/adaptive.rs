@@ -1,0 +1,436 @@
+//! THE oracle suite for adaptive shot allocation: stop/resume at every round
+//! boundary must reproduce the uninterrupted report byte-for-byte, an
+//! adaptive run at its ceiling must equal the legacy fixed-shot report, the
+//! bytes must not depend on the worker count, and a damaged checkpoint must
+//! fail loudly — never silently restart a cell from zero. Plus property
+//! tests for the estimator core (Wilson interval + stopping rule).
+
+use std::path::PathBuf;
+
+use leakage_speculation::PolicyKind;
+use proptest::prelude::*;
+use qec_experiments::adaptive::{
+    read_checkpoint_state, resume_adaptive, run_adaptive, spec_fingerprint, stop_decision,
+    wilson_interval, z_for_confidence, AdaptiveSpec, StopReason, ADAPTIVE_FILE, STATE_FILE,
+};
+use qec_experiments::report::to_json;
+use qec_experiments::scenario::CodeFamily;
+use qec_experiments::sweep::{run_sweep, SweepSpec};
+use qec_trace::TraceError;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qad-test-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A two-cell spec tuned so one cell converges before the ceiling (high
+/// leakage pressure, loose target) and the other rides to the ceiling — the
+/// run exercises both stop reasons and several allocation rounds.
+fn oracle_spec() -> SweepSpec {
+    SweepSpec {
+        code: CodeFamily::Surface,
+        distances: vec![3],
+        error_rates: vec![5e-2, 5e-3],
+        leakage_ratios: vec![0.5],
+        policies: vec![PolicyKind::EraserM],
+        shots: 96,
+        rounds_per_distance: 4,
+        seed: 17,
+        decode: false,
+        decoders: None,
+        adaptive: Some(AdaptiveSpec {
+            target_rel_halfwidth: 0.35,
+            confidence: 0.9,
+            initial_batch: 8,
+        }),
+    }
+}
+
+/// A one-cell spec with an unreachable target: every run ceilings, cheaply.
+fn tiny_spec() -> SweepSpec {
+    SweepSpec {
+        code: CodeFamily::Surface,
+        distances: vec![3],
+        error_rates: vec![1e-3],
+        leakage_ratios: vec![0.1],
+        policies: vec![PolicyKind::EraserM],
+        shots: 12,
+        rounds_per_distance: 4,
+        seed: 23,
+        decode: false,
+        decoders: None,
+        adaptive: Some(AdaptiveSpec {
+            target_rel_halfwidth: 1e-9,
+            confidence: 0.95,
+            initial_batch: 2,
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------------
+// Resume oracles
+// ---------------------------------------------------------------------------------
+
+#[test]
+fn resume_at_every_round_boundary_reproduces_the_uninterrupted_report() {
+    let spec = oracle_spec();
+    let base_dir = tmp_dir("oracle-base");
+    let outcome = run_adaptive(&spec, &base_dir, None).unwrap().expect("runs to completion");
+    // The oracle is only meaningful if the run spans several rounds and
+    // exercises both stop reasons.
+    assert!(outcome.rounds >= 3, "want >= 3 rounds, got {}", outcome.rounds);
+    assert!(outcome.converged >= 1, "want a converged cell");
+    assert!(outcome.ceilinged >= 1, "want a ceilinged cell");
+    let baseline = to_json(&outcome.report);
+
+    for pause_after in 0..outcome.rounds {
+        let dir = tmp_dir(&format!("oracle-pause-{pause_after}"));
+        let paused = run_adaptive(&spec, &dir, Some(pause_after)).unwrap();
+        assert!(paused.is_none(), "round {pause_after} of {} must pause", outcome.rounds);
+        let resumed = resume_adaptive(&dir, None).unwrap().expect("resume completes");
+        assert_eq!(
+            to_json(&resumed.report),
+            baseline,
+            "resume after round {pause_after} must reproduce the uninterrupted bytes"
+        );
+        assert_eq!(resumed.rounds, outcome.rounds);
+        assert_eq!(resumed.shots_allocated, outcome.shots_allocated);
+        assert_eq!(resumed.converged, outcome.converged);
+        assert_eq!(resumed.ceilinged, outcome.ceilinged);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&base_dir);
+}
+
+#[test]
+fn chained_single_round_sessions_reproduce_the_uninterrupted_report() {
+    let spec = oracle_spec();
+    let base_dir = tmp_dir("chain-base");
+    let outcome = run_adaptive(&spec, &base_dir, None).unwrap().expect("runs to completion");
+    let baseline = to_json(&outcome.report);
+
+    // One round per session: kill/restart at its most adversarial cadence.
+    let dir = tmp_dir("chain-steps");
+    let mut sessions = 1u64;
+    let mut done = run_adaptive(&spec, &dir, Some(1)).unwrap();
+    while done.is_none() {
+        assert!(sessions <= outcome.rounds, "more sessions than rounds");
+        done = resume_adaptive(&dir, Some(1)).unwrap();
+        sessions += 1;
+    }
+    let resumed = done.expect("loop exits completed");
+    assert_eq!(to_json(&resumed.report), baseline);
+    // The session that executes the final round finalizes instead of
+    // pausing, so there is exactly one session per allocation round.
+    assert_eq!(sessions, outcome.rounds, "one session per round");
+
+    // Resuming an already-completed run re-renders the same report.
+    let again = resume_adaptive(&dir, None).unwrap().expect("re-render");
+    assert_eq!(to_json(&again.report), baseline);
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&base_dir);
+}
+
+#[test]
+fn adaptive_run_at_the_ceiling_equals_the_legacy_fixed_shot_report() {
+    // An unreachable interval target forces every cell to its ceiling; the
+    // report must then be byte-identical to the fixed-shot sweep of the same
+    // spec without the adaptive block.
+    let mut spec = oracle_spec();
+    spec.shots = 24;
+    spec.adaptive =
+        Some(AdaptiveSpec { target_rel_halfwidth: 1e-9, confidence: 0.95, initial_batch: 8 });
+    let dir = tmp_dir("ceiling");
+    let outcome = run_adaptive(&spec, &dir, None).unwrap().expect("runs to completion");
+    assert_eq!(outcome.converged, 0);
+    assert_eq!(outcome.ceilinged, 2);
+    assert_eq!(outcome.shots_allocated, 48);
+
+    let mut fixed = spec.clone();
+    fixed.adaptive = None;
+    let fixed_report = run_sweep(&fixed, false).unwrap();
+    assert_eq!(to_json(&outcome.report), to_json(&fixed_report));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reports_are_byte_identical_across_worker_counts() {
+    let spec = oracle_spec();
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let dir1 = tmp_dir("threads-1");
+    let one = run_adaptive(&spec, &dir1, None).unwrap().expect("completes");
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    let dir4 = tmp_dir("threads-4");
+    let four = run_adaptive(&spec, &dir4, None).unwrap().expect("completes");
+    std::env::remove_var("RAYON_NUM_THREADS");
+    assert_eq!(to_json(&one.report), to_json(&four.report));
+    let _ = std::fs::remove_dir_all(&dir1);
+    let _ = std::fs::remove_dir_all(&dir4);
+}
+
+#[test]
+fn a_run_killed_before_the_first_boundary_restarts_from_zero_and_still_matches() {
+    let spec = tiny_spec();
+    let base_dir = tmp_dir("prefirst-base");
+    let baseline =
+        to_json(&run_adaptive(&spec, &base_dir, None).unwrap().expect("completes").report);
+
+    // Pause after two rounds, then simulate a death *before the first round
+    // boundary of a fresh run*: the descriptor exists but no state file does.
+    // Nothing was reported yet, so restarting from round zero is sound — and
+    // must still land on the same bytes.
+    let dir = tmp_dir("prefirst");
+    assert!(run_adaptive(&spec, &dir, Some(2)).unwrap().is_none());
+    std::fs::remove_file(dir.join(STATE_FILE)).unwrap();
+    let resumed = resume_adaptive(&dir, None).unwrap().expect("restarts from zero");
+    assert_eq!(to_json(&resumed.report), baseline);
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&base_dir);
+}
+
+// ---------------------------------------------------------------------------------
+// Corruption: a torn checkpoint never silently restarts a cell from zero
+// ---------------------------------------------------------------------------------
+
+#[test]
+fn every_single_byte_flip_of_the_state_file_is_detected() {
+    let spec = tiny_spec();
+    let dir = tmp_dir("flips");
+    assert!(run_adaptive(&spec, &dir, Some(2)).unwrap().is_none());
+    let good = std::fs::read(dir.join(STATE_FILE)).unwrap();
+    let baseline = {
+        let base_dir = tmp_dir("flips-base");
+        let json =
+            to_json(&run_adaptive(&spec, &base_dir, None).unwrap().expect("completes").report);
+        let _ = std::fs::remove_dir_all(&base_dir);
+        json
+    };
+
+    for i in 0..good.len() {
+        let mut bad = good.clone();
+        bad[i] ^= 0xFF;
+        std::fs::write(dir.join(STATE_FILE), &bad).unwrap();
+        let err = read_checkpoint_state(&dir)
+            .err()
+            .unwrap_or_else(|| panic!("flip at byte {i} must be detected"));
+        assert!(
+            matches!(err, TraceError::Corrupt(_) | TraceError::Io(_)),
+            "flip at byte {i}: want a typed corruption error, got {err:?}"
+        );
+        // And the resume path hard-errors too — it must never treat a torn
+        // state file as "no progress yet" and restart cells from zero.
+        let resumed = resume_adaptive(&dir, None);
+        assert!(resumed.is_err(), "resume must refuse the flipped state (byte {i})");
+    }
+
+    // Restoring the intact bytes recovers the run and the oracle bytes.
+    std::fs::write(dir.join(STATE_FILE), &good).unwrap();
+    let recovered = resume_adaptive(&dir, None).unwrap().expect("completes");
+    assert_eq!(to_json(&recovered.report), baseline);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_truncation_of_the_state_file_is_detected() {
+    let spec = tiny_spec();
+    let dir = tmp_dir("trunc");
+    assert!(run_adaptive(&spec, &dir, Some(2)).unwrap().is_none());
+    let good = std::fs::read(dir.join(STATE_FILE)).unwrap();
+
+    for len in 0..good.len() {
+        std::fs::write(dir.join(STATE_FILE), &good[..len]).unwrap();
+        assert!(
+            read_checkpoint_state(&dir).is_err(),
+            "truncation to {len} of {} bytes must be detected",
+            good.len()
+        );
+        assert!(
+            resume_adaptive(&dir, None).is_err(),
+            "resume must refuse the truncated state ({len} bytes)"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trailing_garbage_after_the_end_block_is_rejected() {
+    let spec = tiny_spec();
+    let dir = tmp_dir("trailing");
+    assert!(run_adaptive(&spec, &dir, Some(1)).unwrap().is_none());
+    let mut bytes = std::fs::read(dir.join(STATE_FILE)).unwrap();
+    bytes.push(0);
+    std::fs::write(dir.join(STATE_FILE), &bytes).unwrap();
+    assert!(matches!(read_checkpoint_state(&dir), Err(TraceError::Corrupt(_))));
+    assert!(resume_adaptive(&dir, None).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_state_file_from_a_different_run_is_rejected_by_fingerprint() {
+    let spec_a = tiny_spec();
+    let mut spec_b = tiny_spec();
+    spec_b.seed = 99;
+    assert_ne!(spec_fingerprint(&spec_a), spec_fingerprint(&spec_b));
+
+    let dir_a = tmp_dir("fpr-a");
+    let dir_b = tmp_dir("fpr-b");
+    assert!(run_adaptive(&spec_a, &dir_a, Some(1)).unwrap().is_none());
+    assert!(run_adaptive(&spec_b, &dir_b, Some(1)).unwrap().is_none());
+
+    // Graft B's state under A's descriptor: the fingerprint cross-check
+    // must refuse to mix tallies across runs.
+    std::fs::copy(dir_b.join(STATE_FILE), dir_a.join(STATE_FILE)).unwrap();
+    let err = resume_adaptive(&dir_a, None).expect_err("fingerprint mismatch");
+    assert!(err.contains("fingerprint"), "unexpected error: {err}");
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn a_second_fresh_run_in_a_checkpoint_directory_is_refused() {
+    let spec = tiny_spec();
+    let dir = tmp_dir("occupied");
+    assert!(run_adaptive(&spec, &dir, Some(1)).unwrap().is_none());
+    let err = run_adaptive(&spec, &dir, None).expect_err("directory is occupied");
+    assert!(err.contains("--resume"), "unexpected error: {err}");
+    // A directory with no descriptor at all is not resumable.
+    let empty = tmp_dir("empty");
+    std::fs::create_dir_all(&empty).unwrap();
+    assert!(empty.join(ADAPTIVE_FILE).exists() || resume_adaptive(&empty, None).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&empty);
+}
+
+// ---------------------------------------------------------------------------------
+// Estimator core properties
+// ---------------------------------------------------------------------------------
+
+/// splitmix64: the test's own deterministic uniform stream for simulating
+/// Bernoulli draws (no RNG dependency in this crate's tests).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn uniform01(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The Wilson half-width shrinks strictly as the tally scales up at a
+    /// fixed observed rate: more shots always tighten the interval, which is
+    /// what makes "allocate until tight enough" terminate.
+    #[test]
+    fn wilson_halfwidth_is_monotone_in_shots(
+        failures in 0u64..500,
+        successes in 0u64..500,
+        doublings in 1u32..6,
+        z_pick in 0usize..3,
+    ) {
+        let trials = failures + successes + 1;
+        let z = [1.0, 1.96, 2.576][z_pick];
+        let mut prev = wilson_interval(failures, trials, z).halfwidth;
+        for k in 1..=doublings {
+            let next = wilson_interval(failures << k, trials << k, z).halfwidth;
+            prop_assert!(
+                next < prev,
+                "halfwidth must shrink: {prev} -> {next} at x{}", 1u64 << k
+            );
+            prev = next;
+        }
+    }
+
+    /// The interval actually covers the true rate on simulated Bernoulli
+    /// streams at (at least roughly) the configured confidence. The bound is
+    /// deliberately loose — ~7 sigma below the nominal 95% — so the test is
+    /// deterministic-in-practice while still catching a broken interval.
+    #[test]
+    fn wilson_interval_covers_the_true_rate_on_bernoulli_streams(
+        p_milli in 10u64..500,
+        seed in any::<u64>(),
+    ) {
+        let p = p_milli as f64 / 1000.0;
+        let z = z_for_confidence(0.95);
+        let streams = 64u64;
+        let n = 256u64;
+        let mut covered = 0u32;
+        for stream in 0..streams {
+            let mut state = seed ^ stream.wrapping_mul(0xA076_1D64_78BD_642F);
+            let failures = (0..n).filter(|_| uniform01(&mut state) < p).count() as u64;
+            let interval = wilson_interval(failures, n, z);
+            if (interval.center - p).abs() <= interval.halfwidth {
+                covered += 1;
+            }
+        }
+        prop_assert!(covered >= 48, "coverage {covered}/{streams} at p={p}");
+    }
+
+    /// The stopping rule is a pure function of the tally: recomputing it
+    /// yields the same decision, the decision for one cell is independent of
+    /// every other cell (any permutation of the cell list), and equal
+    /// tallies always produce equal decisions.
+    #[test]
+    fn stopping_rule_is_a_pure_order_independent_function_of_the_tally(
+        seed in any::<u64>(),
+        count in 1usize..16,
+        ceiling in 1usize..2000,
+        target_milli in 1u64..1000,
+    ) {
+        let adaptive = AdaptiveSpec {
+            target_rel_halfwidth: target_milli as f64 / 1000.0,
+            confidence: 0.95,
+            initial_batch: 8,
+        };
+        let mut state = seed;
+        let tallies: Vec<(u64, u64, usize)> = (0..count)
+            .map(|_| {
+                let a = splitmix64(&mut state) % 400;
+                let b = 1 + splitmix64(&mut state) % 399;
+                let shots = (splitmix64(&mut state) % 2000) as usize;
+                (a.min(b), a.max(b), shots)
+            })
+            .collect();
+        let forward: Vec<_> = tallies
+            .iter()
+            .map(|&(f, t, s)| stop_decision(f, t, s, ceiling, &adaptive))
+            .collect();
+        let reversed: Vec<_> = tallies
+            .iter()
+            .rev()
+            .map(|&(f, t, s)| stop_decision(f, t, s, ceiling, &adaptive))
+            .collect();
+        for (i, (&fwd, &rev)) in forward.iter().zip(reversed.iter().rev()).enumerate() {
+            prop_assert_eq!(fwd, rev, "cell {i}: decision depends on evaluation order");
+            // Pure: same tally in, same decision out, every time.
+            let (f, t, s) = tallies[i];
+            prop_assert_eq!(fwd, stop_decision(f, t, s, ceiling, &adaptive));
+        }
+        // At or past the ceiling the decision is always Some.
+        for &(f, t, _) in &tallies {
+            prop_assert!(stop_decision(f, t, ceiling, ceiling, &adaptive).is_some());
+        }
+    }
+
+    /// A zero-failure tally never "converges" — it can only stop at the
+    /// ceiling, because a rate estimate of zero has no relative width.
+    #[test]
+    fn zero_failure_cells_only_stop_at_the_ceiling(
+        trials in 0u64..100_000,
+        shots in 0usize..2000,
+        ceiling in 1usize..2000,
+    ) {
+        let adaptive = AdaptiveSpec::default();
+        let decision = stop_decision(0, trials, shots, ceiling, &adaptive);
+        if shots >= ceiling {
+            prop_assert_eq!(decision, Some(StopReason::Ceiling));
+        } else {
+            prop_assert_eq!(decision, None);
+        }
+    }
+}

@@ -236,6 +236,7 @@ fn closed_loop_corpus_sweep_matches_a_fully_simulated_sweep_for_every_policy() {
         seed: 13,
         decode: true,
         decoders: None,
+        adaptive: None,
     };
     let report =
         run_sweep_with_corpus(&spec, &dir, None, false, ReplayMode::ClosedLoop, true).unwrap();

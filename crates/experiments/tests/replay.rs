@@ -153,6 +153,7 @@ fn corpus_sweep_spec() -> SweepSpec {
         seed: 13,
         decode: true,
         decoders: None,
+        adaptive: None,
     }
 }
 

@@ -21,6 +21,7 @@ fn small_spec() -> SweepSpec {
         seed: 9,
         decode: true,
         decoders: None,
+        adaptive: None,
     }
 }
 

@@ -281,6 +281,18 @@ pub struct ServerStats {
     /// count minus those whose last call failed). On a plain daemon this is
     /// `0` — a daemon is not its own replica.
     pub replicas_up: u64,
+    /// Allocation rounds completed by an adaptive sweep checkpointed **in the
+    /// served corpus directory** (`state.qad` colocated with `manifest.json`;
+    /// see `docs/ADAPTIVE.md`). `0` when no checkpoint is present. Read fresh
+    /// on every `stats` request, so a daemon serving a corpus that an
+    /// adaptive sweep is growing reports live progress. The router sums the
+    /// field across replicas (total rounds executed cluster-wide). Additive
+    /// field, like [`ServerStats::shared_passes`].
+    pub adaptive_rounds: u64,
+    /// Total shots allocated across every cell of that checkpointed adaptive
+    /// sweep (`0` without a checkpoint; summed across replicas by the
+    /// router). Additive field, like [`ServerStats::shared_passes`].
+    pub shots_allocated: u64,
 }
 
 /// Manifest entry plus shard-header provenance for one cell.

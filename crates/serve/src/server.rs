@@ -440,6 +440,27 @@ fn current_snapshot(state: &ServerState) -> Arc<CorpusSnapshot> {
     Arc::clone(&state.snapshot.read().unwrap_or_else(PoisonError::into_inner))
 }
 
+/// Live progress of an adaptive sweep checkpointed in the served corpus
+/// directory: `(rounds completed, total shots allocated)` from a `state.qad`
+/// colocated with `manifest.json` (adaptive sweeps may point `--checkpoint`
+/// at the corpus directory — the file sets are disjoint). `(0, 0)` when no
+/// checkpoint exists, and equally when the state file is torn or corrupt:
+/// `stats` is a monitoring surface and must never fail a request over a
+/// checkpoint mid-rewrite (resume, in contrast, errors loudly on the same
+/// bytes).
+fn adaptive_progress(corpus_dir: &Path) -> (u64, u64) {
+    if !corpus_dir.join(qec_experiments::adaptive::STATE_FILE).exists() {
+        return (0, 0);
+    }
+    match qec_experiments::adaptive::read_checkpoint_state(corpus_dir) {
+        Ok(state) => {
+            let shots = state.cells.iter().map(|cell| cell.acc.shots as u64).sum();
+            (state.rounds, shots)
+        }
+        Err(_) => (0, 0),
+    }
+}
+
 /// Checks `manifest.json` for changes and swaps in a fresh snapshot when the
 /// parsed entry set differs. Crash-safe against torn manifest writes: a
 /// manifest that fails to parse is skipped (the stamp is not advanced), so
@@ -551,6 +572,7 @@ fn handle_request(state: &ServerState, request: RequestKind) -> ResponseKind {
         }
         RequestKind::Stats => {
             let cache = snapshot.cache.stats();
+            let (adaptive_rounds, shots_allocated) = adaptive_progress(&state.corpus_dir);
             ResponseKind::Stats(ServerStats {
                 requests: state.requests.load(Ordering::Relaxed),
                 evals: state.evals.load(Ordering::Relaxed),
@@ -577,6 +599,8 @@ fn handle_request(state: &ServerState, request: RequestKind) -> ResponseKind {
                 fanout_hwm: 0,
                 replica_errors: 0,
                 replicas_up: 0,
+                adaptive_rounds,
+                shots_allocated,
             })
         }
         RequestKind::ListCells => ResponseKind::Cells(snapshot.corpus.entries().to_vec()),

@@ -103,6 +103,8 @@ fn sample_stats() -> ServerStats {
         fanout_hwm: 2,
         replica_errors: 1,
         replicas_up: 2,
+        adaptive_rounds: 7,
+        shots_allocated: 4096,
     }
 }
 

@@ -190,6 +190,16 @@ impl Corpus {
         }
     }
 
+    /// Removes the entry for `key` from the manifest, returning it. The trace
+    /// file on disk is **not** deleted — callers that grow a cell in place
+    /// (adaptive recording re-keys a cell when its shot count grows, because
+    /// keys embed the shot count) typically rename or rewrite the shard
+    /// themselves. Call [`Corpus::save`] to persist the manifest afterwards.
+    pub fn remove(&mut self, key: &str) -> Option<CorpusEntry> {
+        let index = self.manifest.entries.iter().position(|entry| entry.key == key)?;
+        Some(self.manifest.entries.remove(index))
+    }
+
     /// Writes `manifest.json` (creating the corpus directory if needed).
     ///
     /// # Errors
@@ -251,6 +261,20 @@ mod tests {
         assert_eq!(reopened.lookup("cell-a").unwrap().shots, 99);
         assert!(reopened.lookup("cell-c").is_none());
         assert_eq!(reopened.entries(), corpus.entries());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_drops_an_entry_by_key() {
+        let dir = std::env::temp_dir().join(format!("qtr-corpus-rm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut corpus = Corpus::open(&dir).unwrap();
+        corpus.insert(entry("cell-a"));
+        corpus.insert(entry("cell-b"));
+        assert_eq!(corpus.remove("cell-a").unwrap().key, "cell-a");
+        assert!(corpus.remove("cell-a").is_none(), "second removal finds nothing");
+        assert!(corpus.lookup("cell-a").is_none());
+        assert_eq!(corpus.entries().len(), 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

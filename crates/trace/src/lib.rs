@@ -55,6 +55,7 @@ pub use replay::{
     ShotReplay,
 };
 pub use stream::{
-    open_trace_file, read_trace_file, read_trace_header, write_trace_file, TraceReader, TraceWriter,
+    check_extends, extend_trace_file, open_trace_file, read_trace_file, read_trace_header,
+    write_trace_file, TraceReader, TraceWriter,
 };
 pub use wire::{crc32, TraceError};
